@@ -1,0 +1,342 @@
+//! Statically partitioned comparators: multi-master and partition-store.
+//!
+//! Both assign every partition a fixed owner (the paper gives them the best
+//! static partitioning Schism found: range partitioning for YCSB,
+//! by-warehouse for TPC-C — encoded here in the owner function supplied by
+//! the workload), and both commit update transactions with client-
+//! coordinated two-phase commit: the client fetches its reads from the
+//! owning sites, executes the transaction logic, then runs a prepare round
+//! (participants lock and validate read versions) and a decide round. This
+//! is what gives these architectures the paper's costs:
+//!
+//! * **additional round trips** — even a fully local single-site update
+//!   pays read-fetch + prepare + decide (§VI-B1: "partition-store performs
+//!   poorly ... due to additional round-trips during transaction
+//!   processing");
+//! * **the uncertainty window** — participants hold write locks between
+//!   prepare and decide, blocking concurrent transactions ("the
+//!   requirements of the uncertain phase during distributed transaction
+//!   processing force blocking — even for single-row transactions",
+//!   Appendix F);
+//! * **stragglers** — partition-store's multi-partition reads fan out to
+//!   every owning site and complete at the slowest response (§VI-B2).
+//!
+//! They differ in replication: **multi-master** lazily maintains replicas,
+//! so read-only transactions execute at any single site and update-phase
+//! reads are served by one (possibly lagging — prepare-time validation
+//! catches conflicts) replica; **partition-store** has none, so every read
+//! goes to the partition's owner.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::client_coord::{fetch, two_phase_commit, ClientCtx, FetchPlan};
+use dynamast_replication::record::WriteEntry;
+
+use dynamast_common::ids::SiteId;
+use dynamast_common::{Result, SystemConfig};
+use dynamast_network::Network;
+use dynamast_replication::LogSet;
+use dynamast_site::data_site::{DataSite, DataSiteConfig, SiteRuntime, StaticOwnerFn};
+use dynamast_site::proc::{ProcCall, ProcExecutor, ReadMode, ScanRange};
+use dynamast_site::system::{
+    exec_read_at, Breakdown, ClientSession, ReplicatedSystem, SystemStats, TxnOutcome,
+};
+use dynamast_storage::Catalog;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which static architecture to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StaticKind {
+    /// Lazy replication + 2PC; reads at any replica.
+    MultiMaster,
+    /// No replication; 2PC; remote reads.
+    PartitionStore,
+}
+
+impl StaticKind {
+    fn name(self) -> &'static str {
+        match self {
+            StaticKind::MultiMaster => "multi-master",
+            StaticKind::PartitionStore => "partition-store",
+        }
+    }
+
+    fn replicate(self) -> bool {
+        matches!(self, StaticKind::MultiMaster)
+    }
+
+}
+
+/// A running multi-master or partition-store deployment.
+pub struct StaticSystem {
+    kind: StaticKind,
+    config: SystemConfig,
+    catalog: Catalog,
+    static_tables: Vec<dynamast_common::ids::TableId>,
+    network: Arc<Network>,
+    logs: LogSet,
+    sites: Vec<Arc<DataSite>>,
+    owner: StaticOwnerFn,
+    executor: Arc<dyn ProcExecutor>,
+    rng: Mutex<SmallRng>,
+    txn_counter: AtomicU64,
+    _runtimes: Vec<SiteRuntime>,
+}
+
+impl StaticSystem {
+    /// Builds and starts a deployment with the given fixed partitioning.
+    pub fn build(
+        kind: StaticKind,
+        system: SystemConfig,
+        catalog: Catalog,
+        owner: StaticOwnerFn,
+        static_tables: Vec<dynamast_common::ids::TableId>,
+        executor: Arc<dyn ProcExecutor>,
+        rpc_workers: usize,
+    ) -> Arc<Self> {
+        let m = system.num_sites;
+        let network = Network::new(system.network, system.seed);
+        let logs = LogSet::new(m);
+        let mut sites = Vec::with_capacity(m);
+        let mut runtimes = Vec::with_capacity(m);
+        for i in 0..m {
+            let site = DataSite::new(
+                DataSiteConfig {
+                    id: SiteId::new(i),
+                    system: system.clone(),
+                    replicate: kind.replicate(),
+                    initial_partitions: Vec::new(),
+                    static_owner: Some(Arc::clone(&owner)),
+                    replicated_tables: static_tables.clone(),
+                },
+                catalog.clone(),
+                logs.clone(),
+                Arc::clone(&network),
+                Arc::clone(&executor),
+            );
+            runtimes.push(site.start(rpc_workers));
+            sites.push(site);
+        }
+        Arc::new(StaticSystem {
+            kind,
+            catalog,
+            static_tables,
+            network,
+            logs,
+            sites,
+            owner,
+            executor,
+            rng: Mutex::new(SmallRng::seed_from_u64(system.seed ^ 0x0057_A71C)),
+            txn_counter: AtomicU64::new(1),
+            _runtimes: runtimes,
+            config: system,
+        })
+    }
+
+    /// The simulated network (traffic accounting).
+    pub fn network(&self) -> &Arc<Network> {
+        &self.network
+    }
+
+    /// The durable logs.
+    pub fn logs(&self) -> &LogSet {
+        &self.logs
+    }
+
+    /// The data sites.
+    pub fn sites(&self) -> &[Arc<DataSite>] {
+        &self.sites
+    }
+
+    /// Loads one row into the owning site (and all replicas under
+    /// multi-master).
+    pub fn load_row(&self, key: dynamast_common::ids::Key, row: dynamast_common::Row) -> Result<()> {
+        if self.kind.replicate() || self.static_tables.contains(&key.table) {
+            for site in &self.sites {
+                site.load_row(key, row.clone())?;
+            }
+        } else {
+            let owner = (self.owner)(self.catalog.partition_of(key)?);
+            self.sites[owner.as_usize()].load_row(key, row)?;
+        }
+        Ok(())
+    }
+
+    fn owner_of_key(&self, key: dynamast_common::ids::Key) -> Result<SiteId> {
+        Ok((self.owner)(self.catalog.partition_of(key)?))
+    }
+
+    /// Builds per-site fetch plans for everything a transaction reads
+    /// (declared reads plus write-set keys for read-modify-writes).
+    ///
+    /// Partition-store fetches each key/range from its owner; multi-master
+    /// fetches everything from one replica (static tables are served
+    /// locally either way).
+    fn fetch_plans(&self, proc: &ProcCall) -> Result<Vec<(SiteId, FetchPlan)>> {
+        let mut plans: BTreeMap<SiteId, FetchPlan> = BTreeMap::new();
+        let single_site = match self.kind {
+            StaticKind::MultiMaster => {
+                Some(SiteId::new(self.rng.lock().gen_range(0..self.config.num_sites)))
+            }
+            StaticKind::PartitionStore => None,
+        };
+        for key in proc.write_set.iter().chain(&proc.read_keys) {
+            let site = match single_site {
+                Some(site) => site,
+                None => self.owner_of_key(*key)?,
+            };
+            plans.entry(site).or_default().keys.push(*key);
+        }
+        for range in &proc.read_ranges {
+            match single_site {
+                Some(site) => plans.entry(site).or_default().ranges.push(*range),
+                None => {
+                    // Split by owner; contiguous same-owner subranges merge.
+                    let schema = self.catalog.table(range.table)?;
+                    let psize = schema.partition_size;
+                    let mut cursor = range.start;
+                    while cursor < range.end {
+                        let sub_end = (((cursor / psize) + 1) * psize).min(range.end);
+                        let owner = self.owner_of_key(dynamast_common::ids::Key::new(
+                            range.table,
+                            cursor,
+                        ))?;
+                        let ranges = &mut plans.entry(owner).or_default().ranges;
+                        match ranges.last_mut() {
+                            Some(last) if last.table == range.table && last.end == cursor => {
+                                last.end = sub_end
+                            }
+                            _ => ranges.push(ScanRange {
+                                table: range.table,
+                                start: cursor,
+                                end: sub_end,
+                            }),
+                        }
+                        cursor = sub_end;
+                    }
+                }
+            }
+        }
+        Ok(plans.into_iter().collect())
+    }
+}
+
+impl ReplicatedSystem for StaticSystem {
+    fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    fn update(&self, session: &mut ClientSession, proc: &ProcCall) -> Result<TxnOutcome> {
+        let t0 = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            // 1. Fetch phase (parallel per site; stragglers bound latency).
+            let fetched = fetch(&self.network, self.fetch_plans(proc)?)?;
+            // 2. Execute locally over the fetched rows.
+            let t_exec0 = Instant::now();
+            let mut ctx = ClientCtx::new(fetched, proc.write_set.clone());
+            let result = self.executor.execute(&mut ctx, proc)?;
+            let (writes, read_stamps) = ctx.into_writes();
+            let exec_time = t_exec0.elapsed();
+            // 3. Two-phase commit (prepare + decide, even for one fragment).
+            let t_commit0 = Instant::now();
+            let mut groups: BTreeMap<SiteId, Vec<WriteEntry>> = BTreeMap::new();
+            for (key, row) in writes {
+                groups
+                    .entry(self.owner_of_key(key)?)
+                    .or_default()
+                    .push(WriteEntry { key, row });
+            }
+            let txn_id = (u64::from(self.config.num_sites as u32) << 48)
+                | self.txn_counter.fetch_add(1, Ordering::Relaxed);
+            match two_phase_commit(&self.network, txn_id, groups, &read_stamps)? {
+                Some(commit_vv) => {
+                    session.observe(&commit_vv);
+                    for site in &self.sites {
+                        // Aborts counter lives on sites; commits counted at
+                        // participants during decide.
+                        let _ = site;
+                    }
+                    let commit_time = t_commit0.elapsed();
+                    let mut breakdown = Breakdown::from_parts(
+                        Duration::ZERO,
+                        Duration::ZERO,
+                        dynamast_site::messages::ExecTimings {
+                            begin_us: 0,
+                            exec_us: exec_time.as_micros() as u32,
+                            commit_us: commit_time.as_micros() as u32,
+                        },
+                        t0.elapsed(),
+                    );
+                    breakdown.execution = exec_time;
+                    return Ok(TxnOutcome { result, breakdown });
+                }
+                None => {
+                    attempt += 1;
+                    if attempt >= 64 {
+                        return Err(dynamast_common::DynaError::TxnAborted {
+                            reason: "2pc retries exhausted",
+                        });
+                    }
+                    thread::sleep(Duration::from_micros(
+                        200 * u64::from(attempt) + (txn_id % 7) * 100,
+                    ));
+                }
+            }
+        }
+    }
+
+    fn read(&self, session: &mut ClientSession, proc: &ProcCall) -> Result<TxnOutcome> {
+        let t0 = Instant::now();
+        match self.kind {
+            StaticKind::MultiMaster => {
+                // Replicas make any site a valid snapshot reader.
+                let site = SiteId::new(self.rng.lock().gen_range(0..self.config.num_sites));
+                let (result, timings) =
+                    exec_read_at(&self.network, site, session, proc, ReadMode::Snapshot)?;
+                Ok(TxnOutcome {
+                    result,
+                    breakdown: Breakdown::from_parts(
+                        Duration::ZERO,
+                        Duration::ZERO,
+                        timings,
+                        t0.elapsed(),
+                    ),
+                })
+            }
+            StaticKind::PartitionStore => {
+                // Multi-site read-only transaction: the client fans out to
+                // every owning site and completes at the slowest response.
+                let fetched = fetch(&self.network, self.fetch_plans(proc)?)?;
+                let mut ctx = ClientCtx::new(fetched, Vec::new());
+                let result = self.executor.execute(&mut ctx, proc)?;
+                Ok(TxnOutcome {
+                    result,
+                    breakdown: Breakdown::from_parts(
+                        Duration::ZERO,
+                        Duration::ZERO,
+                        dynamast_site::messages::ExecTimings::default(),
+                        t0.elapsed(),
+                    ),
+                })
+            }
+        }
+    }
+
+    fn stats(&self) -> SystemStats {
+        SystemStats {
+            committed_updates: self.sites.iter().map(|s| s.commits.get()).sum(),
+            aborts: self.sites.iter().map(|s| s.aborts.get()).sum(),
+            remaster_ops: 0,
+            partitions_moved: 0,
+            masters_per_site: Vec::new(),
+            updates_routed_per_site: Vec::new(),
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! §VI-B4: Skewed YCSB (Zipf ρ=0.75, 90/10 RMW/scan).
+//!
+//! Paper shape: DynaMast ≈10× multi-master, ≈4× partition-store, ≈1.8×
+//! single-master, ≈1.6× LEAP — the static systems cannot spread the hot
+//! range over multiple sites, while DynaMast's balance factor distributes
+//! hot partition masters evenly.
+
+use dynamast_bench::{
+    build_system, default_clients, fmt_throughput, measure_secs, print_header, print_row, run,
+    warmup_secs, RunConfig, ALL_SYSTEMS,
+};
+use dynamast_common::SystemConfig;
+use dynamast_workloads::{YcsbConfig, YcsbWorkload};
+
+fn main() {
+    let num_sites = 4;
+    let clients = default_clients();
+    let workload = YcsbWorkload::new(YcsbConfig {
+        num_keys: 500_000,
+        rmw_fraction: 0.9,
+        zipf: Some(0.75),
+        payload_bytes: 0,
+        ..YcsbConfig::default()
+    });
+
+    let columns = [
+        "system         ",
+        "throughput ",
+        "masters/site (dynamast-style systems)",
+    ];
+    print_header(
+        "Skewed YCSB — Zipf(0.75) 90/10 RMW/scan, 4 sites",
+        &columns,
+    );
+    for kind in ALL_SYSTEMS {
+        let config = SystemConfig::new(num_sites).with_seed(4007);
+        let built = build_system(kind, &workload, config, dynamast_bench::SITE_WORKERS, Vec::new())
+            .expect("build system");
+        let result = run(
+            &built.system,
+            &workload,
+            &RunConfig::new(num_sites, clients, warmup_secs(), measure_secs()),
+        );
+        print_row(
+            &columns,
+            &[
+                kind.name().to_string(),
+                fmt_throughput(result.throughput),
+                format!("{:?}", result.stats.masters_per_site),
+            ],
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Criterion micro-benchmarks for the core data structures and protocol
+//! operations, plus the parallel-vs-sequential remastering ablation called
+//! out in DESIGN.md.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dynamast_common::codec::{encode_to_vec, Decode};
+use dynamast_common::dist::Zipfian;
+use dynamast_common::ids::{ClientId, Key, PartitionId, SiteId, TableId};
+use dynamast_common::metrics::LatencyHistogram;
+use dynamast_common::{Row, StrategyWeights, SystemConfig, Value, VersionVector};
+use dynamast_core::partition_map::PartitionMap;
+use dynamast_core::strategy::{best_site, score_sites, CoAccess, ScoreInputs};
+use dynamast_replication::record::{LogRecord, WriteEntry};
+use dynamast_storage::{Catalog, Store, VersionStamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_version_vectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("version_vector");
+    let a = VersionVector::from_counts((0..8).map(|i| i * 1000).collect());
+    let b = VersionVector::from_counts((0..8).map(|i| i * 999).collect());
+    group.bench_function("merge_max_8d", |bencher| {
+        bencher.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.merge_max(&b);
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("dominates_8d", |bencher| bencher.iter(|| a.dominates(&b)));
+    group.bench_function("can_apply_refresh_8d", |bencher| {
+        bencher.iter(|| b.can_apply_refresh(&a, SiteId::new(0)))
+    });
+    group.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut catalog = Catalog::new();
+    let table = catalog.add_table("t", 2, 100);
+    let store = Store::new(catalog, 4);
+    for record in 0..10_000u64 {
+        store
+            .install(
+                Key::new(table, record),
+                VersionStamp::new(SiteId::new(0), 1),
+                Row::new(vec![Value::U64(record), Value::Bytes(vec![0u8; 64])]),
+            )
+            .unwrap();
+    }
+    let begin = VersionVector::from_counts(vec![1]);
+    let mut group = c.benchmark_group("storage");
+    let mut rng = SmallRng::seed_from_u64(7);
+    group.bench_function("mvcc_point_read", |bencher| {
+        bencher.iter(|| {
+            let record = rng.gen_range(0..10_000);
+            store.read(Key::new(table, record), &begin).unwrap()
+        })
+    });
+    group.bench_function("mvcc_install", |bencher| {
+        let mut seq = 2u64;
+        bencher.iter(|| {
+            seq += 1;
+            store
+                .install(
+                    Key::new(table, seq % 10_000),
+                    VersionStamp::new(SiteId::new(0), seq),
+                    Row::new(vec![Value::U64(seq), Value::Bytes(vec![0u8; 64])]),
+                )
+                .unwrap()
+        })
+    });
+    group.bench_function("scan_200", |bencher| {
+        bencher.iter(|| store.scan(table, 100, 300, &begin).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let record = LogRecord::Commit {
+        origin: SiteId::new(2),
+        tvv: VersionVector::from_counts(vec![10, 20, 30, 40]),
+        writes: (0..3)
+            .map(|i| WriteEntry {
+                key: Key::new(TableId::new(0), i),
+                row: Row::new(vec![Value::U64(i), Value::Bytes(vec![0u8; 64])]),
+            })
+            .collect(),
+    };
+    let encoded = Bytes::from(encode_to_vec(&record));
+    let mut group = c.benchmark_group("codec");
+    group.bench_function("encode_commit_record", |bencher| {
+        bencher.iter(|| encode_to_vec(&record))
+    });
+    group.bench_function("decode_commit_record", |bencher| {
+        bencher.iter(|| {
+            let mut slice = encoded.clone();
+            LogRecord::decode(&mut slice).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_strategy(c: &mut Criterion) {
+    let weights = StrategyWeights::ycsb();
+    let partitions: Vec<(PartitionId, Option<SiteId>)> = (0..3)
+        .map(|i| (PartitionId::new(i), Some(SiteId::new(i % 4))))
+        .collect();
+    let partition_load = vec![10.0, 5.0, 2.0];
+    let site_load = vec![100.0, 90.0, 110.0, 95.0];
+    let coaccess: Vec<Vec<CoAccess>> = (0..3)
+        .map(|i| {
+            (0..8)
+                .map(|j| CoAccess {
+                    partner: PartitionId::new(100 + i * 8 + j),
+                    probability: 0.1 * (j + 1) as f64,
+                    partner_master: Some(SiteId::new(j % 4)),
+                    in_write_set: false,
+                })
+                .collect()
+        })
+        .collect();
+    let site_vvs: Vec<VersionVector> = (0..4)
+        .map(|i| VersionVector::from_counts(vec![i * 10; 4]))
+        .collect();
+    let cvv = VersionVector::zero(4);
+    c.bench_function("strategy_score_4_sites", |bencher| {
+        bencher.iter(|| {
+            let scores = score_sites(&ScoreInputs {
+                num_sites: 4,
+                weights: &weights,
+                partitions: &partitions,
+                partition_load: &partition_load,
+                site_load: &site_load,
+                intra: &coaccess,
+                inter: &coaccess,
+                site_vvs: &site_vvs,
+                cvv: &cvv,
+            });
+            best_site(&scores)
+        })
+    });
+}
+
+fn bench_partition_map(c: &mut Criterion) {
+    let map = PartitionMap::new();
+    map.seed((0..10_000).map(|i| (PartitionId::new(i), SiteId::new(i % 4))));
+    let mut rng = SmallRng::seed_from_u64(9);
+    c.bench_function("partition_map_route_lookup", |bencher| {
+        bencher.iter(|| {
+            let p = PartitionId::new(rng.gen_range(0..10_000));
+            let entries = map.entries_for(&[p]);
+            let guards = map.lock_shared(&entries);
+            guards[0].master
+        })
+    });
+}
+
+fn bench_metrics_and_dist(c: &mut Criterion) {
+    let histogram = LatencyHistogram::new();
+    c.bench_function("histogram_record", |bencher| {
+        bencher.iter(|| histogram.record(Duration::from_micros(1234)))
+    });
+    let zipf = Zipfian::new(100_000, 0.75);
+    let mut rng = SmallRng::seed_from_u64(11);
+    c.bench_function("zipfian_sample", |bencher| {
+        bencher.iter(|| zipf.sample(&mut rng))
+    });
+}
+
+/// Ablation: parallel vs sequential release/grant (Algorithm 1's "parallel
+/// execution of release and grant operations greatly speed up remastering").
+/// Measured end-to-end through live DynaMast deployments with a real (LAN
+/// latency) network: each iteration routes a write set whose partitions are
+/// spread over the other sites, forcing release+grant per partition.
+fn bench_remastering(c: &mut Criterion) {
+    use dynamast_core::dynamast::{DynaMastConfig, DynaMastSystem};
+    use dynamast_site::proc::{ProcCall, TxnCtx};
+
+    struct Nop;
+    impl dynamast_site::proc::ProcExecutor for Nop {
+        fn execute(
+            &self,
+            _ctx: &mut dyn TxnCtx,
+            _call: &ProcCall,
+        ) -> dynamast_common::Result<Bytes> {
+            Ok(Bytes::new())
+        }
+    }
+
+    let mut group = c.benchmark_group("remastering");
+    for (label, sequential) in [("parallel", false), ("sequential", true)] {
+        let mut catalog = Catalog::new();
+        let table = catalog.add_table("t", 1, 100);
+        let mut config = SystemConfig::new(4)
+            .with_instant_service()
+            .with_seed(77);
+        config.sequential_remastering = sequential;
+        let system = DynaMastSystem::build(
+            DynaMastConfig::adaptive(config, catalog),
+            Arc::new(Nop),
+        );
+        let selector = Arc::clone(system.selector());
+        let cvv = VersionVector::zero(4);
+        // Pre-place a large partition pool round-robin over the sites, so
+        // every iteration's 3-partition write set spans 3 distinct masters
+        // and must remaster at least two of them.
+        let pool: u64 = 120_000;
+        selector.map().seed((0..pool).map(|i| {
+            (
+                dynamast_common::ids::partition_id(table, i),
+                SiteId::new((i % 4) as usize),
+            )
+        }));
+        for i in 0..pool {
+            system.sites()[(i % 4) as usize]
+                .ownership()
+                .grant(dynamast_common::ids::partition_id(table, i));
+        }
+        let mut cursor = 0u64;
+        group.bench_function(format!("route_3_spread_partitions_{label}"), |bencher| {
+            bencher.iter(|| {
+                let keys: Vec<Key> = (0..3)
+                    .map(|j| Key::new(table, (cursor + j) * 100))
+                    .collect();
+                cursor += 3;
+                selector
+                    .route_update(ClientId::new(1), &cvv, &keys)
+                    .unwrap()
+                    .site
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_version_vectors, bench_storage, bench_codec, bench_strategy,
+              bench_partition_map, bench_metrics_and_dist, bench_remastering
+}
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! Closed-loop client driver and measurement collection.
+//!
+//! Mirrors OLTPBench's closed-loop driver (§VI-A2): `clients` threads each
+//! own a session and a generator and submit transactions back-to-back.
+//! Measurement starts after a warmup; per-transaction-class latency
+//! histograms, a throughput timeline (for the Fig. 5b adaptivity curve), and
+//! the Fig. 7 latency-breakdown categories are collected throughout the
+//! measured window.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dynamast_common::ids::ClientId;
+use dynamast_common::metrics::{LatencyHistogram, LatencySummary, TxnTimings};
+use dynamast_common::DynaError;
+use dynamast_site::system::{ClientSession, ReplicatedSystem, SystemStats};
+use dynamast_workloads::{TxnKind, Workload};
+use parking_lot::Mutex;
+
+/// Driver configuration.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Number of sites in the deployment (session-vector dimension).
+    pub num_sites: usize,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Warmup before measurement starts.
+    pub warmup: Duration,
+    /// Measured window.
+    pub measure: Duration,
+    /// Generator seed.
+    pub seed: u64,
+    /// Throughput-timeline sampling interval (Fig. 5b); `None` disables.
+    pub timeline_interval: Option<Duration>,
+}
+
+impl RunConfig {
+    /// A standard run.
+    pub fn new(num_sites: usize, clients: usize, warmup: Duration, measure: Duration) -> Self {
+        RunConfig {
+            num_sites,
+            clients,
+            warmup,
+            measure,
+            seed: 0x0BE7_C411,
+            timeline_interval: None,
+        }
+    }
+}
+
+/// Results of one run.
+pub struct RunResult {
+    /// Committed transactions in the measured window.
+    pub committed: u64,
+    /// Transactions per second over the measured window.
+    pub throughput: f64,
+    /// Failed transactions (errors surfaced to clients).
+    pub errors: u64,
+    /// Per-transaction-class latency summaries.
+    pub latencies: HashMap<&'static str, LatencySummary>,
+    /// Full histograms per class (for custom quantiles).
+    pub histograms: HashMap<&'static str, Arc<LatencyHistogram>>,
+    /// Fig. 7 breakdown categories (update transactions only).
+    pub breakdown: Arc<TxnTimings>,
+    /// System statistics at the end of the run.
+    pub stats: SystemStats,
+    /// Committed count per timeline interval (Fig. 5b), if enabled.
+    pub timeline: Vec<u64>,
+}
+
+impl RunResult {
+    /// Latency summary for one transaction class (zeroed if absent).
+    pub fn latency(&self, label: &str) -> LatencySummary {
+        self.latencies.get(label).copied().unwrap_or(LatencySummary {
+            count: 0,
+            mean: Duration::ZERO,
+            p50: Duration::ZERO,
+            p90: Duration::ZERO,
+            p99: Duration::ZERO,
+            max: Duration::ZERO,
+        })
+    }
+}
+
+struct Shared {
+    stop: AtomicBool,
+    measuring: AtomicBool,
+    committed: AtomicU64,
+    errors: AtomicU64,
+    histograms: Mutex<HashMap<&'static str, Arc<LatencyHistogram>>>,
+    breakdown: TxnTimings,
+}
+
+impl Shared {
+    fn histogram(&self, label: &'static str) -> Arc<LatencyHistogram> {
+        let mut map = self.histograms.lock();
+        Arc::clone(map.entry(label).or_default())
+    }
+}
+
+/// Runs one measurement.
+pub fn run(
+    system: &Arc<dyn ReplicatedSystem>,
+    workload: &dyn Workload,
+    config: &RunConfig,
+) -> RunResult {
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        measuring: AtomicBool::new(false),
+        committed: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        histograms: Mutex::new(HashMap::new()),
+        breakdown: TxnTimings::new(),
+    });
+
+    let mut clients = Vec::with_capacity(config.clients);
+    for c in 0..config.clients {
+        let system = Arc::clone(system);
+        let shared = Arc::clone(&shared);
+        let mut generator = workload.client(ClientId::new(c), config.seed);
+        let num_sites = config.num_sites;
+        clients.push(
+            thread::Builder::new()
+                .name(format!("client-{c}"))
+                .spawn(move || {
+                    let mut session = ClientSession::new(ClientId::new(c), num_sites);
+                    // Local histogram cache avoids the registry lock per txn.
+                    let mut cache: HashMap<&'static str, Arc<LatencyHistogram>> = HashMap::new();
+                    while !shared.stop.load(Ordering::Relaxed) {
+                        let txn = generator.next_txn();
+                        let start = Instant::now();
+                        let outcome = match txn.kind {
+                            TxnKind::Update => system.update(&mut session, &txn.call),
+                            TxnKind::ReadOnly => system.read(&mut session, &txn.call),
+                        };
+                        let elapsed = start.elapsed();
+                        if !shared.measuring.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        match outcome {
+                            Ok(outcome) => {
+                                shared.committed.fetch_add(1, Ordering::Relaxed);
+                                let histogram = cache
+                                    .entry(txn.label)
+                                    .or_insert_with(|| shared.histogram(txn.label));
+                                histogram.record(elapsed);
+                                if txn.kind == TxnKind::Update {
+                                    let b = &outcome.breakdown;
+                                    shared.breakdown.lookup.record(b.lookup);
+                                    shared.breakdown.routing.record(b.routing);
+                                    shared.breakdown.network.record(b.network);
+                                    shared.breakdown.execution.record(b.execution);
+                                    shared.breakdown.begin.record(b.begin);
+                                    shared.breakdown.commit.record(b.commit);
+                                }
+                            }
+                            Err(DynaError::ShuttingDown) => break,
+                            Err(_) => {
+                                shared.errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn client"),
+        );
+    }
+
+    thread::sleep(config.warmup);
+    shared.measuring.store(true, Ordering::Relaxed);
+    let started = Instant::now();
+    let mut timeline = Vec::new();
+    match config.timeline_interval {
+        Some(interval) => {
+            let mut last = 0u64;
+            while started.elapsed() < config.measure {
+                thread::sleep(interval.min(config.measure));
+                let now_committed = shared.committed.load(Ordering::Relaxed);
+                timeline.push(now_committed - last);
+                last = now_committed;
+            }
+        }
+        None => thread::sleep(config.measure),
+    }
+    let committed = shared.committed.load(Ordering::Relaxed);
+    let elapsed = started.elapsed();
+    shared.measuring.store(false, Ordering::Relaxed);
+    shared.stop.store(true, Ordering::Relaxed);
+    for client in clients {
+        let _ = client.join();
+    }
+
+    let histograms: HashMap<&'static str, Arc<LatencyHistogram>> =
+        shared.histograms.lock().clone();
+    let latencies = histograms
+        .iter()
+        .map(|(label, h)| (*label, h.summary()))
+        .collect();
+    RunResult {
+        committed,
+        throughput: committed as f64 / elapsed.as_secs_f64(),
+        errors: shared.errors.load(Ordering::Relaxed),
+        latencies,
+        histograms,
+        breakdown: Arc::new(match Arc::try_unwrap(shared) {
+            Ok(shared) => shared.breakdown,
+            Err(_) => TxnTimings::new(),
+        }),
+        stats: system.stats(),
+        timeline,
+    }
+}

@@ -1,0 +1,106 @@
+//! Plain-text table output for the bench targets, with optional CSV
+//! mirroring (`DYNA_CSV_DIR=<dir>` writes one CSV per table for plotting).
+
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static CSV: Mutex<Option<std::fs::File>> = Mutex::new(None);
+
+fn csv_sanitize(cell: &str) -> String {
+    let trimmed = cell.trim();
+    if trimmed.contains(',') {
+        format!("\"{}\"", trimmed.replace('"', "'"))
+    } else {
+        trimmed.to_string()
+    }
+}
+
+fn csv_open(title: &str, columns: &[&str]) {
+    let Ok(dir) = std::env::var("DYNA_CSV_DIR") else {
+        return;
+    };
+    let slug: String = title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect::<String>()
+        .trim_matches('_')
+        .chars()
+        .take(60)
+        .collect();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
+    if let Ok(mut file) = std::fs::File::create(path) {
+        let header: Vec<String> = columns.iter().map(|c| csv_sanitize(c)).collect();
+        let _ = writeln!(file, "{}", header.join(","));
+        *CSV.lock().unwrap() = Some(file);
+    }
+}
+
+fn csv_row(cells: &[String]) {
+    if let Some(file) = CSV.lock().unwrap().as_mut() {
+        let row: Vec<String> = cells.iter().map(|c| csv_sanitize(c)).collect();
+        let _ = writeln!(file, "{}", row.join(","));
+    }
+}
+
+/// Formats a duration as milliseconds with two decimals.
+pub fn fmt_duration(d: Duration) -> String {
+    format!("{:.2}ms", d.as_secs_f64() * 1000.0)
+}
+
+/// Formats a throughput in transactions per second.
+pub fn fmt_throughput(tps: f64) -> String {
+    if tps >= 10_000.0 {
+        format!("{:.1}k tps", tps / 1000.0)
+    } else {
+        format!("{tps:.0} tps")
+    }
+}
+
+/// Prints a header row followed by a separator. When `DYNA_CSV_DIR` is set,
+/// also starts a CSV mirror of the table.
+pub fn print_header(title: &str, columns: &[&str]) {
+    csv_open(title, columns);
+    println!();
+    println!("== {title} ==");
+    println!("{}", columns.join(" | "));
+    println!(
+        "{}",
+        columns
+            .iter()
+            .map(|c| "-".repeat(c.len()))
+            .collect::<Vec<_>>()
+            .join("-|-")
+    );
+}
+
+/// Prints one row, padding cells to their column widths (and mirroring to
+/// the active CSV, if any).
+pub fn print_row(columns: &[&str], cells: &[String]) {
+    csv_row(cells);
+    let padded: Vec<String> = columns
+        .iter()
+        .zip(cells)
+        .map(|(c, cell)| format!("{cell:>width$}", width = c.len()))
+        .collect();
+    println!("{}", padded.join(" | "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formats_in_ms() {
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50ms");
+    }
+
+    #[test]
+    fn throughput_formats_compactly() {
+        assert_eq!(fmt_throughput(532.4), "532 tps");
+        assert_eq!(fmt_throughput(15_300.0), "15.3k tps");
+    }
+}

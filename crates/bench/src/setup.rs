@@ -1,0 +1,143 @@
+//! Builds any of the five evaluated systems over a workload and loads the
+//! initial database, mirroring the paper's setup (§VI-A1): all systems share
+//! the same site manager, storage engine, MVCC scheme, and isolation level.
+
+use std::sync::Arc;
+
+use dynamast_baselines::leap::LeapSystem;
+use dynamast_baselines::single_master::single_master_with_workers;
+use dynamast_baselines::static_system::{StaticKind, StaticSystem};
+use dynamast_common::ids::{PartitionId, SiteId};
+use dynamast_common::{Result, SystemConfig};
+use dynamast_core::dynamast::{DynaMastConfig, DynaMastSystem};
+use dynamast_network::stats::TrafficSnapshot;
+use dynamast_network::TrafficStats;
+use dynamast_site::system::ReplicatedSystem;
+use dynamast_workloads::Workload;
+
+/// Which of the five systems to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemKind {
+    /// The paper's contribution.
+    DynaMast,
+    /// All masters at one site; reads at replicas.
+    SingleMaster,
+    /// Static partitioning + lazy replication + 2PC.
+    MultiMaster,
+    /// Static partitioning, no replication, 2PC + remote reads.
+    PartitionStore,
+    /// Data-shipping localization, no replication.
+    Leap,
+}
+
+impl SystemKind {
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::DynaMast => "dynamast",
+            SystemKind::SingleMaster => "single-master",
+            SystemKind::MultiMaster => "multi-master",
+            SystemKind::PartitionStore => "partition-store",
+            SystemKind::Leap => "leap",
+        }
+    }
+}
+
+/// A built, loaded, running system.
+pub struct BuiltSystem {
+    /// The client API.
+    pub system: Arc<dyn ReplicatedSystem>,
+    /// Traffic stats of the deployment's network.
+    pub traffic: Arc<TrafficStats>,
+    /// DynaMast-only handle (placement inspection in some benches).
+    pub dynamast: Option<Arc<DynaMastSystem>>,
+}
+
+impl BuiltSystem {
+    /// Snapshot of network traffic so far.
+    pub fn traffic_snapshot(&self) -> TrafficSnapshot {
+        self.traffic.snapshot()
+    }
+}
+
+/// Builds, loads, and starts `kind` over `workload`.
+///
+/// `initial_placements` seeds DynaMast's partition map (used by the Fig. 5b
+/// adaptivity experiment; empty = the paper's default unplaced start).
+pub fn build_system(
+    kind: SystemKind,
+    workload: &dyn Workload,
+    config: SystemConfig,
+    rpc_workers: usize,
+    initial_placements: Vec<(PartitionId, SiteId)>,
+) -> Result<BuiltSystem> {
+    let catalog = workload.catalog();
+    let executor = workload.executor();
+    match kind {
+        SystemKind::DynaMast => {
+            let mut cfg = DynaMastConfig::adaptive(config, catalog);
+            cfg.rpc_workers = rpc_workers;
+            cfg.initial_placements = initial_placements.clone();
+            let system = DynaMastSystem::build(cfg, executor);
+            // Seed site ownership to match the seeded selector map.
+            for (p, s) in &initial_placements {
+                system.sites()[s.as_usize()].ownership().grant(*p);
+            }
+            workload.populate(&mut |key, row| system.load_row(key, row))?;
+            Ok(BuiltSystem {
+                traffic: Arc::clone(system.network().stats()),
+                dynamast: Some(Arc::clone(&system)),
+                system,
+            })
+        }
+        SystemKind::SingleMaster => {
+            let system = single_master_with_workers(config, catalog, executor, rpc_workers);
+            workload.populate(&mut |key, row| system.load_row(key, row))?;
+            Ok(BuiltSystem {
+                traffic: Arc::clone(system.network().stats()),
+                dynamast: Some(Arc::clone(&system)),
+                system,
+            })
+        }
+        SystemKind::MultiMaster | SystemKind::PartitionStore => {
+            let static_kind = if kind == SystemKind::MultiMaster {
+                StaticKind::MultiMaster
+            } else {
+                StaticKind::PartitionStore
+            };
+            let owner = workload.static_owner(config.num_sites);
+            let system = StaticSystem::build(
+                static_kind,
+                config,
+                catalog,
+                owner,
+                workload.static_tables(),
+                executor,
+                rpc_workers,
+            );
+            workload.populate(&mut |key, row| system.load_row(key, row))?;
+            Ok(BuiltSystem {
+                traffic: Arc::clone(system.network().stats()),
+                dynamast: None,
+                system,
+            })
+        }
+        SystemKind::Leap => {
+            let owner = workload.static_owner(config.num_sites);
+            let system = LeapSystem::build(
+                config,
+                catalog,
+                owner,
+                workload.static_tables(),
+                executor,
+                rpc_workers,
+            );
+            workload.populate(&mut |key, row| system.load_row(key, row))?;
+            Ok(BuiltSystem {
+                traffic: Arc::clone(system.network().stats()),
+                dynamast: None,
+                system,
+            })
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! System-wide configuration.
+//!
+//! [`SystemConfig`] collects the knobs the paper mentions: number of data
+//! sites, number of retained record versions (four, §V-A1), partition
+//! granularity (YCSB uses 100-key partitions, Appendix C), the site-selector
+//! strategy weights (Eq. 8, Appendix H), statistics sampling, and the
+//! simulated-network latency model that stands in for the paper's 10GbE +
+//! Thrift deployment.
+
+use std::time::Duration;
+
+/// Weights of the site selector's linear remastering model (paper Eq. 8).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StrategyWeights {
+    /// `w_balance`: weight of the write-load-balance factor (Eqs. 2–4).
+    pub balance: f64,
+    /// `w_delay`: weight of the refresh-delay estimate (Eq. 5). Applied
+    /// negatively — a lagging destination is penalised.
+    pub delay: f64,
+    /// `w_intra_txn`: weight of intra-transaction co-access localization
+    /// (Eq. 6).
+    pub intra_txn: f64,
+    /// `w_inter_txn`: weight of inter-transaction co-access localization
+    /// (Eq. 7).
+    pub inter_txn: f64,
+}
+
+impl StrategyWeights {
+    /// Appendix H weights for YCSB: balance dominates, intra-transaction
+    /// correlations second, inter-transaction correlations off (already
+    /// captured by intra for range-correlated partitions).
+    ///
+    /// Calibration note: the paper uses `w_balance = 10⁶` against its own
+    /// (unspecified-scale) balance-distance function. This implementation's
+    /// distance is the squared L2 deviation from the uniform write
+    /// distribution, whose per-decision deltas are far smaller, so the same
+    /// *priority order* — balance decisive when the system is imbalanced,
+    /// co-location decisive near balance — needs a proportionally smaller
+    /// weight. 10⁴ preserves that hierarchy; 10⁶ here would let balance
+    /// noise override co-location and ping-pong overlapping neighbourhoods.
+    pub fn ycsb() -> Self {
+        StrategyWeights {
+            balance: 10_000.0,
+            delay: 0.5,
+            intra_txn: 3.0,
+            inter_txn: 0.0,
+        }
+    }
+
+    /// Appendix H weights for SmallBank: as YCSB but with `w_balance`
+    /// lowered drastically — short transactions place little load, so
+    /// access patterns matter comparatively more, and crucially the hot
+    /// account set must be allowed to *clump* at one site instead of being
+    /// sheared apart by balance on every transfer. (Recalibrated to this
+    /// implementation's balance-distance scale; see
+    /// [`StrategyWeights::ycsb`].)
+    pub fn smallbank() -> Self {
+        StrategyWeights {
+            balance: 50.0,
+            delay: 0.5,
+            intra_txn: 3.0,
+            inter_txn: 0.0,
+        }
+    }
+
+    /// Appendix H weights for TPC-C: co-access localization near the
+    /// ~90% single-warehouse probability, with a small non-zero balance
+    /// term "which ensures that the system considers load balance".
+    /// (Balance recalibrated to this implementation's distance scale: with
+    /// the paper's 0.01 the balance force would be numerically zero here,
+    /// every cold-start placement would tie-break to site 0, and DynaMast
+    /// would degenerate into single-master; see [`StrategyWeights::ycsb`].)
+    pub fn tpcc() -> Self {
+        StrategyWeights {
+            balance: 500.0,
+            delay: 0.05,
+            intra_txn: 0.88,
+            inter_txn: 0.88,
+        }
+    }
+
+    /// Scales one weight, for the Figure 5a sensitivity sweeps.
+    #[must_use]
+    pub fn with_scaled(mut self, which: WeightKind, factor: f64) -> Self {
+        match which {
+            WeightKind::Balance => self.balance *= factor,
+            WeightKind::Delay => self.delay *= factor,
+            WeightKind::IntraTxn => self.intra_txn *= factor,
+            WeightKind::InterTxn => self.inter_txn *= factor,
+        }
+        self
+    }
+
+    /// Zeroes one weight (removing its feature from the model), for the
+    /// Figure 5a ablations.
+    #[must_use]
+    pub fn without(mut self, which: WeightKind) -> Self {
+        match which {
+            WeightKind::Balance => self.balance = 0.0,
+            WeightKind::Delay => self.delay = 0.0,
+            WeightKind::IntraTxn => self.intra_txn = 0.0,
+            WeightKind::InterTxn => self.inter_txn = 0.0,
+        }
+        self
+    }
+}
+
+/// Names the four hyperparameters for sweeps and ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightKind {
+    /// `w_balance`.
+    Balance,
+    /// `w_delay`.
+    Delay,
+    /// `w_intra_txn`.
+    IntraTxn,
+    /// `w_inter_txn`.
+    InterTxn,
+}
+
+/// Simulated network latency model.
+///
+/// The paper runs on a 10Gbit/s LAN; network time is >40% of transaction
+/// latency (Fig. 7). We charge each message a constant one-way delay plus a
+/// per-byte cost, with optional uniform jitter. Setting everything to zero
+/// yields an instantaneous network for unit tests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkConfig {
+    /// Constant one-way delay per message.
+    pub one_way_delay: Duration,
+    /// Additional delay per KiB of payload (bandwidth term).
+    pub delay_per_kib: Duration,
+    /// Uniform jitter added in `[0, jitter]`.
+    pub jitter: Duration,
+}
+
+impl NetworkConfig {
+    /// Zero-latency network for unit and protocol tests.
+    pub fn instant() -> Self {
+        NetworkConfig {
+            one_way_delay: Duration::ZERO,
+            delay_per_kib: Duration::ZERO,
+            jitter: Duration::ZERO,
+        }
+    }
+
+    /// LAN-like latency used by the benchmark harness: 100µs one way
+    /// (~typical same-rack RTT of 200µs), 1µs per KiB (~1GB/s effective),
+    /// 20µs jitter.
+    pub fn lan() -> Self {
+        NetworkConfig {
+            one_way_delay: Duration::from_micros(100),
+            delay_per_kib: Duration::from_micros(1),
+            jitter: Duration::from_micros(20),
+        }
+    }
+
+    /// Total one-way delay for a payload of `bytes` (before jitter).
+    pub fn delay_for(&self, bytes: usize) -> Duration {
+        self.one_way_delay + self.delay_per_kib * (bytes as u32 / 1024)
+    }
+}
+
+/// Top-level system configuration shared by all five evaluated systems.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Number of data sites (`m`).
+    pub num_sites: usize,
+    /// Retained versions per record (default 4, §V-A1).
+    pub mvcc_versions: usize,
+    /// Keys per partition for key-range partitioned tables (YCSB uses 100).
+    pub partition_size: u64,
+    /// Site-selector strategy weights (Eq. 8).
+    pub weights: StrategyWeights,
+    /// Simulated network latency.
+    pub network: NetworkConfig,
+    /// Site-selector statistics: fraction of write sets sampled into the
+    /// transaction history queue (§V-B). 1.0 samples everything.
+    pub sample_rate: f64,
+    /// Site-selector statistics: capacity of the per-system history queue;
+    /// the oldest sample is expired (its counts decremented) on overflow.
+    pub history_capacity: usize,
+    /// Δt window for inter-transaction co-access correlation (Eq. 7).
+    pub inter_txn_window: Duration,
+    /// Upper bound on distinct co-access counter partners tracked per
+    /// partition (keeps the statistics tables bounded under adversarial
+    /// workloads).
+    pub max_coaccess_partners: usize,
+    /// Ablation switch: perform release/grant operations one partition at
+    /// a time instead of in parallel. The paper's Algorithm 1 parallelizes
+    /// them ("parallel execution of release and grant operations greatly
+    /// speed up remastering"); enabling this quantifies that claim.
+    pub sequential_remastering: bool,
+    /// Fixed simulated CPU cost per stored-procedure execution (parsing,
+    /// plan dispatch). Occupies an RPC worker, modelling the paper's
+    /// 12-core data-site machines; ~45% of transaction latency is
+    /// execution in Fig. 7.
+    pub service_base: Duration,
+    /// Additional simulated CPU cost per row read, scanned, or written.
+    pub service_per_op: Duration,
+    /// Seed for all deterministic randomness (workloads, jitter).
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// A small default configuration: 4 sites, LAN network, YCSB weights.
+    pub fn new(num_sites: usize) -> Self {
+        SystemConfig {
+            num_sites,
+            mvcc_versions: 4,
+            partition_size: 100,
+            weights: StrategyWeights::ycsb(),
+            network: NetworkConfig::lan(),
+            sample_rate: 1.0,
+            history_capacity: 4096,
+            inter_txn_window: Duration::from_millis(100),
+            max_coaccess_partners: 64,
+            sequential_remastering: false,
+            service_base: Duration::from_micros(800),
+            service_per_op: Duration::from_micros(2),
+            seed: 0x000D_A11A_5EED,
+        }
+    }
+
+    /// Same configuration with an instantaneous network (for tests).
+    #[must_use]
+    pub fn with_instant_network(mut self) -> Self {
+        self.network = NetworkConfig::instant();
+        self
+    }
+
+    /// Zero simulated CPU cost (protocol tests that should run instantly).
+    #[must_use]
+    pub fn with_instant_service(mut self) -> Self {
+        self.service_base = Duration::ZERO;
+        self.service_per_op = Duration::ZERO;
+        self
+    }
+
+    /// Replaces the strategy weights.
+    #[must_use]
+    pub fn with_weights(mut self, weights: StrategyWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Replaces the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appendix_h_presets_match_paper() {
+        let y = StrategyWeights::ycsb();
+        // Recalibrated for this implementation's balance-distance scale (see
+        // the ycsb() docs); the paper's value is 10⁶ on its own scale.
+        assert_eq!(y.balance, 10_000.0);
+        assert_eq!(y.intra_txn, 3.0);
+        assert_eq!(y.inter_txn, 0.0);
+        assert_eq!(y.delay, 0.5);
+        let t = StrategyWeights::tpcc();
+        assert_eq!(t.intra_txn, t.inter_txn);
+        // Balance weights are recalibrated per workload to this
+        // implementation's distance scale; YCSB's balance force is the
+        // strongest, as in the paper.
+        let y = StrategyWeights::ycsb();
+        let s = StrategyWeights::smallbank();
+        assert!(y.balance > s.balance && y.balance > t.balance);
+        assert!(s.balance > 0.0 && t.balance > 0.0);
+    }
+
+    #[test]
+    fn weight_sweep_helpers_scale_and_zero() {
+        let w = StrategyWeights::ycsb().with_scaled(WeightKind::Balance, 0.01);
+        assert_eq!(w.balance, 100.0);
+        let w = w.without(WeightKind::IntraTxn);
+        assert_eq!(w.intra_txn, 0.0);
+        assert_eq!(w.delay, 0.5);
+    }
+
+    #[test]
+    fn network_delay_scales_with_payload() {
+        let net = NetworkConfig {
+            one_way_delay: Duration::from_micros(100),
+            delay_per_kib: Duration::from_micros(10),
+            jitter: Duration::ZERO,
+        };
+        assert_eq!(net.delay_for(100), Duration::from_micros(100));
+        assert_eq!(net.delay_for(4096), Duration::from_micros(140));
+        assert_eq!(
+            NetworkConfig::instant().delay_for(1 << 20),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let cfg = SystemConfig::new(8)
+            .with_instant_network()
+            .with_weights(StrategyWeights::tpcc())
+            .with_seed(7);
+        assert_eq!(cfg.num_sites, 8);
+        assert_eq!(cfg.network, NetworkConfig::instant());
+        assert_eq!(cfg.weights, StrategyWeights::tpcc());
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.mvcc_versions, 4);
+    }
+}

@@ -1,0 +1,174 @@
+//! Workload distributions.
+//!
+//! * [`Zipfian`] — the skewed key/partition selector used by the paper's
+//!   skewed YCSB experiments (ρ = 0.75).
+//! * [`bernoulli_neighbor_offset`] — the Appendix C neighbour-partition
+//!   selector for multi-partition read-modify-write transactions: a
+//!   Binomial(5, 0.5) draw re-centred on the base partition, yielding offsets
+//!   in `[-3, +2]` around it.
+
+use rand::Rng;
+
+/// Zipfian distribution over `0..n` with exponent `theta`, using the
+/// classic Gray et al. rejection-free inversion method ("Quickly generating
+/// billion-record synthetic databases", SIGMOD '94).
+///
+/// Item 0 is the most popular. The paper's skewed YCSB workloads use
+/// `theta = 0.75`.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Creates a Zipfian distribution over `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian over empty domain");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0,1), got {theta}"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation; domains here are ≤ a few million and the
+        // constructor runs once per workload.
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws an item in `0..n`, 0 being the hottest.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+/// Appendix C neighbour-partition selection: sample Binomial(5, 0.5)
+/// successes and treat the centre (3 successes in the paper's example) as
+/// offset 0, so `k` successes yield offset `k - 3` partitions relative to the
+/// base partition.
+///
+/// Offsets fall in `[-3, +2]`.
+pub fn bernoulli_neighbor_offset(rng: &mut impl Rng) -> i64 {
+    let mut successes = 0i64;
+    for _ in 0..5 {
+        if rng.gen_bool(0.5) {
+            successes += 1;
+        }
+    }
+    successes - 3
+}
+
+/// Clamps `base + offset` into `[0, n)` with saturation, for partition
+/// neighbourhood selection at domain edges.
+pub fn clamp_offset(base: u64, offset: i64, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let shifted = base as i128 + offset as i128;
+    shifted.clamp(0, (n - 1) as i128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipfian_stays_in_domain() {
+        let z = Zipfian::new(100, 0.75);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed_toward_low_items() {
+        let z = Zipfian::new(1000, 0.75);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0u32;
+        let trials = 50_000;
+        for _ in 0..trials {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Under uniform access the first 10 of 1000 items get ~1% of draws;
+        // under Zipf(0.75) they get a large multiple of that.
+        let frac = head as f64 / trials as f64;
+        assert!(frac > 0.10, "zipf head fraction too small: {frac}");
+    }
+
+    #[test]
+    fn zipfian_singleton_domain_always_zero() {
+        let z = Zipfian::new(1, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zipfian_rejects_empty_domain() {
+        let _ = Zipfian::new(0, 0.5);
+    }
+
+    #[test]
+    fn neighbor_offsets_cover_expected_range_and_center() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u32; 6];
+        let trials = 100_000;
+        for _ in 0..trials {
+            let off = bernoulli_neighbor_offset(&mut rng);
+            assert!((-3..=2).contains(&off));
+            counts[(off + 3) as usize] += 1;
+        }
+        // Binomial(5, 0.5) puts ~31% mass on exactly 2 and 3 successes each
+        // (offsets -1 and 0).
+        let p0 = counts[3] as f64 / trials as f64;
+        assert!((p0 - 0.3125).abs() < 0.02, "P(offset=0) = {p0}");
+    }
+
+    #[test]
+    fn clamp_offset_saturates_at_edges() {
+        assert_eq!(clamp_offset(0, -3, 100), 0);
+        assert_eq!(clamp_offset(99, 2, 100), 99);
+        assert_eq!(clamp_offset(50, -2, 100), 48);
+    }
+}

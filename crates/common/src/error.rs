@@ -1,0 +1,100 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+use crate::ids::{Key, PartitionId, SiteId};
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, DynaError>;
+
+/// Errors surfaced by the DynaMast reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DynaError {
+    /// A byte-codec read ran out of input or met malformed data.
+    Codec {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        remaining: usize,
+    },
+    /// A referenced table does not exist in the catalog.
+    NoSuchTable(u32),
+    /// A read targeted a record that does not exist at the snapshot.
+    NoSuchRecord(Key),
+    /// A site received an operation for a partition it does not master.
+    ///
+    /// Under the distributed site selector (Appendix I) this is the expected
+    /// signal for a stale-metadata routing; the client resubmits to the
+    /// master selector.
+    NotMaster {
+        /// The site that rejected the operation.
+        site: SiteId,
+        /// The partition whose mastership check failed.
+        partition: PartitionId,
+    },
+    /// A two-phase-commit participant voted no, aborting the transaction.
+    TxnAborted {
+        /// Human-readable reason recorded by the coordinator.
+        reason: &'static str,
+    },
+    /// An RPC could not be delivered (endpoint shut down or crashed).
+    Network(&'static str),
+    /// The site is shutting down and rejects new work.
+    ShuttingDown,
+    /// An invariant that should be unreachable was violated.
+    Internal(&'static str),
+}
+
+impl fmt::Display for DynaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynaError::Codec {
+                what,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "codec error decoding {what}: needed {needed} bytes, {remaining} remaining"
+            ),
+            DynaError::NoSuchTable(t) => write!(f, "no such table t{t}"),
+            DynaError::NoSuchRecord(k) => write!(f, "no such record {k:?}"),
+            DynaError::NotMaster { site, partition } => {
+                write!(f, "{site} does not master {partition}")
+            }
+            DynaError::TxnAborted { reason } => write!(f, "transaction aborted: {reason}"),
+            DynaError::Network(what) => write!(f, "network error: {what}"),
+            DynaError::ShuttingDown => write!(f, "site shutting down"),
+            DynaError::Internal(what) => write!(f, "internal invariant violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DynaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TableId;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = DynaError::NotMaster {
+            site: SiteId::new(2),
+            partition: PartitionId::new(9),
+        };
+        assert_eq!(e.to_string(), "S2 does not master p9");
+        let e = DynaError::NoSuchRecord(Key::new(TableId::new(1), 5));
+        assert!(e.to_string().contains("t1/5"));
+    }
+
+    #[test]
+    fn errors_are_comparable_for_test_assertions() {
+        assert_eq!(DynaError::ShuttingDown, DynaError::ShuttingDown);
+        assert_ne!(
+            DynaError::Network("a"),
+            DynaError::Internal("a"),
+        );
+    }
+}

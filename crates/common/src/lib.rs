@@ -1,0 +1,34 @@
+//! Shared foundation types for the DynaMast reproduction.
+//!
+//! This crate contains the vocabulary used by every other crate in the
+//! workspace:
+//!
+//! * [`vv::VersionVector`] — the m-dimensional vectors the dynamic mastering
+//!   protocol uses as site state (`svv`), transaction begin/commit timestamps
+//!   (`tvv`), and client session state (`cvv`) (paper §III-A).
+//! * [`ids`] — strongly typed identifiers for sites, clients, tables,
+//!   partitions and records.
+//! * [`value`] — cell values and rows stored by the in-memory engine.
+//! * [`config`] — system-wide configuration, including the site-selector
+//!   strategy weights of paper Eq. 8 / Appendix H.
+//! * [`metrics`] — latency histograms and counters used by the benchmark
+//!   harness to report the paper's figures.
+//! * [`dist`] — workload distributions (Zipfian, Bernoulli-neighbour) shared
+//!   by the YCSB/TPC-C/SmallBank generators.
+//! * [`codec`] — the small explicit byte codec used for log records and RPC
+//!   payload sizing.
+
+pub mod codec;
+pub mod config;
+pub mod dist;
+pub mod error;
+pub mod ids;
+pub mod metrics;
+pub mod value;
+pub mod vv;
+
+pub use config::{StrategyWeights, SystemConfig};
+pub use error::{DynaError, Result};
+pub use ids::{ClientId, Key, PartitionId, RecordId, SiteId, TableId};
+pub use value::{Row, Value};
+pub use vv::VersionVector;

@@ -1,0 +1,280 @@
+//! The assembled DynaMast system (§V).
+//!
+//! [`DynaMastSystem`] wires together `m` data sites (each with the in-memory
+//! MVCC store and a replication manager subscribed to every peer log), the
+//! durable log set, the simulated network, and the site selector. It
+//! implements the [`ReplicatedSystem`] client API used by the benchmark
+//! harness.
+//!
+//! The same assembly expresses the **single-master** baseline: seed every
+//! partition at the master site and pin the selector
+//! ([`SelectorMode::Pinned`]) — update transactions then always route to the
+//! master while reads spread over the replicas, exactly the paper's
+//! single-master comparator (§VI-A1).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dynamast_common::ids::{PartitionId, SiteId};
+use dynamast_common::{DynaError, Result, SystemConfig};
+use dynamast_network::{Network, TrafficCategory};
+use dynamast_replication::LogSet;
+use dynamast_site::data_site::{DataSite, DataSiteConfig, SiteRuntime};
+use dynamast_site::proc::{ProcCall, ProcExecutor, ReadMode};
+use dynamast_site::system::{
+    exec_read_at, exec_update_at, Breakdown, ClientSession, ReplicatedSystem, SystemStats,
+    TxnOutcome,
+};
+use dynamast_storage::Catalog;
+
+use crate::selector::{ProbeHandle, SelectorMode, SiteSelector};
+
+/// Estimated wire size of a `begin_transaction` routing request (write-set
+/// keys plus header); used to charge the client→selector hop.
+fn route_request_size(proc: &ProcCall) -> usize {
+    32 + proc.write_set.len() * 12
+}
+
+/// Construction parameters.
+pub struct DynaMastConfig {
+    /// Shared system configuration.
+    pub system: SystemConfig,
+    /// Table catalog.
+    pub catalog: Catalog,
+    /// Initial mastership assignments (empty = fully unplaced, the paper's
+    /// default for DynaMast; the Fig. 5b experiment seeds a manual range
+    /// placement; single-master seeds everything at site 0).
+    pub initial_placements: Vec<(PartitionId, SiteId)>,
+    /// Adaptive strategies or pinned placement.
+    pub mode: SelectorMode,
+    /// svv probe interval for the read-routing freshness cache.
+    pub probe_interval: Duration,
+    /// RPC worker threads per site.
+    pub rpc_workers: usize,
+}
+
+impl DynaMastConfig {
+    /// Adaptive DynaMast with no initial placement.
+    pub fn adaptive(system: SystemConfig, catalog: Catalog) -> Self {
+        DynaMastConfig {
+            system,
+            catalog,
+            initial_placements: Vec::new(),
+            mode: SelectorMode::Adaptive,
+            probe_interval: Duration::from_millis(20),
+            rpc_workers: 24,
+        }
+    }
+}
+
+/// A running DynaMast deployment.
+pub struct DynaMastSystem {
+    name: &'static str,
+    config: SystemConfig,
+    network: Arc<Network>,
+    logs: LogSet,
+    sites: Vec<Arc<DataSite>>,
+    selector: Arc<SiteSelector>,
+    // Drop order matters: stop the probe before the site runtimes.
+    probe: Option<ProbeHandle>,
+    runtimes: Vec<SiteRuntime>,
+}
+
+impl DynaMastSystem {
+    /// Builds and starts a deployment.
+    pub fn build(
+        cfg: DynaMastConfig,
+        executor: Arc<dyn ProcExecutor>,
+    ) -> Arc<Self> {
+        Self::build_named("dynamast", cfg, executor)
+    }
+
+    /// Builds with an explicit report name (the single-master baseline
+    /// reuses this assembly under a different name).
+    pub fn build_named(
+        name: &'static str,
+        cfg: DynaMastConfig,
+        executor: Arc<dyn ProcExecutor>,
+    ) -> Arc<Self> {
+        let m = cfg.system.num_sites;
+        let network = Network::new(cfg.system.network, cfg.system.seed);
+        let logs = LogSet::new(m);
+        let mut sites = Vec::with_capacity(m);
+        let mut runtimes = Vec::with_capacity(m);
+        for i in 0..m {
+            let id = SiteId::new(i);
+            let initial: Vec<PartitionId> = cfg
+                .initial_placements
+                .iter()
+                .filter(|(_, s)| *s == id)
+                .map(|(p, _)| *p)
+                .collect();
+            let site = DataSite::new(
+                DataSiteConfig {
+                    id,
+                    system: cfg.system.clone(),
+                    replicate: true,
+                    initial_partitions: initial,
+                    static_owner: None,
+                    replicated_tables: Vec::new(),
+                },
+                cfg.catalog.clone(),
+                logs.clone(),
+                Arc::clone(&network),
+                Arc::clone(&executor),
+            );
+            runtimes.push(site.start(cfg.rpc_workers));
+            sites.push(site);
+        }
+        let selector = SiteSelector::new(
+            cfg.system.clone(),
+            cfg.catalog.clone(),
+            cfg.mode,
+            Arc::clone(&network),
+        );
+        selector.map().seed(cfg.initial_placements.iter().copied());
+        let probe = (cfg.probe_interval > Duration::ZERO)
+            .then(|| selector.start_vv_probe(cfg.probe_interval));
+        Arc::new(DynaMastSystem {
+            name,
+            config: cfg.system,
+            network,
+            logs,
+            sites,
+            selector,
+            probe,
+            runtimes,
+        })
+    }
+
+    /// The simulated network (traffic accounting).
+    pub fn network(&self) -> &Arc<Network> {
+        &self.network
+    }
+
+    /// The durable logs (recovery tests).
+    pub fn logs(&self) -> &LogSet {
+        &self.logs
+    }
+
+    /// The data sites.
+    pub fn sites(&self) -> &[Arc<DataSite>] {
+        &self.sites
+    }
+
+    /// The site selector.
+    pub fn selector(&self) -> &Arc<SiteSelector> {
+        &self.selector
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Loads one row into every replica (initial database population; the
+    /// paper pre-loads OLTPBench data before measuring).
+    pub fn load_row(&self, key: dynamast_common::ids::Key, row: dynamast_common::Row) -> Result<()> {
+        for site in &self.sites {
+            site.load_row(key, row.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Stops the probe and site runtimes (also happens on drop).
+    pub fn shutdown(&mut self) {
+        self.probe.take();
+        self.runtimes.clear();
+    }
+}
+
+impl ReplicatedSystem for DynaMastSystem {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn update(&self, session: &mut ClientSession, proc: &ProcCall) -> Result<TxnOutcome> {
+        let t0 = Instant::now();
+        // Retry loop: between routing and execution another transaction may
+        // remaster a partition away; the site rejects with NotMaster and the
+        // client re-routes (same resubmission rule as Appendix I).
+        let mut last_err = DynaError::Internal("unreachable: no routing attempts");
+        for _ in 0..16 {
+            // begin_transaction request to the selector (charged hop).
+            self.network
+                .charge_one_way(TrafficCategory::ClientSelector, route_request_size(proc));
+            let decision = self
+                .selector
+                .route_update(session.id, &session.cvv, &proc.write_set)?;
+            // Routing response back to the client.
+            self.network.charge_one_way(
+                TrafficCategory::ClientSelector,
+                16 + self.config.num_sites * 8,
+            );
+            match exec_update_at(
+                &self.network,
+                decision.site,
+                session,
+                &decision.min_vv,
+                proc,
+                true,
+            ) {
+                Ok((result, timings)) => {
+                    return Ok(TxnOutcome {
+                        result,
+                        breakdown: Breakdown::from_parts(
+                            decision.lookup,
+                            decision.routing,
+                            timings,
+                            t0.elapsed(),
+                        ),
+                    });
+                }
+                Err(err @ DynaError::NotMaster { .. }) => {
+                    last_err = err;
+                    continue;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last_err)
+    }
+
+    fn read(&self, session: &mut ClientSession, proc: &ProcCall) -> Result<TxnOutcome> {
+        let t0 = Instant::now();
+        self.network
+            .charge_one_way(TrafficCategory::ClientSelector, 32);
+        let (site, lookup) = {
+            let start = Instant::now();
+            let site = self.selector.route_read(&session.cvv);
+            (site, start.elapsed())
+        };
+        self.network.charge_one_way(TrafficCategory::ClientSelector, 16);
+        let (result, timings) =
+            exec_read_at(&self.network, site, session, proc, ReadMode::Snapshot)?;
+        Ok(TxnOutcome {
+            result,
+            breakdown: Breakdown::from_parts(lookup, Duration::ZERO, timings, t0.elapsed()),
+        })
+    }
+
+    fn stats(&self) -> SystemStats {
+        SystemStats {
+            committed_updates: self.sites.iter().map(|s| s.commits.get()).sum(),
+            aborts: self.sites.iter().map(|s| s.aborts.get()).sum(),
+            remaster_ops: self.selector.remaster_ops.get(),
+            partitions_moved: self.selector.partitions_moved.get(),
+            masters_per_site: self
+                .selector
+                .map()
+                .masters_per_site(self.config.num_sites),
+            updates_routed_per_site: self.selector.routed_per_site(),
+        }
+    }
+}
+
+impl Drop for DynaMastSystem {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,466 @@
+//! The site selector (§III-B, §IV, §V-B).
+//!
+//! Write routing follows §V-B exactly: look up the master of each write-set
+//! partition under shared locks; if one site masters everything, route there;
+//! otherwise upgrade to exclusive locks, pick a destination with the strategy
+//! model, and remaster via parallel release/grant RPCs (Algorithm 1 — each
+//! partition's grant is issued immediately after its release completes, and
+//! partitions proceed in parallel). The element-wise max of the grant
+//! responses becomes the transaction's minimum begin version.
+//!
+//! Read routing (§IV-B) picks a random site whose estimated svv satisfies
+//! the client's session vector, spreading load while minimizing blocking.
+//! The svv estimates come from release/grant responses plus a lightweight
+//! periodic probe (`GetVv`), standing in for whatever heartbeat the paper's
+//! implementation used.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use dynamast_common::codec::encode_to_vec;
+use dynamast_common::ids::{ClientId, Key, PartitionId, SiteId};
+use dynamast_common::metrics::Counter;
+use dynamast_common::{DynaError, Result, SystemConfig, VersionVector};
+use dynamast_network::{EndpointId, Network, TrafficCategory};
+use dynamast_site::messages::{expect_ok, SiteRequest, SiteResponse};
+use dynamast_storage::Catalog;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::partition_map::PartitionMap;
+use crate::stats::{AccessStats, StatsConfig};
+use crate::strategy::{best_site, score_sites, CoAccess, ScoreInputs};
+
+/// How the selector places masters.
+pub enum SelectorMode {
+    /// The paper's adaptive strategies (Eqs. 2–8).
+    Adaptive,
+    /// Fixed placement function; never moves mastership. Used to express
+    /// the single-master baseline (everything pinned to one site) inside
+    /// the DynaMast framework, exactly as the paper's evaluation does.
+    Pinned(Arc<dyn Fn(PartitionId) -> SiteId + Send + Sync>),
+}
+
+/// Outcome of routing one update transaction.
+#[derive(Clone, Debug)]
+pub struct RouteDecision {
+    /// Site that will execute the transaction.
+    pub site: SiteId,
+    /// Minimum begin version (element-wise max of grant responses; zero if
+    /// no remastering happened).
+    pub min_vv: VersionVector,
+    /// Time spent locking and looking up master locations (Fig. 7 "lookup").
+    pub lookup: Duration,
+    /// Time spent deciding and remastering (Fig. 7 "routing").
+    pub routing: Duration,
+    /// Whether any partition moved.
+    pub remastered: bool,
+}
+
+/// The site selector.
+pub struct SiteSelector {
+    config: SystemConfig,
+    mode: SelectorMode,
+    catalog: Catalog,
+    map: PartitionMap,
+    stats: AccessStats,
+    network: Arc<Network>,
+    site_vvs: Mutex<Vec<VersionVector>>,
+    epoch: AtomicU64,
+    rng: Mutex<SmallRng>,
+    /// Transactions that required remastering (at least one release).
+    pub remaster_ops: Counter,
+    /// Individual partitions whose mastership moved between sites.
+    pub partitions_moved: Counter,
+    /// First-touch placements (no release involved; the paper's DynaMast
+    /// starts unplaced, so early transactions *place* rather than remaster).
+    pub placements: Counter,
+    /// Update transactions routed, per site.
+    routed: Vec<Counter>,
+}
+
+impl SiteSelector {
+    /// Creates a selector.
+    pub fn new(
+        config: SystemConfig,
+        catalog: Catalog,
+        mode: SelectorMode,
+        network: Arc<Network>,
+    ) -> Arc<Self> {
+        let m = config.num_sites;
+        let stats = AccessStats::new(
+            StatsConfig {
+                sample_rate: config.sample_rate,
+                history_capacity: config.history_capacity,
+                inter_window: config.inter_txn_window,
+                max_partners: config.max_coaccess_partners,
+            },
+            m,
+            config.seed ^ 0x5E1E_C70A,
+        );
+        Arc::new(SiteSelector {
+            mode,
+            catalog,
+            map: PartitionMap::new(),
+            stats,
+            network,
+            site_vvs: Mutex::new((0..m).map(|_| VersionVector::zero(m)).collect()),
+            epoch: AtomicU64::new(0),
+            rng: Mutex::new(SmallRng::seed_from_u64(config.seed ^ 0x0EAD_0125)),
+            remaster_ops: Counter::new(),
+            partitions_moved: Counter::new(),
+            placements: Counter::new(),
+            routed: (0..m).map(|_| Counter::new()).collect(),
+            config,
+        })
+    }
+
+    /// The partition map (seeding, diagnostics, recovery).
+    pub fn map(&self) -> &PartitionMap {
+        &self.map
+    }
+
+    /// The statistics tracker.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Update transactions routed per site.
+    pub fn routed_per_site(&self) -> Vec<u64> {
+        self.routed.iter().map(Counter::get).collect()
+    }
+
+    /// Merges a freshness observation into the svv cache.
+    pub fn observe_site_vv(&self, site: SiteId, vv: &VersionVector) {
+        self.site_vvs.lock()[site.as_usize()].merge_max(vv);
+    }
+
+    /// Starts a background thread probing every site's svv at `interval`.
+    pub fn start_vv_probe(self: &Arc<Self>, interval: Duration) -> ProbeHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let selector = Arc::clone(self);
+        let stop2 = Arc::clone(&stop);
+        let thread = thread::Builder::new()
+            .name("selector-vv-probe".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    for i in 0..selector.config.num_sites {
+                        let req = Bytes::from(encode_to_vec(&SiteRequest::GetVv));
+                        if let Ok(reply) = selector.network.rpc(
+                            EndpointId::Site(i as u32),
+                            TrafficCategory::ClientSelector,
+                            req,
+                        ) {
+                            if let Ok(SiteResponse::Vv { svv }) = expect_ok(&reply) {
+                                selector.observe_site_vv(SiteId::new(i), &svv);
+                            }
+                        }
+                    }
+                    thread::sleep(interval);
+                }
+            })
+            .expect("spawn vv probe");
+        ProbeHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Routes an update transaction, remastering if necessary (Algorithm 1).
+    pub fn route_update(
+        &self,
+        client: ClientId,
+        cvv: &VersionVector,
+        write_set: &[Key],
+    ) -> Result<RouteDecision> {
+        let t0 = Instant::now();
+        let mut partitions = Vec::with_capacity(write_set.len());
+        for key in write_set {
+            partitions.push(self.catalog.partition_of(*key)?);
+        }
+        partitions.sort_unstable();
+        partitions.dedup();
+        if partitions.is_empty() {
+            return Err(DynaError::Internal("update with empty write set"));
+        }
+        let entries = self.map.entries_for(&partitions);
+
+        // Fast path: shared locks; one master for everything → route there.
+        {
+            let guards = self.map.lock_shared(&entries);
+            let masters: Vec<Option<SiteId>> = guards.iter().map(|g| g.master).collect();
+            if let Some(site) = sole_master(&masters) {
+                drop(guards);
+                let lookup = t0.elapsed();
+                self.stats
+                    .record_write_set(client, Instant::now(), &partitions, &masters);
+                self.routed[site.as_usize()].inc();
+                return Ok(RouteDecision {
+                    site,
+                    min_vv: VersionVector::zero(self.config.num_sites),
+                    lookup,
+                    routing: Duration::ZERO,
+                    remastered: false,
+                });
+            }
+        }
+
+        // Slow path: exclusive locks (prevents concurrent remastering of any
+        // of these partitions), re-check, then decide and remaster.
+        let mut guards = self.map.lock_exclusive(&entries);
+        let masters: Vec<Option<SiteId>> = guards.iter().map(|g| g.master).collect();
+        let lookup = t0.elapsed();
+        let t_route = Instant::now();
+        if let Some(site) = sole_master(&masters) {
+            drop(guards);
+            self.stats
+                .record_write_set(client, Instant::now(), &partitions, &masters);
+            self.routed[site.as_usize()].inc();
+            return Ok(RouteDecision {
+                site,
+                min_vv: VersionVector::zero(self.config.num_sites),
+                lookup,
+                routing: t_route.elapsed(),
+                remastered: false,
+            });
+        }
+
+        // Record the access before scoring so frequencies include this
+        // transaction, then choose the destination.
+        self.stats
+            .record_write_set(client, Instant::now(), &partitions, &masters);
+        let dest = match &self.mode {
+            SelectorMode::Pinned(pin) => {
+                let dest = pin(partitions[0]);
+                if partitions.iter().any(|p| pin(*p) != dest) {
+                    return Err(DynaError::Internal("pinned selector cannot split a write set"));
+                }
+                dest
+            }
+            SelectorMode::Adaptive => self.decide_destination(&partitions, &masters, cvv),
+        };
+
+        // Remaster every partition not already mastered at `dest`
+        // (Algorithm 1): parallel releases; each grant fires as soon as its
+        // release returns.
+        let mut out_vv = VersionVector::zero(self.config.num_sites);
+        let mut moved = 0u64;
+        let mut placed = 0u64;
+        let mut pending_releases = Vec::new();
+        let mut pending_grants = Vec::new();
+        for (i, master) in masters.iter().enumerate() {
+            match master {
+                Some(m) if *m == dest => {}
+                Some(m) => {
+                    let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+                    let req = SiteRequest::Release {
+                        partition: partitions[i],
+                        epoch,
+                    };
+                    let pending = self.network.rpc_async(
+                        EndpointId::Site(m.raw()),
+                        TrafficCategory::Remaster,
+                        Bytes::from(encode_to_vec(&req)),
+                    )?;
+                    if self.config.sequential_remastering {
+                        // Ablation: complete this partition's release AND
+                        // grant before touching the next partition.
+                        let rel_vv = match expect_ok(&pending.wait()?)? {
+                            SiteResponse::Released { rel_vv } => rel_vv,
+                            _ => return Err(DynaError::Internal("unexpected release response")),
+                        };
+                        self.observe_site_vv(*m, &rel_vv);
+                        let grant = SiteRequest::Grant {
+                            partition: partitions[i],
+                            epoch,
+                            rel_vv,
+                        };
+                        let reply = self.network.rpc(
+                            EndpointId::Site(dest.raw()),
+                            TrafficCategory::Remaster,
+                            Bytes::from(encode_to_vec(&grant)),
+                        )?;
+                        let grant_vv = match expect_ok(&reply)? {
+                            SiteResponse::Granted { grant_vv } => grant_vv,
+                            _ => return Err(DynaError::Internal("unexpected grant response")),
+                        };
+                        out_vv.merge_max(&grant_vv);
+                        entries[i].set_master(&mut guards[i], dest);
+                        self.stats.on_remaster(partitions[i], dest);
+                        moved += 1;
+                        continue;
+                    }
+                    pending_releases.push((i, *m, epoch, pending));
+                }
+                None => {
+                    // First placement: no release necessary; grant directly.
+                    let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+                    let grant = SiteRequest::Grant {
+                        partition: partitions[i],
+                        epoch,
+                        rel_vv: VersionVector::zero(self.config.num_sites),
+                    };
+                    let pending = self.network.rpc_async(
+                        EndpointId::Site(dest.raw()),
+                        TrafficCategory::Remaster,
+                        Bytes::from(encode_to_vec(&grant)),
+                    )?;
+                    placed += 1;
+                    pending_grants.push((i, pending));
+                }
+            }
+        }
+        for (i, releaser, epoch, pending) in pending_releases {
+            let rel_vv = match expect_ok(&pending.wait()?)? {
+                SiteResponse::Released { rel_vv } => rel_vv,
+                _ => return Err(DynaError::Internal("unexpected release response")),
+            };
+            self.observe_site_vv(releaser, &rel_vv);
+            let grant = SiteRequest::Grant {
+                partition: partitions[i],
+                epoch,
+                rel_vv,
+            };
+            let pending = self.network.rpc_async(
+                EndpointId::Site(dest.raw()),
+                TrafficCategory::Remaster,
+                Bytes::from(encode_to_vec(&grant)),
+            )?;
+            pending_grants.push((i, pending));
+        }
+        for (i, pending) in pending_grants {
+            let grant_vv = match expect_ok(&pending.wait()?)? {
+                SiteResponse::Granted { grant_vv } => grant_vv,
+                _ => return Err(DynaError::Internal("unexpected grant response")),
+            };
+            out_vv.merge_max(&grant_vv);
+            entries[i].set_master(&mut guards[i], dest);
+            self.stats.on_remaster(partitions[i], dest);
+            moved += 1;
+        }
+        // First-touch placements are not remasterings: nothing released.
+        moved = moved.saturating_sub(placed);
+        self.placements.add(placed);
+        self.observe_site_vv(dest, &out_vv);
+        drop(guards);
+
+        if moved > 0 {
+            self.remaster_ops.inc();
+            self.partitions_moved.add(moved);
+        }
+        self.routed[dest.as_usize()].inc();
+        Ok(RouteDecision {
+            site: dest,
+            min_vv: out_vv,
+            lookup,
+            routing: t_route.elapsed(),
+            remastered: moved > 0,
+        })
+    }
+
+    /// Strategy evaluation (Eq. 8) over all candidate sites.
+    fn decide_destination(
+        &self,
+        partitions: &[PartitionId],
+        masters: &[Option<SiteId>],
+        cvv: &VersionVector,
+    ) -> SiteId {
+        let (snaps, site_load) = self.stats.snapshot(partitions);
+        let placed: Vec<(PartitionId, Option<SiteId>)> = partitions
+            .iter()
+            .zip(masters)
+            .map(|(p, m)| (*p, *m))
+            .collect();
+        let partition_load: Vec<f64> = snaps.iter().map(|s| s.load).collect();
+        let to_coaccess = |partners: &[(PartitionId, f64)]| -> Vec<CoAccess> {
+            partners
+                .iter()
+                .map(|(partner, probability)| {
+                    let in_write_set = partitions.binary_search(partner).is_ok();
+                    let partner_master = if in_write_set {
+                        None // filled by `in_write_set` handling in scoring
+                    } else {
+                        self.map
+                            .entries_for_existing(*partner)
+                            .and_then(|e| e.master_relaxed())
+                    };
+                    CoAccess {
+                        partner: *partner,
+                        probability: *probability,
+                        partner_master,
+                        in_write_set,
+                    }
+                })
+                .collect()
+        };
+        let intra: Vec<Vec<CoAccess>> = snaps
+            .iter()
+            .map(|s| to_coaccess(&s.intra.partners))
+            .collect();
+        let inter: Vec<Vec<CoAccess>> = snaps
+            .iter()
+            .map(|s| to_coaccess(&s.inter.partners))
+            .collect();
+        let site_vvs = self.site_vvs.lock().clone();
+        let scores = score_sites(&ScoreInputs {
+            num_sites: self.config.num_sites,
+            weights: &self.config.weights,
+            partitions: &placed,
+            partition_load: &partition_load,
+            site_load: &site_load,
+            intra: &intra,
+            inter: &inter,
+            site_vvs: &site_vvs,
+            cvv,
+        });
+        best_site(&scores)
+    }
+
+    /// Routes a read-only transaction (§IV-B): a random site satisfying the
+    /// client's freshness requirement; if the cache says none does, any
+    /// random site (the site-side freshness wait still guarantees SSSI).
+    pub fn route_read(&self, cvv: &VersionVector) -> SiteId {
+        let cache = self.site_vvs.lock();
+        let fresh: Vec<usize> = cache
+            .iter()
+            .enumerate()
+            .filter(|(_, vv)| vv.dominates(cvv))
+            .map(|(i, _)| i)
+            .collect();
+        drop(cache);
+        let mut rng = self.rng.lock();
+        let pick = if fresh.is_empty() {
+            rng.gen_range(0..self.config.num_sites)
+        } else {
+            fresh[rng.gen_range(0..fresh.len())]
+        };
+        SiteId::new(pick)
+    }
+}
+
+fn sole_master(masters: &[Option<SiteId>]) -> Option<SiteId> {
+    let first = masters.first().copied().flatten()?;
+    masters
+        .iter()
+        .all(|m| *m == Some(first))
+        .then_some(first)
+}
+
+/// Handle for the background svv probe; stops and joins on drop.
+pub struct ProbeHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Drop for ProbeHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! Workload access statistics (§V-B).
+//!
+//! The selector "builds and maintains statistics such as data item access
+//! frequency and data item co-access likelihood [...] by adaptively sampling
+//! transaction write sets and recording sampled transactions, and each
+//! transaction executed within a time window Δt of it — submitted by the
+//! same client — in a transaction history queue. [...] DynaMast expires
+//! samples from the transaction history queue by decrementing any associated
+//! access counts to adapt to changing workloads."
+//!
+//! [`AccessStats`] implements exactly that: per-partition write counts (and
+//! the per-site aggregate the balance feature needs), intra-transaction
+//! co-access counts, inter-transaction co-access counts within a
+//! configurable Δt window per client, and a bounded history queue whose
+//! evicted samples decrement every count they contributed.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use dynamast_common::ids::{ClientId, PartitionId, SiteId};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Co-access partners of one partition with conditional probabilities,
+/// produced for the strategy model.
+#[derive(Clone, Debug, Default)]
+pub struct PartnerProbs {
+    /// `(partner, P(partner | partition))` pairs.
+    pub partners: Vec<(PartitionId, f64)>,
+}
+
+/// Scoring snapshot for one write-set partition.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionSnapshot {
+    /// Write-frequency count of the partition.
+    pub load: f64,
+    /// Intra-transaction co-access probabilities (Eq. 6's `P(d2|d1)`).
+    pub intra: PartnerProbs,
+    /// Inter-transaction co-access probabilities (Eq. 7's
+    /// `P(d2|d1; T ≤ Δt)`).
+    pub inter: PartnerProbs,
+}
+
+#[derive(Default)]
+struct PartStats {
+    count: u64,
+    master: Option<SiteId>,
+    intra: HashMap<PartitionId, u64>,
+    inter: HashMap<PartitionId, u64>,
+}
+
+struct Sample {
+    partitions: Vec<PartitionId>,
+    intra_pairs: Vec<(PartitionId, PartitionId)>,
+    inter_pairs: Vec<(PartitionId, PartitionId)>,
+}
+
+struct StatsInner {
+    rng: SmallRng,
+    parts: HashMap<PartitionId, PartStats>,
+    site_load: Vec<u64>,
+    history: VecDeque<Sample>,
+    recent: HashMap<ClientId, VecDeque<(Instant, Vec<PartitionId>)>>,
+}
+
+/// Configuration for [`AccessStats`].
+#[derive(Clone, Copy, Debug)]
+pub struct StatsConfig {
+    /// Fraction of write sets sampled.
+    pub sample_rate: f64,
+    /// History queue capacity; overflow expires the oldest sample.
+    pub history_capacity: usize,
+    /// Δt window for inter-transaction correlation.
+    pub inter_window: Duration,
+    /// Maximum distinct co-access partners tracked per partition.
+    pub max_partners: usize,
+}
+
+/// The selector's statistics tracker.
+pub struct AccessStats {
+    config: StatsConfig,
+    inner: Mutex<StatsInner>,
+}
+
+impl AccessStats {
+    /// Creates a tracker.
+    pub fn new(config: StatsConfig, num_sites: usize, seed: u64) -> Self {
+        AccessStats {
+            config,
+            inner: Mutex::new(StatsInner {
+                rng: SmallRng::seed_from_u64(seed),
+                parts: HashMap::new(),
+                site_load: vec![0; num_sites],
+                history: VecDeque::with_capacity(config.history_capacity + 1),
+                recent: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Records one routed write set. `masters[i]` is the current master of
+    /// `partitions[i]` (the selector's view at routing time).
+    pub fn record_write_set(
+        &self,
+        client: ClientId,
+        now: Instant,
+        partitions: &[PartitionId],
+        masters: &[Option<SiteId>],
+    ) {
+        debug_assert_eq!(partitions.len(), masters.len());
+        let mut inner = self.inner.lock();
+        let sampled =
+            self.config.sample_rate >= 1.0 || inner.rng.gen_bool(self.config.sample_rate);
+        if !sampled {
+            return;
+        }
+
+        // Access counts and per-site load aggregate.
+        for (p, master) in partitions.iter().zip(masters) {
+            let stats = inner.parts.entry(*p).or_default();
+            stats.count += 1;
+            stats.master = *master;
+            if let Some(m) = master {
+                inner.site_load[m.as_usize()] += 1;
+            }
+        }
+
+        // Intra-transaction pairs (both directions).
+        let mut intra_pairs = Vec::new();
+        for &p1 in partitions {
+            for &p2 in partitions {
+                if p1 == p2 {
+                    continue;
+                }
+                if inner.bump_partner(p1, p2, PartnerKind::Intra, self.config.max_partners) {
+                    intra_pairs.push((p1, p2));
+                }
+            }
+        }
+
+        // Inter-transaction pairs: previous write sets of the same client
+        // within Δt predict this one.
+        let window = self.config.inter_window;
+        let previous: Vec<PartitionId> = inner
+            .recent
+            .get(&client)
+            .map(|sets| {
+                sets.iter()
+                    .filter(|(t, _)| now.duration_since(*t) <= window)
+                    .flat_map(|(_, set)| set.iter().copied())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut inter_pairs = Vec::new();
+        for &p_old in &previous {
+            for &p_new in partitions {
+                if p_old == p_new {
+                    continue;
+                }
+                if inner.bump_partner(p_old, p_new, PartnerKind::Inter, self.config.max_partners) {
+                    inter_pairs.push((p_old, p_new));
+                }
+            }
+        }
+
+        // Update the client's recent history, pruning expired sets.
+        let recent = inner.recent.entry(client).or_default();
+        recent.push_back((now, partitions.to_vec()));
+        while let Some((t, _)) = recent.front() {
+            if now.duration_since(*t) > window && recent.len() > 1 {
+                recent.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // History queue with expiry.
+        inner.history.push_back(Sample {
+            partitions: partitions.to_vec(),
+            intra_pairs,
+            inter_pairs,
+        });
+        if inner.history.len() > self.config.history_capacity {
+            if let Some(old) = inner.history.pop_front() {
+                inner.expire(&old);
+            }
+        }
+    }
+
+    /// The selector's view of a partition's master must move when the
+    /// partition is remastered, so the per-site load aggregate stays
+    /// consistent.
+    pub fn on_remaster(&self, partition: PartitionId, to: SiteId) {
+        let mut inner = self.inner.lock();
+        let Some(stats) = inner.parts.get_mut(&partition) else {
+            return;
+        };
+        let count = stats.count;
+        let old = stats.master;
+        stats.master = Some(to);
+        if let Some(m) = old {
+            inner.site_load[m.as_usize()] = inner.site_load[m.as_usize()].saturating_sub(count);
+        }
+        inner.site_load[to.as_usize()] += count;
+    }
+
+    /// Scoring snapshot for the write-set partitions plus the per-site load
+    /// aggregate.
+    pub fn snapshot(&self, partitions: &[PartitionId]) -> (Vec<PartitionSnapshot>, Vec<f64>) {
+        let inner = self.inner.lock();
+        let snaps = partitions
+            .iter()
+            .map(|p| match inner.parts.get(p) {
+                None => PartitionSnapshot::default(),
+                Some(stats) => PartitionSnapshot {
+                    load: stats.count as f64,
+                    intra: probs(&stats.intra, stats.count),
+                    inter: probs(&stats.inter, stats.count),
+                },
+            })
+            .collect();
+        let load = inner.site_load.iter().map(|&c| c as f64).collect();
+        (snaps, load)
+    }
+
+    /// The tracked write count of one partition (tests/diagnostics).
+    pub fn partition_count(&self, partition: PartitionId) -> u64 {
+        self.inner
+            .lock()
+            .parts
+            .get(&partition)
+            .map_or(0, |s| s.count)
+    }
+
+    /// Current history-queue length (tests/diagnostics).
+    pub fn history_len(&self) -> usize {
+        self.inner.lock().history.len()
+    }
+}
+
+fn probs(counts: &HashMap<PartitionId, u64>, total: u64) -> PartnerProbs {
+    if total == 0 {
+        return PartnerProbs::default();
+    }
+    PartnerProbs {
+        partners: counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(p, &c)| (*p, c as f64 / total as f64))
+            .collect(),
+    }
+}
+
+enum PartnerKind {
+    Intra,
+    Inter,
+}
+
+impl StatsInner {
+    /// Increments a co-access partner count; returns whether it was counted
+    /// (partner-table capacity permitting).
+    fn bump_partner(
+        &mut self,
+        from: PartitionId,
+        to: PartitionId,
+        kind: PartnerKind,
+        max_partners: usize,
+    ) -> bool {
+        let stats = self.parts.entry(from).or_default();
+        let table = match kind {
+            PartnerKind::Intra => &mut stats.intra,
+            PartnerKind::Inter => &mut stats.inter,
+        };
+        if table.len() >= max_partners && !table.contains_key(&to) {
+            return false;
+        }
+        *table.entry(to).or_insert(0) += 1;
+        true
+    }
+
+    fn expire(&mut self, sample: &Sample) {
+        for p in &sample.partitions {
+            if let Some(stats) = self.parts.get_mut(p) {
+                stats.count = stats.count.saturating_sub(1);
+                if let Some(m) = stats.master {
+                    self.site_load[m.as_usize()] = self.site_load[m.as_usize()].saturating_sub(1);
+                }
+            }
+        }
+        for (from, to) in sample.intra_pairs.iter() {
+            if let Some(stats) = self.parts.get_mut(from) {
+                if let Some(c) = stats.intra.get_mut(to) {
+                    *c = c.saturating_sub(1);
+                    if *c == 0 {
+                        stats.intra.remove(to);
+                    }
+                }
+            }
+        }
+        for (from, to) in sample.inter_pairs.iter() {
+            if let Some(stats) = self.parts.get_mut(from) {
+                if let Some(c) = stats.inter.get_mut(to) {
+                    *c = c.saturating_sub(1);
+                    if *c == 0 {
+                        stats.inter.remove(to);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> StatsConfig {
+        StatsConfig {
+            sample_rate: 1.0,
+            history_capacity: 100,
+            inter_window: Duration::from_millis(100),
+            max_partners: 8,
+        }
+    }
+
+    fn pid(i: usize) -> PartitionId {
+        PartitionId::new(i)
+    }
+
+    fn client(i: usize) -> ClientId {
+        ClientId::new(i)
+    }
+
+    #[test]
+    fn write_counts_accumulate_per_partition_and_site() {
+        let stats = AccessStats::new(config(), 2, 1);
+        let s0 = Some(SiteId::new(0));
+        let now = Instant::now();
+        stats.record_write_set(client(1), now, &[pid(1), pid(2)], &[s0, s0]);
+        stats.record_write_set(client(1), now, &[pid(1)], &[s0]);
+        assert_eq!(stats.partition_count(pid(1)), 2);
+        let (_, load) = stats.snapshot(&[pid(1)]);
+        assert_eq!(load, vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn intra_coaccess_probabilities_are_conditional() {
+        let stats = AccessStats::new(config(), 2, 1);
+        let m = Some(SiteId::new(0));
+        let now = Instant::now();
+        stats.record_write_set(client(1), now, &[pid(1), pid(2)], &[m, m]);
+        stats.record_write_set(client(1), now, &[pid(1)], &[m]);
+        let (snaps, _) = stats.snapshot(&[pid(1)]);
+        // pid(2) co-accessed in 1 of pid(1)'s 2 accesses.
+        let partners = &snaps[0].intra.partners;
+        assert_eq!(partners.len(), 1);
+        assert_eq!(partners[0], (pid(2), 0.5));
+    }
+
+    #[test]
+    fn inter_coaccess_links_consecutive_client_txns_within_window() {
+        let stats = AccessStats::new(config(), 2, 1);
+        let m = Some(SiteId::new(0));
+        let t0 = Instant::now();
+        stats.record_write_set(client(1), t0, &[pid(1)], &[m]);
+        stats.record_write_set(client(1), t0 + Duration::from_millis(10), &[pid(2)], &[m]);
+        let (snaps, _) = stats.snapshot(&[pid(1)]);
+        assert_eq!(snaps[0].inter.partners, vec![(pid(2), 1.0)]);
+        // A different client's transaction does not link.
+        stats.record_write_set(client(2), t0 + Duration::from_millis(20), &[pid(3)], &[m]);
+        let (snaps, _) = stats.snapshot(&[pid(2)]);
+        assert!(snaps[0].inter.partners.is_empty());
+    }
+
+    #[test]
+    fn inter_coaccess_ignores_txns_outside_window() {
+        let stats = AccessStats::new(config(), 2, 1);
+        let m = Some(SiteId::new(0));
+        let t0 = Instant::now();
+        stats.record_write_set(client(1), t0, &[pid(1)], &[m]);
+        stats.record_write_set(client(1), t0 + Duration::from_secs(10), &[pid(2)], &[m]);
+        let (snaps, _) = stats.snapshot(&[pid(1)]);
+        assert!(snaps[0].inter.partners.is_empty());
+    }
+
+    #[test]
+    fn history_expiry_decrements_counts() {
+        let mut cfg = config();
+        cfg.history_capacity = 2;
+        let stats = AccessStats::new(cfg, 2, 1);
+        let m = Some(SiteId::new(0));
+        let now = Instant::now();
+        for _ in 0..5 {
+            stats.record_write_set(client(1), now, &[pid(1), pid(2)], &[m, m]);
+        }
+        assert_eq!(stats.history_len(), 2);
+        // Only two samples retained → counts reflect those two.
+        assert_eq!(stats.partition_count(pid(1)), 2);
+        let (_, load) = stats.snapshot(&[]);
+        assert_eq!(load[0], 4.0);
+    }
+
+    #[test]
+    fn remaster_moves_load_between_sites() {
+        let stats = AccessStats::new(config(), 2, 1);
+        let m0 = Some(SiteId::new(0));
+        let now = Instant::now();
+        stats.record_write_set(client(1), now, &[pid(1)], &[m0]);
+        stats.record_write_set(client(1), now, &[pid(1)], &[m0]);
+        stats.on_remaster(pid(1), SiteId::new(1));
+        let (_, load) = stats.snapshot(&[]);
+        assert_eq!(load, vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn partner_table_is_bounded() {
+        let mut cfg = config();
+        cfg.max_partners = 2;
+        let stats = AccessStats::new(cfg, 1, 1);
+        let m = Some(SiteId::new(0));
+        let now = Instant::now();
+        stats.record_write_set(
+            client(1),
+            now,
+            &[pid(1), pid(2), pid(3), pid(4)],
+            &[m, m, m, m],
+        );
+        let (snaps, _) = stats.snapshot(&[pid(1)]);
+        assert_eq!(snaps[0].intra.partners.len(), 2);
+    }
+
+    #[test]
+    fn zero_sample_rate_records_nothing() {
+        let mut cfg = config();
+        cfg.sample_rate = 0.0;
+        let stats = AccessStats::new(cfg, 1, 1);
+        stats.record_write_set(
+            client(1),
+            Instant::now(),
+            &[pid(1)],
+            &[Some(SiteId::new(0))],
+        );
+        assert_eq!(stats.partition_count(pid(1)), 0);
+    }
+}

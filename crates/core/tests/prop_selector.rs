@@ -1,0 +1,150 @@
+//! Property-based tests for the site selector's strategy model and
+//! statistics tracker.
+
+use std::time::{Duration, Instant};
+
+use dynamast_common::ids::{ClientId, PartitionId, SiteId};
+use dynamast_common::{StrategyWeights, VersionVector};
+use dynamast_core::stats::{AccessStats, StatsConfig};
+use dynamast_core::strategy::{best_site, score_sites, CoAccess, ScoreInputs};
+use proptest::prelude::*;
+
+fn weights_strategy() -> impl Strategy<Value = StrategyWeights> {
+    (0.0..10_000.0f64, 0.0..2.0f64, 0.0..5.0f64, 0.0..5.0f64).prop_map(
+        |(balance, delay, intra, inter)| StrategyWeights {
+            balance,
+            delay,
+            intra_txn: intra,
+            inter_txn: inter,
+        },
+    )
+}
+
+proptest! {
+    /// Scoring is total: every candidate gets a finite score, and the argmax
+    /// is a valid site.
+    #[test]
+    fn scores_are_finite_and_argmax_valid(
+        weights in weights_strategy(),
+        site_load in prop::collection::vec(0.0..1000.0f64, 4),
+        partition_load in prop::collection::vec(0.0..50.0f64, 1..4),
+        masters in prop::collection::vec(prop::option::of(0usize..4), 1..4),
+    ) {
+        let n = partition_load.len().min(masters.len());
+        let partitions: Vec<(PartitionId, Option<SiteId>)> = (0..n)
+            .map(|i| (PartitionId::new(i), masters[i].map(SiteId::new)))
+            .collect();
+        let partition_load = partition_load[..n].to_vec();
+        let empty: Vec<Vec<CoAccess>> = vec![Vec::new(); n];
+        let site_vvs: Vec<VersionVector> = (0..4).map(|_| VersionVector::zero(4)).collect();
+        let cvv = VersionVector::zero(4);
+        let scores = score_sites(&ScoreInputs {
+            num_sites: 4,
+            weights: &weights,
+            partitions: &partitions,
+            partition_load: &partition_load,
+            site_load: &site_load,
+            intra: &empty,
+            inter: &empty,
+            site_vvs: &site_vvs,
+            cvv: &cvv,
+        });
+        prop_assert_eq!(scores.len(), 4);
+        for s in &scores {
+            prop_assert!(s.is_finite(), "non-finite score: {scores:?}");
+        }
+        prop_assert!(best_site(&scores).as_usize() < 4);
+    }
+
+    /// With only the balance feature active, the least-loaded site always
+    /// wins for an unplaced partition.
+    #[test]
+    fn balance_only_picks_least_loaded(
+        mut site_load in prop::collection::vec(1.0..1000.0f64, 4),
+        load in 1.0..20.0f64,
+    ) {
+        // Make the minimum unique so the argmax is deterministic.
+        let min_idx = site_load
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        site_load[min_idx] *= 0.5;
+        let weights = StrategyWeights {
+            balance: 1.0,
+            delay: 0.0,
+            intra_txn: 0.0,
+            inter_txn: 0.0,
+        };
+        let partitions = [(PartitionId::new(0), None)];
+        let partition_load = [load];
+        let empty: Vec<Vec<CoAccess>> = vec![Vec::new()];
+        let site_vvs: Vec<VersionVector> = (0..4).map(|_| VersionVector::zero(4)).collect();
+        let cvv = VersionVector::zero(4);
+        let scores = score_sites(&ScoreInputs {
+            num_sites: 4,
+            weights: &weights,
+            partitions: &partitions,
+            partition_load: &partition_load,
+            site_load: &site_load,
+            intra: &empty,
+            inter: &empty,
+            site_vvs: &site_vvs,
+            cvv: &cvv,
+        });
+        prop_assert_eq!(best_site(&scores).as_usize(), min_idx, "{:?} {:?}", scores, site_load);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The statistics tracker's counts never go negative and the history
+    /// queue never exceeds its capacity, regardless of access pattern.
+    #[test]
+    fn stats_counts_stay_consistent(
+        accesses in prop::collection::vec(
+            (0u64..8, prop::collection::vec(0usize..12, 1..4)),
+            1..200,
+        ),
+        capacity in 1usize..50,
+    ) {
+        let stats = AccessStats::new(
+            StatsConfig {
+                sample_rate: 1.0,
+                history_capacity: capacity,
+                inter_window: Duration::from_millis(50),
+                max_partners: 4,
+            },
+            2,
+            42,
+        );
+        let now = Instant::now();
+        for (client, parts) in &accesses {
+            let mut partitions: Vec<PartitionId> =
+                parts.iter().map(|p| PartitionId::new(*p)).collect();
+            partitions.sort_unstable();
+            partitions.dedup();
+            let masters = vec![Some(SiteId::new(0)); partitions.len()];
+            stats.record_write_set(ClientId::new(*client as usize), now, &partitions, &masters);
+        }
+        prop_assert!(stats.history_len() <= capacity);
+        // Total retained mass equals the sum over retained samples.
+        let (_, site_load) = stats.snapshot(&[]);
+        let retained: f64 = site_load.iter().sum();
+        prop_assert!(retained >= 0.0);
+        let max_possible: usize = accesses
+            .iter()
+            .rev()
+            .take(capacity)
+            .map(|(_, p)| {
+                let mut q = p.clone();
+                q.sort_unstable();
+                q.dedup();
+                q.len()
+            })
+            .sum();
+        prop_assert!(retained as usize <= max_possible, "{retained} > {max_possible}");
+    }
+}

@@ -1,0 +1,465 @@
+//! Simulated RPC substrate.
+//!
+//! The paper deploys components on separate machines connected by a 10Gbit/s
+//! network and communicates via Apache Thrift RPC. This crate reproduces the
+//! *observable* properties of that substrate in-process:
+//!
+//! * **Round trips cost time.** Every message is assigned a delivery deadline
+//!   `now + one_way_delay + per-KiB term + jitter` (see
+//!   [`dynamast_common::config::NetworkConfig`]); the receiving worker does
+//!   not start processing before the deadline, and the caller does not
+//!   observe the reply before the reply's own deadline. 2PC's multiple
+//!   rounds, remastering's release/grant round trips, and LEAP's data
+//!   shipping therefore pay realistic, configurable latency.
+//! * **Traffic is accounted.** All payloads are real encoded bytes, counted
+//!   per [`TrafficCategory`] so the harness can reproduce the paper's
+//!   Appendix D traffic breakdown (replication ≫ remastering).
+//! * **Endpoints can fail.** Deregistering an endpoint makes subsequent RPCs
+//!   fail with [`DynaError::Network`], which the recovery tests use to
+//!   simulate site crashes.
+//!
+//! Calls can be issued synchronously ([`Network::rpc`]) or asynchronously
+//! ([`Network::rpc_async`]) — Algorithm 1 issues release/grant RPCs in
+//! parallel, which maps to `rpc_async` + [`PendingReply::wait`].
+
+pub mod stats;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use dynamast_common::config::NetworkConfig;
+use dynamast_common::{DynaError, Result};
+use parking_lot::RwLock;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub use stats::{TrafficCategory, TrafficStats};
+
+/// Addressable components in a deployment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EndpointId {
+    /// The (master) site selector.
+    Selector,
+    /// A replica site selector (Appendix I distributed selector).
+    SelectorReplica(u32),
+    /// A data site.
+    Site(u32),
+}
+
+impl fmt::Debug for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndpointId::Selector => write!(f, "selector"),
+            EndpointId::SelectorReplica(i) => write!(f, "selector-replica-{i}"),
+            EndpointId::Site(i) => write!(f, "site-{i}"),
+        }
+    }
+}
+
+/// Server-side request handler for an endpoint.
+///
+/// Handlers receive the raw payload and return the raw reply; application
+/// protocols (including application-level errors) are encoded in the payload
+/// by the `site`/`core` crates.
+pub trait RpcHandler: Send + Sync + 'static {
+    /// Processes one request.
+    fn handle(&self, payload: Bytes) -> Bytes;
+}
+
+impl<F> RpcHandler for F
+where
+    F: Fn(Bytes) -> Bytes + Send + Sync + 'static,
+{
+    fn handle(&self, payload: Bytes) -> Bytes {
+        self(payload)
+    }
+}
+
+struct Envelope {
+    payload: Bytes,
+    deliver_at: Instant,
+    category: TrafficCategory,
+    reply: Sender<Envelope>,
+}
+
+type Registry = RwLock<HashMap<EndpointId, Sender<Envelope>>>;
+
+/// The in-process network fabric shared by one deployment.
+pub struct Network {
+    config: NetworkConfig,
+    stats: Arc<TrafficStats>,
+    registry: Registry,
+    seed: u64,
+}
+
+impl Network {
+    /// Creates a network with the given latency model. `seed` drives the
+    /// jitter RNG.
+    pub fn new(config: NetworkConfig, seed: u64) -> Arc<Self> {
+        Arc::new(Network {
+            config,
+            stats: Arc::new(TrafficStats::new()),
+            registry: RwLock::new(HashMap::new()),
+            seed,
+        })
+    }
+
+    /// The latency model in use.
+    pub fn config(&self) -> NetworkConfig {
+        self.config
+    }
+
+    /// Shared traffic statistics.
+    pub fn stats(&self) -> &Arc<TrafficStats> {
+        &self.stats
+    }
+
+    fn deadline(&self, bytes: usize) -> Instant {
+        let base = self.config.delay_for(bytes);
+        let jitter_nanos = self.config.jitter.as_nanos() as u64;
+        let jitter = if jitter_nanos == 0 {
+            std::time::Duration::ZERO
+        } else {
+            // Thread-local RNG seeded from the network seed: cheap and
+            // deterministic enough for jitter.
+            thread_local! {
+                static RNG: std::cell::RefCell<Option<SmallRng>> =
+                    const { std::cell::RefCell::new(None) };
+            }
+            let seed = self.seed;
+            RNG.with(|cell| {
+                let mut slot = cell.borrow_mut();
+                let rng = slot.get_or_insert_with(|| SmallRng::seed_from_u64(seed));
+                std::time::Duration::from_nanos(rng.gen_range(0..=jitter_nanos))
+            })
+        };
+        Instant::now() + base + jitter
+    }
+
+    /// Starts serving `endpoint` with `workers` handler threads. Returns a
+    /// handle that deregisters the endpoint and joins the workers on drop.
+    pub fn serve(
+        self: &Arc<Self>,
+        endpoint: EndpointId,
+        handler: Arc<dyn RpcHandler>,
+        workers: usize,
+    ) -> ServerHandle {
+        assert!(workers >= 1, "need at least one worker");
+        let (tx, wire_rx): (Sender<Envelope>, Receiver<Envelope>) = unbounded();
+        let previous = self.registry.write().insert(endpoint, tx);
+        assert!(previous.is_none(), "endpoint {endpoint:?} already registered");
+        let mut threads = Vec::with_capacity(workers + 1);
+        // The "wire": delays each message until its delivery deadline, then
+        // hands it to the worker pool. Transit time must not occupy workers
+        // — a site's capacity is its worker pool, not the network's.
+        let (rx_tx, rx): (Sender<Envelope>, Receiver<Envelope>) = unbounded();
+        threads.push(
+            thread::Builder::new()
+                .name(format!("{endpoint:?}-wire"))
+                .spawn(move || {
+                    while let Ok(env) = wire_rx.recv() {
+                        // FIFO per endpoint: later messages were sent later
+                        // and carry (near-)monotone deadlines, so sleeping
+                        // on the head approximates per-message delivery.
+                        sleep_until(env.deliver_at);
+                        if rx_tx.send(env).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn wire thread"),
+        );
+        for w in 0..workers {
+            let rx = rx.clone();
+            let handler = Arc::clone(&handler);
+            let net = Arc::clone(self);
+            let name = format!("{endpoint:?}-rpc-{w}");
+            threads.push(
+                thread::Builder::new()
+                    .name(name)
+                    .spawn(move || {
+                        while let Ok(env) = rx.recv() {
+                            let reply_payload = handler.handle(env.payload);
+                            net.stats.record(env.category, reply_payload.len());
+                            let reply = Envelope {
+                                deliver_at: net.deadline(reply_payload.len()),
+                                payload: reply_payload,
+                                category: env.category,
+                                reply: dead_letter(),
+                            };
+                            // Callers that no longer wait are fine.
+                            let _ = env.reply.send(reply);
+                        }
+                    })
+                    .expect("spawn rpc worker"),
+            );
+        }
+        ServerHandle {
+            network: Arc::clone(self),
+            endpoint,
+            threads,
+        }
+    }
+
+    /// Issues an RPC and returns a handle to await the reply.
+    pub fn rpc_async(
+        &self,
+        to: EndpointId,
+        category: TrafficCategory,
+        payload: Bytes,
+    ) -> Result<PendingReply> {
+        let sender = self
+            .registry
+            .read()
+            .get(&to)
+            .cloned()
+            .ok_or(DynaError::Network("endpoint not registered"))?;
+        self.stats.record(category, payload.len());
+        let (reply_tx, reply_rx) = bounded(1);
+        let env = Envelope {
+            deliver_at: self.deadline(payload.len()),
+            payload,
+            category,
+            reply: reply_tx,
+        };
+        sender
+            .send(env)
+            .map_err(|_| DynaError::Network("endpoint shut down"))?;
+        Ok(PendingReply { reply: reply_rx })
+    }
+
+    /// Issues an RPC and blocks for the reply.
+    pub fn rpc(
+        &self,
+        to: EndpointId,
+        category: TrafficCategory,
+        payload: Bytes,
+    ) -> Result<Bytes> {
+        self.rpc_async(to, category, payload)?.wait()
+    }
+
+    /// Charges the latency and traffic of one message without routing it to
+    /// an endpoint: the calling thread sleeps the simulated transit time.
+    ///
+    /// Used for component interactions that are implemented as in-process
+    /// calls but were RPCs in the paper's deployment (e.g. the
+    /// client → site-selector `begin_transaction` request): the call itself
+    /// stays a function call, but its network cost is still paid and
+    /// accounted.
+    pub fn charge_one_way(&self, category: TrafficCategory, bytes: usize) {
+        self.stats.record(category, bytes);
+        sleep_until(self.deadline(bytes));
+    }
+
+    /// Simulates a crash: deregisters the endpoint so future RPCs fail.
+    /// In-flight requests still drain (messages already on the wire arrive).
+    pub fn disconnect(&self, endpoint: EndpointId) {
+        self.registry.write().remove(&endpoint);
+    }
+
+    /// `true` iff the endpoint is currently reachable.
+    pub fn is_connected(&self, endpoint: EndpointId) -> bool {
+        self.registry.read().contains_key(&endpoint)
+    }
+}
+
+fn dead_letter() -> Sender<Envelope> {
+    let (tx, _rx) = bounded(1);
+    tx
+}
+
+fn sleep_until(deadline: Instant) {
+    let now = Instant::now();
+    if deadline > now {
+        thread::sleep(deadline - now);
+    }
+}
+
+/// An in-flight RPC.
+pub struct PendingReply {
+    reply: Receiver<Envelope>,
+}
+
+impl PendingReply {
+    /// Blocks until the reply arrives (respecting its simulated transit
+    /// delay) and returns its payload.
+    pub fn wait(self) -> Result<Bytes> {
+        let env = self
+            .reply
+            .recv()
+            .map_err(|_| DynaError::Network("server dropped request"))?;
+        sleep_until(env.deliver_at);
+        Ok(env.payload)
+    }
+}
+
+/// Keeps an endpoint alive; deregisters and joins workers on drop.
+pub struct ServerHandle {
+    network: Arc<Network>,
+    endpoint: EndpointId,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The endpoint this handle serves.
+    pub fn endpoint(&self) -> EndpointId {
+        self.endpoint
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.network.disconnect(self.endpoint);
+        // Dropping the registry sender disconnects the channel; workers exit
+        // after draining.
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn echo_handler() -> Arc<dyn RpcHandler> {
+        Arc::new(|payload: Bytes| payload)
+    }
+
+    #[test]
+    fn rpc_roundtrips_payload() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        let _server = net.serve(EndpointId::Site(0), echo_handler(), 2);
+        let reply = net
+            .rpc(
+                EndpointId::Site(0),
+                TrafficCategory::ClientSite,
+                Bytes::from_static(b"ping"),
+            )
+            .unwrap();
+        assert_eq!(&reply[..], b"ping");
+    }
+
+    #[test]
+    fn rpc_to_unknown_endpoint_fails() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        let err = net
+            .rpc(
+                EndpointId::Site(9),
+                TrafficCategory::ClientSite,
+                Bytes::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DynaError::Network(_)));
+    }
+
+    #[test]
+    fn disconnect_simulates_crash() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        let server = net.serve(EndpointId::Site(0), echo_handler(), 1);
+        assert!(net.is_connected(EndpointId::Site(0)));
+        net.disconnect(EndpointId::Site(0));
+        assert!(!net.is_connected(EndpointId::Site(0)));
+        assert!(net
+            .rpc(EndpointId::Site(0), TrafficCategory::ClientSite, Bytes::new())
+            .is_err());
+        drop(server);
+    }
+
+    #[test]
+    fn latency_model_delays_roundtrip() {
+        let cfg = NetworkConfig {
+            one_way_delay: Duration::from_millis(5),
+            delay_per_kib: Duration::ZERO,
+            jitter: Duration::ZERO,
+        };
+        let net = Network::new(cfg, 1);
+        let _server = net.serve(EndpointId::Site(0), echo_handler(), 1);
+        let start = Instant::now();
+        net.rpc(
+            EndpointId::Site(0),
+            TrafficCategory::ClientSite,
+            Bytes::from_static(b"x"),
+        )
+        .unwrap();
+        // Two one-way hops of 5ms each.
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn async_rpcs_overlap_their_latencies() {
+        let cfg = NetworkConfig {
+            one_way_delay: Duration::from_millis(10),
+            delay_per_kib: Duration::ZERO,
+            jitter: Duration::ZERO,
+        };
+        let net = Network::new(cfg, 1);
+        let _a = net.serve(EndpointId::Site(0), echo_handler(), 2);
+        let _b = net.serve(EndpointId::Site(1), echo_handler(), 2);
+        let start = Instant::now();
+        let p1 = net
+            .rpc_async(EndpointId::Site(0), TrafficCategory::Remaster, Bytes::new())
+            .unwrap();
+        let p2 = net
+            .rpc_async(EndpointId::Site(1), TrafficCategory::Remaster, Bytes::new())
+            .unwrap();
+        p1.wait().unwrap();
+        p2.wait().unwrap();
+        let elapsed = start.elapsed();
+        // Parallel: ~20ms, not ~40ms (Algorithm 1's parallel release/grant).
+        assert!(elapsed < Duration::from_millis(35), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn traffic_stats_count_request_and_reply_bytes() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        let _server = net.serve(EndpointId::Site(0), echo_handler(), 1);
+        net.rpc(
+            EndpointId::Site(0),
+            TrafficCategory::Replication,
+            Bytes::from_static(&[0u8; 100]),
+        )
+        .unwrap();
+        let snap = net.stats().snapshot();
+        let repl = snap.get(TrafficCategory::Replication);
+        assert_eq!(repl.messages, 2); // request + reply
+        assert_eq!(repl.bytes, 200);
+    }
+
+    #[test]
+    fn server_handles_concurrent_callers() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        let _server = net.serve(EndpointId::Site(0), echo_handler(), 4);
+        let mut handles = Vec::new();
+        for i in 0..16u8 {
+            let net = Arc::clone(&net);
+            handles.push(thread::spawn(move || {
+                let reply = net
+                    .rpc(
+                        EndpointId::Site(0),
+                        TrafficCategory::ClientSite,
+                        Bytes::copy_from_slice(&[i]),
+                    )
+                    .unwrap();
+                assert_eq!(reply[0], i);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_endpoint_registration_panics() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        let _a = net.serve(EndpointId::Site(0), echo_handler(), 1);
+        let _b = net.serve(EndpointId::Site(0), echo_handler(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-category traffic accounting (paper Appendix D).
+//!
+//! The paper reports, for a YCSB run: ~43 MB/s of stored-procedure arguments,
+//! ~155 MB/s of refresh-transaction propagation, and a "meager" ~3 MB/s of
+//! remastering requests. [`TrafficStats`] lets the harness reproduce that
+//! breakdown by tagging every message with a [`TrafficCategory`].
+
+use dynamast_common::metrics::Counter;
+
+/// Message categories for traffic accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficCategory {
+    /// Client → site selector routing requests (begin_transaction).
+    ClientSelector,
+    /// Client → data site stored-procedure execution and commit.
+    ClientSite,
+    /// Site selector → site release/grant remastering RPCs.
+    Remaster,
+    /// Two-phase-commit coordination (multi-master / partition-store).
+    TwoPhaseCommit,
+    /// Refresh-transaction propagation between sites.
+    Replication,
+    /// LEAP data-shipping transfers.
+    DataShip,
+}
+
+impl TrafficCategory {
+    /// All categories, for iteration in reports.
+    pub const ALL: [TrafficCategory; 6] = [
+        TrafficCategory::ClientSelector,
+        TrafficCategory::ClientSite,
+        TrafficCategory::Remaster,
+        TrafficCategory::TwoPhaseCommit,
+        TrafficCategory::Replication,
+        TrafficCategory::DataShip,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            TrafficCategory::ClientSelector => 0,
+            TrafficCategory::ClientSite => 1,
+            TrafficCategory::Remaster => 2,
+            TrafficCategory::TwoPhaseCommit => 3,
+            TrafficCategory::Replication => 4,
+            TrafficCategory::DataShip => 5,
+        }
+    }
+
+    /// Short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficCategory::ClientSelector => "client-selector",
+            TrafficCategory::ClientSite => "client-site",
+            TrafficCategory::Remaster => "remaster",
+            TrafficCategory::TwoPhaseCommit => "2pc",
+            TrafficCategory::Replication => "replication",
+            TrafficCategory::DataShip => "data-ship",
+        }
+    }
+}
+
+/// Lock-free per-category message and byte counters.
+#[derive(Default)]
+pub struct TrafficStats {
+    messages: [Counter; 6],
+    bytes: [Counter; 6],
+}
+
+impl TrafficStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of `len` bytes.
+    pub fn record(&self, category: TrafficCategory, len: usize) {
+        let i = category.index();
+        self.messages[i].inc();
+        self.bytes[i].add(len as u64);
+    }
+
+    /// A consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        let mut out = TrafficSnapshot::default();
+        for (i, cat) in TrafficCategory::ALL.iter().enumerate() {
+            out.entries[cat.index()] = CategoryTotals {
+                messages: self.messages[i].get(),
+                bytes: self.bytes[i].get(),
+            };
+        }
+        out
+    }
+}
+
+/// Totals for one category.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CategoryTotals {
+    /// Messages sent (requests and replies both count).
+    pub messages: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// Snapshot of all categories.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrafficSnapshot {
+    entries: [CategoryTotals; 6],
+}
+
+impl TrafficSnapshot {
+    /// Totals for one category.
+    pub fn get(&self, category: TrafficCategory) -> CategoryTotals {
+        self.entries[category.index()]
+    }
+
+    /// Total bytes across all categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Difference since an earlier snapshot (for rate computation).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        let mut out = TrafficSnapshot::default();
+        for i in 0..6 {
+            out.entries[i] = CategoryTotals {
+                messages: self.entries[i].messages - earlier.entries[i].messages,
+                bytes: self.entries[i].bytes - earlier.entries[i].bytes,
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_category() {
+        let stats = TrafficStats::new();
+        stats.record(TrafficCategory::Remaster, 10);
+        stats.record(TrafficCategory::Remaster, 20);
+        stats.record(TrafficCategory::Replication, 1000);
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.get(TrafficCategory::Remaster),
+            CategoryTotals {
+                messages: 2,
+                bytes: 30
+            }
+        );
+        assert_eq!(snap.get(TrafficCategory::Replication).bytes, 1000);
+        assert_eq!(snap.get(TrafficCategory::DataShip).messages, 0);
+        assert_eq!(snap.total_bytes(), 1030);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let stats = TrafficStats::new();
+        stats.record(TrafficCategory::ClientSite, 100);
+        let first = stats.snapshot();
+        stats.record(TrafficCategory::ClientSite, 50);
+        let delta = stats.snapshot().delta_since(&first);
+        assert_eq!(
+            delta.get(TrafficCategory::ClientSite),
+            CategoryTotals {
+                messages: 1,
+                bytes: 50
+            }
+        );
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            TrafficCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), TrafficCategory::ALL.len());
+    }
+}

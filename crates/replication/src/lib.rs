@@ -1,0 +1,29 @@
+//! Durable logs and lazy update propagation (paper §V-A2, §V-C).
+//!
+//! The paper uses Apache Kafka with one topic per data site: a site's
+//! replication manager serializes every committed transaction's updates (and
+//! every grant/release operation) into its own log, and every other site
+//! subscribes, applying the updates as *refresh transactions* in the order
+//! allowed by the update application rule (Eq. 1). The same log doubles as a
+//! persistent redo log for recovery.
+//!
+//! This crate substitutes Kafka with [`DurableLog`]: an append-only,
+//! in-memory, offset-addressed record log with blocking reads — exactly the
+//! two properties the paper relies on (per-origin FIFO ordered delivery and
+//! replayable persistence).
+//!
+//! * [`record::LogRecord`] — commit / release / grant records.
+//! * [`log::DurableLog`], [`log::LogSet`] — the logs themselves.
+//! * [`propagate::Propagator`] — subscriber threads that pull records from
+//!   peer logs and hand them to a site's refresh applier.
+//! * [`recovery`] — full-replay recovery and mastership-map reconstruction
+//!   from grant/release records.
+
+pub mod log;
+pub mod propagate;
+pub mod record;
+pub mod recovery;
+
+pub use log::{DurableLog, LogSet};
+pub use propagate::{Propagator, RefreshApplier};
+pub use record::LogRecord;

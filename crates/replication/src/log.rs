@@ -1,0 +1,209 @@
+//! The durable, offset-addressed record log (Kafka substitute).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use dynamast_common::codec::{encode_to_vec, Decode};
+use dynamast_common::ids::SiteId;
+use dynamast_common::Result;
+use parking_lot::{Condvar, Mutex};
+
+use crate::record::LogRecord;
+
+/// An append-only log of encoded [`LogRecord`]s with blocking tail reads.
+///
+/// Records are stored encoded so the log's byte footprint matches what the
+/// paper's Kafka deployment would carry; subscribers decode on read and the
+/// byte size is available for traffic accounting.
+pub struct DurableLog {
+    inner: Mutex<Vec<Bytes>>,
+    appended: Condvar,
+}
+
+impl Default for DurableLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DurableLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        DurableLog {
+            inner: Mutex::new(Vec::new()),
+            appended: Condvar::new(),
+        }
+    }
+
+    /// Appends a record, returning its offset.
+    pub fn append(&self, record: &LogRecord) -> u64 {
+        let encoded = Bytes::from(encode_to_vec(record));
+        let mut log = self.inner.lock();
+        log.push(encoded);
+        let offset = log.len() as u64 - 1;
+        drop(log);
+        self.appended.notify_all();
+        offset
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> u64 {
+        self.inner.lock().len() as u64
+    }
+
+    /// `true` if no records have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total encoded bytes in the log.
+    pub fn byte_size(&self) -> u64 {
+        self.inner.lock().iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// Reads every record at `offset` and beyond that is currently present,
+    /// returning `(records, total encoded bytes)`. Returns immediately (an
+    /// empty batch if nothing new).
+    pub fn read_from(&self, offset: u64) -> Result<(Vec<LogRecord>, usize)> {
+        let log = self.inner.lock();
+        decode_batch(&log, offset)
+    }
+
+    /// Like [`DurableLog::read_from`] but blocks up to `timeout` for at least
+    /// one new record.
+    pub fn wait_read_from(&self, offset: u64, timeout: Duration) -> Result<(Vec<LogRecord>, usize)> {
+        let mut log = self.inner.lock();
+        if (log.len() as u64) <= offset {
+            let _ = self.appended.wait_for(&mut log, timeout);
+        }
+        decode_batch(&log, offset)
+    }
+
+    /// Reads the single record at `offset`, if present. Used by recovery's
+    /// replay scheduler, which needs cheap random access.
+    pub fn get(&self, offset: u64) -> Result<Option<LogRecord>> {
+        let log = self.inner.lock();
+        match log.get(offset as usize) {
+            None => Ok(None),
+            Some(encoded) => {
+                let mut slice = encoded.clone();
+                Ok(Some(LogRecord::decode(&mut slice)?))
+            }
+        }
+    }
+}
+
+fn decode_batch(log: &[Bytes], offset: u64) -> Result<(Vec<LogRecord>, usize)> {
+    let start = (offset as usize).min(log.len());
+    let mut records = Vec::with_capacity(log.len() - start);
+    let mut bytes = 0;
+    for encoded in &log[start..] {
+        bytes += encoded.len();
+        let mut slice = encoded.clone();
+        records.push(LogRecord::decode(&mut slice)?);
+    }
+    Ok((records, bytes))
+}
+
+/// One durable log per site (one Kafka topic per site in the paper).
+#[derive(Clone)]
+pub struct LogSet {
+    logs: Vec<Arc<DurableLog>>,
+}
+
+impl LogSet {
+    /// Creates `num_sites` empty logs.
+    pub fn new(num_sites: usize) -> Self {
+        LogSet {
+            logs: (0..num_sites).map(|_| Arc::new(DurableLog::new())).collect(),
+        }
+    }
+
+    /// The log owned by `site`.
+    pub fn log(&self, site: SiteId) -> &Arc<DurableLog> {
+        &self.logs[site.as_usize()]
+    }
+
+    /// Number of sites/logs.
+    pub fn num_sites(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// All logs in site order.
+    pub fn logs(&self) -> &[Arc<DurableLog>] {
+        &self.logs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamast_common::VersionVector;
+    use std::thread;
+
+    fn commit(origin: usize, seq: u64) -> LogRecord {
+        let mut tvv = VersionVector::zero(2);
+        tvv.set(SiteId::new(origin), seq);
+        LogRecord::Commit {
+            origin: SiteId::new(origin),
+            tvv,
+            writes: vec![],
+        }
+    }
+
+    #[test]
+    fn append_assigns_sequential_offsets() {
+        let log = DurableLog::new();
+        assert_eq!(log.append(&commit(0, 1)), 0);
+        assert_eq!(log.append(&commit(0, 2)), 1);
+        assert_eq!(log.len(), 2);
+        assert!(log.byte_size() > 0);
+    }
+
+    #[test]
+    fn read_from_returns_suffix() {
+        let log = DurableLog::new();
+        for i in 1..=5 {
+            log.append(&commit(0, i));
+        }
+        let (records, bytes) = log.read_from(3).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].sequence(), 4);
+        assert!(bytes > 0);
+        let (empty, b) = log.read_from(99).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(b, 0);
+    }
+
+    #[test]
+    fn wait_read_wakes_on_append() {
+        let log = Arc::new(DurableLog::new());
+        let log2 = Arc::clone(&log);
+        let reader = thread::spawn(move || {
+            log2.wait_read_from(0, Duration::from_secs(5)).unwrap().0
+        });
+        thread::sleep(Duration::from_millis(20));
+        log.append(&commit(1, 1));
+        let records = reader.join().unwrap();
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn wait_read_times_out_empty() {
+        let log = DurableLog::new();
+        let (records, _) = log
+            .wait_read_from(0, Duration::from_millis(10))
+            .unwrap();
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn log_set_gives_each_site_its_own_log() {
+        let set = LogSet::new(3);
+        set.log(SiteId::new(1)).append(&commit(1, 1));
+        assert_eq!(set.log(SiteId::new(0)).len(), 0);
+        assert_eq!(set.log(SiteId::new(1)).len(), 1);
+        assert_eq!(set.num_sites(), 3);
+    }
+}

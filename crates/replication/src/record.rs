@@ -1,0 +1,260 @@
+//! Log record types.
+//!
+//! Every record originates at exactly one site and occupies one slot in that
+//! site's commit order; applying a record at another site advances that
+//! site's `svv[origin]` to the record's sequence number. Three kinds exist:
+//!
+//! * [`LogRecord::Commit`] — an update transaction's redo: its commit
+//!   timestamp (`tvv`) and after-image writes. Applied remotely as a refresh
+//!   transaction.
+//! * [`LogRecord::Release`] / [`LogRecord::Grant`] — mastership transfer
+//!   operations (§V-C logs these for recovery). They carry no data — they are
+//!   the "metadata-only" operations of the dynamic mastering protocol — but
+//!   they do occupy commit-order slots, which yields the version-vector
+//!   increment the SI proof (Appendix A, Case 2) relies on and lets a
+//!   recovering site selector reconstruct the mastership map in a
+//!   well-defined order via per-partition epochs.
+
+use bytes::{Buf, BufMut};
+use dynamast_common::codec::{self, Decode, Encode};
+use dynamast_common::ids::{Key, PartitionId, SiteId};
+use dynamast_common::{DynaError, Result, Row, VersionVector};
+
+/// One write in a commit record: key and after-image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WriteEntry {
+    /// Record written.
+    pub key: Key,
+    /// After-image row.
+    pub row: Row,
+}
+
+impl Encode for WriteEntry {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.key.encode(buf);
+        self.row.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.key.encoded_len() + self.row.encoded_len()
+    }
+}
+
+impl Decode for WriteEntry {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        Ok(WriteEntry {
+            key: Key::decode(buf)?,
+            row: Row::decode(buf)?,
+        })
+    }
+}
+
+/// A record in a site's durable log.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogRecord {
+    /// An update transaction's commit.
+    Commit {
+        /// Site the transaction committed at.
+        origin: SiteId,
+        /// Commit timestamp (`tvv`); `tvv[origin]` is this record's sequence
+        /// in the origin's commit order.
+        tvv: VersionVector,
+        /// After-image writes.
+        writes: Vec<WriteEntry>,
+    },
+    /// The origin released mastership of `partition`.
+    Release {
+        /// Releasing site.
+        origin: SiteId,
+        /// This operation's sequence in the origin's commit order.
+        sequence: u64,
+        /// Partition released.
+        partition: PartitionId,
+        /// Selector-assigned remastering epoch for the partition; strictly
+        /// increasing per partition across the whole system.
+        epoch: u64,
+    },
+    /// The origin was granted mastership of `partition`.
+    Grant {
+        /// Granted site.
+        origin: SiteId,
+        /// This operation's sequence in the origin's commit order.
+        sequence: u64,
+        /// Partition granted.
+        partition: PartitionId,
+        /// Selector-assigned remastering epoch (matches the paired release).
+        epoch: u64,
+    },
+}
+
+impl LogRecord {
+    /// The site whose log this record belongs to.
+    pub fn origin(&self) -> SiteId {
+        match self {
+            LogRecord::Commit { origin, .. }
+            | LogRecord::Release { origin, .. }
+            | LogRecord::Grant { origin, .. } => *origin,
+        }
+    }
+
+    /// The record's sequence number in its origin's commit order.
+    pub fn sequence(&self) -> u64 {
+        match self {
+            LogRecord::Commit { origin, tvv, .. } => tvv.get(*origin),
+            LogRecord::Release { sequence, .. } | LogRecord::Grant { sequence, .. } => *sequence,
+        }
+    }
+}
+
+const TAG_COMMIT: u8 = 1;
+const TAG_RELEASE: u8 = 2;
+const TAG_GRANT: u8 = 3;
+
+impl Encode for LogRecord {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            LogRecord::Commit {
+                origin,
+                tvv,
+                writes,
+            } => {
+                buf.put_u8(TAG_COMMIT);
+                buf.put_u32(origin.raw());
+                tvv.encode(buf);
+                codec::encode_seq(writes, buf);
+            }
+            LogRecord::Release {
+                origin,
+                sequence,
+                partition,
+                epoch,
+            } => {
+                buf.put_u8(TAG_RELEASE);
+                buf.put_u32(origin.raw());
+                buf.put_u64(*sequence);
+                buf.put_u64(partition.raw());
+                buf.put_u64(*epoch);
+            }
+            LogRecord::Grant {
+                origin,
+                sequence,
+                partition,
+                epoch,
+            } => {
+                buf.put_u8(TAG_GRANT);
+                buf.put_u32(origin.raw());
+                buf.put_u64(*sequence);
+                buf.put_u64(partition.raw());
+                buf.put_u64(*epoch);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            LogRecord::Commit {
+                origin: _,
+                tvv,
+                writes,
+            } => 1 + 4 + tvv.encoded_len() + codec::seq_len(writes),
+            LogRecord::Release { .. } | LogRecord::Grant { .. } => 1 + 4 + 8 + 8 + 8,
+        }
+    }
+}
+
+impl Decode for LogRecord {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        match codec::get_u8(buf)? {
+            TAG_COMMIT => {
+                let origin = SiteId::new(codec::get_u32(buf)? as usize);
+                let tvv = VersionVector::decode(buf)?;
+                let writes = codec::decode_seq(buf)?;
+                Ok(LogRecord::Commit {
+                    origin,
+                    tvv,
+                    writes,
+                })
+            }
+            tag @ (TAG_RELEASE | TAG_GRANT) => {
+                let origin = SiteId::new(codec::get_u32(buf)? as usize);
+                let sequence = codec::get_u64(buf)?;
+                let partition = PartitionId::new(codec::get_u64(buf)? as usize);
+                let epoch = codec::get_u64(buf)?;
+                Ok(if tag == TAG_RELEASE {
+                    LogRecord::Release {
+                        origin,
+                        sequence,
+                        partition,
+                        epoch,
+                    }
+                } else {
+                    LogRecord::Grant {
+                        origin,
+                        sequence,
+                        partition,
+                        epoch,
+                    }
+                })
+            }
+            _ => Err(DynaError::Codec {
+                what: "log record tag",
+                needed: 0,
+                remaining: buf.remaining(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamast_common::ids::TableId;
+    use dynamast_common::Value;
+
+    #[test]
+    fn commit_record_roundtrips() {
+        let rec = LogRecord::Commit {
+            origin: SiteId::new(1),
+            tvv: VersionVector::from_counts(vec![0, 5, 2]),
+            writes: vec![WriteEntry {
+                key: Key::new(TableId::new(0), 7),
+                row: Row::new(vec![Value::U64(9), Value::Str("x".into())]),
+            }],
+        };
+        let buf = codec::encode_to_vec(&rec);
+        assert_eq!(buf.len(), rec.encoded_len());
+        let mut slice = &buf[..];
+        assert_eq!(LogRecord::decode(&mut slice).unwrap(), rec);
+        assert_eq!(rec.sequence(), 5);
+        assert_eq!(rec.origin(), SiteId::new(1));
+    }
+
+    #[test]
+    fn release_and_grant_roundtrip() {
+        for rec in [
+            LogRecord::Release {
+                origin: SiteId::new(0),
+                sequence: 3,
+                partition: PartitionId::new(12),
+                epoch: 44,
+            },
+            LogRecord::Grant {
+                origin: SiteId::new(2),
+                sequence: 8,
+                partition: PartitionId::new(12),
+                epoch: 44,
+            },
+        ] {
+            let buf = codec::encode_to_vec(&rec);
+            let mut slice = &buf[..];
+            assert_eq!(LogRecord::decode(&mut slice).unwrap(), rec);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        let mut bad: &[u8] = &[99];
+        assert!(LogRecord::decode(&mut bad).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! Redo-log recovery (paper §V-C).
+//!
+//! "Any data site recovers independently by initializing state from an
+//! existing replica and replaying redo logs from the positions indicated by
+//! the site version vector. [...] if any site manager or site selector fails,
+//! on recovery it reconstructs the data item mastership state from the
+//! sequence of release and grant operations in the redo logs."
+//!
+//! [`replay_all`] rebuilds a site's entire storage state from the union of
+//! all logs (the degenerate but always-available form of "initialize from a
+//! replica at offset zero"); the returned svv and per-origin offsets let the
+//! caller resume propagation exactly where replay stopped.
+//! [`rebuild_mastership`] recovers the selector's partition→master map from
+//! grant/release records using their per-partition epochs.
+
+use std::collections::HashMap;
+
+use dynamast_common::ids::{PartitionId, SiteId};
+use dynamast_common::{DynaError, Result, VersionVector};
+use dynamast_storage::{Catalog, Store, VersionStamp};
+
+use crate::log::LogSet;
+use crate::record::LogRecord;
+
+/// Outcome of a full log replay.
+pub struct ReplayedState {
+    /// The rebuilt storage engine.
+    pub store: Store,
+    /// The site version vector after replay.
+    pub svv: VersionVector,
+    /// Per-origin log offsets consumed; resuming propagation from these
+    /// offsets continues exactly where replay stopped.
+    pub offsets: Vec<u64>,
+}
+
+/// Rebuilds storage state by replaying every log in dependency order.
+///
+/// The scheduler round-robins over origins, applying each origin's next
+/// record when the update application rule admits it (commit records) or
+/// when it is next in the origin's commit order (grant/release records,
+/// which carry no data dependencies of their own). Errors if the logs are
+/// mutually stuck, which indicates corruption.
+pub fn replay_all(logs: &LogSet, catalog: Catalog, mvcc_versions: usize) -> Result<ReplayedState> {
+    let m = logs.num_sites();
+    let store = Store::new(catalog, mvcc_versions);
+    let mut svv = VersionVector::zero(m);
+    let mut offsets = vec![0u64; m];
+    loop {
+        let mut progressed = false;
+        let mut exhausted = 0;
+        #[allow(clippy::needless_range_loop)] // origin_idx names both the site and its cursor slot
+        for origin_idx in 0..m {
+            let origin = SiteId::new(origin_idx);
+            let Some(record) = logs.log(origin).get(offsets[origin_idx])? else {
+                exhausted += 1;
+                continue;
+            };
+            if !admissible(&svv, &record) {
+                continue;
+            }
+            apply(&store, &mut svv, &record)?;
+            offsets[origin_idx] += 1;
+            progressed = true;
+        }
+        if exhausted == m {
+            return Ok(ReplayedState {
+                store,
+                svv,
+                offsets,
+            });
+        }
+        if !progressed {
+            return Err(DynaError::Internal("log replay is stuck"));
+        }
+    }
+}
+
+fn admissible(svv: &VersionVector, record: &LogRecord) -> bool {
+    match record {
+        LogRecord::Commit { origin, tvv, .. } => svv.can_apply_refresh(tvv, *origin),
+        LogRecord::Release {
+            origin, sequence, ..
+        }
+        | LogRecord::Grant {
+            origin, sequence, ..
+        } => svv.get(*origin) + 1 == *sequence,
+    }
+}
+
+fn apply(store: &Store, svv: &mut VersionVector, record: &LogRecord) -> Result<()> {
+    match record {
+        LogRecord::Commit {
+            origin,
+            tvv,
+            writes,
+        } => {
+            let seq = tvv.get(*origin);
+            for w in writes {
+                store.install(w.key, VersionStamp::new(*origin, seq), w.row.clone())?;
+            }
+            svv.set(*origin, seq);
+        }
+        LogRecord::Release {
+            origin, sequence, ..
+        }
+        | LogRecord::Grant {
+            origin, sequence, ..
+        } => {
+            svv.set(*origin, *sequence);
+        }
+    }
+    Ok(())
+}
+
+/// Reconstructs the partition→master map from grant/release records.
+///
+/// For each partition, the record with the highest remastering epoch wins:
+/// a grant names the new master directly; a *release* with the highest epoch
+/// means the system crashed mid-remaster (released but never granted), and
+/// mastership safely reverts to the releasing site — no other site was ever
+/// granted it. Partitions that were never remastered are absent; the caller
+/// overlays the initial placement.
+pub fn rebuild_mastership(logs: &LogSet) -> Result<HashMap<PartitionId, SiteId>> {
+    let mut best: HashMap<PartitionId, (u64, SiteId)> = HashMap::new();
+    for origin_idx in 0..logs.num_sites() {
+        let (records, _) = logs.log(SiteId::new(origin_idx)).read_from(0)?;
+        for record in records {
+            let (partition, epoch, master) = match record {
+                LogRecord::Grant {
+                    origin,
+                    partition,
+                    epoch,
+                    ..
+                } => (partition, epoch * 2 + 1, origin),
+                LogRecord::Release {
+                    origin,
+                    partition,
+                    epoch,
+                    ..
+                } => (partition, epoch * 2, origin),
+                LogRecord::Commit { .. } => continue,
+            };
+            // Epochs are doubled so a grant outranks the release of the same
+            // epoch (the pair shares an epoch; the grant is the later step).
+            let entry = best.entry(partition).or_insert((0, master));
+            if epoch >= entry.0 {
+                *entry = (epoch, master);
+            }
+        }
+    }
+    Ok(best
+        .into_iter()
+        .map(|(p, (_, site))| (p, site))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::WriteEntry;
+    use dynamast_common::ids::{Key, TableId};
+    use dynamast_common::{Row, Value};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table("t", 1, 100);
+        cat
+    }
+
+    fn key(r: u64) -> Key {
+        Key::new(TableId::new(0), r)
+    }
+
+    fn row(v: u64) -> Row {
+        Row::new(vec![Value::U64(v)])
+    }
+
+    fn commit(origin: usize, tvv: &[u64], writes: Vec<(u64, u64)>) -> LogRecord {
+        LogRecord::Commit {
+            origin: SiteId::new(origin),
+            tvv: VersionVector::from_counts(tvv.to_vec()),
+            writes: writes
+                .into_iter()
+                .map(|(k, v)| WriteEntry {
+                    key: key(k),
+                    row: row(v),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn replay_orders_dependent_records_across_logs() {
+        let logs = LogSet::new(2);
+        // S0 commits k=1 (tvv [1,0]); S1 observes it then commits k=2
+        // (tvv [1,1], begin included S0's update).
+        logs.log(SiteId::new(0)).append(&commit(0, &[1, 0], vec![(1, 10)]));
+        logs.log(SiteId::new(1)).append(&commit(1, &[1, 1], vec![(2, 20)]));
+        let state = replay_all(&logs, catalog(), 4).unwrap();
+        assert_eq!(state.svv.as_slice(), &[1, 1]);
+        assert_eq!(state.offsets, vec![1, 1]);
+        let snap = state.svv.clone();
+        assert_eq!(state.store.read(key(1), &snap).unwrap().unwrap(), row(10));
+        assert_eq!(state.store.read(key(2), &snap).unwrap().unwrap(), row(20));
+    }
+
+    #[test]
+    fn replay_handles_interleaved_multi_site_history() {
+        let logs = LogSet::new(3);
+        logs.log(SiteId::new(0)).append(&commit(0, &[1, 0, 0], vec![(1, 1)]));
+        logs.log(SiteId::new(2)).append(&commit(2, &[1, 0, 1], vec![(3, 3)]));
+        logs.log(SiteId::new(0)).append(&commit(0, &[2, 0, 1], vec![(1, 2)]));
+        logs.log(SiteId::new(1)).append(&commit(1, &[2, 1, 1], vec![(2, 2)]));
+        let state = replay_all(&logs, catalog(), 4).unwrap();
+        assert_eq!(state.svv.as_slice(), &[2, 1, 1]);
+        let snap = state.svv.clone();
+        // k=1 must reflect the SECOND commit from S0.
+        assert_eq!(state.store.read(key(1), &snap).unwrap().unwrap(), row(2));
+    }
+
+    #[test]
+    fn replay_detects_stuck_logs() {
+        let logs = LogSet::new(2);
+        // Depends on svv[1] >= 5, which never arrives.
+        logs.log(SiteId::new(0)).append(&commit(0, &[1, 5], vec![(1, 1)]));
+        match replay_all(&logs, catalog(), 4) {
+            Err(err) => assert_eq!(err, DynaError::Internal("log replay is stuck")),
+            Ok(_) => panic!("replay should report stuck logs"),
+        }
+    }
+
+    #[test]
+    fn replay_counts_release_grant_in_svv() {
+        let logs = LogSet::new(2);
+        logs.log(SiteId::new(0)).append(&LogRecord::Release {
+            origin: SiteId::new(0),
+            sequence: 1,
+            partition: PartitionId::new(5),
+            epoch: 1,
+        });
+        logs.log(SiteId::new(1)).append(&LogRecord::Grant {
+            origin: SiteId::new(1),
+            sequence: 1,
+            partition: PartitionId::new(5),
+            epoch: 1,
+        });
+        let state = replay_all(&logs, catalog(), 4).unwrap();
+        assert_eq!(state.svv.as_slice(), &[1, 1]);
+    }
+
+    #[test]
+    fn mastership_rebuild_takes_highest_epoch_grant() {
+        let logs = LogSet::new(3);
+        let p = PartitionId::new(7);
+        logs.log(SiteId::new(0)).append(&LogRecord::Release {
+            origin: SiteId::new(0),
+            sequence: 1,
+            partition: p,
+            epoch: 1,
+        });
+        logs.log(SiteId::new(1)).append(&LogRecord::Grant {
+            origin: SiteId::new(1),
+            sequence: 1,
+            partition: p,
+            epoch: 1,
+        });
+        logs.log(SiteId::new(1)).append(&LogRecord::Release {
+            origin: SiteId::new(1),
+            sequence: 2,
+            partition: p,
+            epoch: 2,
+        });
+        logs.log(SiteId::new(2)).append(&LogRecord::Grant {
+            origin: SiteId::new(2),
+            sequence: 1,
+            partition: p,
+            epoch: 2,
+        });
+        let map = rebuild_mastership(&logs).unwrap();
+        assert_eq!(map[&p], SiteId::new(2));
+    }
+
+    #[test]
+    fn mastership_rebuild_reverts_unfinished_remaster_to_releaser() {
+        let logs = LogSet::new(2);
+        let p = PartitionId::new(3);
+        logs.log(SiteId::new(0)).append(&LogRecord::Grant {
+            origin: SiteId::new(0),
+            sequence: 1,
+            partition: p,
+            epoch: 1,
+        });
+        // Crash between release(epoch 2) and its grant.
+        logs.log(SiteId::new(0)).append(&LogRecord::Release {
+            origin: SiteId::new(0),
+            sequence: 2,
+            partition: p,
+            epoch: 2,
+        });
+        let map = rebuild_mastership(&logs).unwrap();
+        assert_eq!(map[&p], SiteId::new(0));
+    }
+
+    #[test]
+    fn mastership_rebuild_ignores_commits_and_unknown_partitions() {
+        let logs = LogSet::new(2);
+        logs.log(SiteId::new(0)).append(&commit(0, &[1, 0], vec![(1, 1)]));
+        let map = rebuild_mastership(&logs).unwrap();
+        assert!(map.is_empty());
+    }
+}

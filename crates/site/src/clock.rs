@@ -1,0 +1,275 @@
+//! The site clock: site version vector maintenance.
+//!
+//! Wraps a site's `svv` with the waits the protocol needs:
+//!
+//! * **commit slots** — local commits draw strictly increasing sequence
+//!   numbers and publish them in order, so `svv[self]` is the site's commit
+//!   order (§III-A);
+//! * **freshness waits** — transaction begin blocks until `svv` dominates the
+//!   session's required vector (SSSI, §III-A), and grant blocks until the
+//!   releaser's state has been applied (§III-B);
+//! * **refresh admission** — refresh application blocks until the update
+//!   application rule (Eq. 1) admits the record.
+//!
+//! All waits abort with [`DynaError::ShuttingDown`] once [`SiteClock::shut_down`]
+//! is called, so propagator threads and blocked clients drain cleanly.
+
+use dynamast_common::ids::SiteId;
+use dynamast_common::{DynaError, Result, VersionVector};
+use parking_lot::{Condvar, Mutex};
+
+struct ClockState {
+    svv: VersionVector,
+    /// Next unallocated local commit sequence (`> svv[self]` while commits
+    /// are in flight).
+    next_seq: u64,
+    shutting_down: bool,
+}
+
+/// A site's version-vector clock.
+pub struct SiteClock {
+    site: SiteId,
+    state: Mutex<ClockState>,
+    changed: Condvar,
+}
+
+impl SiteClock {
+    /// Creates a zeroed clock for `site` in an `m`-site system.
+    pub fn new(site: SiteId, num_sites: usize) -> Self {
+        SiteClock {
+            site,
+            state: Mutex::new(ClockState {
+                svv: VersionVector::zero(num_sites),
+                next_seq: 1,
+                shutting_down: false,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Restores a clock from a recovered svv (replay recovery, §V-C).
+    pub fn from_recovered(site: SiteId, svv: VersionVector) -> Self {
+        let next_seq = svv.get(site) + 1;
+        SiteClock {
+            site,
+            state: Mutex::new(ClockState {
+                svv,
+                next_seq,
+                shutting_down: false,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// This clock's site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Snapshot of the current svv.
+    pub fn current(&self) -> VersionVector {
+        self.state.lock().svv.clone()
+    }
+
+    /// Blocks until the svv dominates `min`, returning the (fresh) svv as
+    /// the caller's begin vector. This is both the SSSI freshness wait and
+    /// the grant wait.
+    pub fn wait_dominates(&self, min: &VersionVector) -> Result<VersionVector> {
+        let mut state = self.state.lock();
+        loop {
+            if state.shutting_down {
+                return Err(DynaError::ShuttingDown);
+            }
+            if state.svv.dominates(min) {
+                return Ok(state.svv.clone());
+            }
+            self.changed.wait(&mut state);
+        }
+    }
+
+    /// Allocates the next local commit sequence number. The caller must
+    /// later [`SiteClock::publish`] it (or the site wedges — the commit path
+    /// is infallible between the two calls).
+    pub fn allocate(&self) -> u64 {
+        let mut state = self.state.lock();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        seq
+    }
+
+    /// Publishes local commit `seq`: blocks until all earlier local commits
+    /// have published (so versions become visible in commit order), then
+    /// sets `svv[self] = seq`.
+    pub fn publish(&self, seq: u64) -> Result<VersionVector> {
+        let mut state = self.state.lock();
+        loop {
+            if state.shutting_down {
+                return Err(DynaError::ShuttingDown);
+            }
+            if state.svv.get(self.site) + 1 == seq {
+                state.svv.set(self.site, seq);
+                self.changed.notify_all();
+                return Ok(state.svv.clone());
+            }
+            self.changed.wait(&mut state);
+        }
+    }
+
+    /// Blocks until the update application rule admits a record from
+    /// `origin` with commit vector `tvv` (Eq. 1), then applies `install`
+    /// *while holding the clock* and advances `svv[origin]`.
+    ///
+    /// Running `install` under the clock lock makes "versions installed" and
+    /// "svv advanced" atomic with respect to readers taking begin snapshots:
+    /// no snapshot can include the refresh's sequence number before its
+    /// versions are readable.
+    pub fn apply_refresh(
+        &self,
+        origin: SiteId,
+        tvv: &VersionVector,
+        install: impl FnOnce(),
+    ) -> Result<()> {
+        let mut state = self.state.lock();
+        loop {
+            if state.shutting_down {
+                return Err(DynaError::ShuttingDown);
+            }
+            if state.svv.can_apply_refresh(tvv, origin) {
+                install();
+                state.svv.set(origin, tvv.get(origin));
+                self.changed.notify_all();
+                return Ok(());
+            }
+            self.changed.wait(&mut state);
+        }
+    }
+
+    /// Blocks until `seq` is the next record in `origin`'s order (used for
+    /// release/grant records, which carry no data dependencies), then
+    /// advances `svv[origin]`.
+    pub fn apply_metadata(&self, origin: SiteId, seq: u64) -> Result<()> {
+        let mut state = self.state.lock();
+        loop {
+            if state.shutting_down {
+                return Err(DynaError::ShuttingDown);
+            }
+            if state.svv.get(origin) + 1 == seq {
+                state.svv.set(origin, seq);
+                self.changed.notify_all();
+                return Ok(());
+            }
+            self.changed.wait(&mut state);
+        }
+    }
+
+    /// Wakes every waiter with [`DynaError::ShuttingDown`].
+    pub fn shut_down(&self) {
+        self.state.lock().shutting_down = true;
+        self.changed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    fn clock() -> Arc<SiteClock> {
+        Arc::new(SiteClock::new(SiteId::new(0), 3))
+    }
+
+    #[test]
+    fn allocate_and_publish_advance_local_dimension() {
+        let c = clock();
+        let s1 = c.allocate();
+        let s2 = c.allocate();
+        assert_eq!((s1, s2), (1, 2));
+        c.publish(s1).unwrap();
+        let vv = c.publish(s2).unwrap();
+        assert_eq!(vv.get(SiteId::new(0)), 2);
+    }
+
+    #[test]
+    fn publish_enforces_commit_order() {
+        let c = clock();
+        let s1 = c.allocate();
+        let s2 = c.allocate();
+        let c2 = Arc::clone(&c);
+        let out_of_order = thread::spawn(move || c2.publish(s2));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!out_of_order.is_finished(), "seq 2 must wait for seq 1");
+        c.publish(s1).unwrap();
+        out_of_order.join().unwrap().unwrap();
+        assert_eq!(c.current().get(SiteId::new(0)), 2);
+    }
+
+    #[test]
+    fn wait_dominates_blocks_until_fresh() {
+        let c = clock();
+        let min = VersionVector::from_counts(vec![1, 0, 0]);
+        let c2 = Arc::clone(&c);
+        let min2 = min.clone();
+        let waiter = thread::spawn(move || c2.wait_dominates(&min2).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished());
+        let seq = c.allocate();
+        c.publish(seq).unwrap();
+        let begin = waiter.join().unwrap();
+        assert!(begin.dominates(&min));
+    }
+
+    #[test]
+    fn apply_refresh_respects_update_application_rule() {
+        let c = clock();
+        let origin = SiteId::new(1);
+        // tvv [0, 2, 0]: needs svv[1] == 1 first.
+        let tvv2 = VersionVector::from_counts(vec![0, 2, 0]);
+        let c2 = Arc::clone(&c);
+        let tvv2c = tvv2.clone();
+        let blocked = thread::spawn(move || c2.apply_refresh(origin, &tvv2c, || {}));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!blocked.is_finished(), "seq 2 must wait for seq 1");
+        let tvv1 = VersionVector::from_counts(vec![0, 1, 0]);
+        c.apply_refresh(origin, &tvv1, || {}).unwrap();
+        blocked.join().unwrap().unwrap();
+        assert_eq!(c.current().get(origin), 2);
+    }
+
+    #[test]
+    fn apply_refresh_waits_for_cross_site_dependencies() {
+        let c = clock();
+        // Record from site 1 that depends on site 2's first commit.
+        let tvv = VersionVector::from_counts(vec![0, 1, 1]);
+        let c2 = Arc::clone(&c);
+        let tvvc = tvv.clone();
+        let blocked = thread::spawn(move || c2.apply_refresh(SiteId::new(1), &tvvc, || {}));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!blocked.is_finished());
+        // Apply site 2's commit; the blocked refresh should now proceed.
+        let dep = VersionVector::from_counts(vec![0, 0, 1]);
+        c.apply_metadata(SiteId::new(2), 1).unwrap();
+        assert!(c.current().dominates(&dep));
+        blocked.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn shutdown_unblocks_waiters_with_error() {
+        let c = clock();
+        let c2 = Arc::clone(&c);
+        let waiter = thread::spawn(move || {
+            c2.wait_dominates(&VersionVector::from_counts(vec![99, 0, 0]))
+        });
+        thread::sleep(Duration::from_millis(20));
+        c.shut_down();
+        assert_eq!(waiter.join().unwrap().unwrap_err(), DynaError::ShuttingDown);
+    }
+
+    #[test]
+    fn recovered_clock_resumes_sequence() {
+        let svv = VersionVector::from_counts(vec![5, 3, 0]);
+        let c = SiteClock::from_recovered(SiteId::new(0), svv);
+        assert_eq!(c.allocate(), 6);
+    }
+}

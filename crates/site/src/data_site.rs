@@ -1,0 +1,688 @@
+//! The data site: site manager + database + replication manager (§V-A).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use dynamast_common::codec::{encode_to_vec, Decode};
+use dynamast_common::ids::{Key, PartitionId, SiteId};
+use dynamast_common::{DynaError, Result, SystemConfig, VersionVector};
+use dynamast_network::{EndpointId, Network, RpcHandler, ServerHandle};
+use dynamast_replication::record::{LogRecord, WriteEntry};
+use dynamast_replication::{LogSet, Propagator, RefreshApplier};
+use dynamast_storage::{Catalog, LockGuard, Store, VersionStamp};
+
+use crate::clock::SiteClock;
+use crate::messages::{ExecTimings, ShippedRecord, SiteRequest, SiteResponse};
+use crate::ownership::Ownership;
+use crate::proc::{LocalCtx, ProcCall, ProcExecutor, ReadMode};
+
+/// Static owner lookup for statically partitioned systems (multi-master,
+/// partition-store): partition → owning site.
+pub type StaticOwnerFn = Arc<dyn Fn(PartitionId) -> SiteId + Send + Sync>;
+
+/// Construction parameters for a [`DataSite`].
+pub struct DataSiteConfig {
+    /// This site's id.
+    pub id: SiteId,
+    /// Shared system configuration.
+    pub system: SystemConfig,
+    /// Subscribe to peer logs and apply refresh transactions (replicated
+    /// systems: DynaMast, single-master, multi-master).
+    pub replicate: bool,
+    /// Partitions initially mastered here.
+    pub initial_partitions: Vec<PartitionId>,
+    /// Owner lookup for the 2PC coordinator path (multi-master /
+    /// partition-store); `None` for dynamically mastered systems.
+    pub static_owner: Option<StaticOwnerFn>,
+    /// Static read-only tables replicated at every site even in otherwise
+    /// unreplicated systems (the paper's partition-store "does not replicate
+    /// data except for static read-only tables", e.g. TPC-C `item`).
+    pub replicated_tables: Vec<dynamast_common::ids::TableId>,
+}
+
+struct PreparedTxn {
+    _locks: Vec<LockGuard>,
+    writes: Vec<WriteEntry>,
+}
+
+/// One data site.
+pub struct DataSite {
+    id: SiteId,
+    store: Store,
+    clock: SiteClock,
+    ownership: Arc<Ownership>,
+    logs: LogSet,
+    executor: Arc<dyn ProcExecutor>,
+    network: Arc<Network>,
+    static_owner: Option<StaticOwnerFn>,
+    prepared: parking_lot::Mutex<HashMap<u64, PreparedTxn>>,
+    /// Serializes the commit critical section (sequence allocation, version
+    /// install, log append, svv publication). Without it, two concurrent
+    /// commits could append to the durable log out of sequence order, and a
+    /// peer's single in-order applier would wedge on the gap — the paper's
+    /// svv increment "atomically determines commit order" (§V-A2).
+    commit_order: parking_lot::Mutex<()>,
+    txn_counter: AtomicU64,
+    config: SystemConfig,
+    replicate: bool,
+    replicated_tables: std::collections::HashSet<dynamast_common::ids::TableId>,
+    /// Committed update transactions (diagnostics).
+    pub commits: dynamast_common::metrics::Counter,
+    /// 2PC aborts observed as participant or coordinator (diagnostics).
+    pub aborts: dynamast_common::metrics::Counter,
+}
+
+/// Running servers for a site; dropping stops RPC service and propagation.
+pub struct SiteRuntime {
+    site: Arc<DataSite>,
+    _server: ServerHandle,
+    _propagator: Option<Propagator>,
+}
+
+impl SiteRuntime {
+    /// The served site.
+    pub fn site(&self) -> &Arc<DataSite> {
+        &self.site
+    }
+}
+
+impl Drop for SiteRuntime {
+    fn drop(&mut self) {
+        // Unblock any waiters (freshness waits, refresh admission) before
+        // the server handle joins its workers.
+        self.site.clock.shut_down();
+    }
+}
+
+impl DataSite {
+    /// Creates a data site over shared logs and network.
+    pub fn new(
+        cfg: DataSiteConfig,
+        catalog: Catalog,
+        logs: LogSet,
+        network: Arc<Network>,
+        executor: Arc<dyn ProcExecutor>,
+    ) -> Arc<Self> {
+        let store = Store::new(catalog, cfg.system.mvcc_versions);
+        Arc::new(DataSite {
+            id: cfg.id,
+            store,
+            clock: SiteClock::new(cfg.id, cfg.system.num_sites),
+            ownership: Arc::new(Ownership::new(cfg.initial_partitions)),
+            logs,
+            executor,
+            network,
+            static_owner: cfg.static_owner,
+            prepared: parking_lot::Mutex::new(HashMap::new()),
+            commit_order: parking_lot::Mutex::new(()),
+            txn_counter: AtomicU64::new(1),
+            config: cfg.system,
+            replicate: cfg.replicate,
+            replicated_tables: cfg.replicated_tables.into_iter().collect(),
+            commits: dynamast_common::metrics::Counter::new(),
+            aborts: dynamast_common::metrics::Counter::new(),
+        })
+    }
+
+    /// Registers the RPC endpoint and starts replication subscribers.
+    pub fn start(self: &Arc<Self>, workers: usize) -> SiteRuntime {
+        let handler: Arc<dyn RpcHandler> = Arc::new(SiteRpc {
+            site: Arc::clone(self),
+        });
+        let server = self
+            .network
+            .serve(EndpointId::Site(self.id.raw()), handler, workers);
+        let propagator = self.replicate.then(|| {
+            Propagator::start(
+                self.id,
+                &self.logs,
+                Arc::clone(self) as Arc<dyn RefreshApplier>,
+                self.network.config(),
+                Some(Arc::clone(self.network.stats())),
+                vec![0; self.logs.num_sites()],
+            )
+        });
+        SiteRuntime {
+            site: Arc::clone(self),
+            _server: server,
+            _propagator: propagator,
+        }
+    }
+
+    /// This site's id.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// The storage engine (tests, recovery assertions, DB-size accounting).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The site clock.
+    pub fn clock(&self) -> &SiteClock {
+        &self.clock
+    }
+
+    /// The mastership table.
+    pub fn ownership(&self) -> &Arc<Ownership> {
+        &self.ownership
+    }
+
+    /// The shared network.
+    pub fn network(&self) -> &Arc<Network> {
+        &self.network
+    }
+
+    /// The shared system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The static owner lookup, if configured.
+    pub(crate) fn static_owner(&self) -> Option<&StaticOwnerFn> {
+        self.static_owner.as_ref()
+    }
+
+    /// `true` iff the table is replicated at every site regardless of the
+    /// system's replication setting (static read-only tables).
+    pub fn is_replicated_table(&self, table: dynamast_common::ids::TableId) -> bool {
+        self.replicated_tables.contains(&table)
+    }
+
+    /// The workload executor.
+    pub(crate) fn executor(&self) -> &Arc<dyn ProcExecutor> {
+        &self.executor
+    }
+
+    /// Allocates a globally unique 2PC transaction id.
+    pub(crate) fn next_txn_id(&self) -> u64 {
+        (u64::from(self.id.raw()) << 48) | self.txn_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Charges the simulated CPU cost of executing a stored procedure that
+    /// touched `ops` rows. Sleeping here occupies the RPC worker — the data
+    /// site's capacity is its worker pool, like the paper's 12-core
+    /// machines — without burning host CPU.
+    pub(crate) fn service_sleep(&self, ops: u64) {
+        let cost = self.config.service_base + self.config.service_per_op * (ops as u32);
+        if !cost.is_zero() {
+            std::thread::sleep(cost);
+        }
+    }
+
+    fn partitions_of(&self, keys: &[Key]) -> Result<Vec<PartitionId>> {
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            out.push(self.store.catalog().partition_of(*key)?);
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Directly loads a row during workload population (bypasses the
+    /// protocol; used only before a benchmark run starts, mirroring the
+    /// paper's pre-loaded initial database).
+    ///
+    /// Every replica stamps loaded rows identically — `(site 0, seq 0)`,
+    /// visible to every snapshot — so that version-stamp comparisons across
+    /// replicas (2PC read validation) treat the copies as the same version.
+    pub fn load_row(&self, key: Key, row: dynamast_common::Row) -> Result<()> {
+        self.store
+            .install(key, VersionStamp::new(SiteId::new(0), 0), row)
+    }
+
+    // ------------------------------------------------------------------
+    // Single-site execution (DynaMast, single-master, LEAP local path)
+    // ------------------------------------------------------------------
+
+    /// Executes and locally commits an update transaction (§III-B step 3).
+    pub fn run_update(
+        self: &Arc<Self>,
+        min_vv: &VersionVector,
+        proc: &ProcCall,
+        check_mastery: bool,
+    ) -> Result<(Bytes, VersionVector, ExecTimings)> {
+        let t0 = Instant::now();
+        let write_partitions = self.partitions_of(&proc.write_set)?;
+        let _writer_guard =
+            self.ownership
+                .register_writer(self.id, &write_partitions, check_mastery)?;
+        let locks = self.store.lock_write_set(&proc.write_set);
+        // Begin timestamp is taken after lock acquisition (Appendix A,
+        // Case 1 relies on this). Unreplicated systems (LEAP,
+        // partition-store) cannot satisfy cross-site freshness waits — no
+        // refresh stream exists — and do not need to: ownership transfer /
+        // 2PC moves the data itself, so latest-read is already session
+        // consistent there.
+        let (begin, mode) = if self.replicate {
+            (self.clock.wait_dominates(min_vv)?, ReadMode::Snapshot)
+        } else {
+            (self.clock.current(), ReadMode::Latest)
+        };
+        let t_begin = Instant::now();
+        let mut ctx = LocalCtx::new(&self.store, &begin, mode, &proc.write_set);
+        let result = self
+            .executor
+            .execute(&mut ctx, proc)?;
+        self.service_sleep(ctx.ops());
+        let writes = ctx.into_writes();
+        let t_exec = Instant::now();
+        let commit_vv = self.commit_local(&begin, writes)?;
+        drop(locks);
+        let t_commit = Instant::now();
+        self.commits.inc();
+        Ok((
+            result,
+            commit_vv,
+            ExecTimings {
+                begin_us: (t_begin - t0).as_micros() as u32,
+                exec_us: (t_exec - t_begin).as_micros() as u32,
+                commit_us: (t_commit - t_exec).as_micros() as u32,
+            },
+        ))
+    }
+
+    /// Installs buffered writes as a local commit: versions first, svv
+    /// publication second (readers can never observe the sequence before the
+    /// versions are readable), and the commit record goes to the durable log
+    /// for propagation and redo (§V-A2).
+    pub(crate) fn commit_local(
+        &self,
+        begin: &VersionVector,
+        writes: Vec<(Key, dynamast_common::Row)>,
+    ) -> Result<VersionVector> {
+        let _commit_order = self.commit_order.lock();
+        let seq = self.clock.allocate();
+        let stamp = VersionStamp::new(self.id, seq);
+        for (key, row) in &writes {
+            self.store.install(*key, stamp, row.clone())?;
+        }
+        let mut tvv = begin.clone();
+        tvv.set(self.id, seq);
+        let record = LogRecord::Commit {
+            origin: self.id,
+            tvv,
+            writes: writes
+                .into_iter()
+                .map(|(key, row)| WriteEntry { key, row })
+                .collect(),
+        };
+        self.logs.log(self.id).append(&record);
+        self.clock.publish(seq)
+    }
+
+    /// Executes a read-only transaction (§IV-B: runs at any replica, or at
+    /// owners under latest-read mode for the unreplicated systems).
+    pub fn run_read(
+        self: &Arc<Self>,
+        min_vv: &VersionVector,
+        proc: &ProcCall,
+        mode: ReadMode,
+    ) -> Result<(Bytes, VersionVector, ExecTimings)> {
+        let t0 = Instant::now();
+        let begin = match mode {
+            ReadMode::Snapshot => self.clock.wait_dominates(min_vv)?,
+            ReadMode::Latest => self.clock.current(),
+        };
+        let t_begin = Instant::now();
+        let mut ctx = LocalCtx::new(&self.store, &begin, mode, &[]);
+        let result = self
+            .executor
+            .execute(&mut ctx, proc)?;
+        self.service_sleep(ctx.ops());
+        let t_exec = Instant::now();
+        Ok((
+            result,
+            begin,
+            ExecTimings {
+                begin_us: (t_begin - t0).as_micros() as u32,
+                exec_us: (t_exec - t_begin).as_micros() as u32,
+                commit_us: 0,
+            },
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic mastering protocol (§III-B)
+    // ------------------------------------------------------------------
+
+    /// Releases mastership of a partition: waits for in-flight writers,
+    /// logs the release (recovery, §V-C) and returns the svv at the release
+    /// point.
+    pub fn release(&self, partition: PartitionId, epoch: u64) -> Result<VersionVector> {
+        self.ownership.revoke_and_drain(partition)?;
+        let _commit_order = self.commit_order.lock();
+        let seq = self.clock.allocate();
+        self.logs.log(self.id).append(&LogRecord::Release {
+            origin: self.id,
+            sequence: seq,
+            partition,
+            epoch,
+        });
+        self.clock.publish(seq)
+    }
+
+    /// Takes mastership of a partition after catching up to the releaser's
+    /// state.
+    pub fn grant(
+        &self,
+        partition: PartitionId,
+        epoch: u64,
+        rel_vv: &VersionVector,
+    ) -> Result<VersionVector> {
+        self.clock.wait_dominates(rel_vv)?;
+        self.ownership.grant(partition);
+        let _commit_order = self.commit_order.lock();
+        let seq = self.clock.allocate();
+        self.logs.log(self.id).append(&LogRecord::Grant {
+            origin: self.id,
+            sequence: seq,
+            partition,
+            epoch,
+        });
+        self.clock.publish(seq)
+    }
+
+    // ------------------------------------------------------------------
+    // 2PC participant (multi-master / partition-store)
+    // ------------------------------------------------------------------
+
+    /// 2PC phase one: validate ownership, try-lock the fragment's write set
+    /// and stage the writes. A lock conflict votes **no** immediately —
+    /// blocking here could deadlock with a concurrent transaction preparing
+    /// in the opposite site order; the coordinator aborts and retries with
+    /// backoff instead.
+    pub fn prepare(
+        &self,
+        txn_id: u64,
+        writes: Vec<WriteEntry>,
+        expected: &[crate::messages::ExpectedVersion],
+    ) -> Result<bool> {
+        let keys: Vec<Key> = writes.iter().map(|w| w.key).collect();
+        let partitions = self.partitions_of(&keys)?;
+        for p in &partitions {
+            // Statically partitioned systems (multi-master, partition-store)
+            // validate against the fixed assignment — which also covers
+            // partitions created after startup (e.g. TPC-C order growth);
+            // dynamically mastered deployments use the live ownership table.
+            let owned = match &self.static_owner {
+                Some(owner) => owner(*p) == self.id,
+                None => self.ownership.is_mastered(*p),
+            };
+            if !owned {
+                return Ok(false);
+            }
+        }
+        let mut sorted = keys;
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut locks = Vec::with_capacity(sorted.len());
+        for key in sorted {
+            match self.store.locks().try_acquire(key) {
+                Some(guard) => locks.push(guard),
+                None => return Ok(false), // conflict: vote no, locks drop
+            }
+        }
+        // First-committer-wins validation: the versions the coordinator
+        // read for its read-modify-writes must still be current now that
+        // the locks are held; otherwise a concurrent transaction committed
+        // in between and blindly installing would lose its update.
+        for exp in expected {
+            let current = self.store.read_latest(exp.key)?.map(|(_, stamp)| stamp);
+            if current != exp.stamp {
+                return Ok(false);
+            }
+        }
+        self.prepared.lock().insert(
+            txn_id,
+            PreparedTxn {
+                _locks: locks,
+                writes,
+            },
+        );
+        Ok(true)
+    }
+
+    /// 2PC phase two.
+    pub fn decide(&self, txn_id: u64, commit: bool) -> Result<VersionVector> {
+        let staged = self.prepared.lock().remove(&txn_id);
+        match (staged, commit) {
+            (Some(txn), true) => {
+                let begin = self.clock.current();
+                let vv = self.commit_local(
+                    &begin,
+                    txn.writes.into_iter().map(|w| (w.key, w.row)).collect(),
+                )?;
+                self.commits.inc();
+                Ok(vv)
+            }
+            (Some(_), false) => {
+                self.aborts.inc();
+                Ok(self.clock.current())
+            }
+            (None, false) => Ok(self.clock.current()), // abort is idempotent
+            (None, true) => Err(DynaError::Internal("commit for unprepared txn")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Remote reads (partition-store) and LEAP data shipping
+    // ------------------------------------------------------------------
+
+    /// Serves point and range reads to a remote coordinator
+    /// (latest-committed, as the unreplicated systems use).
+    #[allow(clippy::type_complexity)]
+    pub fn remote_read(
+        &self,
+        keys: &[Key],
+        ranges: &[crate::proc::ScanRange],
+    ) -> Result<(
+        Vec<(Key, Option<(dynamast_common::Row, VersionStamp)>)>,
+        Vec<Vec<(u64, dynamast_common::Row)>>,
+    )> {
+        let mut key_rows = Vec::with_capacity(keys.len());
+        for key in keys {
+            key_rows.push((*key, self.store.read_latest(*key)?));
+        }
+        let mut scans = Vec::with_capacity(ranges.len());
+        let mut scanned = 0u64;
+        for range in ranges {
+            let mut rows = Vec::new();
+            for record in range.start..range.end {
+                let key = Key::new(range.table, record);
+                if let Some((row, _)) = self.store.read_latest(key)? {
+                    rows.push((record, row));
+                }
+            }
+            scanned += range.end.saturating_sub(range.start);
+            scans.push(rows);
+        }
+        self.service_sleep(keys.len() as u64 + scanned);
+        Ok((key_rows, scans))
+    }
+
+    /// LEAP release: gives up ownership of partitions and ships their
+    /// records (data moves with mastership — the expensive transfer the
+    /// paper contrasts with DynaMast's metadata-only protocol).
+    pub fn leap_release(&self, partitions: &[PartitionId]) -> Result<Vec<ShippedRecord>> {
+        let mut records = Vec::new();
+        for &p in partitions {
+            self.ownership.revoke_and_drain(p)?;
+            let (table_id, index) = dynamast_common::ids::unpack_partition_id(p);
+            let schema = self.store.catalog().table(table_id)?;
+            let start = index * schema.partition_size;
+            let end = start + schema.partition_size;
+            for record in start..end {
+                let key = Key::new(table_id, record);
+                if let Some((row, stamp)) = self.store.read_latest(key)? {
+                    records.push(ShippedRecord {
+                        key,
+                        row,
+                        origin: stamp.origin,
+                        sequence: stamp.sequence,
+                    });
+                }
+            }
+        }
+        Ok(records)
+    }
+
+    /// LEAP grant: installs shipped records and takes ownership.
+    pub fn leap_grant(
+        &self,
+        partitions: &[PartitionId],
+        records: Vec<ShippedRecord>,
+    ) -> Result<()> {
+        for rec in records {
+            self.store.install(
+                rec.key,
+                VersionStamp::new(rec.origin, rec.sequence),
+                rec.row,
+            )?;
+        }
+        for &p in partitions {
+            self.ownership.grant(p);
+        }
+        Ok(())
+    }
+}
+
+impl RefreshApplier for DataSite {
+    fn apply(&self, record: LogRecord) -> Result<()> {
+        match record {
+            LogRecord::Commit {
+                origin,
+                tvv,
+                writes,
+            } => {
+                let seq = tvv.get(origin);
+                let stamp = VersionStamp::new(origin, seq);
+                self.clock.apply_refresh(origin, &tvv, || {
+                    for w in &writes {
+                        // Install cannot fail for valid catalogs; a failure
+                        // here is a corrupted record and is surfaced by the
+                        // unwrap during tests (refresh application has no
+                        // caller to propagate to, matching a crashed
+                        // subscriber in the paper's Kafka deployment).
+                        self.store
+                            .install(w.key, stamp, w.row.clone())
+                            .expect("refresh install failed: corrupted log record");
+                    }
+                })
+            }
+            LogRecord::Release {
+                origin, sequence, ..
+            }
+            | LogRecord::Grant {
+                origin, sequence, ..
+            } => self.clock.apply_metadata(origin, sequence),
+        }
+    }
+}
+
+struct SiteRpc {
+    site: Arc<DataSite>,
+}
+
+impl RpcHandler for SiteRpc {
+    fn handle(&self, payload: Bytes) -> Bytes {
+        let response = self.dispatch(payload);
+        Bytes::from(encode_to_vec(&response))
+    }
+}
+
+impl SiteRpc {
+    fn dispatch(&self, payload: Bytes) -> SiteResponse {
+        let mut slice = payload;
+        let request = match SiteRequest::decode(&mut slice) {
+            Ok(req) => req,
+            Err(_) => {
+                return SiteResponse::Error {
+                    error: crate::messages::RemoteError::Internal,
+                }
+            }
+        };
+        match self.execute(request) {
+            Ok(resp) => resp,
+            Err(err) => SiteResponse::Error { error: err.into() },
+        }
+    }
+
+    fn execute(&self, request: SiteRequest) -> Result<SiteResponse> {
+        let site = &self.site;
+        match request {
+            SiteRequest::ExecUpdate {
+                min_vv,
+                proc,
+                check_mastery,
+            } => {
+                let (result, commit_vv, timings) =
+                    site.run_update(&min_vv, &proc, check_mastery)?;
+                Ok(SiteResponse::Executed {
+                    result,
+                    commit_vv,
+                    timings,
+                })
+            }
+            SiteRequest::ExecRead { min_vv, proc, mode } => {
+                let (result, site_vv, timings) = site.run_read(&min_vv, &proc, mode)?;
+                Ok(SiteResponse::ReadDone {
+                    result,
+                    site_vv,
+                    timings,
+                })
+            }
+            SiteRequest::Release { partition, epoch } => Ok(SiteResponse::Released {
+                rel_vv: site.release(partition, epoch)?,
+            }),
+            SiteRequest::Grant {
+                partition,
+                epoch,
+                rel_vv,
+            } => Ok(SiteResponse::Granted {
+                grant_vv: site.grant(partition, epoch, &rel_vv)?,
+            }),
+            SiteRequest::ExecCoordinated { min_vv, proc, mode } => {
+                let (result, commit_vv, timings) =
+                    crate::coord::run_coordinated(site, &min_vv, &proc, mode)?;
+                Ok(SiteResponse::Executed {
+                    result,
+                    commit_vv,
+                    timings,
+                })
+            }
+            SiteRequest::Prepare {
+                txn_id,
+                writes,
+                expected,
+            } => Ok(SiteResponse::Voted {
+                yes: site.prepare(txn_id, writes, &expected)?,
+            }),
+            SiteRequest::Decide { txn_id, commit } => Ok(SiteResponse::Decided {
+                site_vv: site.decide(txn_id, commit)?,
+            }),
+            SiteRequest::RemoteRead { keys, ranges } => {
+                let (keys, scans) = site.remote_read(&keys, &ranges)?;
+                Ok(SiteResponse::Rows { keys, scans })
+            }
+            SiteRequest::LeapRelease { partitions } => Ok(SiteResponse::LeapReleased {
+                records: site.leap_release(&partitions)?,
+            }),
+            SiteRequest::LeapGrant {
+                partitions,
+                records,
+            } => {
+                site.leap_grant(&partitions, records)?;
+                Ok(SiteResponse::LeapGranted)
+            }
+            SiteRequest::GetVv => Ok(SiteResponse::Vv {
+                svv: site.clock.current(),
+            }),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Data sites (paper §V-A): site manager + database + replication manager.
+//!
+//! A [`DataSite`] integrates the three per-site components the paper
+//! describes into one object, "avoiding concurrency control redundancy
+//! between the site manager and the database system":
+//!
+//! * the **site manager** — version-vector maintenance ([`clock::SiteClock`]),
+//!   session-freshness waits, partition mastership and writer draining
+//!   ([`ownership::Ownership`]), release/grant handlers, 2PC participant
+//!   state, and LEAP data-shipping handlers;
+//! * the **database system** — the MVCC row store from `dynamast-storage`,
+//!   executing stored procedures ([`proc::ProcExecutor`]) against a snapshot
+//!   or latest-read transaction context;
+//! * the **replication manager** — appends commit (and release/grant)
+//!   records to the site's durable log and applies peers' records as refresh
+//!   transactions under the update application rule.
+//!
+//! The crate also provides the 2PC *coordinator* execution path
+//! ([`coord`]) used by the multi-master and partition-store baselines — the
+//! paper implements every comparator inside the same framework, and so do
+//! we — plus the [`system::ReplicatedSystem`] trait all five systems
+//! implement for the benchmark harness.
+
+pub mod clock;
+pub mod coord;
+pub mod data_site;
+pub mod messages;
+pub mod ownership;
+pub mod proc;
+pub mod system;
+
+#[doc(hidden)]
+pub mod tests_support;
+
+pub use clock::SiteClock;
+pub use data_site::{DataSite, DataSiteConfig};
+pub use messages::{SiteRequest, SiteResponse};
+pub use ownership::{Ownership, WriterGuard};
+pub use proc::{LocalCtx, ProcCall, ProcExecutor, ReadMode, ScanRange, TxnCtx};
+pub use system::{ClientSession, ReplicatedSystem, SystemStats};

@@ -1,0 +1,968 @@
+//! The data-site RPC protocol.
+//!
+//! All five evaluated systems talk to data sites through these messages:
+//!
+//! * `ExecUpdate` / `ExecRead` — single-site stored-procedure execution
+//!   (DynaMast, single-master, and the local paths of the other systems).
+//! * `Release` / `Grant` — the dynamic mastering protocol (§III-B).
+//! * `ExecCoordinated`, `Prepare` / `Decide`, `RemoteRead` — the 2PC
+//!   execution path of multi-master and partition-store.
+//! * `LeapRelease` / `LeapGrant` — LEAP's data-shipping localization
+//!   (records move with ownership, unlike DynaMast's metadata-only
+//!   transfers; the byte sizes of these messages are what make LEAP's
+//!   transfers expensive in the traffic accounting).
+//! * `GetVv` — svv probe used by the selector's freshness cache.
+
+use bytes::{Buf, BufMut, Bytes};
+use dynamast_common::codec::{self, Decode, Encode};
+use dynamast_common::ids::{Key, PartitionId, RecordId, SiteId};
+use dynamast_common::{DynaError, Result, Row, VersionVector};
+use dynamast_replication::record::WriteEntry;
+
+use crate::proc::{ProcCall, ReadMode, ScanRange};
+
+/// A record shipped by LEAP localization: full data plus version stamp.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShippedRecord {
+    /// The record's key.
+    pub key: Key,
+    /// Latest committed row.
+    pub row: Row,
+    /// Stamp of the version (origin site + sequence).
+    pub origin: SiteId,
+    /// Sequence of the version at its origin.
+    pub sequence: u64,
+}
+
+impl Encode for ShippedRecord {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.key.encode(buf);
+        self.row.encode(buf);
+        buf.put_u32(self.origin.raw());
+        buf.put_u64(self.sequence);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.key.encoded_len() + self.row.encoded_len() + 12
+    }
+}
+
+impl Decode for ShippedRecord {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        Ok(ShippedRecord {
+            key: Key::decode(buf)?,
+            row: Row::decode(buf)?,
+            origin: SiteId::new(codec::get_u32(buf)? as usize),
+            sequence: codec::get_u64(buf)?,
+        })
+    }
+}
+
+/// The version a 2PC coordinator read for a key it intends to overwrite.
+/// Participants validate it under locks at prepare time (first-committer-
+/// wins): if the key's latest version no longer matches, the participant
+/// votes no and the coordinator re-executes with fresh reads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExpectedVersion {
+    /// Key to validate.
+    pub key: Key,
+    /// The stamp the coordinator read; `None` = key did not exist.
+    pub stamp: Option<dynamast_storage::VersionStamp>,
+}
+
+impl Encode for ExpectedVersion {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.key.encode(buf);
+        match self.stamp {
+            None => buf.put_u8(0),
+            Some(stamp) => {
+                buf.put_u8(1);
+                buf.put_u32(stamp.origin.raw());
+                buf.put_u64(stamp.sequence);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.key.encoded_len() + 1 + if self.stamp.is_some() { 12 } else { 0 }
+    }
+}
+
+impl Decode for ExpectedVersion {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        let key = Key::decode(buf)?;
+        let stamp = match codec::get_u8(buf)? {
+            0 => None,
+            _ => Some(dynamast_storage::VersionStamp::new(
+                SiteId::new(codec::get_u32(buf)? as usize),
+                codec::get_u64(buf)?,
+            )),
+        };
+        Ok(ExpectedVersion { key, stamp })
+    }
+}
+
+/// Server-side execution timings returned to clients, in microseconds
+/// (feeds the Figure 7 latency breakdown).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecTimings {
+    /// Begin: write-set locking + session-freshness wait.
+    pub begin_us: u32,
+    /// Stored-procedure execution.
+    pub exec_us: u32,
+    /// Commit processing (version install + log append + publish).
+    pub commit_us: u32,
+}
+
+impl Encode for ExecTimings {
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u32(self.begin_us);
+        buf.put_u32(self.exec_us);
+        buf.put_u32(self.commit_us);
+    }
+
+    fn encoded_len(&self) -> usize {
+        12
+    }
+}
+
+impl Decode for ExecTimings {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        Ok(ExecTimings {
+            begin_us: codec::get_u32(buf)?,
+            exec_us: codec::get_u32(buf)?,
+            commit_us: codec::get_u32(buf)?,
+        })
+    }
+}
+
+fn encode_read_mode(mode: ReadMode, buf: &mut impl BufMut) {
+    buf.put_u8(match mode {
+        ReadMode::Snapshot => 0,
+        ReadMode::Latest => 1,
+    });
+}
+
+fn decode_read_mode(buf: &mut impl Buf) -> Result<ReadMode> {
+    match codec::get_u8(buf)? {
+        0 => Ok(ReadMode::Snapshot),
+        1 => Ok(ReadMode::Latest),
+        _ => Err(DynaError::Codec {
+            what: "read mode",
+            needed: 0,
+            remaining: buf.remaining(),
+        }),
+    }
+}
+
+/// Requests a data site serves.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SiteRequest {
+    /// Execute and locally commit an update transaction.
+    ExecUpdate {
+        /// Freshness floor: max of client session vector and remaster
+        /// out-vv (Algorithm 1).
+        min_vv: VersionVector,
+        /// The transaction.
+        proc: ProcCall,
+        /// Verify mastership of the write set (DynaMast; also detects stale
+        /// distributed-selector routing per Appendix I).
+        check_mastery: bool,
+    },
+    /// Execute a read-only transaction.
+    ExecRead {
+        /// Freshness floor (client session vector).
+        min_vv: VersionVector,
+        /// The transaction.
+        proc: ProcCall,
+        /// Snapshot (replicated systems) or latest (partitioned systems).
+        mode: ReadMode,
+    },
+    /// Release mastership of a partition (dynamic mastering, §III-B).
+    Release {
+        /// Partition to release.
+        partition: PartitionId,
+        /// Selector-assigned remastering epoch.
+        epoch: u64,
+    },
+    /// Take mastership of a partition (dynamic mastering, §III-B).
+    Grant {
+        /// Partition granted.
+        partition: PartitionId,
+        /// Selector-assigned remastering epoch.
+        epoch: u64,
+        /// The releasing site's svv at release; the grantee waits until its
+        /// own svv dominates this.
+        rel_vv: VersionVector,
+    },
+    /// Execute as a 2PC coordinator (multi-master / partition-store).
+    ExecCoordinated {
+        /// Freshness floor.
+        min_vv: VersionVector,
+        /// The transaction.
+        proc: ProcCall,
+        /// Read resolution for local reads.
+        mode: ReadMode,
+    },
+    /// 2PC phase one: lock and stage writes, vote.
+    Prepare {
+        /// Globally unique transaction id.
+        txn_id: u64,
+        /// After-images this participant owns.
+        writes: Vec<WriteEntry>,
+        /// Read versions to validate under locks (first-committer-wins).
+        expected: Vec<ExpectedVersion>,
+    },
+    /// 2PC phase two: commit or abort a prepared transaction.
+    Decide {
+        /// Transaction id from the prepare.
+        txn_id: u64,
+        /// `true` to commit, `false` to abort.
+        commit: bool,
+    },
+    /// Point/range reads served to a remote 2PC coordinator
+    /// (partition-store's multi-site read-only transactions).
+    RemoteRead {
+        /// Point reads.
+        keys: Vec<Key>,
+        /// Range scans.
+        ranges: Vec<ScanRange>,
+    },
+    /// LEAP: give up ownership of partitions and ship their records.
+    LeapRelease {
+        /// Partitions to release.
+        partitions: Vec<PartitionId>,
+    },
+    /// LEAP: take ownership of partitions, installing shipped records.
+    LeapGrant {
+        /// Partitions granted.
+        partitions: Vec<PartitionId>,
+        /// Shipped records to install.
+        records: Vec<ShippedRecord>,
+    },
+    /// Fetch the site's current svv.
+    GetVv,
+}
+
+const REQ_EXEC_UPDATE: u8 = 1;
+const REQ_EXEC_READ: u8 = 2;
+const REQ_RELEASE: u8 = 3;
+const REQ_GRANT: u8 = 4;
+const REQ_EXEC_COORD: u8 = 5;
+const REQ_PREPARE: u8 = 6;
+const REQ_DECIDE: u8 = 7;
+const REQ_REMOTE_READ: u8 = 8;
+const REQ_LEAP_RELEASE: u8 = 9;
+const REQ_LEAP_GRANT: u8 = 10;
+const REQ_GET_VV: u8 = 11;
+
+impl Encode for SiteRequest {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            SiteRequest::ExecUpdate {
+                min_vv,
+                proc,
+                check_mastery,
+            } => {
+                buf.put_u8(REQ_EXEC_UPDATE);
+                min_vv.encode(buf);
+                proc.encode(buf);
+                buf.put_u8(u8::from(*check_mastery));
+            }
+            SiteRequest::ExecRead { min_vv, proc, mode } => {
+                buf.put_u8(REQ_EXEC_READ);
+                min_vv.encode(buf);
+                proc.encode(buf);
+                encode_read_mode(*mode, buf);
+            }
+            SiteRequest::Release { partition, epoch } => {
+                buf.put_u8(REQ_RELEASE);
+                buf.put_u64(partition.raw());
+                buf.put_u64(*epoch);
+            }
+            SiteRequest::Grant {
+                partition,
+                epoch,
+                rel_vv,
+            } => {
+                buf.put_u8(REQ_GRANT);
+                buf.put_u64(partition.raw());
+                buf.put_u64(*epoch);
+                rel_vv.encode(buf);
+            }
+            SiteRequest::ExecCoordinated { min_vv, proc, mode } => {
+                buf.put_u8(REQ_EXEC_COORD);
+                min_vv.encode(buf);
+                proc.encode(buf);
+                encode_read_mode(*mode, buf);
+            }
+            SiteRequest::Prepare {
+                txn_id,
+                writes,
+                expected,
+            } => {
+                buf.put_u8(REQ_PREPARE);
+                buf.put_u64(*txn_id);
+                codec::encode_seq(writes, buf);
+                codec::encode_seq(expected, buf);
+            }
+            SiteRequest::Decide { txn_id, commit } => {
+                buf.put_u8(REQ_DECIDE);
+                buf.put_u64(*txn_id);
+                buf.put_u8(u8::from(*commit));
+            }
+            SiteRequest::RemoteRead { keys, ranges } => {
+                buf.put_u8(REQ_REMOTE_READ);
+                codec::encode_seq(keys, buf);
+                codec::encode_seq(ranges, buf);
+            }
+            SiteRequest::LeapRelease { partitions } => {
+                buf.put_u8(REQ_LEAP_RELEASE);
+                encode_partitions(partitions, buf);
+            }
+            SiteRequest::LeapGrant {
+                partitions,
+                records,
+            } => {
+                buf.put_u8(REQ_LEAP_GRANT);
+                encode_partitions(partitions, buf);
+                codec::encode_seq(records, buf);
+            }
+            SiteRequest::GetVv => buf.put_u8(REQ_GET_VV),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            SiteRequest::ExecUpdate { min_vv, proc, .. } => {
+                min_vv.encoded_len() + proc.encoded_len() + 1
+            }
+            SiteRequest::ExecRead { min_vv, proc, .. }
+            | SiteRequest::ExecCoordinated { min_vv, proc, .. } => {
+                min_vv.encoded_len() + proc.encoded_len() + 1
+            }
+            SiteRequest::Release { .. } => 16,
+            SiteRequest::Grant { rel_vv, .. } => 16 + rel_vv.encoded_len(),
+            SiteRequest::Prepare {
+                writes, expected, ..
+            } => 8 + codec::seq_len(writes) + codec::seq_len(expected),
+            SiteRequest::Decide { .. } => 9,
+            SiteRequest::RemoteRead { keys, ranges } => {
+                codec::seq_len(keys) + codec::seq_len(ranges)
+            }
+            SiteRequest::LeapRelease { partitions } => 4 + 8 * partitions.len(),
+            SiteRequest::LeapGrant {
+                partitions,
+                records,
+            } => 4 + 8 * partitions.len() + codec::seq_len(records),
+            SiteRequest::GetVv => 0,
+        }
+    }
+}
+
+fn encode_partitions(partitions: &[PartitionId], buf: &mut impl BufMut) {
+    buf.put_u32(partitions.len() as u32);
+    for p in partitions {
+        buf.put_u64(p.raw());
+    }
+}
+
+fn decode_partitions(buf: &mut impl Buf) -> Result<Vec<PartitionId>> {
+    let n = codec::get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(PartitionId::new(codec::get_u64(buf)? as usize));
+    }
+    Ok(out)
+}
+
+impl Decode for SiteRequest {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        match codec::get_u8(buf)? {
+            REQ_EXEC_UPDATE => Ok(SiteRequest::ExecUpdate {
+                min_vv: VersionVector::decode(buf)?,
+                proc: ProcCall::decode(buf)?,
+                check_mastery: codec::get_u8(buf)? != 0,
+            }),
+            REQ_EXEC_READ => Ok(SiteRequest::ExecRead {
+                min_vv: VersionVector::decode(buf)?,
+                proc: ProcCall::decode(buf)?,
+                mode: decode_read_mode(buf)?,
+            }),
+            REQ_RELEASE => Ok(SiteRequest::Release {
+                partition: PartitionId::new(codec::get_u64(buf)? as usize),
+                epoch: codec::get_u64(buf)?,
+            }),
+            REQ_GRANT => Ok(SiteRequest::Grant {
+                partition: PartitionId::new(codec::get_u64(buf)? as usize),
+                epoch: codec::get_u64(buf)?,
+                rel_vv: VersionVector::decode(buf)?,
+            }),
+            REQ_EXEC_COORD => Ok(SiteRequest::ExecCoordinated {
+                min_vv: VersionVector::decode(buf)?,
+                proc: ProcCall::decode(buf)?,
+                mode: decode_read_mode(buf)?,
+            }),
+            REQ_PREPARE => Ok(SiteRequest::Prepare {
+                txn_id: codec::get_u64(buf)?,
+                writes: codec::decode_seq(buf)?,
+                expected: codec::decode_seq(buf)?,
+            }),
+            REQ_DECIDE => Ok(SiteRequest::Decide {
+                txn_id: codec::get_u64(buf)?,
+                commit: codec::get_u8(buf)? != 0,
+            }),
+            REQ_REMOTE_READ => Ok(SiteRequest::RemoteRead {
+                keys: codec::decode_seq(buf)?,
+                ranges: codec::decode_seq(buf)?,
+            }),
+            REQ_LEAP_RELEASE => Ok(SiteRequest::LeapRelease {
+                partitions: decode_partitions(buf)?,
+            }),
+            REQ_LEAP_GRANT => Ok(SiteRequest::LeapGrant {
+                partitions: decode_partitions(buf)?,
+                records: codec::decode_seq(buf)?,
+            }),
+            REQ_GET_VV => Ok(SiteRequest::GetVv),
+            _ => Err(DynaError::Codec {
+                what: "site request tag",
+                needed: 0,
+                remaining: buf.remaining(),
+            }),
+        }
+    }
+}
+
+/// Replies a data site produces.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SiteResponse {
+    /// Update transaction committed.
+    Executed {
+        /// Procedure result payload.
+        result: Bytes,
+        /// Site svv after commit (client merges into its session vector).
+        commit_vv: VersionVector,
+        /// Server-side timing breakdown.
+        timings: ExecTimings,
+    },
+    /// Read-only transaction finished.
+    ReadDone {
+        /// Procedure result payload.
+        result: Bytes,
+        /// Site svv observed (client merges into its session vector).
+        site_vv: VersionVector,
+        /// Server-side timing breakdown.
+        timings: ExecTimings,
+    },
+    /// Mastership released.
+    Released {
+        /// The site's svv at the release point.
+        rel_vv: VersionVector,
+    },
+    /// Mastership granted.
+    Granted {
+        /// The site's svv when it took ownership.
+        grant_vv: VersionVector,
+    },
+    /// 2PC vote.
+    Voted {
+        /// `true` = yes.
+        yes: bool,
+    },
+    /// 2PC decision applied.
+    Decided {
+        /// Participant svv after the decision.
+        site_vv: VersionVector,
+    },
+    /// Remote-read results: one entry per requested key (None = absent),
+    /// then one row set per requested range. Point reads carry version
+    /// stamps so the coordinator can validate write-set reads at prepare.
+    Rows {
+        /// Point-read results, parallel to the request's `keys`.
+        keys: Vec<(Key, Option<(Row, dynamast_storage::VersionStamp)>)>,
+        /// Scan results, parallel to the request's `ranges`.
+        scans: Vec<Vec<(RecordId, Row)>>,
+    },
+    /// LEAP release finished; ownership and records handed over.
+    LeapReleased {
+        /// All records of the released partitions.
+        records: Vec<ShippedRecord>,
+    },
+    /// LEAP grant installed.
+    LeapGranted,
+    /// Current svv.
+    Vv {
+        /// The site's svv.
+        svv: VersionVector,
+    },
+    /// The request failed.
+    Error {
+        /// The failure.
+        error: RemoteError,
+    },
+}
+
+/// Wire-encodable subset of [`DynaError`] for cross-site failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoteError {
+    /// Mastership check failed (Appendix I stale-routing signal).
+    NotMaster {
+        /// Rejecting site.
+        site: SiteId,
+        /// Offending partition.
+        partition: PartitionId,
+    },
+    /// The transaction aborted (2PC no-vote or decision).
+    Aborted,
+    /// The site is shutting down.
+    ShuttingDown,
+    /// Any other failure.
+    Internal,
+}
+
+impl From<DynaError> for RemoteError {
+    fn from(e: DynaError) -> Self {
+        match e {
+            DynaError::NotMaster { site, partition } => RemoteError::NotMaster { site, partition },
+            DynaError::TxnAborted { .. } => RemoteError::Aborted,
+            DynaError::ShuttingDown => RemoteError::ShuttingDown,
+            _ => RemoteError::Internal,
+        }
+    }
+}
+
+impl From<RemoteError> for DynaError {
+    fn from(e: RemoteError) -> Self {
+        match e {
+            RemoteError::NotMaster { site, partition } => DynaError::NotMaster { site, partition },
+            RemoteError::Aborted => DynaError::TxnAborted {
+                reason: "remote abort",
+            },
+            RemoteError::ShuttingDown => DynaError::ShuttingDown,
+            RemoteError::Internal => DynaError::Internal("remote internal error"),
+        }
+    }
+}
+
+const RESP_EXECUTED: u8 = 1;
+const RESP_READ_DONE: u8 = 2;
+const RESP_RELEASED: u8 = 3;
+const RESP_GRANTED: u8 = 4;
+const RESP_VOTED: u8 = 5;
+const RESP_DECIDED: u8 = 6;
+const RESP_ROWS: u8 = 7;
+const RESP_LEAP_RELEASED: u8 = 8;
+const RESP_LEAP_GRANTED: u8 = 9;
+const RESP_VV: u8 = 10;
+const RESP_ERROR: u8 = 11;
+
+impl Encode for SiteResponse {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            SiteResponse::Executed {
+                result,
+                commit_vv,
+                timings,
+            } => {
+                buf.put_u8(RESP_EXECUTED);
+                codec::put_bytes(buf, result);
+                commit_vv.encode(buf);
+                timings.encode(buf);
+            }
+            SiteResponse::ReadDone {
+                result,
+                site_vv,
+                timings,
+            } => {
+                buf.put_u8(RESP_READ_DONE);
+                codec::put_bytes(buf, result);
+                site_vv.encode(buf);
+                timings.encode(buf);
+            }
+            SiteResponse::Released { rel_vv } => {
+                buf.put_u8(RESP_RELEASED);
+                rel_vv.encode(buf);
+            }
+            SiteResponse::Granted { grant_vv } => {
+                buf.put_u8(RESP_GRANTED);
+                grant_vv.encode(buf);
+            }
+            SiteResponse::Voted { yes } => {
+                buf.put_u8(RESP_VOTED);
+                buf.put_u8(u8::from(*yes));
+            }
+            SiteResponse::Decided { site_vv } => {
+                buf.put_u8(RESP_DECIDED);
+                site_vv.encode(buf);
+            }
+            SiteResponse::Rows { keys, scans } => {
+                buf.put_u8(RESP_ROWS);
+                buf.put_u32(keys.len() as u32);
+                for (key, entry) in keys {
+                    key.encode(buf);
+                    match entry {
+                        None => buf.put_u8(0),
+                        Some((row, stamp)) => {
+                            buf.put_u8(1);
+                            row.encode(buf);
+                            buf.put_u32(stamp.origin.raw());
+                            buf.put_u64(stamp.sequence);
+                        }
+                    }
+                }
+                buf.put_u32(scans.len() as u32);
+                for scan in scans {
+                    buf.put_u32(scan.len() as u32);
+                    for (record, row) in scan {
+                        buf.put_u64(*record);
+                        row.encode(buf);
+                    }
+                }
+            }
+            SiteResponse::LeapReleased { records } => {
+                buf.put_u8(RESP_LEAP_RELEASED);
+                codec::encode_seq(records, buf);
+            }
+            SiteResponse::LeapGranted => buf.put_u8(RESP_LEAP_GRANTED),
+            SiteResponse::Vv { svv } => {
+                buf.put_u8(RESP_VV);
+                svv.encode(buf);
+            }
+            SiteResponse::Error { error } => {
+                buf.put_u8(RESP_ERROR);
+                match error {
+                    RemoteError::NotMaster { site, partition } => {
+                        buf.put_u8(1);
+                        buf.put_u32(site.raw());
+                        buf.put_u64(partition.raw());
+                    }
+                    RemoteError::Aborted => buf.put_u8(2),
+                    RemoteError::ShuttingDown => buf.put_u8(3),
+                    RemoteError::Internal => buf.put_u8(4),
+                }
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            SiteResponse::Executed {
+                result,
+                commit_vv,
+                timings,
+            } => codec::bytes_len(result) + commit_vv.encoded_len() + timings.encoded_len(),
+            SiteResponse::ReadDone {
+                result,
+                site_vv,
+                timings,
+            } => codec::bytes_len(result) + site_vv.encoded_len() + timings.encoded_len(),
+            SiteResponse::Released { rel_vv } => rel_vv.encoded_len(),
+            SiteResponse::Granted { grant_vv } => grant_vv.encoded_len(),
+            SiteResponse::Voted { .. } => 1,
+            SiteResponse::Decided { site_vv } => site_vv.encoded_len(),
+            SiteResponse::Rows { keys, scans } => {
+                let key_len: usize = keys
+                    .iter()
+                    .map(|(k, r)| {
+                        k.encoded_len()
+                            + 1
+                            + r.as_ref().map_or(0, |(row, _)| row.encoded_len() + 12)
+                    })
+                    .sum();
+                let scan_len: usize = scans
+                    .iter()
+                    .map(|s| 4 + s.iter().map(|(_, r)| 8 + r.encoded_len()).sum::<usize>())
+                    .sum();
+                4 + key_len + 4 + scan_len
+            }
+            SiteResponse::LeapReleased { records } => codec::seq_len(records),
+            SiteResponse::LeapGranted => 0,
+            SiteResponse::Vv { svv } => svv.encoded_len(),
+            SiteResponse::Error { error } => match error {
+                RemoteError::NotMaster { .. } => 13,
+                _ => 1,
+            },
+        }
+    }
+}
+
+impl Decode for SiteResponse {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        match codec::get_u8(buf)? {
+            RESP_EXECUTED => Ok(SiteResponse::Executed {
+                result: Bytes::from(codec::get_bytes(buf)?),
+                commit_vv: VersionVector::decode(buf)?,
+                timings: ExecTimings::decode(buf)?,
+            }),
+            RESP_READ_DONE => Ok(SiteResponse::ReadDone {
+                result: Bytes::from(codec::get_bytes(buf)?),
+                site_vv: VersionVector::decode(buf)?,
+                timings: ExecTimings::decode(buf)?,
+            }),
+            RESP_RELEASED => Ok(SiteResponse::Released {
+                rel_vv: VersionVector::decode(buf)?,
+            }),
+            RESP_GRANTED => Ok(SiteResponse::Granted {
+                grant_vv: VersionVector::decode(buf)?,
+            }),
+            RESP_VOTED => Ok(SiteResponse::Voted {
+                yes: codec::get_u8(buf)? != 0,
+            }),
+            RESP_DECIDED => Ok(SiteResponse::Decided {
+                site_vv: VersionVector::decode(buf)?,
+            }),
+            RESP_ROWS => {
+                let n = codec::get_u32(buf)? as usize;
+                let mut keys = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let key = Key::decode(buf)?;
+                    let entry = match codec::get_u8(buf)? {
+                        0 => None,
+                        _ => {
+                            let row = Row::decode(buf)?;
+                            let stamp = dynamast_storage::VersionStamp::new(
+                                SiteId::new(codec::get_u32(buf)? as usize),
+                                codec::get_u64(buf)?,
+                            );
+                            Some((row, stamp))
+                        }
+                    };
+                    keys.push((key, entry));
+                }
+                let s = codec::get_u32(buf)? as usize;
+                let mut scans = Vec::with_capacity(s.min(1 << 20));
+                for _ in 0..s {
+                    let len = codec::get_u32(buf)? as usize;
+                    let mut rows = Vec::with_capacity(len.min(1 << 20));
+                    for _ in 0..len {
+                        let record = codec::get_u64(buf)?;
+                        rows.push((record, Row::decode(buf)?));
+                    }
+                    scans.push(rows);
+                }
+                Ok(SiteResponse::Rows { keys, scans })
+            }
+            RESP_LEAP_RELEASED => Ok(SiteResponse::LeapReleased {
+                records: codec::decode_seq(buf)?,
+            }),
+            RESP_LEAP_GRANTED => Ok(SiteResponse::LeapGranted),
+            RESP_VV => Ok(SiteResponse::Vv {
+                svv: VersionVector::decode(buf)?,
+            }),
+            RESP_ERROR => {
+                let error = match codec::get_u8(buf)? {
+                    1 => RemoteError::NotMaster {
+                        site: SiteId::new(codec::get_u32(buf)? as usize),
+                        partition: PartitionId::new(codec::get_u64(buf)? as usize),
+                    },
+                    2 => RemoteError::Aborted,
+                    3 => RemoteError::ShuttingDown,
+                    4 => RemoteError::Internal,
+                    _ => {
+                        return Err(DynaError::Codec {
+                            what: "remote error tag",
+                            needed: 0,
+                            remaining: buf.remaining(),
+                        })
+                    }
+                };
+                Ok(SiteResponse::Error { error })
+            }
+            _ => Err(DynaError::Codec {
+                what: "site response tag",
+                needed: 0,
+                remaining: buf.remaining(),
+            }),
+        }
+    }
+}
+
+/// Decodes a response payload, converting `Error` responses into `Err`.
+pub fn expect_ok(payload: &Bytes) -> Result<SiteResponse> {
+    let mut slice = payload.clone();
+    match SiteResponse::decode(&mut slice)? {
+        SiteResponse::Error { error } => Err(error.into()),
+        other => Ok(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamast_common::ids::TableId;
+    use dynamast_common::Value;
+
+    fn roundtrip_req(req: SiteRequest) {
+        let buf = codec::encode_to_vec(&req);
+        assert_eq!(buf.len(), req.encoded_len(), "len mismatch for {req:?}");
+        let mut slice = &buf[..];
+        assert_eq!(SiteRequest::decode(&mut slice).unwrap(), req);
+        assert!(slice.is_empty());
+    }
+
+    fn roundtrip_resp(resp: SiteResponse) {
+        let buf = codec::encode_to_vec(&resp);
+        assert_eq!(buf.len(), resp.encoded_len(), "len mismatch for {resp:?}");
+        let mut slice = &buf[..];
+        assert_eq!(SiteResponse::decode(&mut slice).unwrap(), resp);
+        assert!(slice.is_empty());
+    }
+
+    fn sample_proc() -> ProcCall {
+        ProcCall {
+            proc_id: 3,
+            args: Bytes::from_static(b"args"),
+            write_set: vec![Key::new(TableId::new(0), 1)],
+            read_keys: vec![],
+            read_ranges: vec![],
+        }
+    }
+
+    #[test]
+    fn all_requests_roundtrip() {
+        let vv = VersionVector::from_counts(vec![1, 2]);
+        roundtrip_req(SiteRequest::ExecUpdate {
+            min_vv: vv.clone(),
+            proc: sample_proc(),
+            check_mastery: true,
+        });
+        roundtrip_req(SiteRequest::ExecRead {
+            min_vv: vv.clone(),
+            proc: sample_proc(),
+            mode: ReadMode::Snapshot,
+        });
+        roundtrip_req(SiteRequest::Release {
+            partition: PartitionId::new(4),
+            epoch: 9,
+        });
+        roundtrip_req(SiteRequest::Grant {
+            partition: PartitionId::new(4),
+            epoch: 9,
+            rel_vv: vv.clone(),
+        });
+        roundtrip_req(SiteRequest::ExecCoordinated {
+            min_vv: vv.clone(),
+            proc: sample_proc(),
+            mode: ReadMode::Latest,
+        });
+        roundtrip_req(SiteRequest::Prepare {
+            txn_id: 77,
+            writes: vec![WriteEntry {
+                key: Key::new(TableId::new(0), 2),
+                row: Row::new(vec![Value::U64(5)]),
+            }],
+            expected: vec![
+                ExpectedVersion {
+                    key: Key::new(TableId::new(0), 2),
+                    stamp: Some(dynamast_storage::VersionStamp::new(SiteId::new(1), 9)),
+                },
+                ExpectedVersion {
+                    key: Key::new(TableId::new(0), 3),
+                    stamp: None,
+                },
+            ],
+        });
+        roundtrip_req(SiteRequest::Decide {
+            txn_id: 77,
+            commit: true,
+        });
+        roundtrip_req(SiteRequest::RemoteRead {
+            keys: vec![Key::new(TableId::new(1), 3)],
+            ranges: vec![ScanRange {
+                table: TableId::new(1),
+                start: 0,
+                end: 10,
+            }],
+        });
+        roundtrip_req(SiteRequest::LeapRelease {
+            partitions: vec![PartitionId::new(1), PartitionId::new(2)],
+        });
+        roundtrip_req(SiteRequest::LeapGrant {
+            partitions: vec![PartitionId::new(1)],
+            records: vec![ShippedRecord {
+                key: Key::new(TableId::new(0), 9),
+                row: Row::new(vec![Value::I64(-1)]),
+                origin: SiteId::new(2),
+                sequence: 11,
+            }],
+        });
+        roundtrip_req(SiteRequest::GetVv);
+    }
+
+    #[test]
+    fn all_responses_roundtrip() {
+        let vv = VersionVector::from_counts(vec![3, 0, 1]);
+        roundtrip_resp(SiteResponse::Executed {
+            result: Bytes::from_static(b"ok"),
+            commit_vv: vv.clone(),
+            timings: ExecTimings {
+                begin_us: 1,
+                exec_us: 2,
+                commit_us: 3,
+            },
+        });
+        roundtrip_resp(SiteResponse::ReadDone {
+            result: Bytes::new(),
+            site_vv: vv.clone(),
+            timings: ExecTimings::default(),
+        });
+        roundtrip_resp(SiteResponse::Released {
+            rel_vv: vv.clone(),
+        });
+        roundtrip_resp(SiteResponse::Granted {
+            grant_vv: vv.clone(),
+        });
+        roundtrip_resp(SiteResponse::Voted { yes: false });
+        roundtrip_resp(SiteResponse::Decided {
+            site_vv: vv.clone(),
+        });
+        roundtrip_resp(SiteResponse::Rows {
+            keys: vec![
+                (Key::new(TableId::new(0), 1), None),
+                (
+                    Key::new(TableId::new(0), 2),
+                    Some((
+                        Row::new(vec![Value::U64(7)]),
+                        dynamast_storage::VersionStamp::new(SiteId::new(2), 4),
+                    )),
+                ),
+            ],
+            scans: vec![vec![], vec![(5, Row::new(vec![Value::Str("a".into())]))]],
+        });
+        roundtrip_resp(SiteResponse::LeapReleased { records: vec![] });
+        roundtrip_resp(SiteResponse::LeapGranted);
+        roundtrip_resp(SiteResponse::Vv { svv: vv });
+        roundtrip_resp(SiteResponse::Error {
+            error: RemoteError::NotMaster {
+                site: SiteId::new(1),
+                partition: PartitionId::new(8),
+            },
+        });
+        roundtrip_resp(SiteResponse::Error {
+            error: RemoteError::Aborted,
+        });
+    }
+
+    #[test]
+    fn expect_ok_converts_errors() {
+        let resp = SiteResponse::Error {
+            error: RemoteError::ShuttingDown,
+        };
+        let payload = Bytes::from(codec::encode_to_vec(&resp));
+        assert_eq!(expect_ok(&payload).unwrap_err(), DynaError::ShuttingDown);
+        let ok = SiteResponse::LeapGranted;
+        let payload = Bytes::from(codec::encode_to_vec(&ok));
+        assert_eq!(expect_ok(&payload).unwrap(), SiteResponse::LeapGranted);
+    }
+
+    #[test]
+    fn remote_error_conversion_roundtrips_semantics() {
+        let e = DynaError::NotMaster {
+            site: SiteId::new(3),
+            partition: PartitionId::new(1),
+        };
+        let r: RemoteError = e.clone().into();
+        let back: DynaError = r.into();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,364 @@
+//! Stored procedures and transaction contexts.
+//!
+//! The paper's clients execute transactions as stored procedures at a data
+//! site (Appendix D measures "the actual execution time of the database
+//! stored procedure"). A [`ProcCall`] names a procedure registered by the
+//! workload ([`ProcExecutor`]) and predeclares its write set — the system
+//! model requires write sets up front ("a transaction provides write-set
+//! information, using reconnaissance queries if necessary", §II-B1) — plus
+//! its read keys/ranges so the partitioned baselines can route and localize
+//! reads.
+//!
+//! Procedures run against a [`TxnCtx`]: the site crate provides
+//! [`LocalCtx`] (all data local); the 2PC coordinator in [`crate::coord`]
+//! provides a distributed context that performs remote reads.
+
+use bytes::{Buf, BufMut, Bytes};
+use dynamast_common::codec::{self, Decode, Encode};
+use dynamast_common::ids::{Key, RecordId, TableId};
+use dynamast_common::{DynaError, Result, Row, VersionVector};
+use dynamast_storage::{Store, VersionStamp};
+
+use std::collections::HashMap;
+
+/// A contiguous scan over `[start, end)` record ids of a table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanRange {
+    /// Table scanned.
+    pub table: TableId,
+    /// First record id (inclusive).
+    pub start: RecordId,
+    /// End record id (exclusive).
+    pub end: RecordId,
+}
+
+impl Encode for ScanRange {
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u32(self.table.raw());
+        buf.put_u64(self.start);
+        buf.put_u64(self.end);
+    }
+
+    fn encoded_len(&self) -> usize {
+        20
+    }
+}
+
+impl Decode for ScanRange {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        Ok(ScanRange {
+            table: TableId::new(codec::get_u32(buf)? as usize),
+            start: codec::get_u64(buf)?,
+            end: codec::get_u64(buf)?,
+        })
+    }
+}
+
+/// An invocable transaction: procedure id + arguments + declared access sets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcCall {
+    /// Workload-assigned procedure identifier.
+    pub proc_id: u32,
+    /// Opaque encoded arguments, interpreted by the workload's executor.
+    pub args: Bytes,
+    /// Predeclared write set (every key the procedure may write).
+    pub write_set: Vec<Key>,
+    /// Point reads the procedure may perform (outside the write set).
+    pub read_keys: Vec<Key>,
+    /// Range scans the procedure may perform.
+    pub read_ranges: Vec<ScanRange>,
+}
+
+impl ProcCall {
+    /// A read-only call (empty write set).
+    pub fn is_read_only(&self) -> bool {
+        self.write_set.is_empty()
+    }
+}
+
+impl Encode for ProcCall {
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u32(self.proc_id);
+        codec::put_bytes(buf, &self.args);
+        codec::encode_seq(&self.write_set, buf);
+        codec::encode_seq(&self.read_keys, buf);
+        codec::encode_seq(&self.read_ranges, buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + codec::bytes_len(&self.args)
+            + codec::seq_len(&self.write_set)
+            + codec::seq_len(&self.read_keys)
+            + codec::seq_len(&self.read_ranges)
+    }
+}
+
+impl Decode for ProcCall {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        Ok(ProcCall {
+            proc_id: codec::get_u32(buf)?,
+            args: Bytes::from(codec::get_bytes(buf)?),
+            write_set: codec::decode_seq(buf)?,
+            read_keys: codec::decode_seq(buf)?,
+            read_ranges: codec::decode_seq(buf)?,
+        })
+    }
+}
+
+/// How a transaction context resolves reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadMode {
+    /// MVCC snapshot read at a begin version vector (replicated systems:
+    /// DynaMast, single-master, multi-master).
+    Snapshot,
+    /// Latest-committed read (unreplicated systems: partition-store, LEAP —
+    /// ownership transfer and 2PC locks provide isolation instead of
+    /// version vectors).
+    Latest,
+}
+
+/// The interface stored procedures execute against.
+pub trait TxnCtx {
+    /// Point read. `None` if the record does not exist (at the snapshot).
+    fn read(&mut self, key: Key) -> Result<Option<Row>>;
+
+    /// Range scan; missing keys in the range are skipped.
+    fn scan(&mut self, range: ScanRange) -> Result<Vec<(RecordId, Row)>>;
+
+    /// Buffered write (insert or update). The key must be in the declared
+    /// write set.
+    fn write(&mut self, key: Key, row: Row) -> Result<()>;
+}
+
+/// Executes workload-defined stored procedures.
+pub trait ProcExecutor: Send + Sync + 'static {
+    /// Runs the procedure named by `call.proc_id` against `ctx`, returning
+    /// an opaque result payload for the client. The full call is available
+    /// so procedures can iterate their declared write set and read ranges
+    /// without re-encoding them in `args`.
+    fn execute(&self, ctx: &mut dyn TxnCtx, call: &ProcCall) -> Result<Bytes>;
+}
+
+impl<F> ProcExecutor for F
+where
+    F: Fn(&mut dyn TxnCtx, &ProcCall) -> Result<Bytes> + Send + Sync + 'static,
+{
+    fn execute(&self, ctx: &mut dyn TxnCtx, call: &ProcCall) -> Result<Bytes> {
+        self(ctx, call)
+    }
+}
+
+/// A transaction context over purely local data.
+///
+/// Reads resolve against the local store (snapshot or latest); writes are
+/// buffered and installed by the commit path after the procedure returns.
+/// Read-your-own-writes within the transaction is supported — a procedure
+/// that wrote a key reads back its buffered value.
+pub struct LocalCtx<'a> {
+    store: &'a Store,
+    begin: &'a VersionVector,
+    mode: ReadMode,
+    allowed_writes: HashMap<Key, ()>,
+    writes: Vec<(Key, Row)>,
+    write_index: HashMap<Key, usize>,
+    ops: u64,
+}
+
+impl<'a> LocalCtx<'a> {
+    /// Creates a context. `write_set` is the declared write set; empty for
+    /// read-only transactions.
+    pub fn new(
+        store: &'a Store,
+        begin: &'a VersionVector,
+        mode: ReadMode,
+        write_set: &[Key],
+    ) -> Self {
+        LocalCtx {
+            store,
+            begin,
+            mode,
+            allowed_writes: write_set.iter().map(|k| (*k, ())).collect(),
+            writes: Vec::with_capacity(write_set.len()),
+            write_index: HashMap::new(),
+            ops: 0,
+        }
+    }
+
+    /// Rows read, scanned, or written so far (drives the simulated
+    /// per-operation service time).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The buffered after-images, in write order (last write per key wins —
+    /// earlier writes to the same key are overwritten in place).
+    pub fn into_writes(self) -> Vec<(Key, Row)> {
+        self.writes
+    }
+
+    fn read_committed(&self, key: Key) -> Result<Option<Row>> {
+        match self.mode {
+            ReadMode::Snapshot => self.store.read(key, self.begin),
+            ReadMode::Latest => Ok(self.store.read_latest(key)?.map(|(row, _)| row)),
+        }
+    }
+}
+
+impl TxnCtx for LocalCtx<'_> {
+    fn read(&mut self, key: Key) -> Result<Option<Row>> {
+        self.ops += 1;
+        if let Some(&i) = self.write_index.get(&key) {
+            return Ok(Some(self.writes[i].1.clone()));
+        }
+        self.read_committed(key)
+    }
+
+    fn scan(&mut self, range: ScanRange) -> Result<Vec<(RecordId, Row)>> {
+        self.ops += range.end.saturating_sub(range.start);
+        match self.mode {
+            ReadMode::Snapshot => self.store.scan(range.table, range.start, range.end, self.begin),
+            ReadMode::Latest => {
+                let mut out = Vec::new();
+                for record in range.start..range.end {
+                    let key = Key::new(range.table, record);
+                    if let Some((row, _)) = self.store.read_latest(key)? {
+                        out.push((record, row));
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn write(&mut self, key: Key, row: Row) -> Result<()> {
+        self.ops += 1;
+        if !self.allowed_writes.contains_key(&key) {
+            return Err(DynaError::Internal("write outside declared write set"));
+        }
+        match self.write_index.get(&key) {
+            Some(&i) => self.writes[i].1 = row,
+            None => {
+                self.write_index.insert(key, self.writes.len());
+                self.writes.push((key, row));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: installs buffered writes into a store with one stamp.
+pub fn install_writes(store: &Store, writes: &[(Key, Row)], stamp: VersionStamp) -> Result<()> {
+    for (key, row) in writes {
+        store.install(*key, stamp, row.clone())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamast_common::ids::SiteId;
+    use dynamast_common::Value;
+    use dynamast_storage::Catalog;
+
+    fn store() -> Store {
+        let mut cat = Catalog::new();
+        cat.add_table("t", 1, 100);
+        Store::new(cat, 4)
+    }
+
+    fn key(r: u64) -> Key {
+        Key::new(TableId::new(0), r)
+    }
+
+    fn row(v: u64) -> Row {
+        Row::new(vec![Value::U64(v)])
+    }
+
+    #[test]
+    fn proc_call_roundtrips() {
+        let call = ProcCall {
+            proc_id: 7,
+            args: Bytes::from_static(b"abc"),
+            write_set: vec![key(1), key(2)],
+            read_keys: vec![key(9)],
+            read_ranges: vec![ScanRange {
+                table: TableId::new(0),
+                start: 10,
+                end: 20,
+            }],
+        };
+        let buf = codec::encode_to_vec(&call);
+        assert_eq!(buf.len(), call.encoded_len());
+        let mut slice = &buf[..];
+        assert_eq!(ProcCall::decode(&mut slice).unwrap(), call);
+        assert!(!call.is_read_only());
+    }
+
+    #[test]
+    fn snapshot_reads_respect_begin_vector() {
+        let s = store();
+        s.install(key(1), VersionStamp::new(SiteId::new(0), 1), row(10))
+            .unwrap();
+        s.install(key(1), VersionStamp::new(SiteId::new(0), 2), row(20))
+            .unwrap();
+        let begin = VersionVector::from_counts(vec![1]);
+        let mut ctx = LocalCtx::new(&s, &begin, ReadMode::Snapshot, &[]);
+        assert_eq!(ctx.read(key(1)).unwrap().unwrap(), row(10));
+        let begin2 = VersionVector::from_counts(vec![2]);
+        let mut ctx2 = LocalCtx::new(&s, &begin2, ReadMode::Snapshot, &[]);
+        assert_eq!(ctx2.read(key(1)).unwrap().unwrap(), row(20));
+    }
+
+    #[test]
+    fn latest_mode_ignores_snapshot() {
+        let s = store();
+        s.install(key(1), VersionStamp::new(SiteId::new(3), 99), row(42))
+            .unwrap();
+        let begin = VersionVector::zero(1);
+        let mut ctx = LocalCtx::new(&s, &begin, ReadMode::Latest, &[]);
+        assert_eq!(ctx.read(key(1)).unwrap().unwrap(), row(42));
+    }
+
+    #[test]
+    fn reads_see_own_buffered_writes() {
+        let s = store();
+        let begin = VersionVector::zero(1);
+        let ws = [key(5)];
+        let mut ctx = LocalCtx::new(&s, &begin, ReadMode::Snapshot, &ws);
+        assert!(ctx.read(key(5)).unwrap().is_none());
+        ctx.write(key(5), row(1)).unwrap();
+        assert_eq!(ctx.read(key(5)).unwrap().unwrap(), row(1));
+        ctx.write(key(5), row(2)).unwrap();
+        let writes = ctx.into_writes();
+        assert_eq!(writes, vec![(key(5), row(2))]);
+    }
+
+    #[test]
+    fn writes_outside_declared_set_rejected() {
+        let s = store();
+        let begin = VersionVector::zero(1);
+        let ws = [key(1)];
+        let mut ctx = LocalCtx::new(&s, &begin, ReadMode::Snapshot, &ws);
+        assert!(ctx.write(key(2), row(0)).is_err());
+    }
+
+    #[test]
+    fn scan_works_in_both_modes() {
+        let s = store();
+        s.install(key(1), VersionStamp::new(SiteId::new(0), 1), row(1))
+            .unwrap();
+        s.install(key(2), VersionStamp::new(SiteId::new(0), 2), row(2))
+            .unwrap();
+        let range = ScanRange {
+            table: TableId::new(0),
+            start: 0,
+            end: 10,
+        };
+        let begin = VersionVector::from_counts(vec![1]);
+        let mut snap_ctx = LocalCtx::new(&s, &begin, ReadMode::Snapshot, &[]);
+        assert_eq!(snap_ctx.scan(range).unwrap().len(), 1);
+        let mut latest_ctx = LocalCtx::new(&s, &begin, ReadMode::Latest, &[]);
+        assert_eq!(latest_ctx.scan(range).unwrap().len(), 2);
+    }
+}

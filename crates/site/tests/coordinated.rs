@@ -1,0 +1,192 @@
+//! Tests for the server-side 2PC coordinator path (`coord`): an alternative
+//! execution mode where a data site coordinates the distributed commit
+//! itself (the client-coordinated path in `dynamast-baselines` is what the
+//! evaluated systems use; this mode remains supported and must stay
+//! correct).
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use dynamast_common::config::NetworkConfig;
+use dynamast_common::ids::{Key, SiteId, TableId};
+use dynamast_common::{Result, Row, SystemConfig, Value, VersionVector};
+use dynamast_network::Network;
+use dynamast_replication::LogSet;
+use dynamast_site::coord::run_coordinated;
+use dynamast_site::data_site::{DataSite, DataSiteConfig, SiteRuntime};
+use dynamast_site::proc::{ProcCall, ProcExecutor, ReadMode, TxnCtx};
+use dynamast_storage::Catalog;
+
+const TABLE: TableId = TableId::new(0);
+
+/// Adds 1 to every write-set key (read-modify-write).
+struct IncExec;
+
+impl ProcExecutor for IncExec {
+    fn execute(&self, ctx: &mut dyn TxnCtx, call: &ProcCall) -> Result<Bytes> {
+        for key in &call.write_set {
+            let current = match ctx.read(*key)? {
+                Some(row) => row.cell(0).as_u64()?,
+                None => 0,
+            };
+            ctx.write(*key, Row::new(vec![Value::U64(current + 1)]))?;
+        }
+        Ok(Bytes::new())
+    }
+}
+
+struct Deployment {
+    sites: Vec<Arc<DataSite>>,
+    _runtimes: Vec<SiteRuntime>,
+}
+
+/// Two statically partitioned sites: even partitions at site 0, odd at 1.
+fn partitioned_deployment(replicate: bool) -> Deployment {
+    let mut catalog = Catalog::new();
+    catalog.add_table("t", 1, 100);
+    let system = SystemConfig::new(2)
+        .with_instant_network()
+        .with_instant_service();
+    let network = Network::new(NetworkConfig::instant(), 1);
+    let logs = LogSet::new(2);
+    let owner: dynamast_site::data_site::StaticOwnerFn = Arc::new(|pid| {
+        let (_, index) = dynamast_common::ids::unpack_partition_id(pid);
+        SiteId::new((index % 2) as usize)
+    });
+    let mut sites = Vec::new();
+    let mut runtimes = Vec::new();
+    for i in 0..2 {
+        let site = DataSite::new(
+            DataSiteConfig {
+                id: SiteId::new(i),
+                system: system.clone(),
+                replicate,
+                initial_partitions: Vec::new(),
+                static_owner: Some(Arc::clone(&owner)),
+                replicated_tables: Vec::new(),
+            },
+            catalog.clone(),
+            logs.clone(),
+            Arc::clone(&network),
+            Arc::new(IncExec),
+        );
+        runtimes.push(site.start(4));
+        sites.push(site);
+    }
+    Deployment {
+        sites,
+        _runtimes: runtimes,
+    }
+}
+
+fn inc(records: &[u64]) -> ProcCall {
+    ProcCall {
+        proc_id: 1,
+        args: Bytes::new(),
+        write_set: records.iter().map(|r| Key::new(TABLE, *r)).collect(),
+        read_keys: vec![],
+        read_ranges: vec![],
+    }
+}
+
+fn load(sites: &[Arc<DataSite>], record: u64, value: u64, everywhere: bool) {
+    let row = Row::new(vec![Value::U64(value)]);
+    if everywhere {
+        for s in sites {
+            s.load_row(Key::new(TABLE, record), row.clone()).unwrap();
+        }
+    } else {
+        // Owner only (partition-store style).
+        let owner = (record / 100 % 2) as usize;
+        sites[owner].load_row(Key::new(TABLE, record), row).unwrap();
+    }
+}
+
+#[test]
+fn single_fragment_local_write_commits_without_2pc() {
+    let d = partitioned_deployment(false);
+    load(&d.sites, 10, 5, false); // even partition → site 0
+    let min = VersionVector::zero(2);
+    let (_, vv, _) =
+        run_coordinated(&d.sites[0], &min, &inc(&[10]), ReadMode::Latest).unwrap();
+    let (row, _) = d.sites[0]
+        .store()
+        .read_latest(Key::new(TABLE, 10))
+        .unwrap()
+        .unwrap();
+    assert_eq!(row.cell(0).as_u64().unwrap(), 6);
+    assert!(vv.get(SiteId::new(0)) >= 1);
+}
+
+#[test]
+fn cross_site_write_set_commits_via_two_phase_commit() {
+    let d = partitioned_deployment(false);
+    load(&d.sites, 10, 0, false); // site 0
+    load(&d.sites, 110, 0, false); // site 1
+    let min = VersionVector::zero(2);
+    run_coordinated(&d.sites[0], &min, &inc(&[10, 110]), ReadMode::Latest).unwrap();
+    // Both fragments installed at their owners.
+    let (r0, _) = d.sites[0]
+        .store()
+        .read_latest(Key::new(TABLE, 10))
+        .unwrap()
+        .unwrap();
+    let (r1, _) = d.sites[1]
+        .store()
+        .read_latest(Key::new(TABLE, 110))
+        .unwrap()
+        .unwrap();
+    assert_eq!(r0.cell(0).as_u64().unwrap(), 1);
+    assert_eq!(r1.cell(0).as_u64().unwrap(), 1);
+}
+
+#[test]
+fn remote_reads_resolve_through_owners() {
+    let d = partitioned_deployment(false);
+    load(&d.sites, 110, 41, false); // owned by site 1
+    // Coordinator site 0 increments a key it does not own: the read goes
+    // remote, the write commits at the owner via 2PC.
+    let min = VersionVector::zero(2);
+    run_coordinated(&d.sites[0], &min, &inc(&[110]), ReadMode::Latest).unwrap();
+    let (row, _) = d.sites[1]
+        .store()
+        .read_latest(Key::new(TABLE, 110))
+        .unwrap()
+        .unwrap();
+    assert_eq!(row.cell(0).as_u64().unwrap(), 42);
+}
+
+#[test]
+fn concurrent_coordinators_never_lose_increments() {
+    let d = partitioned_deployment(true);
+    // Replicated (multi-master style): both sites hold the row.
+    load(&d.sites, 10, 0, true);
+    load(&d.sites, 110, 0, true);
+    let mut handles = Vec::new();
+    for t in 0..4usize {
+        let site = Arc::clone(&d.sites[t % 2]);
+        handles.push(std::thread::spawn(move || {
+            let min = VersionVector::zero(2);
+            for _ in 0..25 {
+                run_coordinated(&site, &min, &inc(&[10, 110]), ReadMode::Snapshot).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // First-committer-wins validation + retry must preserve all 100
+    // increments on both keys, at their owners.
+    let (r0, _) = d.sites[0]
+        .store()
+        .read_latest(Key::new(TABLE, 10))
+        .unwrap()
+        .unwrap();
+    let (r1, _) = d.sites[1]
+        .store()
+        .read_latest(Key::new(TABLE, 110))
+        .unwrap()
+        .unwrap();
+    assert_eq!(r0.cell(0).as_u64().unwrap(), 100);
+    assert_eq!(r1.cell(0).as_u64().unwrap(), 100);
+}

@@ -1,0 +1,135 @@
+//! Table schemas and the catalog.
+//!
+//! The catalog is static for a run (workloads create their tables up front).
+//! Every table declares a `partition_size`: contiguous ranges of
+//! `partition_size` primary keys form one partition, the unit of mastership
+//! tracking and remastering (§V-B; YCSB uses 100-key partitions, TPC-C
+//! partitions follow warehouse-derived key encodings).
+
+use dynamast_common::ids::{partition_id, Key, PartitionId, TableId};
+use dynamast_common::{DynaError, Result};
+
+/// Static description of one table.
+#[derive(Clone, Debug)]
+pub struct TableSchema {
+    /// Table identifier; must equal the table's index in the catalog.
+    pub id: TableId,
+    /// Human-readable name (for diagnostics and reports).
+    pub name: &'static str,
+    /// Number of columns in each row.
+    pub columns: usize,
+    /// Keys per partition. Contiguous key ranges of this size share a
+    /// partition and therefore a master site.
+    pub partition_size: u64,
+}
+
+impl TableSchema {
+    /// The partition a record of this table belongs to.
+    pub fn partition_of(&self, record: u64) -> PartitionId {
+        partition_id(self.id, record / self.partition_size)
+    }
+}
+
+/// An immutable set of table schemas shared by every site in a deployment.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: Vec<TableSchema>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog { tables: Vec::new() }
+    }
+
+    /// Adds a table and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `partition_size` or `columns` is zero.
+    pub fn add_table(
+        &mut self,
+        name: &'static str,
+        columns: usize,
+        partition_size: u64,
+    ) -> TableId {
+        assert!(columns > 0, "table {name} must have at least one column");
+        assert!(partition_size > 0, "table {name} partition_size must be > 0");
+        let id = TableId::new(self.tables.len());
+        self.tables.push(TableSchema {
+            id,
+            name,
+            columns,
+            partition_size,
+        });
+        id
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` if the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Looks up a table schema.
+    pub fn table(&self, id: TableId) -> Result<&TableSchema> {
+        self.tables
+            .get(id.as_usize())
+            .ok_or(DynaError::NoSuchTable(id.raw()))
+    }
+
+    /// All schemas in id order.
+    pub fn tables(&self) -> &[TableSchema] {
+        &self.tables
+    }
+
+    /// The partition a key belongs to.
+    pub fn partition_of(&self, key: Key) -> Result<PartitionId> {
+        Ok(self.table(key.table)?.partition_of(key.record))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_table_assigns_sequential_ids() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("a", 2, 100);
+        let b = cat.add_table("b", 3, 10);
+        assert_eq!(a, TableId::new(0));
+        assert_eq!(b, TableId::new(1));
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.table(a).unwrap().name, "a");
+    }
+
+    #[test]
+    fn partition_of_groups_contiguous_keys() {
+        let mut cat = Catalog::new();
+        let t = cat.add_table("t", 1, 100);
+        let p0 = cat.partition_of(Key::new(t, 0)).unwrap();
+        let p99 = cat.partition_of(Key::new(t, 99)).unwrap();
+        let p100 = cat.partition_of(Key::new(t, 100)).unwrap();
+        assert_eq!(p0, p99);
+        assert_ne!(p99, p100);
+    }
+
+    #[test]
+    fn missing_table_is_an_error() {
+        let cat = Catalog::new();
+        assert_eq!(
+            cat.table(TableId::new(3)).unwrap_err(),
+            DynaError::NoSuchTable(3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "partition_size")]
+    fn zero_partition_size_rejected() {
+        Catalog::new().add_table("bad", 1, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Benchmark workloads (paper §VI-A2, Appendix C, Appendix F).
+//!
+//! * [`ycsb`] — YCSB with the paper's modifications: 100-key partitions with
+//!   range correlations, three-key read-modify-writes selected by the
+//!   Bernoulli-neighbour scheme, 200–1000-key scans, uniform or Zipf(0.75)
+//!   access, client affinity periods with churn, and the shuffled-correlation
+//!   variant used by the adaptivity experiment (Fig. 5b).
+//! * [`tpcc`] — TPC-C with the paper's three transaction types (New-Order,
+//!   Payment, Stock-Level), configurable cross-warehouse rates, and
+//!   by-warehouse static partitioning for the baselines.
+//! * [`smallbank`] — SmallBank as the paper describes it: 45% single-row
+//!   updates, 40% two-row transfer updates, 15% two-row Balance reads.
+//!
+//! Every workload implements [`spec::Workload`]: a catalog, a stored
+//! procedure executor, an initial population, the best static partitioning
+//! for the baselines (the paper gives partition-store/multi-master the
+//! Schism-selected partitioning — range for YCSB, by-warehouse for TPC-C),
+//! and per-client transaction generators.
+
+pub mod smallbank;
+pub mod spec;
+pub mod tpcc;
+pub mod ycsb;
+
+pub use smallbank::{SmallBankConfig, SmallBankWorkload};
+pub use spec::{ClientGenerator, GeneratedTxn, TxnKind, Workload};
+pub use tpcc::{TpccConfig, TpccWorkload};
+pub use ycsb::{YcsbConfig, YcsbWorkload};

@@ -1,0 +1,584 @@
+//! SmallBank (paper Appendix F): short transactions that stress the
+//! transaction protocol rather than transaction logic.
+//!
+//! "Transactions access at most two records, which are the minimum necessary
+//! for different sites to master data accessed in the transaction." The
+//! paper's mix: 45% single-row updates (e.g. DepositChecking), 40% two-row
+//! update transfers (SendPayment), 15% read-only two-row Balance.
+
+use std::sync::Arc;
+
+use bytes::{BufMut, Bytes};
+use dynamast_common::codec;
+use dynamast_common::ids::{partition_id, unpack_partition_id, ClientId, Key, SiteId, TableId};
+use dynamast_common::{DynaError, Result, Row, Value};
+use dynamast_site::data_site::StaticOwnerFn;
+use dynamast_site::proc::{ProcCall, ProcExecutor, TxnCtx};
+use dynamast_storage::Catalog;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{debug_assert_declared, ClientGenerator, GeneratedTxn, TxnKind, Workload};
+
+/// Checking-account table.
+pub const CHECKING: TableId = TableId::new(0);
+/// Savings-account table.
+pub const SAVINGS: TableId = TableId::new(1);
+
+/// Deposit into one account (single-row update: DepositChecking /
+/// TransactSavings depending on the target table).
+pub const PROC_DEPOSIT: u32 = 1;
+/// Transfer between two checking accounts (two-row update: SendPayment).
+pub const PROC_SEND_PAYMENT: u32 = 2;
+/// Read one customer's combined balance (read-only, two rows: Balance).
+pub const PROC_BALANCE: u32 = 3;
+/// WriteCheck: read both of a customer's accounts, then debit checking
+/// (with a 1-unit penalty when the check overdraws the combined balance).
+pub const PROC_WRITE_CHECK: u32 = 4;
+/// Amalgamate: move a customer's entire savings and checking into another
+/// customer's checking account (three-row update).
+pub const PROC_AMALGAMATE: u32 = 5;
+
+/// SmallBank configuration.
+#[derive(Clone, Debug)]
+pub struct SmallBankConfig {
+    /// Number of customers.
+    pub num_customers: u64,
+    /// Accounts per partition.
+    pub partition_size: u64,
+    /// Initial balance (cents).
+    pub initial_balance: i64,
+    /// Single-row update fraction (paper: 0.45).
+    pub single_row_fraction: f64,
+    /// Two-row transfer fraction (paper: 0.40). The remainder is Balance.
+    pub transfer_fraction: f64,
+    /// Fraction of account draws taken from the hot set (SmallBank's
+    /// classic hotspot: most operations touch a small set of busy
+    /// accounts, which is what lets an adaptive master placement co-locate
+    /// the action instead of remastering on every uniform pair).
+    pub hotspot_fraction: f64,
+    /// Number of hot accounts.
+    pub hotspot_size: u64,
+    /// Use the extended SmallBank procedure set: the transfer share is
+    /// split between SendPayment, WriteCheck, and Amalgamate instead of
+    /// being pure SendPayment. The paper's mix summary collapses these into
+    /// "two-row updates"; the extended set exercises mixed-table write sets
+    /// (savings + checking) as well.
+    pub extended_mix: bool,
+}
+
+impl Default for SmallBankConfig {
+    fn default() -> Self {
+        SmallBankConfig {
+            num_customers: 20_000,
+            partition_size: 100,
+            initial_balance: 10_000,
+            single_row_fraction: 0.45,
+            transfer_fraction: 0.40,
+            hotspot_fraction: 0.9,
+            hotspot_size: 1_000,
+            extended_mix: false,
+        }
+    }
+}
+
+/// The SmallBank workload.
+pub struct SmallBankWorkload {
+    config: SmallBankConfig,
+}
+
+impl SmallBankWorkload {
+    /// Creates the workload.
+    pub fn new(config: SmallBankConfig) -> Self {
+        assert!(config.num_customers >= config.partition_size * 4);
+        SmallBankWorkload { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SmallBankConfig {
+        &self.config
+    }
+}
+
+impl Workload for SmallBankWorkload {
+    fn catalog(&self) -> Catalog {
+        let mut catalog = Catalog::new();
+        assert_eq!(
+            catalog.add_table("checking", 1, self.config.partition_size),
+            CHECKING
+        );
+        assert_eq!(
+            catalog.add_table("savings", 1, self.config.partition_size),
+            SAVINGS
+        );
+        catalog
+    }
+
+    fn executor(&self) -> Arc<dyn ProcExecutor> {
+        Arc::new(SmallBankExec)
+    }
+
+    fn populate(&self, load: &mut dyn FnMut(Key, Row) -> Result<()>) -> Result<()> {
+        for customer in 0..self.config.num_customers {
+            let row = Row::new(vec![Value::I64(self.config.initial_balance)]);
+            load(Key::new(CHECKING, customer), row.clone())?;
+            load(Key::new(SAVINGS, customer), row)?;
+        }
+        Ok(())
+    }
+
+    fn static_owner(&self, num_sites: usize) -> StaticOwnerFn {
+        // Range partitioning by customer id; checking and savings of the
+        // same customer co-locate because both tables share partition sizes.
+        let num_partitions = self.config.num_customers / self.config.partition_size;
+        Arc::new(move |pid| {
+            let (_, index) = unpack_partition_id(pid);
+            let site = (index * num_sites as u64 / num_partitions.max(1)) as usize;
+            SiteId::new(site.min(num_sites - 1))
+        })
+    }
+
+    fn client(&self, client: ClientId, seed: u64) -> Box<dyn ClientGenerator> {
+        Box::new(SmallBankGen {
+            config: self.config.clone(),
+            rng: SmallRng::seed_from_u64(seed ^ client.raw().wrapping_mul(0xB5C0_FBCF)),
+        })
+    }
+}
+
+struct SmallBankExec;
+
+impl ProcExecutor for SmallBankExec {
+    fn execute(&self, ctx: &mut dyn TxnCtx, call: &ProcCall) -> Result<Bytes> {
+        let mut args = call.args.clone();
+        match call.proc_id {
+            PROC_DEPOSIT => {
+                let amount = codec::get_i64(&mut args)?;
+                let key = *call
+                    .write_set
+                    .first()
+                    .ok_or(DynaError::Internal("deposit without account"))?;
+                let balance = read_balance(ctx, key)?;
+                ctx.write(key, Row::new(vec![Value::I64(balance + amount)]))?;
+                Ok(Bytes::new())
+            }
+            PROC_SEND_PAYMENT => {
+                let amount = codec::get_i64(&mut args)?;
+                let [from, to] = call.write_set[..] else {
+                    return Err(DynaError::Internal("send payment needs two accounts"));
+                };
+                let from_balance = read_balance(ctx, from)?;
+                let to_balance = read_balance(ctx, to)?;
+                ctx.write(from, Row::new(vec![Value::I64(from_balance - amount)]))?;
+                ctx.write(to, Row::new(vec![Value::I64(to_balance + amount)]))?;
+                Ok(Bytes::new())
+            }
+            PROC_BALANCE => {
+                let mut total = 0i64;
+                for key in &call.read_keys {
+                    total += read_balance(ctx, *key)?;
+                }
+                let mut out = Vec::with_capacity(8);
+                out.put_i64(total);
+                Ok(Bytes::from(out))
+            }
+            PROC_WRITE_CHECK => {
+                let amount = codec::get_i64(&mut args)?;
+                // Write set: [checking]; read set additionally: [savings].
+                let [checking] = call.write_set[..] else {
+                    return Err(DynaError::Internal("write check needs one account"));
+                };
+                let savings_key = *call
+                    .read_keys
+                    .first()
+                    .ok_or(DynaError::Internal("write check needs the savings row"))?;
+                let checking_balance = read_balance(ctx, checking)?;
+                let savings_balance = read_balance(ctx, savings_key)?;
+                let penalty = if checking_balance + savings_balance < amount {
+                    1
+                } else {
+                    0
+                };
+                ctx.write(
+                    checking,
+                    Row::new(vec![Value::I64(checking_balance - amount - penalty)]),
+                )?;
+                let mut out = Vec::with_capacity(8);
+                out.put_i64(penalty);
+                Ok(Bytes::from(out))
+            }
+            PROC_AMALGAMATE => {
+                // Write set: [from_savings, from_checking, to_checking].
+                let [from_savings, from_checking, to_checking] = call.write_set[..] else {
+                    return Err(DynaError::Internal("amalgamate needs three accounts"));
+                };
+                let savings_balance = read_balance(ctx, from_savings)?;
+                let checking_balance = read_balance(ctx, from_checking)?;
+                let target_balance = read_balance(ctx, to_checking)?;
+                ctx.write(from_savings, Row::new(vec![Value::I64(0)]))?;
+                ctx.write(from_checking, Row::new(vec![Value::I64(0)]))?;
+                ctx.write(
+                    to_checking,
+                    Row::new(vec![Value::I64(
+                        target_balance + savings_balance + checking_balance,
+                    )]),
+                )?;
+                Ok(Bytes::new())
+            }
+            _ => Err(DynaError::Internal("unknown smallbank procedure")),
+        }
+    }
+}
+
+fn read_balance(ctx: &mut dyn TxnCtx, key: Key) -> Result<i64> {
+    match ctx.read(key)? {
+        Some(row) => row.cell(0).as_i64(),
+        None => Err(DynaError::NoSuchRecord(key)),
+    }
+}
+
+struct SmallBankGen {
+    config: SmallBankConfig,
+    rng: SmallRng,
+}
+
+impl SmallBankGen {
+    fn customer(&mut self) -> u64 {
+        let hot = self.config.hotspot_size.min(self.config.num_customers);
+        if hot > 0 && self.rng.gen_bool(self.config.hotspot_fraction.clamp(0.0, 1.0)) {
+            self.rng.gen_range(0..hot)
+        } else {
+            self.rng.gen_range(0..self.config.num_customers)
+        }
+    }
+}
+
+impl SmallBankGen {
+    fn write_check(&mut self) -> GeneratedTxn {
+        let customer = self.customer();
+        let mut args = Vec::with_capacity(8);
+        args.put_i64(self.rng.gen_range(1..1500));
+        let call = ProcCall {
+            proc_id: PROC_WRITE_CHECK,
+            args: Bytes::from(args),
+            write_set: vec![Key::new(CHECKING, customer)],
+            read_keys: vec![Key::new(SAVINGS, customer)],
+            read_ranges: vec![],
+        };
+        debug_assert_declared(&call, TxnKind::Update);
+        GeneratedTxn {
+            call,
+            kind: TxnKind::Update,
+            label: "multi-row-update",
+        }
+    }
+
+    fn amalgamate(&mut self) -> GeneratedTxn {
+        let from = self.customer();
+        let mut to = self.customer();
+        while to == from {
+            to = self.customer();
+        }
+        let call = ProcCall {
+            proc_id: PROC_AMALGAMATE,
+            args: Bytes::new(),
+            write_set: vec![
+                Key::new(SAVINGS, from),
+                Key::new(CHECKING, from),
+                Key::new(CHECKING, to),
+            ],
+            read_keys: vec![],
+            read_ranges: vec![],
+        };
+        debug_assert_declared(&call, TxnKind::Update);
+        GeneratedTxn {
+            call,
+            kind: TxnKind::Update,
+            label: "multi-row-update",
+        }
+    }
+}
+
+impl ClientGenerator for SmallBankGen {
+    fn next_txn(&mut self) -> GeneratedTxn {
+        let roll: f64 = self.rng.gen();
+        let single = self.config.single_row_fraction;
+        let transfer = self.config.transfer_fraction;
+        if roll < single {
+            // DepositChecking / TransactSavings, evenly split.
+            let table = if self.rng.gen_bool(0.5) { CHECKING } else { SAVINGS };
+            let key = Key::new(table, self.customer());
+            let mut args = Vec::with_capacity(8);
+            args.put_i64(self.rng.gen_range(1..1000));
+            let call = ProcCall {
+                proc_id: PROC_DEPOSIT,
+                args: Bytes::from(args),
+                write_set: vec![key],
+                read_keys: vec![],
+                read_ranges: vec![],
+            };
+            debug_assert_declared(&call, TxnKind::Update);
+            GeneratedTxn {
+                call,
+                kind: TxnKind::Update,
+                label: "single-row-update",
+            }
+        } else if roll < single + transfer {
+            if self.config.extended_mix {
+                // Split the multi-row share: half SendPayment, a quarter
+                // each WriteCheck and Amalgamate.
+                let pick: f64 = self.rng.gen();
+                if pick < 0.25 {
+                    return self.write_check();
+                } else if pick < 0.5 {
+                    return self.amalgamate();
+                }
+            }
+            let from = self.customer();
+            let mut to = self.customer();
+            while to == from {
+                to = self.customer();
+            }
+            let mut args = Vec::with_capacity(8);
+            args.put_i64(self.rng.gen_range(1..500));
+            let call = ProcCall {
+                proc_id: PROC_SEND_PAYMENT,
+                args: Bytes::from(args),
+                write_set: vec![Key::new(CHECKING, from), Key::new(CHECKING, to)],
+                read_keys: vec![],
+                read_ranges: vec![],
+            };
+            debug_assert_declared(&call, TxnKind::Update);
+            GeneratedTxn {
+                call,
+                kind: TxnKind::Update,
+                label: "multi-row-update",
+            }
+        } else {
+            let customer = self.customer();
+            let call = ProcCall {
+                proc_id: PROC_BALANCE,
+                args: Bytes::new(),
+                write_set: vec![],
+                read_keys: vec![Key::new(CHECKING, customer), Key::new(SAVINGS, customer)],
+                read_ranges: vec![],
+            };
+            debug_assert_declared(&call, TxnKind::ReadOnly);
+            GeneratedTxn {
+                call,
+                kind: TxnKind::ReadOnly,
+                label: "balance",
+            }
+        }
+    }
+}
+
+/// All partitions of the workload across both tables.
+pub fn all_partitions(config: &SmallBankConfig) -> Vec<dynamast_common::ids::PartitionId> {
+    let per_table = config.num_customers / config.partition_size;
+    (0..per_table)
+        .flat_map(|i| [partition_id(CHECKING, i), partition_id(SAVINGS, i)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Buf;
+    use dynamast_common::VersionVector;
+    use dynamast_site::proc::{LocalCtx, ReadMode};
+    use dynamast_storage::{Store, VersionStamp};
+
+    fn setup() -> (SmallBankWorkload, Store) {
+        let w = SmallBankWorkload::new(SmallBankConfig {
+            num_customers: 1000,
+            ..SmallBankConfig::default()
+        });
+        let store = Store::new(w.catalog(), 4);
+        w.populate(&mut |key, row| {
+            store.install(key, VersionStamp::new(SiteId::new(0), 0), row)
+        })
+        .unwrap();
+        (w, store)
+    }
+
+    #[test]
+    fn mix_matches_configured_fractions() {
+        let (w, _) = setup();
+        let mut g = w.client(ClientId::new(1), 9);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..5000 {
+            let txn = g.next_txn();
+            *counts.entry(txn.label).or_insert(0u32) += 1;
+        }
+        let single = counts["single-row-update"] as f64 / 5000.0;
+        let multi = counts["multi-row-update"] as f64 / 5000.0;
+        let balance = counts["balance"] as f64 / 5000.0;
+        assert!((single - 0.45).abs() < 0.03, "single {single}");
+        assert!((multi - 0.40).abs() < 0.03, "multi {multi}");
+        assert!((balance - 0.15).abs() < 0.03, "balance {balance}");
+    }
+
+    #[test]
+    fn send_payment_conserves_money() {
+        let (w, store) = setup();
+        let exec = w.executor();
+        let begin = VersionVector::from_counts(vec![0]);
+        let mut args = Vec::new();
+        args.put_i64(250);
+        let call = ProcCall {
+            proc_id: PROC_SEND_PAYMENT,
+            args: Bytes::from(args),
+            write_set: vec![Key::new(CHECKING, 1), Key::new(CHECKING, 2)],
+            read_keys: vec![],
+            read_ranges: vec![],
+        };
+        let mut ctx = LocalCtx::new(&store, &begin, ReadMode::Snapshot, &call.write_set);
+        exec.execute(&mut ctx, &call).unwrap();
+        let writes = ctx.into_writes();
+        let total: i64 = writes
+            .iter()
+            .map(|(_, row)| row.cell(0).as_i64().unwrap())
+            .sum();
+        assert_eq!(total, 20_000, "sum of both balances unchanged");
+        assert_eq!(writes[0].1.cell(0).as_i64().unwrap(), 9_750);
+        assert_eq!(writes[1].1.cell(0).as_i64().unwrap(), 10_250);
+    }
+
+    #[test]
+    fn balance_sums_checking_and_savings() {
+        let (w, store) = setup();
+        let exec = w.executor();
+        let begin = VersionVector::from_counts(vec![0]);
+        let call = ProcCall {
+            proc_id: PROC_BALANCE,
+            args: Bytes::new(),
+            write_set: vec![],
+            read_keys: vec![Key::new(CHECKING, 7), Key::new(SAVINGS, 7)],
+            read_ranges: vec![],
+        };
+        let mut ctx = LocalCtx::new(&store, &begin, ReadMode::Snapshot, &[]);
+        let out = exec.execute(&mut ctx, &call).unwrap();
+        let mut slice = &out[..];
+        assert_eq!(slice.get_i64(), 20_000);
+    }
+
+    #[test]
+    fn deposit_to_missing_account_errors() {
+        let (w, store) = setup();
+        let exec = w.executor();
+        let begin = VersionVector::from_counts(vec![0]);
+        let mut args = Vec::new();
+        args.put_i64(10);
+        let call = ProcCall {
+            proc_id: PROC_DEPOSIT,
+            args: Bytes::from(args),
+            write_set: vec![Key::new(CHECKING, 999_999)],
+            read_keys: vec![],
+            read_ranges: vec![],
+        };
+        let mut ctx = LocalCtx::new(&store, &begin, ReadMode::Snapshot, &call.write_set);
+        assert!(exec.execute(&mut ctx, &call).is_err());
+    }
+
+    #[test]
+    fn write_check_applies_overdraft_penalty() {
+        let (w, store) = setup();
+        let exec = w.executor();
+        let begin = VersionVector::from_counts(vec![0]);
+        // Balance is 20_000 combined; a 25_000 check overdraws → penalty 1.
+        let mut args = Vec::new();
+        args.put_i64(25_000);
+        let call = ProcCall {
+            proc_id: PROC_WRITE_CHECK,
+            args: Bytes::from(args),
+            write_set: vec![Key::new(CHECKING, 4)],
+            read_keys: vec![Key::new(SAVINGS, 4)],
+            read_ranges: vec![],
+        };
+        let mut ctx = LocalCtx::new(&store, &begin, ReadMode::Snapshot, &call.write_set);
+        let out = exec.execute(&mut ctx, &call).unwrap();
+        let mut slice = &out[..];
+        assert_eq!(slice.get_i64(), 1, "penalty must apply");
+        let writes = ctx.into_writes();
+        assert_eq!(writes[0].1.cell(0).as_i64().unwrap(), 10_000 - 25_000 - 1);
+        // A covered check has no penalty.
+        let mut args = Vec::new();
+        args.put_i64(5_000);
+        let call = ProcCall {
+            proc_id: PROC_WRITE_CHECK,
+            args: Bytes::from(args),
+            write_set: vec![Key::new(CHECKING, 5)],
+            read_keys: vec![Key::new(SAVINGS, 5)],
+            read_ranges: vec![],
+        };
+        let mut ctx = LocalCtx::new(&store, &begin, ReadMode::Snapshot, &call.write_set);
+        let out = exec.execute(&mut ctx, &call).unwrap();
+        let mut slice = &out[..];
+        assert_eq!(slice.get_i64(), 0);
+    }
+
+    #[test]
+    fn amalgamate_moves_everything_and_conserves_money() {
+        let (w, store) = setup();
+        let exec = w.executor();
+        let begin = VersionVector::from_counts(vec![0]);
+        let call = ProcCall {
+            proc_id: PROC_AMALGAMATE,
+            args: Bytes::new(),
+            write_set: vec![
+                Key::new(SAVINGS, 1),
+                Key::new(CHECKING, 1),
+                Key::new(CHECKING, 2),
+            ],
+            read_keys: vec![],
+            read_ranges: vec![],
+        };
+        let mut ctx = LocalCtx::new(&store, &begin, ReadMode::Snapshot, &call.write_set);
+        exec.execute(&mut ctx, &call).unwrap();
+        let writes = ctx.into_writes();
+        assert_eq!(writes.len(), 3);
+        assert_eq!(writes[0].1.cell(0).as_i64().unwrap(), 0); // savings zeroed
+        assert_eq!(writes[1].1.cell(0).as_i64().unwrap(), 0); // checking zeroed
+        assert_eq!(writes[2].1.cell(0).as_i64().unwrap(), 30_000); // all moved
+        let total: i64 = writes
+            .iter()
+            .map(|(_, row)| row.cell(0).as_i64().unwrap())
+            .sum();
+        assert_eq!(total, 30_000);
+    }
+
+    #[test]
+    fn extended_mix_emits_all_procedures() {
+        let w = SmallBankWorkload::new(SmallBankConfig {
+            num_customers: 1000,
+            extended_mix: true,
+            ..SmallBankConfig::default()
+        });
+        let mut g = w.client(ClientId::new(1), 21);
+        let mut procs = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            procs.insert(g.next_txn().call.proc_id);
+        }
+        for proc in [
+            PROC_DEPOSIT,
+            PROC_SEND_PAYMENT,
+            PROC_BALANCE,
+            PROC_WRITE_CHECK,
+            PROC_AMALGAMATE,
+        ] {
+            assert!(procs.contains(&proc), "procedure {proc} never generated");
+        }
+    }
+
+    #[test]
+    fn static_owner_colocates_checking_and_savings() {
+        let (w, _) = setup();
+        let owner = w.static_owner(4);
+        for customer in [0u64, 99, 500, 999] {
+            let p_check = partition_id(CHECKING, customer / 100);
+            let p_save = partition_id(SAVINGS, customer / 100);
+            assert_eq!(owner(p_check), owner(p_save));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The workload interface consumed by the benchmark harness.
+
+use std::sync::Arc;
+
+use dynamast_common::ids::{ClientId, Key, TableId};
+use dynamast_common::{Result, Row};
+use dynamast_site::data_site::StaticOwnerFn;
+use dynamast_site::proc::{ProcCall, ProcExecutor};
+use dynamast_storage::Catalog;
+
+/// Whether a generated transaction updates data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnKind {
+    /// Update transaction (non-empty write set).
+    Update,
+    /// Read-only transaction.
+    ReadOnly,
+}
+
+/// One generated transaction with its reporting label (the paper reports
+/// per-transaction-class latencies, e.g. "New-Order", "Balance").
+#[derive(Clone, Debug)]
+pub struct GeneratedTxn {
+    /// The invocable call.
+    pub call: ProcCall,
+    /// Update or read-only.
+    pub kind: TxnKind,
+    /// Transaction-class label for reports.
+    pub label: &'static str,
+}
+
+/// A per-client transaction stream. Generators are deterministic given the
+/// seed they were created with.
+pub trait ClientGenerator: Send {
+    /// Produces the client's next transaction.
+    fn next_txn(&mut self) -> GeneratedTxn;
+}
+
+/// A benchmark workload: schema, stored procedures, data, partitioning and
+/// transaction streams.
+pub trait Workload: Send + Sync {
+    /// The workload's table catalog.
+    fn catalog(&self) -> Catalog;
+
+    /// The stored-procedure executor data sites run.
+    fn executor(&self) -> Arc<dyn ProcExecutor>;
+
+    /// Streams the initial database into `load` (row by row).
+    fn populate(&self, load: &mut dyn FnMut(Key, Row) -> Result<()>) -> Result<()>;
+
+    /// The best static partitioning for the baselines (the Schism choice the
+    /// paper grants them: range for YCSB, by-warehouse for TPC-C).
+    fn static_owner(&self, num_sites: usize) -> StaticOwnerFn;
+
+    /// Tables that are static and read-only (e.g. TPC-C `item`); the paper's
+    /// partition-store replicates these everywhere despite being otherwise
+    /// unreplicated.
+    fn static_tables(&self) -> Vec<TableId> {
+        Vec::new()
+    }
+
+    /// Creates the transaction stream for one client.
+    fn client(&self, client: ClientId, seed: u64) -> Box<dyn ClientGenerator>;
+}
+
+/// Helper: a read-only `ProcCall` sanity check used by generators in debug
+/// builds.
+pub fn debug_assert_declared(call: &ProcCall, kind: TxnKind) {
+    match kind {
+        TxnKind::Update => debug_assert!(
+            !call.write_set.is_empty(),
+            "update transaction must declare writes"
+        ),
+        TxnKind::ReadOnly => debug_assert!(
+            call.write_set.is_empty(),
+            "read-only transaction must not declare writes"
+        ),
+    }
+}

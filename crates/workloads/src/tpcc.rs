@@ -1,0 +1,867 @@
+//! TPC-C with the paper's three transaction types (§VI-A2):
+//! New-Order and Payment (update-intensive) and Stock-Level (read-only) —
+//! "the bulk of both the workload and distributed transactions".
+//!
+//! Scaled for an in-process reproduction: warehouses, items, and customers
+//! per district are configurable (the paper runs 10 warehouses and 100,000
+//! items on 8 machines). Key encodings keep every table partitionable *by
+//! warehouse* — the Schism-confirmed best static partitioning the baselines
+//! receive — while DynaMast must learn the same placement through its
+//! strategies:
+//!
+//! | table | key | partition |
+//! |---|---|---|
+//! | warehouse | `w` | one per warehouse |
+//! | district | `w·DPW + d` | one per warehouse |
+//! | customer | `(w·DPW + d)·CPD + c` | one per district |
+//! | item (static) | `i` | single, replicated everywhere |
+//! | stock | `w·ITEMS + i` | 100-item groups, never crossing warehouses |
+//! | orders | `(w·DPW + d)·2²⁰ + o` | one per district |
+//! | order_line | `order_key·2⁴ + l` | one per district |
+//! | history | `(w·DPW + d)·2²⁰ + h` | one per district |
+//!
+//! Order ids come from shared per-district counters owned by the *workload*
+//! (reconnaissance-style: the paper's system model requires write sets up
+//! front, so the order id must be known before execution). Stock-Level's
+//! read set is likewise predeclared from a shared registry of each
+//! district's 20 most recent orders.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::{BufMut, Bytes};
+use dynamast_common::codec;
+use dynamast_common::ids::{unpack_partition_id, ClientId, Key, SiteId, TableId};
+use dynamast_common::{DynaError, Result, Row, Value};
+use dynamast_site::data_site::StaticOwnerFn;
+use dynamast_site::proc::{ProcCall, ProcExecutor, TxnCtx};
+use dynamast_storage::Catalog;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{debug_assert_declared, ClientGenerator, GeneratedTxn, TxnKind, Workload};
+
+/// Warehouse table.
+pub const WAREHOUSE: TableId = TableId::new(0);
+/// District table.
+pub const DISTRICT: TableId = TableId::new(1);
+/// Customer table.
+pub const CUSTOMER: TableId = TableId::new(2);
+/// Item table (static, read-only, replicated everywhere).
+pub const ITEM: TableId = TableId::new(3);
+/// Stock table.
+pub const STOCK: TableId = TableId::new(4);
+/// Orders table.
+pub const ORDERS: TableId = TableId::new(5);
+/// Order-line table.
+pub const ORDER_LINE: TableId = TableId::new(6);
+/// History table.
+pub const HISTORY: TableId = TableId::new(7);
+
+/// New-Order procedure id.
+pub const PROC_NEW_ORDER: u32 = 1;
+/// Payment procedure id.
+pub const PROC_PAYMENT: u32 = 2;
+/// Stock-Level procedure id.
+pub const PROC_STOCK_LEVEL: u32 = 3;
+
+const ORDER_SHIFT: u64 = 20;
+const LINE_SHIFT: u64 = 4;
+/// Maximum order lines per order (TPC-C: 5–15).
+pub const MAX_LINES: u64 = 15;
+
+/// TPC-C configuration (scaled-down defaults).
+#[derive(Clone, Debug)]
+pub struct TpccConfig {
+    /// Number of warehouses (paper: 10).
+    pub warehouses: u64,
+    /// Districts per warehouse (TPC-C: 10).
+    pub districts_per_warehouse: u64,
+    /// Customers per district (TPC-C: 3000; scaled).
+    pub customers_per_district: u64,
+    /// Item count (paper: 100,000; scaled).
+    pub num_items: u64,
+    /// Fraction of New-Order transactions that include remote-warehouse
+    /// stock (the §VI-B3 sweep varies this 0 → 1/3).
+    pub neworder_remote_fraction: f64,
+    /// Fraction of Payment transactions paying for a remote customer
+    /// (TPC-C and the paper: 15%).
+    pub payment_remote_fraction: f64,
+    /// Transaction mix: New-Order fraction (paper default 45%).
+    pub neworder_fraction: f64,
+    /// Transaction mix: Payment fraction (paper default 45%; the rest is
+    /// Stock-Level).
+    pub payment_fraction: f64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig {
+            warehouses: 8,
+            districts_per_warehouse: 10,
+            customers_per_district: 300,
+            num_items: 1000,
+            neworder_remote_fraction: 0.10,
+            payment_remote_fraction: 0.15,
+            neworder_fraction: 0.45,
+            payment_fraction: 0.45,
+        }
+    }
+}
+
+impl TpccConfig {
+    /// Global district index.
+    pub fn district_index(&self, warehouse: u64, district: u64) -> u64 {
+        warehouse * self.districts_per_warehouse + district
+    }
+
+    /// District record key.
+    pub fn district_key(&self, warehouse: u64, district: u64) -> Key {
+        Key::new(DISTRICT, self.district_index(warehouse, district))
+    }
+
+    /// Customer record key.
+    pub fn customer_key(&self, warehouse: u64, district: u64, customer: u64) -> Key {
+        Key::new(
+            CUSTOMER,
+            self.district_index(warehouse, district) * self.customers_per_district + customer,
+        )
+    }
+
+    /// Stock record key.
+    pub fn stock_key(&self, warehouse: u64, item: u64) -> Key {
+        Key::new(STOCK, warehouse * self.num_items + item)
+    }
+
+    /// Order record key.
+    pub fn order_key(&self, warehouse: u64, district: u64, order: u64) -> Key {
+        Key::new(
+            ORDERS,
+            (self.district_index(warehouse, district) << ORDER_SHIFT) | order,
+        )
+    }
+
+    /// Order-line record key.
+    pub fn order_line_key(&self, warehouse: u64, district: u64, order: u64, line: u64) -> Key {
+        Key::new(
+            ORDER_LINE,
+            (((self.district_index(warehouse, district) << ORDER_SHIFT) | order) << LINE_SHIFT)
+                | line,
+        )
+    }
+
+    /// History record key.
+    pub fn history_key(&self, warehouse: u64, district: u64, seq: u64) -> Key {
+        Key::new(
+            HISTORY,
+            (self.district_index(warehouse, district) << ORDER_SHIFT) | seq,
+        )
+    }
+
+    fn num_districts(&self) -> u64 {
+        self.warehouses * self.districts_per_warehouse
+    }
+
+    /// Stock partition-group size: 100 items, shrunk to divide the item
+    /// count evenly so groups never straddle a warehouse boundary.
+    pub fn stock_group(&self) -> u64 {
+        let mut group = 100u64.min(self.num_items);
+        while !self.num_items.is_multiple_of(group) {
+            group -= 1;
+        }
+        group
+    }
+}
+
+/// `(order id, (item, supply warehouse) per line)` entries of one district.
+type DistrictOrders = Vec<(u64, Vec<(u64, u64)>)>;
+
+/// Recent orders per district for Stock-Level read-set construction.
+struct RecentOrders {
+    per_district: Vec<Mutex<DistrictOrders>>,
+}
+
+impl RecentOrders {
+    fn new(districts: usize) -> Self {
+        RecentOrders {
+            per_district: (0..districts).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn record(&self, district_index: u64, order: u64, items: Vec<(u64, u64)>) {
+        let mut recent = self.per_district[district_index as usize].lock();
+        recent.push((order, items));
+        if recent.len() > 20 {
+            recent.remove(0);
+        }
+    }
+
+    fn snapshot(&self, district_index: u64) -> Vec<(u64, Vec<(u64, u64)>)> {
+        self.per_district[district_index as usize].lock().clone()
+    }
+}
+
+/// The TPC-C workload.
+pub struct TpccWorkload {
+    config: TpccConfig,
+    /// Next order id per district (shared across clients).
+    order_counters: Arc<Vec<AtomicU64>>,
+    /// Next history sequence per district.
+    history_counters: Arc<Vec<AtomicU64>>,
+    recent: Arc<RecentOrders>,
+}
+
+impl TpccWorkload {
+    /// Creates the workload.
+    pub fn new(config: TpccConfig) -> Self {
+        assert!(config.warehouses >= 1);
+        assert!(config.num_items >= 100);
+        assert!(
+            config.customers_per_district >= 10,
+            "need at least 10 customers per district"
+        );
+        let districts = config.num_districts() as usize;
+        TpccWorkload {
+            order_counters: Arc::new((0..districts).map(|_| AtomicU64::new(0)).collect()),
+            history_counters: Arc::new((0..districts).map(|_| AtomicU64::new(0)).collect()),
+            recent: Arc::new(RecentOrders::new(districts)),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TpccConfig {
+        &self.config
+    }
+}
+
+impl Workload for TpccWorkload {
+    fn catalog(&self) -> Catalog {
+        let c = &self.config;
+        let mut catalog = Catalog::new();
+        assert_eq!(catalog.add_table("warehouse", 1, 1), WAREHOUSE);
+        assert_eq!(
+            catalog.add_table("district", 2, c.districts_per_warehouse),
+            DISTRICT
+        );
+        // Customer partitions are per district and stock partitions are
+        // 100-item groups: fine enough that a cross-warehouse transaction
+        // remasters only the few groups it touches instead of a whole
+        // warehouse's rows (the paper's selector "supports grouping of data
+        // items into partitions"; whole-warehouse groups would false-share
+        // catastrophically under remote transactions).
+        assert_eq!(
+            catalog.add_table("customer", 1, c.customers_per_district),
+            CUSTOMER
+        );
+        assert_eq!(catalog.add_table("item", 1, c.num_items), ITEM);
+        assert_eq!(catalog.add_table("stock", 1, c.stock_group()), STOCK);
+        assert_eq!(catalog.add_table("orders", 3, 1 << ORDER_SHIFT), ORDERS);
+        assert_eq!(
+            catalog.add_table("order_line", 4, 1 << (ORDER_SHIFT + LINE_SHIFT)),
+            ORDER_LINE
+        );
+        assert_eq!(catalog.add_table("history", 1, 1 << ORDER_SHIFT), HISTORY);
+        catalog
+    }
+
+    fn executor(&self) -> Arc<dyn ProcExecutor> {
+        Arc::new(TpccExec {
+            config: self.config.clone(),
+        })
+    }
+
+    fn populate(&self, load: &mut dyn FnMut(Key, Row) -> Result<()>) -> Result<()> {
+        let c = &self.config;
+        for w in 0..c.warehouses {
+            load(Key::new(WAREHOUSE, w), Row::new(vec![Value::I64(0)]))?;
+            for d in 0..c.districts_per_warehouse {
+                // District: [ytd, committed order count].
+                load(
+                    c.district_key(w, d),
+                    Row::new(vec![Value::I64(0), Value::U64(0)]),
+                )?;
+                for cust in 0..c.customers_per_district {
+                    load(
+                        c.customer_key(w, d, cust),
+                        Row::new(vec![Value::I64(-1000)]), // C_BALANCE starts at -10.00
+                    )?;
+                }
+            }
+            for i in 0..c.num_items {
+                load(c.stock_key(w, i), Row::new(vec![Value::I64(100)]))?;
+            }
+        }
+        for i in 0..c.num_items {
+            // I_PRICE in cents, deterministic.
+            load(
+                Key::new(ITEM, i),
+                Row::new(vec![Value::I64(100 + (i as i64 * 37) % 9900)]),
+            )?;
+        }
+        Ok(())
+    }
+
+    fn static_owner(&self, num_sites: usize) -> StaticOwnerFn {
+        // By-warehouse partitioning (Schism's choice, §VI-B2).
+        let config = self.config.clone();
+        Arc::new(move |pid| {
+            let (table, index) = unpack_partition_id(pid);
+            let warehouse = match table {
+                WAREHOUSE => index,
+                DISTRICT => index, // partition size = DPW ⇒ index is w
+                CUSTOMER | ORDERS | ORDER_LINE | HISTORY => {
+                    index / config.districts_per_warehouse
+                }
+                STOCK => index / (config.num_items / config.stock_group()),
+                _ => 0, // ITEM: static/replicated; owner is irrelevant
+            };
+            SiteId::new((warehouse % num_sites as u64) as usize)
+        })
+    }
+
+    fn static_tables(&self) -> Vec<TableId> {
+        vec![ITEM]
+    }
+
+    fn client(&self, client: ClientId, seed: u64) -> Box<dyn ClientGenerator> {
+        let home = client.raw() % self.config.warehouses;
+        Box::new(TpccGen {
+            config: self.config.clone(),
+            home_warehouse: home,
+            order_counters: Arc::clone(&self.order_counters),
+            history_counters: Arc::clone(&self.history_counters),
+            recent: Arc::clone(&self.recent),
+            rng: SmallRng::seed_from_u64(seed ^ client.raw().wrapping_mul(0x1234_5677)),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stored procedures
+// ---------------------------------------------------------------------
+
+/// Argument layouts (explicit byte codec):
+///
+/// * New-Order: `w, d, c, o_id, n, n × (item, supply_w, qty)`
+/// * Payment: `w, d, c_w, c_d, c, amount, h_seq`
+/// * Stock-Level: `w, d, threshold`
+struct TpccExec {
+    config: TpccConfig,
+}
+
+impl ProcExecutor for TpccExec {
+    fn execute(&self, ctx: &mut dyn TxnCtx, call: &ProcCall) -> Result<Bytes> {
+        match call.proc_id {
+            PROC_NEW_ORDER => self.new_order(ctx, call),
+            PROC_PAYMENT => self.payment(ctx, call),
+            PROC_STOCK_LEVEL => self.stock_level(ctx, call),
+            _ => Err(DynaError::Internal("unknown tpcc procedure")),
+        }
+    }
+}
+
+impl TpccExec {
+    fn new_order(&self, ctx: &mut dyn TxnCtx, call: &ProcCall) -> Result<Bytes> {
+        let c = &self.config;
+        let mut a = call.args.clone();
+        let w = codec::get_u64(&mut a)?;
+        let d = codec::get_u64(&mut a)?;
+        let cust = codec::get_u64(&mut a)?;
+        let o_id = codec::get_u64(&mut a)?;
+        let n = codec::get_u32(&mut a)? as u64;
+
+        // Reads: warehouse (tax), customer (discount), per-line item price.
+        let _warehouse = must_read(ctx, Key::new(WAREHOUSE, w))?;
+        let _customer = must_read(ctx, c.customer_key(w, d, cust))?;
+
+        let mut total = 0i64;
+        for line in 0..n {
+            let item = codec::get_u64(&mut a)?;
+            let supply_w = codec::get_u64(&mut a)?;
+            let qty = codec::get_u64(&mut a)? as i64;
+            let price = must_read(ctx, Key::new(ITEM, item))?.cell(0).as_i64()?;
+            // Stock decrement with TPC-C's reload rule.
+            let stock_key = c.stock_key(supply_w, item);
+            let mut quantity = must_read(ctx, stock_key)?.cell(0).as_i64()?;
+            quantity -= qty;
+            if quantity < 10 {
+                quantity += 91;
+            }
+            ctx.write(stock_key, Row::new(vec![Value::I64(quantity)]))?;
+            let amount = price * qty;
+            total += amount;
+            ctx.write(
+                c.order_line_key(w, d, o_id, line),
+                Row::new(vec![
+                    Value::U64(item),
+                    Value::U64(supply_w),
+                    Value::U64(qty as u64),
+                    Value::I64(amount),
+                ]),
+            )?;
+        }
+        // Insert the order and bump the district's committed-order count.
+        ctx.write(
+            c.order_key(w, d, o_id),
+            Row::new(vec![Value::U64(cust), Value::U64(n), Value::I64(total)]),
+        )?;
+        let district_key = c.district_key(w, d);
+        let district = must_read(ctx, district_key)?;
+        let ytd = district.cell(0).as_i64()?;
+        let committed = district.cell(1).as_u64()?;
+        ctx.write(
+            district_key,
+            Row::new(vec![Value::I64(ytd), Value::U64(committed + 1)]),
+        )?;
+        let mut out = Vec::with_capacity(8);
+        out.put_i64(total);
+        Ok(Bytes::from(out))
+    }
+
+    fn payment(&self, ctx: &mut dyn TxnCtx, call: &ProcCall) -> Result<Bytes> {
+        let c = &self.config;
+        let mut a = call.args.clone();
+        let w = codec::get_u64(&mut a)?;
+        let d = codec::get_u64(&mut a)?;
+        let c_w = codec::get_u64(&mut a)?;
+        let c_d = codec::get_u64(&mut a)?;
+        let cust = codec::get_u64(&mut a)?;
+        let amount = codec::get_i64(&mut a)?;
+        let h_seq = codec::get_u64(&mut a)?;
+
+        let wh_key = Key::new(WAREHOUSE, w);
+        let wh_ytd = must_read(ctx, wh_key)?.cell(0).as_i64()?;
+        ctx.write(wh_key, Row::new(vec![Value::I64(wh_ytd + amount)]))?;
+
+        let district_key = c.district_key(w, d);
+        let district = must_read(ctx, district_key)?;
+        let d_ytd = district.cell(0).as_i64()?;
+        let committed = district.cell(1).as_u64()?;
+        ctx.write(
+            district_key,
+            Row::new(vec![Value::I64(d_ytd + amount), Value::U64(committed)]),
+        )?;
+
+        let cust_key = c.customer_key(c_w, c_d, cust);
+        let balance = must_read(ctx, cust_key)?.cell(0).as_i64()?;
+        ctx.write(cust_key, Row::new(vec![Value::I64(balance - amount)]))?;
+
+        ctx.write(
+            c.history_key(w, d, h_seq),
+            Row::new(vec![Value::I64(amount)]),
+        )?;
+        Ok(Bytes::new())
+    }
+
+    fn stock_level(&self, ctx: &mut dyn TxnCtx, call: &ProcCall) -> Result<Bytes> {
+        let mut a = call.args.clone();
+        let _w = codec::get_u64(&mut a)?;
+        let _d = codec::get_u64(&mut a)?;
+        let threshold = codec::get_i64(&mut a)?;
+        // Count distinct low-stock items among the declared read keys
+        // (order lines give items; stock keys give quantities).
+        let mut low = 0u64;
+        for key in &call.read_keys {
+            if key.table != STOCK {
+                // Order-line rows (or the district row) may be unreplicated
+                // at this snapshot yet; skip silently like a real scan of a
+                // possibly-shorter order list.
+                let _ = ctx.read(*key)?;
+                continue;
+            }
+            if let Some(row) = ctx.read(*key)? {
+                if row.cell(0).as_i64()? < threshold {
+                    low += 1;
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(8);
+        out.put_u64(low);
+        Ok(Bytes::from(out))
+    }
+}
+
+fn must_read(ctx: &mut dyn TxnCtx, key: Key) -> Result<Row> {
+    ctx.read(key)?.ok_or(DynaError::NoSuchRecord(key))
+}
+
+// ---------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------
+
+struct TpccGen {
+    config: TpccConfig,
+    home_warehouse: u64,
+    order_counters: Arc<Vec<AtomicU64>>,
+    history_counters: Arc<Vec<AtomicU64>>,
+    recent: Arc<RecentOrders>,
+    rng: SmallRng,
+}
+
+impl TpccGen {
+    fn remote_warehouse(&mut self) -> u64 {
+        if self.config.warehouses == 1 {
+            return self.home_warehouse;
+        }
+        loop {
+            let w = self.rng.gen_range(0..self.config.warehouses);
+            if w != self.home_warehouse {
+                return w;
+            }
+        }
+    }
+
+    fn new_order(&mut self) -> GeneratedTxn {
+        let c = self.config.clone();
+        let w = self.home_warehouse;
+        let d = self.rng.gen_range(0..c.districts_per_warehouse);
+        let cust = self.rng.gen_range(0..c.customers_per_district);
+        let district_index = c.district_index(w, d);
+        let o_id = self.order_counters[district_index as usize].fetch_add(1, Ordering::Relaxed);
+        let n = self.rng.gen_range(5..=MAX_LINES);
+        let cross = self.rng.gen_bool(c.neworder_remote_fraction.clamp(0.0, 1.0));
+        let remote_lines = if cross { self.rng.gen_range(1..=2) } else { 0 };
+
+        let mut items: Vec<(u64, u64, u64)> = Vec::with_capacity(n as usize);
+        let mut used = std::collections::HashSet::new();
+        for line in 0..n {
+            let mut item = self.rng.gen_range(0..c.num_items);
+            while !used.insert(item) {
+                item = self.rng.gen_range(0..c.num_items);
+            }
+            let supply_w = if line < remote_lines {
+                self.remote_warehouse()
+            } else {
+                w
+            };
+            let qty = self.rng.gen_range(1..=10u64);
+            items.push((item, supply_w, qty));
+        }
+
+        let mut args = Vec::with_capacity(64);
+        args.put_u64(w);
+        args.put_u64(d);
+        args.put_u64(cust);
+        args.put_u64(o_id);
+        args.put_u32(items.len() as u32);
+        let mut write_set = Vec::with_capacity(3 + 2 * items.len());
+        let mut read_keys = vec![Key::new(WAREHOUSE, w), c.customer_key(w, d, cust)];
+        for (line, (item, supply_w, qty)) in items.iter().enumerate() {
+            args.put_u64(*item);
+            args.put_u64(*supply_w);
+            args.put_u64(*qty);
+            write_set.push(c.stock_key(*supply_w, *item));
+            write_set.push(c.order_line_key(w, d, o_id, line as u64));
+            read_keys.push(Key::new(ITEM, *item));
+        }
+        write_set.push(c.order_key(w, d, o_id));
+        write_set.push(c.district_key(w, d));
+
+        self.recent.record(
+            district_index,
+            o_id,
+            items.iter().map(|(i, s, _)| (*i, *s)).collect(),
+        );
+
+        let call = ProcCall {
+            proc_id: PROC_NEW_ORDER,
+            args: Bytes::from(args),
+            write_set,
+            read_keys,
+            read_ranges: vec![],
+        };
+        debug_assert_declared(&call, TxnKind::Update);
+        GeneratedTxn {
+            call,
+            kind: TxnKind::Update,
+            label: "new-order",
+        }
+    }
+
+    fn payment(&mut self) -> GeneratedTxn {
+        let c = self.config.clone();
+        let w = self.home_warehouse;
+        let d = self.rng.gen_range(0..c.districts_per_warehouse);
+        let remote = self
+            .rng
+            .gen_bool(c.payment_remote_fraction.clamp(0.0, 1.0));
+        let (c_w, c_d) = if remote {
+            (
+                self.remote_warehouse(),
+                self.rng.gen_range(0..c.districts_per_warehouse),
+            )
+        } else {
+            (w, d)
+        };
+        let cust = self.rng.gen_range(0..c.customers_per_district);
+        let amount = self.rng.gen_range(100..5000i64);
+        let district_index = c.district_index(w, d);
+        let h_seq = self.history_counters[district_index as usize].fetch_add(1, Ordering::Relaxed);
+
+        let mut args = Vec::with_capacity(56);
+        args.put_u64(w);
+        args.put_u64(d);
+        args.put_u64(c_w);
+        args.put_u64(c_d);
+        args.put_u64(cust);
+        args.put_i64(amount);
+        args.put_u64(h_seq);
+        let call = ProcCall {
+            proc_id: PROC_PAYMENT,
+            args: Bytes::from(args),
+            write_set: vec![
+                Key::new(WAREHOUSE, w),
+                c.district_key(w, d),
+                c.customer_key(c_w, c_d, cust),
+                c.history_key(w, d, h_seq),
+            ],
+            read_keys: vec![],
+            read_ranges: vec![],
+        };
+        debug_assert_declared(&call, TxnKind::Update);
+        GeneratedTxn {
+            call,
+            kind: TxnKind::Update,
+            label: "payment",
+        }
+    }
+
+    fn stock_level(&mut self) -> GeneratedTxn {
+        let c = self.config.clone();
+        let w = self.home_warehouse;
+        let d = self.rng.gen_range(0..c.districts_per_warehouse);
+        let threshold = self.rng.gen_range(10..=20i64);
+        let district_index = c.district_index(w, d);
+
+        let mut read_keys = vec![c.district_key(w, d)];
+        for (o_id, items) in self.recent.snapshot(district_index) {
+            for (line, (item, supply_w)) in items.iter().enumerate() {
+                read_keys.push(c.order_line_key(w, d, o_id, line as u64));
+                read_keys.push(c.stock_key(*supply_w, *item));
+            }
+        }
+        read_keys.sort_unstable();
+        read_keys.dedup();
+
+        let mut args = Vec::with_capacity(24);
+        args.put_u64(w);
+        args.put_u64(d);
+        args.put_i64(threshold);
+        let call = ProcCall {
+            proc_id: PROC_STOCK_LEVEL,
+            args: Bytes::from(args),
+            write_set: vec![],
+            read_keys,
+            read_ranges: vec![],
+        };
+        debug_assert_declared(&call, TxnKind::ReadOnly);
+        GeneratedTxn {
+            call,
+            kind: TxnKind::ReadOnly,
+            label: "stock-level",
+        }
+    }
+}
+
+impl ClientGenerator for TpccGen {
+    fn next_txn(&mut self) -> GeneratedTxn {
+        let roll: f64 = self.rng.gen();
+        if roll < self.config.neworder_fraction {
+            self.new_order()
+        } else if roll < self.config.neworder_fraction + self.config.payment_fraction {
+            self.payment()
+        } else {
+            self.stock_level()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamast_common::VersionVector;
+    use dynamast_site::proc::{LocalCtx, ReadMode};
+    use dynamast_storage::{Store, VersionStamp};
+
+    fn config() -> TpccConfig {
+        TpccConfig {
+            warehouses: 4,
+            customers_per_district: 30,
+            num_items: 200,
+            ..TpccConfig::default()
+        }
+    }
+
+    fn setup() -> (TpccWorkload, Store) {
+        let w = TpccWorkload::new(config());
+        let store = Store::new(w.catalog(), 4);
+        w.populate(&mut |key, row| {
+            store.install(key, VersionStamp::new(SiteId::new(0), 0), row)
+        })
+        .unwrap();
+        (w, store)
+    }
+
+    fn run_update(
+        w: &TpccWorkload,
+        store: &Store,
+        call: &ProcCall,
+    ) -> Vec<(Key, Row)> {
+        let exec = w.executor();
+        let begin = VersionVector::from_counts(vec![0]);
+        let mut ctx = LocalCtx::new(store, &begin, ReadMode::Snapshot, &call.write_set);
+        exec.execute(&mut ctx, call).unwrap();
+        let writes = ctx.into_writes();
+        for (key, row) in &writes {
+            store
+                .install(*key, VersionStamp::new(SiteId::new(0), 1), row.clone())
+                .unwrap();
+        }
+        writes
+    }
+
+    #[test]
+    fn new_order_writes_match_declared_set() {
+        let (w, store) = setup();
+        let mut g = w.client(ClientId::new(0), 5);
+        // Find a new-order transaction.
+        let txn = loop {
+            let t = g.next_txn();
+            if t.label == "new-order" {
+                break t;
+            }
+        };
+        let writes = run_update(&w, &store, &txn.call);
+        let declared: std::collections::HashSet<Key> =
+            txn.call.write_set.iter().copied().collect();
+        for (key, _) in &writes {
+            assert!(declared.contains(key), "undeclared write to {key:?}");
+        }
+        // Every stock/district/order/order-line write must happen.
+        assert_eq!(writes.len(), txn.call.write_set.len());
+    }
+
+    #[test]
+    fn new_order_ids_are_unique_per_district() {
+        let (w, _) = setup();
+        let mut g1 = w.client(ClientId::new(0), 1);
+        let mut g2 = w.client(ClientId::new(4), 2); // same home warehouse (4 % 4 = 0)
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            for g in [&mut g1, &mut g2] {
+                let txn = g.next_txn();
+                if txn.label == "new-order" {
+                    let order_key = txn
+                        .call
+                        .write_set
+                        .iter()
+                        .find(|k| k.table == ORDERS)
+                        .unwrap();
+                    assert!(seen.insert(*order_key), "duplicate order {order_key:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payment_moves_money_and_writes_history() {
+        let (w, store) = setup();
+        let mut g = w.client(ClientId::new(1), 6);
+        let txn = loop {
+            let t = g.next_txn();
+            if t.label == "payment" {
+                break t;
+            }
+        };
+        let writes = run_update(&w, &store, &txn.call);
+        assert_eq!(writes.len(), 4);
+        let tables: Vec<TableId> = writes.iter().map(|(k, _)| k.table).collect();
+        assert!(tables.contains(&WAREHOUSE));
+        assert!(tables.contains(&DISTRICT));
+        assert!(tables.contains(&CUSTOMER));
+        assert!(tables.contains(&HISTORY));
+    }
+
+    #[test]
+    fn stock_level_counts_low_stock() {
+        let (w, store) = setup();
+        // Generate some orders first so the recent-order registry fills.
+        let mut g = w.client(ClientId::new(2), 7);
+        let mut orders = 0;
+        while orders < 5 {
+            let txn = g.next_txn();
+            if txn.label == "new-order" {
+                run_update(&w, &store, &txn.call);
+                orders += 1;
+            }
+        }
+        let txn = loop {
+            let t = g.next_txn();
+            if t.label == "stock-level" {
+                break t;
+            }
+        };
+        let exec = w.executor();
+        let begin = VersionVector::from_counts(vec![1]);
+        let mut ctx = LocalCtx::new(&store, &begin, ReadMode::Snapshot, &[]);
+        let out = exec.execute(&mut ctx, &txn.call).unwrap();
+        assert_eq!(out.len(), 8); // a u64 count
+    }
+
+    #[test]
+    fn cross_warehouse_fraction_controls_remote_stock() {
+        let mut cfg = config();
+        cfg.neworder_remote_fraction = 1.0;
+        cfg.neworder_fraction = 1.0;
+        cfg.payment_fraction = 0.0;
+        let w = TpccWorkload::new(cfg.clone());
+        let mut g = w.client(ClientId::new(1), 8);
+        for _ in 0..20 {
+            let txn = g.next_txn();
+            let home = 1 % cfg.warehouses;
+            let remote_stock = txn
+                .call
+                .write_set
+                .iter()
+                .filter(|k| k.table == STOCK)
+                .any(|k| k.record / cfg.num_items != home);
+            assert!(remote_stock, "every txn must touch remote stock");
+        }
+    }
+
+    #[test]
+    fn static_owner_partitions_by_warehouse() {
+        let (w, _) = setup();
+        let owner = w.static_owner(4);
+        let c = w.config().clone();
+        let catalog = w.catalog();
+        for warehouse in 0..4u64 {
+            let wh = catalog.partition_of(Key::new(WAREHOUSE, warehouse)).unwrap();
+            let dist = catalog.partition_of(c.district_key(warehouse, 3)).unwrap();
+            let cust = catalog
+                .partition_of(c.customer_key(warehouse, 5, 7))
+                .unwrap();
+            let stock = catalog.partition_of(c.stock_key(warehouse, 9)).unwrap();
+            let order = catalog
+                .partition_of(c.order_key(warehouse, 2, 11))
+                .unwrap();
+            let site = owner(wh);
+            for p in [dist, cust, stock, order] {
+                assert_eq!(owner(p), site, "warehouse {warehouse} not colocated");
+            }
+        }
+    }
+
+    #[test]
+    fn order_keys_never_collide_across_districts() {
+        let c = config();
+        let k1 = c.order_key(0, 9, 12345);
+        let k2 = c.order_key(1, 0, 12345);
+        assert_ne!(k1, k2);
+        let l1 = c.order_line_key(0, 9, 12345, 3);
+        let l2 = c.order_line_key(0, 9, 12346, 3);
+        assert_ne!(l1, l2);
+    }
+}

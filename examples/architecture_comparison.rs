@@ -1,0 +1,112 @@
+//! Architecture shoot-out: run the same YCSB burst on all five systems the
+//! paper evaluates and print a side-by-side comparison — a miniature
+//! Figure 4a you can run in seconds.
+//!
+//! Run with: `cargo run --release --example architecture_comparison`
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use dynamast::baselines::leap::LeapSystem;
+use dynamast::baselines::single_master::single_master;
+use dynamast::baselines::static_system::{StaticKind, StaticSystem};
+use dynamast::common::ids::ClientId;
+use dynamast::common::{Result, SystemConfig};
+use dynamast::core::dynamast::{DynaMastConfig, DynaMastSystem};
+use dynamast::site::system::{ClientSession, ReplicatedSystem};
+use dynamast::workloads::{TxnKind, Workload, YcsbConfig, YcsbWorkload};
+
+const CLIENTS: usize = 8;
+const TXNS_PER_CLIENT: usize = 150;
+const SITES: usize = 4;
+
+fn drive(name: &str, system: Arc<dyn ReplicatedSystem>, workload: &YcsbWorkload) -> Result<()> {
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let system = Arc::clone(&system);
+        let mut generator = workload.client(ClientId::new(c), 7 + c as u64);
+        handles.push(thread::spawn(move || -> Result<()> {
+            let mut session = ClientSession::new(ClientId::new(c), SITES);
+            for _ in 0..TXNS_PER_CLIENT {
+                let txn = generator.next_txn();
+                match txn.kind {
+                    TxnKind::Update => system.update(&mut session, &txn.call)?,
+                    TxnKind::ReadOnly => system.read(&mut session, &txn.call)?,
+                };
+            }
+            Ok(())
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("client panicked")?;
+    }
+    let elapsed = start.elapsed();
+    let total = (CLIENTS * TXNS_PER_CLIENT) as f64;
+    let stats = system.stats();
+    println!(
+        "{name:>16}: {:7.0} txn/s | commits {:5} | aborts {:3} | remasters {:4}",
+        total / elapsed.as_secs_f64(),
+        stats.committed_updates,
+        stats.aborts,
+        stats.remaster_ops,
+    );
+    Ok(())
+}
+
+fn main() -> Result<()> {
+    let workload = YcsbWorkload::new(YcsbConfig {
+        num_keys: 20_000,
+        rmw_fraction: 0.5,
+        ..YcsbConfig::default()
+    });
+    // Small, fast-to-run configuration: real protocol, light service costs.
+    let config = || SystemConfig::new(SITES).with_instant_service();
+    println!(
+        "YCSB 50/50 RMW/scan, {SITES} sites, {CLIENTS} clients x {TXNS_PER_CLIENT} txns\n"
+    );
+
+    let dynamast = DynaMastSystem::build(
+        DynaMastConfig::adaptive(config(), workload.catalog()),
+        workload.executor(),
+    );
+    workload.populate(&mut |k, r| dynamast.load_row(k, r))?;
+    drive("dynamast", dynamast as Arc<dyn ReplicatedSystem>, &workload)?;
+
+    let sm = single_master(config(), workload.catalog(), workload.executor());
+    workload.populate(&mut |k, r| sm.load_row(k, r))?;
+    drive("single-master", sm as Arc<dyn ReplicatedSystem>, &workload)?;
+
+    for kind in [StaticKind::MultiMaster, StaticKind::PartitionStore] {
+        let system = StaticSystem::build(
+            kind,
+            config(),
+            workload.catalog(),
+            workload.static_owner(SITES),
+            workload.static_tables(),
+            workload.executor(),
+            8,
+        );
+        workload.populate(&mut |k, r| system.load_row(k, r))?;
+        let name = if kind == StaticKind::MultiMaster {
+            "multi-master"
+        } else {
+            "partition-store"
+        };
+        drive(name, system as Arc<dyn ReplicatedSystem>, &workload)?;
+    }
+
+    let leap = LeapSystem::build(
+        config(),
+        workload.catalog(),
+        workload.static_owner(SITES),
+        workload.static_tables(),
+        workload.executor(),
+        8,
+    );
+    workload.populate(&mut |k, r| leap.load_row(k, r))?;
+    drive("leap", leap as Arc<dyn ReplicatedSystem>, &workload)?;
+
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! DynaMast — adaptive dynamic mastering for replicated systems.
+//!
+//! This is the umbrella crate of a from-scratch Rust reproduction of
+//! *DynaMast: Adaptive Dynamic Mastering for Replicated Systems* (Abebe,
+//! Glasbergen, Daudjee — ICDE 2020). It re-exports the workspace crates:
+//!
+//! * [`common`] — version vectors, ids, values, configuration, metrics.
+//! * [`storage`] — the in-memory MVCC row store each data site runs.
+//! * [`network`] — the simulated RPC substrate (stands in for Thrift + LAN).
+//! * [`replication`] — durable per-site logs and lazy update propagation
+//!   (stands in for Kafka).
+//! * [`site`] — data sites: site manager + storage + replication manager.
+//! * [`core`] — the paper's contribution: the dynamic mastering protocol,
+//!   the adaptive site selector, and the assembled DynaMast system.
+//! * [`baselines`] — single-master, multi-master, partition-store, and LEAP
+//!   comparators built on the same substrate.
+//! * [`workloads`] — YCSB, TPC-C, and SmallBank generators.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory
+//! and experiment index.
+
+pub use dynamast_baselines as baselines;
+pub use dynamast_common as common;
+pub use dynamast_core as core;
+pub use dynamast_network as network;
+pub use dynamast_replication as replication;
+pub use dynamast_site as site;
+pub use dynamast_storage as storage;
+pub use dynamast_workloads as workloads;

@@ -1,0 +1,222 @@
+//! Cross-system integration tests: every evaluated system must execute the
+//! same workloads correctly — same invariants, same results — differing only
+//! in performance (which is the paper's premise for an apples-to-apples
+//! comparison).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dynamast::baselines::leap::LeapSystem;
+use dynamast::baselines::single_master::single_master;
+use dynamast::baselines::static_system::{StaticKind, StaticSystem};
+use dynamast::common::ids::ClientId;
+use dynamast::common::{Result, SystemConfig};
+use dynamast::core::dynamast::{DynaMastConfig, DynaMastSystem};
+use dynamast::site::system::{ClientSession, ReplicatedSystem};
+use dynamast::workloads::smallbank::{self, SmallBankConfig, SmallBankWorkload};
+use dynamast::workloads::{TxnKind, Workload};
+
+fn config(num_sites: usize) -> SystemConfig {
+    SystemConfig::new(num_sites).with_instant_network()
+}
+
+fn smallbank_workload() -> SmallBankWorkload {
+    SmallBankWorkload::new(SmallBankConfig {
+        num_customers: 2_000,
+        ..SmallBankConfig::default()
+    })
+}
+
+enum AnySystem {
+    Dyna(Arc<DynaMastSystem>),
+    Static(Arc<StaticSystem>),
+    Leap(Arc<LeapSystem>),
+}
+
+impl AnySystem {
+    fn as_system(&self) -> Arc<dyn ReplicatedSystem> {
+        match self {
+            AnySystem::Dyna(s) => Arc::clone(s) as Arc<dyn ReplicatedSystem>,
+            AnySystem::Static(s) => Arc::clone(s) as Arc<dyn ReplicatedSystem>,
+            AnySystem::Leap(s) => Arc::clone(s) as Arc<dyn ReplicatedSystem>,
+        }
+    }
+
+    fn load(&self, workload: &dyn Workload) -> Result<()> {
+        workload.populate(&mut |key, row| match self {
+            AnySystem::Dyna(s) => s.load_row(key, row),
+            AnySystem::Static(s) => s.load_row(key, row),
+            AnySystem::Leap(s) => s.load_row(key, row),
+        })
+    }
+}
+
+fn build_all(workload: &dyn Workload, num_sites: usize) -> Vec<(&'static str, AnySystem)> {
+    let catalog = workload.catalog();
+    let executor = workload.executor();
+    let owner = workload.static_owner(num_sites);
+    let statics = workload.static_tables();
+    vec![
+        (
+            "dynamast",
+            AnySystem::Dyna(DynaMastSystem::build(
+                DynaMastConfig::adaptive(config(num_sites), catalog.clone()),
+                Arc::clone(&executor),
+            )),
+        ),
+        (
+            "single-master",
+            AnySystem::Dyna(single_master(
+                config(num_sites),
+                catalog.clone(),
+                Arc::clone(&executor),
+            )),
+        ),
+        (
+            "multi-master",
+            AnySystem::Static(StaticSystem::build(
+                StaticKind::MultiMaster,
+                config(num_sites),
+                catalog.clone(),
+                Arc::clone(&owner),
+                statics.clone(),
+                Arc::clone(&executor),
+                8,
+            )),
+        ),
+        (
+            "partition-store",
+            AnySystem::Static(StaticSystem::build(
+                StaticKind::PartitionStore,
+                config(num_sites),
+                catalog.clone(),
+                Arc::clone(&owner),
+                statics.clone(),
+                Arc::clone(&executor),
+                8,
+            )),
+        ),
+        (
+            "leap",
+            AnySystem::Leap(LeapSystem::build(
+                config(num_sites),
+                catalog,
+                owner,
+                statics,
+                executor,
+                8,
+            )),
+        ),
+    ]
+}
+
+/// SmallBank money conservation: transfers move money but the global total
+/// is invariant; every system must preserve it under concurrency.
+#[test]
+fn smallbank_conserves_money_on_every_system() {
+    let workload = smallbank_workload();
+    let initial_total =
+        workload.config().num_customers as i64 * workload.config().initial_balance * 2;
+    for (name, any) in build_all(&workload, 3) {
+        eprintln!("[money] building {name}");
+        any.load(&workload).unwrap();
+        let system = any.as_system();
+        // Concurrent clients hammer transfers and deposits.
+        let mut deposited = 0i64;
+        let handles: Vec<_> = (0..6usize)
+            .map(|t| {
+                let system = Arc::clone(&system);
+                let mut generator = workload.client(ClientId::new(t), 99 + t as u64);
+                std::thread::spawn(move || {
+                    let mut session = ClientSession::new(ClientId::new(t), 3);
+                    let mut local_deposits = 0i64;
+                    for _ in 0..60 {
+                        let txn = generator.next_txn();
+                        let outcome = match txn.kind {
+                            TxnKind::Update => system.update(&mut session, &txn.call),
+                            TxnKind::ReadOnly => system.read(&mut session, &txn.call),
+                        };
+                        let outcome = outcome
+                            .unwrap_or_else(|e| panic!("txn failed: {e} ({})", txn.label));
+                        if txn.label == "single-row-update" {
+                            // Deposits add money; track to adjust the total.
+                            let mut args = txn.call.args.clone();
+                            local_deposits +=
+                                dynamast::common::codec::get_i64(&mut args).unwrap();
+                        }
+                        drop(outcome);
+                    }
+                    local_deposits
+                })
+            })
+            .collect();
+        for h in handles {
+            deposited += h.join().unwrap();
+        }
+        eprintln!("[money] {name} clients done");
+
+        // Read every balance through the system API with a fresh session
+        // whose freshness floor is the last writers' (ensured by a no-op
+        // transfer routed through each partition being unnecessary — we
+        // instead wait for replica convergence below).
+        std::thread::sleep(Duration::from_millis(300));
+        let mut session = ClientSession::new(ClientId::new(999), 3);
+        let mut total = 0i64;
+        for customer in 0..workload.config().num_customers {
+            let call = dynamast::site::proc::ProcCall {
+                proc_id: smallbank::PROC_BALANCE,
+                args: bytes::Bytes::new(),
+                write_set: vec![],
+                read_keys: vec![
+                    dynamast::common::ids::Key::new(smallbank::CHECKING, customer),
+                    dynamast::common::ids::Key::new(smallbank::SAVINGS, customer),
+                ],
+                read_ranges: vec![],
+            };
+            let outcome = system.read(&mut session, &call).unwrap();
+            let mut slice = outcome.result.clone();
+            total += dynamast::common::codec::get_i64(&mut slice).unwrap();
+        }
+        assert_eq!(
+            total,
+            initial_total + deposited,
+            "{name}: money not conserved"
+        );
+    }
+}
+
+/// The same deterministic single-client transaction sequence must produce
+/// the same balances on every system (they differ in architecture, not
+/// semantics).
+#[test]
+fn deterministic_stream_produces_identical_balances_everywhere() {
+    let workload = smallbank_workload();
+    let mut totals = Vec::new();
+    for (name, any) in build_all(&workload, 2) {
+        eprintln!("[det] running {name}");
+        any.load(&workload).unwrap();
+        let system = any.as_system();
+        let mut generator = workload.client(ClientId::new(0), 7);
+        let mut session = ClientSession::new(ClientId::new(0), 2);
+        let mut checksum = 0i64;
+        for _ in 0..120 {
+            let txn = generator.next_txn();
+            let outcome = match txn.kind {
+                TxnKind::Update => system.update(&mut session, &txn.call),
+                TxnKind::ReadOnly => system.read(&mut session, &txn.call),
+            }
+            .unwrap_or_else(|e| panic!("{name}: txn failed: {e}"));
+            if txn.label == "balance" {
+                let mut slice = outcome.result.clone();
+                checksum = checksum
+                    .wrapping_mul(31)
+                    .wrapping_add(dynamast::common::codec::get_i64(&mut slice).unwrap());
+            }
+        }
+        totals.push((name, checksum));
+    }
+    let first = totals[0].1;
+    for (name, checksum) in &totals {
+        assert_eq!(*checksum, first, "{name} diverged: {totals:?}");
+    }
+}

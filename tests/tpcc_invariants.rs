@@ -1,0 +1,169 @@
+//! TPC-C consistency invariants over a live DynaMast run: payments are
+//! conserved between warehouse/district YTD totals and the history table;
+//! order and order-line counts agree with the district counters.
+
+use std::sync::Arc;
+
+use dynamast::common::ids::ClientId;
+use dynamast::common::{Result, StrategyWeights, SystemConfig};
+use dynamast::core::dynamast::{DynaMastConfig, DynaMastSystem};
+use dynamast::site::system::{ClientSession, ReplicatedSystem};
+use dynamast::workloads::tpcc::{self, TpccConfig, TpccWorkload};
+use dynamast::workloads::{TxnKind, Workload};
+
+fn build() -> (TpccWorkload, Arc<DynaMastSystem>) {
+    let workload = TpccWorkload::new(TpccConfig {
+        warehouses: 3,
+        customers_per_district: 30,
+        num_items: 200,
+        ..TpccConfig::default()
+    });
+    let config = SystemConfig::new(3)
+        .with_weights(StrategyWeights::tpcc())
+        .with_instant_network()
+        .with_instant_service();
+    let system = DynaMastSystem::build(
+        DynaMastConfig::adaptive(config, workload.catalog()),
+        workload.executor(),
+    );
+    workload
+        .populate(&mut |key, row| system.load_row(key, row))
+        .unwrap();
+    (workload, system)
+}
+
+fn run_mix(
+    workload: &TpccWorkload,
+    system: &Arc<DynaMastSystem>,
+    clients: usize,
+    txns: usize,
+) -> Result<()> {
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let system = Arc::clone(system);
+        let mut generator = workload.client(ClientId::new(c), 31 + c as u64);
+        handles.push(std::thread::spawn(move || -> Result<()> {
+            let mut session = ClientSession::new(ClientId::new(c), 3);
+            for _ in 0..txns {
+                let txn = generator.next_txn();
+                match txn.kind {
+                    TxnKind::Update => system.update(&mut session, &txn.call)?,
+                    TxnKind::ReadOnly => system.read(&mut session, &txn.call)?,
+                };
+            }
+            Ok(())
+        }));
+    }
+    for h in handles {
+        h.join().expect("client panicked")?;
+    }
+    Ok(())
+}
+
+/// Reads the freshest committed state directly from a converged replica.
+fn converged_store(system: &Arc<DynaMastSystem>) -> &dynamast::storage::Store {
+    // Wait for all replicas to converge to a common vv.
+    let target = system
+        .sites()
+        .iter()
+        .map(|s| s.clock().current())
+        .fold(
+            dynamast::common::VersionVector::zero(system.config().num_sites),
+            |acc, vv| acc.max_with(&vv),
+        );
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    for site in system.sites() {
+        while !site.clock().current().dominates(&target) {
+            assert!(std::time::Instant::now() < deadline, "convergence stalled");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+    system.sites()[0].store()
+}
+
+#[test]
+fn payment_totals_balance_across_tables() {
+    let (workload, system) = build();
+    run_mix(&workload, &system, 4, 80).unwrap();
+    let store = converged_store(&system);
+    let snapshot = system.sites()[0].clock().current();
+    let cfg = workload.config();
+
+    // Warehouse YTD total == district YTD total == sum of history rows.
+    let mut warehouse_ytd = 0i64;
+    for w in 0..cfg.warehouses {
+        if let Some(row) = store
+            .read(
+                dynamast::common::ids::Key::new(tpcc::WAREHOUSE, w),
+                &snapshot,
+            )
+            .unwrap()
+        {
+            warehouse_ytd += row.cell(0).as_i64().unwrap();
+        }
+    }
+    let mut district_ytd = 0i64;
+    for w in 0..cfg.warehouses {
+        for d in 0..cfg.districts_per_warehouse {
+            if let Some(row) = store.read(cfg.district_key(w, d), &snapshot).unwrap() {
+                district_ytd += row.cell(0).as_i64().unwrap();
+            }
+        }
+    }
+    let mut history_total = 0i64;
+    for w in 0..cfg.warehouses {
+        for d in 0..cfg.districts_per_warehouse {
+            for seq in 0..1000 {
+                let key = cfg.history_key(w, d, seq);
+                match store.read(key, &snapshot).unwrap() {
+                    Some(row) => history_total += row.cell(0).as_i64().unwrap(),
+                    None => break,
+                }
+            }
+        }
+    }
+    assert_eq!(warehouse_ytd, district_ytd, "warehouse vs district YTD");
+    assert_eq!(warehouse_ytd, history_total, "YTD vs history");
+    assert!(warehouse_ytd > 0, "some payments must have committed");
+}
+
+#[test]
+fn district_counters_match_committed_orders() {
+    let (workload, system) = build();
+    run_mix(&workload, &system, 3, 60).unwrap();
+    let store = converged_store(&system);
+    let snapshot = system.sites()[0].clock().current();
+    let cfg = workload.config();
+
+    let mut counted_orders = 0u64;
+    let mut district_committed = 0u64;
+    for w in 0..cfg.warehouses {
+        for d in 0..cfg.districts_per_warehouse {
+            let district = store
+                .read(cfg.district_key(w, d), &snapshot)
+                .unwrap()
+                .expect("district row");
+            district_committed += district.cell(1).as_u64().unwrap();
+            for o in 0..2000 {
+                let key = cfg.order_key(w, d, o);
+                let Some(order) = store.read(key, &snapshot).unwrap() else {
+                    continue;
+                };
+                counted_orders += 1;
+                // Every order's line count matches its order-line rows.
+                let lines = order.cell(1).as_u64().unwrap();
+                for line in 0..lines {
+                    assert!(
+                        store
+                            .read(cfg.order_line_key(w, d, o, line), &snapshot)
+                            .unwrap()
+                            .is_some(),
+                        "missing order line {w}/{d}/{o}/{line}"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(counted_orders, district_committed);
+    assert!(counted_orders > 0, "some orders must have committed");
+}
