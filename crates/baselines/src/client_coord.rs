@@ -53,10 +53,7 @@ pub struct FetchedData {
 
 /// Fetches all plans in parallel (one `RemoteRead` per site); the call
 /// completes when the slowest site responds.
-pub fn fetch(
-    network: &Network,
-    plans: Vec<(SiteId, FetchPlan)>,
-) -> Result<FetchedData> {
+pub fn fetch(network: &Network, plans: Vec<(SiteId, FetchPlan)>) -> Result<FetchedData> {
     let mut pending = Vec::with_capacity(plans.len());
     for (site, plan) in plans {
         if plan.is_empty() {

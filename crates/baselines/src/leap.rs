@@ -127,7 +127,11 @@ impl LeapSystem {
     }
 
     /// Loads a row at its initial owner, registering ownership.
-    pub fn load_row(&self, key: dynamast_common::ids::Key, row: dynamast_common::Row) -> Result<()> {
+    pub fn load_row(
+        &self,
+        key: dynamast_common::ids::Key,
+        row: dynamast_common::Row,
+    ) -> Result<()> {
         if self.static_tables.contains(&key.table) {
             for site in &self.sites {
                 site.load_row(key, row.clone())?;
@@ -168,7 +172,9 @@ impl LeapSystem {
         let psize = schema.partition_size;
         let first = range.start / psize;
         let last = (range.end.saturating_sub(1)) / psize;
-        Ok((first..=last).map(|i| schema.partition_of(i * psize)).collect())
+        Ok((first..=last)
+            .map(|i| schema.partition_of(i * psize))
+            .collect())
     }
 
     /// Localizes every touched partition to the client's execution site,
@@ -258,8 +264,10 @@ impl ReplicatedSystem for LeapSystem {
         // Client → LEAP transaction manager round trip (localization
         // decisions are not free; DynaMast pays the same hop to its
         // selector).
-        self.network
-            .charge_one_way(TrafficCategory::ClientSelector, 32 + proc.write_set.len() * 12);
+        self.network.charge_one_way(
+            TrafficCategory::ClientSelector,
+            32 + proc.write_set.len() * 12,
+        );
         let min_vv = dynamast_common::VersionVector::zero(self.config.num_sites);
         let home = SiteId::new((session.id.raw() % self.config.num_sites as u64) as usize);
         let ((result, timings), localize) = self.localized(home, proc, |dest| {
@@ -276,12 +284,20 @@ impl ReplicatedSystem for LeapSystem {
 
     fn read(&self, session: &mut ClientSession, proc: &ProcCall) -> Result<TxnOutcome> {
         let t0 = Instant::now();
-        self.network
-            .charge_one_way(TrafficCategory::ClientSelector, 32 + proc.read_keys.len() * 12);
+        self.network.charge_one_way(
+            TrafficCategory::ClientSelector,
+            32 + proc.read_keys.len() * 12,
+        );
         let home = SiteId::new((session.id.raw() % self.config.num_sites as u64) as usize);
         let ((result, timings), localize) = self.localized(home, proc, |dest| {
             let mut session_ref = session.clone();
-            let out = exec_read_at(&self.network, dest, &mut session_ref, proc, ReadMode::Latest)?;
+            let out = exec_read_at(
+                &self.network,
+                dest,
+                &mut session_ref,
+                proc,
+                ReadMode::Latest,
+            )?;
             session.cvv = session_ref.cvv;
             Ok(out)
         })?;

@@ -70,7 +70,6 @@ impl StaticKind {
     fn replicate(self) -> bool {
         matches!(self, StaticKind::MultiMaster)
     }
-
 }
 
 /// A running multi-master or partition-store deployment.
@@ -156,7 +155,11 @@ impl StaticSystem {
 
     /// Loads one row into the owning site (and all replicas under
     /// multi-master).
-    pub fn load_row(&self, key: dynamast_common::ids::Key, row: dynamast_common::Row) -> Result<()> {
+    pub fn load_row(
+        &self,
+        key: dynamast_common::ids::Key,
+        row: dynamast_common::Row,
+    ) -> Result<()> {
         if self.kind.replicate() || self.static_tables.contains(&key.table) {
             for site in &self.sites {
                 site.load_row(key, row.clone())?;
@@ -181,9 +184,9 @@ impl StaticSystem {
     fn fetch_plans(&self, proc: &ProcCall) -> Result<Vec<(SiteId, FetchPlan)>> {
         let mut plans: BTreeMap<SiteId, FetchPlan> = BTreeMap::new();
         let single_site = match self.kind {
-            StaticKind::MultiMaster => {
-                Some(SiteId::new(self.rng.lock().gen_range(0..self.config.num_sites)))
-            }
+            StaticKind::MultiMaster => Some(SiteId::new(
+                self.rng.lock().gen_range(0..self.config.num_sites),
+            )),
             StaticKind::PartitionStore => None,
         };
         for key in proc.write_set.iter().chain(&proc.read_keys) {
@@ -203,10 +206,8 @@ impl StaticSystem {
                     let mut cursor = range.start;
                     while cursor < range.end {
                         let sub_end = (((cursor / psize) + 1) * psize).min(range.end);
-                        let owner = self.owner_of_key(dynamast_common::ids::Key::new(
-                            range.table,
-                            cursor,
-                        ))?;
+                        let owner =
+                            self.owner_of_key(dynamast_common::ids::Key::new(range.table, cursor))?;
                         let ranges = &mut plans.entry(owner).or_default().ranges;
                         match ranges.last_mut() {
                             Some(last) if last.table == range.table && last.end == cursor => {

@@ -27,7 +27,13 @@ fn main() {
         ..YcsbConfig::default()
     });
 
-    let columns = ["system         ", "clients", "throughput ", "remaster%", "errors"];
+    let columns = [
+        "system         ",
+        "clients",
+        "throughput ",
+        "remaster%",
+        "errors",
+    ];
     print_header(
         "Figure 4a — YCSB uniform 50/50 RMW/scan, 4 sites (throughput vs clients)",
         &columns,

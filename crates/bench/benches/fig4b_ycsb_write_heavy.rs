@@ -21,15 +21,24 @@ fn main() {
         ..YcsbConfig::default()
     });
 
-    let columns = ["system         ", "throughput ", "rmw p99   ", "remaster%", "errors"];
-    print_header(
-        "Figure 4b — YCSB uniform 90/10 RMW/scan, 4 sites",
-        &columns,
-    );
+    let columns = [
+        "system         ",
+        "throughput ",
+        "rmw p99   ",
+        "remaster%",
+        "errors",
+    ];
+    print_header("Figure 4b — YCSB uniform 90/10 RMW/scan, 4 sites", &columns);
     for kind in ALL_SYSTEMS {
         let config = SystemConfig::new(num_sites).with_seed(4002);
-        let built = build_system(kind, &workload, config, dynamast_bench::SITE_WORKERS, Vec::new())
-            .expect("build system");
+        let built = build_system(
+            kind,
+            &workload,
+            config,
+            dynamast_bench::SITE_WORKERS,
+            Vec::new(),
+        )
+        .expect("build system");
         let result = run(
             &built.system,
             &workload,

@@ -32,8 +32,14 @@ fn main() {
         let config = SystemConfig::new(num_sites)
             .with_weights(StrategyWeights::tpcc())
             .with_seed(4004);
-        let built = build_system(kind, &workload, config, dynamast_bench::SITE_WORKERS, Vec::new())
-            .expect("build system");
+        let built = build_system(
+            kind,
+            &workload,
+            config,
+            dynamast_bench::SITE_WORKERS,
+            Vec::new(),
+        )
+        .expect("build system");
         let result = run(
             &built.system,
             &workload,

@@ -37,17 +37,18 @@ fn main() {
     let placements: Vec<_> = partitions
         .iter()
         .enumerate()
-        .map(|(i, p)| {
-            (
-                *p,
-                SiteId::new((i as u64 * num_sites as u64 / n) as usize),
-            )
-        })
+        .map(|(i, p)| (*p, SiteId::new((i as u64 * num_sites as u64 / n) as usize)))
         .collect();
 
     let config = SystemConfig::new(num_sites).with_seed(5002);
-    let built = build_system(SystemKind::DynaMast, &workload, config, dynamast_bench::SITE_WORKERS, placements)
-        .expect("build system");
+    let built = build_system(
+        SystemKind::DynaMast,
+        &workload,
+        config,
+        dynamast_bench::SITE_WORKERS,
+        placements,
+    )
+    .expect("build system");
 
     let measure = measure_secs() * 4; // the adaptivity curve needs a window
     let mut run_cfg = RunConfig::new(num_sites, clients, warmup_secs() / 2, measure);
@@ -60,7 +61,10 @@ fn main() {
         &columns,
     );
     for (i, &count) in result.timeline.iter().enumerate() {
-        print_row(&columns, &[format!("t{i}"), fmt_throughput(count as f64 / 0.5)]);
+        print_row(
+            &columns,
+            &[format!("t{i}"), fmt_throughput(count as f64 / 0.5)],
+        );
     }
     let first = result.timeline.first().copied().unwrap_or(0).max(1) as f64;
     let window = (result.timeline.len().max(4)) / 4;

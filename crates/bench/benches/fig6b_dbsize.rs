@@ -30,7 +30,7 @@ fn main() {
                 rmw_fraction: rmw,
                 zipf,
                 payload_bytes: 0,
-        ..YcsbConfig::default()
+                ..YcsbConfig::default()
             });
             let config = SystemConfig::new(num_sites).with_seed(6002);
             let built = build_system(

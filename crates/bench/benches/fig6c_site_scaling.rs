@@ -27,7 +27,7 @@ fn main() {
             num_keys: 500_000,
             rmw_fraction: 0.5,
             payload_bytes: 0,
-        ..YcsbConfig::default()
+            ..YcsbConfig::default()
         });
         let clients = base_clients * num_sites / site_counts[0];
         let config = SystemConfig::new(num_sites).with_seed(6003);

@@ -62,9 +62,7 @@ fn main() {
     } else {
         0.0
     };
-    println!(
-        "\ntransactions requiring remastering: {remaster_pct:.2}% (paper: <1-3%)"
-    );
+    println!("\ntransactions requiring remastering: {remaster_pct:.2}% (paper: <1-3%)");
 
     let columns = ["traffic category", "bytes     ", "messages"];
     print_header("Network traffic by category", &columns);

@@ -25,8 +25,14 @@ fn main() {
         let config = SystemConfig::new(num_sites)
             .with_weights(StrategyWeights::smallbank())
             .with_seed(8001);
-        let built = build_system(kind, &workload, config, dynamast_bench::SITE_WORKERS, Vec::new())
-            .expect("build system");
+        let built = build_system(
+            kind,
+            &workload,
+            config,
+            dynamast_bench::SITE_WORKERS,
+            Vec::new(),
+        )
+        .expect("build system");
         let result = run(
             &built.system,
             &workload,

@@ -35,7 +35,14 @@ fn main() {
         let config = SystemConfig::new(num_sites)
             .with_weights(StrategyWeights::tpcc())
             .with_seed(8005);
-        let built = build_system(kind, &workload, config, dynamast_bench::SITE_WORKERS, Vec::new()).expect("build system");
+        let built = build_system(
+            kind,
+            &workload,
+            config,
+            dynamast_bench::SITE_WORKERS,
+            Vec::new(),
+        )
+        .expect("build system");
         let result = run(
             &built.system,
             &workload,
@@ -56,10 +63,7 @@ fn main() {
 
     // 8g: average Payment latency vs cross-warehouse rate.
     let columns = ["system         ", "cross-wh%", "payment avg"];
-    print_header(
-        "Figure 8g — Payment latency vs %cross-warehouse",
-        &columns,
-    );
+    print_header("Figure 8g — Payment latency vs %cross-warehouse", &columns);
     for kind in ALL_SYSTEMS {
         for rate in [0.0f64, 0.15] {
             let workload = TpccWorkload::new(TpccConfig {
@@ -69,8 +73,14 @@ fn main() {
             let config = SystemConfig::new(num_sites)
                 .with_weights(StrategyWeights::tpcc())
                 .with_seed(8006);
-            let built =
-                build_system(kind, &workload, config, dynamast_bench::SITE_WORKERS, Vec::new()).expect("build system");
+            let built = build_system(
+                kind,
+                &workload,
+                config,
+                dynamast_bench::SITE_WORKERS,
+                Vec::new(),
+            )
+            .expect("build system");
             let result = run(
                 &built.system,
                 &workload,

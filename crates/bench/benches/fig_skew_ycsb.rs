@@ -28,14 +28,17 @@ fn main() {
         "throughput ",
         "masters/site (dynamast-style systems)",
     ];
-    print_header(
-        "Skewed YCSB — Zipf(0.75) 90/10 RMW/scan, 4 sites",
-        &columns,
-    );
+    print_header("Skewed YCSB — Zipf(0.75) 90/10 RMW/scan, 4 sites", &columns);
     for kind in ALL_SYSTEMS {
         let config = SystemConfig::new(num_sites).with_seed(4007);
-        let built = build_system(kind, &workload, config, dynamast_bench::SITE_WORKERS, Vec::new())
-            .expect("build system");
+        let built = build_system(
+            kind,
+            &workload,
+            config,
+            dynamast_bench::SITE_WORKERS,
+            Vec::new(),
+        )
+        .expect("build system");
         let result = run(
             &built.system,
             &workload,

@@ -74,14 +74,17 @@ pub struct RunResult {
 impl RunResult {
     /// Latency summary for one transaction class (zeroed if absent).
     pub fn latency(&self, label: &str) -> LatencySummary {
-        self.latencies.get(label).copied().unwrap_or(LatencySummary {
-            count: 0,
-            mean: Duration::ZERO,
-            p50: Duration::ZERO,
-            p90: Duration::ZERO,
-            p99: Duration::ZERO,
-            max: Duration::ZERO,
-        })
+        self.latencies
+            .get(label)
+            .copied()
+            .unwrap_or(LatencySummary {
+                count: 0,
+                mean: Duration::ZERO,
+                p50: Duration::ZERO,
+                p90: Duration::ZERO,
+                p99: Duration::ZERO,
+                max: Duration::ZERO,
+            })
     }
 }
 
@@ -192,8 +195,7 @@ pub fn run(
         let _ = client.join();
     }
 
-    let histograms: HashMap<&'static str, Arc<LatencyHistogram>> =
-        shared.histograms.lock().clone();
+    let histograms: HashMap<&'static str, Arc<LatencyHistogram>> = shared.histograms.lock().clone();
     let latencies = histograms
         .iter()
         .map(|(label, h)| (*label, h.summary()))

@@ -294,10 +294,7 @@ mod tests {
         };
         assert_eq!(net.delay_for(100), Duration::from_micros(100));
         assert_eq!(net.delay_for(4096), Duration::from_micros(140));
-        assert_eq!(
-            NetworkConfig::instant().delay_for(1 << 20),
-            Duration::ZERO
-        );
+        assert_eq!(NetworkConfig::instant().delay_for(1 << 20), Duration::ZERO);
     }
 
     #[test]

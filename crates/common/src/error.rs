@@ -92,9 +92,6 @@ mod tests {
     #[test]
     fn errors_are_comparable_for_test_assertions() {
         assert_eq!(DynaError::ShuttingDown, DynaError::ShuttingDown);
-        assert_ne!(
-            DynaError::Network("a"),
-            DynaError::Internal("a"),
-        );
+        assert_ne!(DynaError::Network("a"), DynaError::Internal("a"),);
     }
 }

@@ -125,7 +125,10 @@ impl Decode for Key {
 /// reproduction at 32,768 tables and ~2⁴⁸ partitions per table, far beyond
 /// any workload here.
 pub fn partition_id(table: TableId, partition_index: u64) -> PartitionId {
-    debug_assert!(table.raw() < (1 << 15), "table id exceeds partition packing");
+    debug_assert!(
+        table.raw() < (1 << 15),
+        "table id exceeds partition packing"
+    );
     debug_assert!(
         partition_index < (1 << 48),
         "partition index exceeds partition packing"

@@ -111,9 +111,9 @@ impl LatencyHistogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                return Duration::from_micros(bucket_upper_micros(i).min(
-                    self.max_micros.load(Ordering::Relaxed).max(1),
-                ));
+                return Duration::from_micros(
+                    bucket_upper_micros(i).min(self.max_micros.load(Ordering::Relaxed).max(1)),
+                );
             }
         }
         self.max()

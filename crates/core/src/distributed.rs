@@ -143,7 +143,6 @@ impl ReplicaSelector {
     }
 }
 
-
 /// A DynaMast deployment fronted by replica site selectors — the full
 /// Appendix I configuration as a [`ReplicatedSystem`].
 ///
@@ -165,11 +164,8 @@ impl DistributedSelectorSystem {
         let num_sites = inner.config().num_sites;
         let replicas = (0..replicas)
             .map(|_| {
-                let r = ReplicaSelector::new(
-                    Arc::clone(inner.selector()),
-                    catalog.clone(),
-                    num_sites,
-                );
+                let r =
+                    ReplicaSelector::new(Arc::clone(inner.selector()), catalog.clone(), num_sites);
                 r.refresh_all();
                 r
             })
@@ -190,11 +186,7 @@ impl DistributedSelectorSystem {
     /// Requests routed locally by replicas vs forwarded to the master.
     pub fn routing_split(&self) -> (u64, u64) {
         let local = self.replicas.iter().map(|r| r.local_routes.get()).sum();
-        let forwarded = self
-            .replicas
-            .iter()
-            .map(|r| r.forwarded_routes.get())
-            .sum();
+        let forwarded = self.replicas.iter().map(|r| r.forwarded_routes.get()).sum();
         (local, forwarded)
     }
 }
@@ -304,9 +296,7 @@ mod tests {
     #[test]
     fn refresh_all_copies_master_placements() {
         let master = master_selector();
-        master
-            .map()
-            .seed([(PartitionId::new(5), SiteId::new(1))]);
+        master.map().seed([(PartitionId::new(5), SiteId::new(1))]);
         let replica = ReplicaSelector::new(Arc::clone(&master), catalog(), 2);
         replica.refresh_all();
         assert_eq!(

@@ -82,10 +82,7 @@ pub struct DynaMastSystem {
 
 impl DynaMastSystem {
     /// Builds and starts a deployment.
-    pub fn build(
-        cfg: DynaMastConfig,
-        executor: Arc<dyn ProcExecutor>,
-    ) -> Arc<Self> {
+    pub fn build(cfg: DynaMastConfig, executor: Arc<dyn ProcExecutor>) -> Arc<Self> {
         Self::build_named("dynamast", cfg, executor)
     }
 
@@ -174,7 +171,11 @@ impl DynaMastSystem {
 
     /// Loads one row into every replica (initial database population; the
     /// paper pre-loads OLTPBench data before measuring).
-    pub fn load_row(&self, key: dynamast_common::ids::Key, row: dynamast_common::Row) -> Result<()> {
+    pub fn load_row(
+        &self,
+        key: dynamast_common::ids::Key,
+        row: dynamast_common::Row,
+    ) -> Result<()> {
         for site in &self.sites {
             site.load_row(key, row.clone())?;
         }
@@ -199,7 +200,15 @@ impl ReplicatedSystem for DynaMastSystem {
         // remaster a partition away; the site rejects with NotMaster and the
         // client re-routes (same resubmission rule as Appendix I).
         let mut last_err = DynaError::Internal("unreachable: no routing attempts");
-        for _ in 0..16 {
+        for attempt in 0..16u32 {
+            // Back off between resubmissions: under an instant network a hot
+            // partition's mastership can ping-pong faster than the re-route /
+            // re-exec cycle, and lockstep retries lose that race repeatedly.
+            // A real resubmitting client pays at least a client↔selector RTT
+            // here anyway.
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_micros(u64::from(attempt) * 50));
+            }
             // begin_transaction request to the selector (charged hop).
             self.network
                 .charge_one_way(TrafficCategory::ClientSelector, route_request_size(proc));
@@ -249,7 +258,8 @@ impl ReplicatedSystem for DynaMastSystem {
             let site = self.selector.route_read(&session.cvv);
             (site, start.elapsed())
         };
-        self.network.charge_one_way(TrafficCategory::ClientSelector, 16);
+        self.network
+            .charge_one_way(TrafficCategory::ClientSelector, 16);
         let (result, timings) =
             exec_read_at(&self.network, site, session, proc, ReadMode::Snapshot)?;
         Ok(TxnOutcome {
@@ -264,10 +274,7 @@ impl ReplicatedSystem for DynaMastSystem {
             aborts: self.sites.iter().map(|s| s.aborts.get()).sum(),
             remaster_ops: self.selector.remaster_ops.get(),
             partitions_moved: self.selector.partitions_moved.get(),
-            masters_per_site: self
-                .selector
-                .map()
-                .masters_per_site(self.config.num_sites),
+            masters_per_site: self.selector.map().masters_per_site(self.config.num_sites),
             updates_routed_per_site: self.selector.routed_per_site(),
         }
     }

@@ -22,6 +22,7 @@
 
 pub mod distributed;
 pub mod dynamast;
+pub mod freshness;
 pub mod partition_map;
 pub mod recovery;
 pub mod selector;
@@ -30,6 +31,7 @@ pub mod strategy;
 
 pub use distributed::{DistributedSelectorSystem, ReplicaSelector};
 pub use dynamast::{DynaMastConfig, DynaMastSystem};
+pub use freshness::FreshnessCache;
 pub use partition_map::PartitionMap;
 pub use selector::{RouteDecision, SelectorMode, SiteSelector};
 pub use stats::AccessStats;

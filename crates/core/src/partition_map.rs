@@ -101,7 +101,10 @@ impl PartitionMap {
     /// Fetches (creating if absent, as unplaced) the entries for a sorted,
     /// deduplicated partition list.
     pub fn entries_for(&self, partitions: &[PartitionId]) -> Vec<Arc<PartitionEntry>> {
-        debug_assert!(partitions.windows(2).all(|w| w[0] < w[1]), "must be sorted+deduped");
+        debug_assert!(
+            partitions.windows(2).all(|w| w[0] < w[1]),
+            "must be sorted+deduped"
+        );
         {
             let entries = self.entries.read();
             if let Some(found) = partitions

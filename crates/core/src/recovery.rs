@@ -72,11 +72,8 @@ mod tests {
             partition: p2,
             epoch: 1,
         });
-        let map = recover_selector_map(
-            &logs,
-            &[(p1, SiteId::new(0)), (p2, SiteId::new(0))],
-        )
-        .unwrap();
+        let map =
+            recover_selector_map(&logs, &[(p1, SiteId::new(0)), (p2, SiteId::new(0))]).unwrap();
         assert_eq!(map[&p1], SiteId::new(0)); // untouched: initial placement
         assert_eq!(map[&p2], SiteId::new(1)); // remastered per the log
     }

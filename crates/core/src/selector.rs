@@ -12,7 +12,9 @@
 //! the client's session vector, spreading load while minimizing blocking.
 //! The svv estimates come from release/grant responses plus a lightweight
 //! periodic probe (`GetVv`), standing in for whatever heartbeat the paper's
-//! implementation used.
+//! implementation used. The estimates live in a lock-free
+//! [`FreshnessCache`](crate::freshness::FreshnessCache) and the read-routing
+//! RNG is thread-local, so routing threads share no locks on this path.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -27,10 +29,10 @@ use dynamast_common::{DynaError, Result, SystemConfig, VersionVector};
 use dynamast_network::{EndpointId, Network, TrafficCategory};
 use dynamast_site::messages::{expect_ok, SiteRequest, SiteResponse};
 use dynamast_storage::Catalog;
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::freshness::FreshnessCache;
 use crate::partition_map::PartitionMap;
 use crate::stats::{AccessStats, StatsConfig};
 use crate::strategy::{best_site, score_sites, CoAccess, ScoreInputs};
@@ -69,9 +71,10 @@ pub struct SiteSelector {
     map: PartitionMap,
     stats: AccessStats,
     network: Arc<Network>,
-    site_vvs: Mutex<Vec<VersionVector>>,
+    freshness: FreshnessCache,
     epoch: AtomicU64,
-    rng: Mutex<SmallRng>,
+    /// Seed for the per-thread read-routing RNGs.
+    rng_seed: u64,
     /// Transactions that required remastering (at least one release).
     pub remaster_ops: Counter,
     /// Individual partitions whose mastership moved between sites.
@@ -108,9 +111,9 @@ impl SiteSelector {
             map: PartitionMap::new(),
             stats,
             network,
-            site_vvs: Mutex::new((0..m).map(|_| VersionVector::zero(m)).collect()),
+            freshness: FreshnessCache::new(m),
             epoch: AtomicU64::new(0),
-            rng: Mutex::new(SmallRng::seed_from_u64(config.seed ^ 0x0EAD_0125)),
+            rng_seed: config.seed ^ 0x0EAD_0125,
             remaster_ops: Counter::new(),
             partitions_moved: Counter::new(),
             placements: Counter::new(),
@@ -134,9 +137,9 @@ impl SiteSelector {
         self.routed.iter().map(Counter::get).collect()
     }
 
-    /// Merges a freshness observation into the svv cache.
+    /// Merges a freshness observation into the svv cache (lock-free).
     pub fn observe_site_vv(&self, site: SiteId, vv: &VersionVector) {
-        self.site_vvs.lock()[site.as_usize()].merge_max(vv);
+        self.freshness.observe(site, vv);
     }
 
     /// Starts a background thread probing every site's svv at `interval`.
@@ -237,7 +240,9 @@ impl SiteSelector {
             SelectorMode::Pinned(pin) => {
                 let dest = pin(partitions[0]);
                 if partitions.iter().any(|p| pin(*p) != dest) {
-                    return Err(DynaError::Internal("pinned selector cannot split a write set"));
+                    return Err(DynaError::Internal(
+                        "pinned selector cannot split a write set",
+                    ));
                 }
                 dest
             }
@@ -405,7 +410,7 @@ impl SiteSelector {
             .iter()
             .map(|s| to_coaccess(&s.inter.partners))
             .collect();
-        let site_vvs = self.site_vvs.lock().clone();
+        let site_vvs = self.freshness.all();
         let scores = score_sites(&ScoreInputs {
             num_sites: self.config.num_sites,
             weights: &self.config.weights,
@@ -424,30 +429,62 @@ impl SiteSelector {
     /// client's freshness requirement; if the cache says none does, any
     /// random site (the site-side freshness wait still guarantees SSSI).
     pub fn route_read(&self, cvv: &VersionVector) -> SiteId {
-        let cache = self.site_vvs.lock();
-        let fresh: Vec<usize> = cache
-            .iter()
-            .enumerate()
-            .filter(|(_, vv)| vv.dominates(cvv))
-            .map(|(i, _)| i)
-            .collect();
-        drop(cache);
-        let mut rng = self.rng.lock();
-        let pick = if fresh.is_empty() {
-            rng.gen_range(0..self.config.num_sites)
-        } else {
-            fresh[rng.gen_range(0..fresh.len())]
-        };
+        // Allocation-free two-pass pick: count the fresh sites, then find
+        // the chosen one. Freshness estimates are monotone (sites only
+        // become fresher), so the second pass sees at least as many fresh
+        // sites as the first and the chosen index always resolves.
+        let num_sites = self.config.num_sites;
+        let fresh_count = (0..num_sites)
+            .filter(|&i| self.freshness.dominates(SiteId::new(i), cvv))
+            .count();
+        let pick = with_thread_rng(self.rng_seed, |rng| {
+            if fresh_count == 0 {
+                return rng.gen_range(0..num_sites);
+            }
+            let nth = rng.gen_range(0..fresh_count);
+            let mut seen = 0;
+            for i in 0..num_sites {
+                if self.freshness.dominates(SiteId::new(i), cvv) {
+                    if seen == nth {
+                        return i;
+                    }
+                    seen += 1;
+                }
+            }
+            num_sites - 1 // unreachable: fresh sites never disappear
+        });
         SiteId::new(pick)
     }
 }
 
+/// Runs `f` with this thread's routing RNG, creating it on first use (or
+/// when a selector with a different seed routes on this thread). Each
+/// thread's stream is seeded from the selector seed and a process-wide
+/// thread salt: deterministic for a single routing thread, uncorrelated
+/// across threads, and never contended.
+fn with_thread_rng<T>(seed: u64, f: impl FnOnce(&mut SmallRng) -> T) -> T {
+    use std::cell::RefCell;
+    thread_local! {
+        static ROUTE_RNG: RefCell<Option<(u64, SmallRng)>> = const { RefCell::new(None) };
+    }
+    static THREAD_SALT: AtomicU64 = AtomicU64::new(0);
+    ROUTE_RNG.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if slot.as_ref().is_none_or(|(s, _)| *s != seed) {
+            let salt = THREAD_SALT.fetch_add(1, Ordering::Relaxed);
+            *slot = Some((
+                seed,
+                SmallRng::seed_from_u64(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ));
+        }
+        let (_, rng) = slot.as_mut().expect("rng initialized above");
+        f(rng)
+    })
+}
+
 fn sole_master(masters: &[Option<SiteId>]) -> Option<SiteId> {
     let first = masters.first().copied().flatten()?;
-    masters
-        .iter()
-        .all(|m| *m == Some(first))
-        .then_some(first)
+    masters.iter().all(|m| *m == Some(first)).then_some(first)
 }
 
 /// Handle for the background svv probe; stops and joins on drop.

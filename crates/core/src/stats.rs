@@ -13,14 +13,89 @@
 //! co-access counts, inter-transaction co-access counts within a
 //! configurable Δt window per client, and a bounded history queue whose
 //! evicted samples decrement every count they contributed.
+//!
+//! # Concurrency model
+//!
+//! Every router thread calls [`AccessStats::record_write_set`] on the
+//! selector hot path, so the tracker is lock-striped rather than guarded by
+//! one mutex (see DESIGN.md, "Selector concurrency model"):
+//!
+//! * **Partition shards.** Per-partition state (write counts and co-access
+//!   partner tables) lives in [`SHARD_COUNT`] shards keyed by a Fibonacci
+//!   hash of the partition id. A co-access pair `(from, to)` is stored with
+//!   `from`, so recording touches one shard at a time — shard locks never
+//!   nest and the lock order is trivially acyclic.
+//! * **Per-site load counters** are plain atomics (`fetch_add` on record,
+//!   saturating CAS decrement on expiry/remaster).
+//! * **Client recency stripes.** The per-client Δt window map is striped by
+//!   client id, so concurrent clients rarely share a lock and one stripe
+//!   lock covers a single record's read-prune-push.
+//! * **Epoch-style history flush.** The hot path appends the sample to its
+//!   home shard's pending buffer; history-queue maintenance (FIFO ordering
+//!   and expiry decrements) runs in batched flushes — opportunistic
+//!   (`try_lock`) once enough samples are pending, forced (blocking) by
+//!   every read. Counts are therefore bumped eagerly and decremented
+//!   lazily; any read observes exact post-expiry values because it flushes
+//!   first. Samples carry a global admission sequence number and flushes
+//!   sort by it, so expiry is exactly FIFO for sequential use; under
+//!   concurrent recording a not-yet-parked earlier sample can be overtaken,
+//!   which only reorders *which* sample's counts drop first — the retained
+//!   total is unchanged.
+//! * **Sampling RNGs** are per-shard (seeded from the tracker seed and the
+//!   shard index), so sampling at rates in `(0, 1)` stays deterministic per
+//!   shard but draws no global lock. Rates `0.0` and `1.0` short-circuit
+//!   without touching an RNG.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use dynamast_common::ids::{ClientId, PartitionId, SiteId};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Number of partition-state shards. Power of two; 32 shards keep the
+/// per-shard collision probability low for typical router thread counts
+/// (≤ 16) without bloating the struct.
+const SHARD_COUNT: usize = 32;
+
+/// Number of client-recency stripes (power of two).
+const CLIENT_STRIPES: usize = 16;
+
+/// Pending samples across all shards that trigger an opportunistic
+/// (non-blocking) history flush from the record path.
+const FLUSH_PENDING_THRESHOLD: usize = 256;
+
+/// Backlog at which the record path flushes *blocking* instead. Opportunistic
+/// flushing alone is unbounded when the flushing thread is starved of CPU
+/// (oversubscribed cores): every other recorder's `try_lock` skips while the
+/// backlog grows. Backpressure at 64× the opportunistic threshold caps both
+/// the memory held in pending buffers and the size of any single drain.
+const FLUSH_BACKPRESSURE_CAP: usize = 64 * FLUSH_PENDING_THRESHOLD;
+
+fn shard_of(partition: PartitionId) -> usize {
+    // Fibonacci hashing: multiply by 2^64/φ and keep the top bits.
+    (partition.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - SHARD_COUNT.trailing_zeros()))
+        as usize
+}
+
+fn stripe_of(client: ClientId) -> usize {
+    (client.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - CLIENT_STRIPES.trailing_zeros()))
+        as usize
+}
+
+/// Decrements an atomic counter without wrapping below zero.
+fn saturating_dec(counter: &AtomicU64, amount: u64) {
+    let mut current = counter.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_sub(amount);
+        match counter.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
 
 /// Co-access partners of one partition with conditional probabilities,
 /// produced for the strategy model.
@@ -51,17 +126,26 @@ struct PartStats {
 }
 
 struct Sample {
+    /// Global admission order, assigned at record time so flushes can
+    /// restore FIFO across shards.
+    seq: u64,
     partitions: Vec<PartitionId>,
     intra_pairs: Vec<(PartitionId, PartitionId)>,
     inter_pairs: Vec<(PartitionId, PartitionId)>,
 }
 
-struct StatsInner {
+/// One lock-striped shard of partition state plus its pending sample buffer
+/// and sampling RNG.
+struct Shard {
     rng: SmallRng,
     parts: HashMap<PartitionId, PartStats>,
-    site_load: Vec<u64>,
-    history: VecDeque<Sample>,
-    recent: HashMap<ClientId, VecDeque<(Instant, Vec<PartitionId>)>>,
+    pending: Vec<Sample>,
+}
+
+#[derive(Clone, Copy)]
+enum PartnerKind {
+    Intra,
+    Inter,
 }
 
 /// Configuration for [`AccessStats`].
@@ -77,10 +161,17 @@ pub struct StatsConfig {
     pub max_partners: usize,
 }
 
+type RecentSets = VecDeque<(Instant, Vec<PartitionId>)>;
+
 /// The selector's statistics tracker.
 pub struct AccessStats {
     config: StatsConfig,
-    inner: Mutex<StatsInner>,
+    shards: Vec<Mutex<Shard>>,
+    site_load: Vec<AtomicU64>,
+    recent: Vec<Mutex<HashMap<ClientId, RecentSets>>>,
+    history: Mutex<VecDeque<Sample>>,
+    pending_total: AtomicUsize,
+    next_seq: AtomicU64,
 }
 
 impl AccessStats {
@@ -88,13 +179,22 @@ impl AccessStats {
     pub fn new(config: StatsConfig, num_sites: usize, seed: u64) -> Self {
         AccessStats {
             config,
-            inner: Mutex::new(StatsInner {
-                rng: SmallRng::seed_from_u64(seed),
-                parts: HashMap::new(),
-                site_load: vec![0; num_sites],
-                history: VecDeque::with_capacity(config.history_capacity + 1),
-                recent: HashMap::new(),
-            }),
+            shards: (0..SHARD_COUNT)
+                .map(|i| {
+                    Mutex::new(Shard {
+                        rng: SmallRng::seed_from_u64(seed.wrapping_add(i as u64)),
+                        parts: HashMap::new(),
+                        pending: Vec::new(),
+                    })
+                })
+                .collect(),
+            site_load: (0..num_sites).map(|_| AtomicU64::new(0)).collect(),
+            recent: (0..CLIENT_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            history: Mutex::new(VecDeque::with_capacity(config.history_capacity + 1)),
+            pending_total: AtomicUsize::new(0),
+            next_seq: AtomicU64::new(0),
         }
     }
 
@@ -108,82 +208,163 @@ impl AccessStats {
         masters: &[Option<SiteId>],
     ) {
         debug_assert_eq!(partitions.len(), masters.len());
-        let mut inner = self.inner.lock();
-        let sampled =
-            self.config.sample_rate >= 1.0 || inner.rng.gen_bool(self.config.sample_rate);
-        if !sampled {
+        let rate = self.config.sample_rate;
+        if rate <= 0.0 {
+            return;
+        }
+        let home = shard_of(partitions.first().copied().unwrap_or(PartitionId::new(0)));
+        if rate < 1.0 && !self.shards[home].lock().rng.gen_bool(rate) {
             return;
         }
 
-        // Access counts and per-site load aggregate.
-        for (p, master) in partitions.iter().zip(masters) {
-            let stats = inner.parts.entry(*p).or_default();
-            stats.count += 1;
-            stats.master = *master;
-            if let Some(m) = master {
-                inner.site_load[m.as_usize()] += 1;
-            }
-        }
-
-        // Intra-transaction pairs (both directions).
-        let mut intra_pairs = Vec::new();
-        for &p1 in partitions {
-            for &p2 in partitions {
-                if p1 == p2 {
-                    continue;
-                }
-                if inner.bump_partner(p1, p2, PartnerKind::Intra, self.config.max_partners) {
-                    intra_pairs.push((p1, p2));
-                }
-            }
-        }
-
-        // Inter-transaction pairs: previous write sets of the same client
-        // within Δt predict this one.
+        // The client's previous write sets within Δt predict this one; one
+        // stripe lock covers the read, the append, and the prune.
         let window = self.config.inter_window;
-        let previous: Vec<PartitionId> = inner
-            .recent
-            .get(&client)
-            .map(|sets| {
-                sets.iter()
-                    .filter(|(t, _)| now.duration_since(*t) <= window)
-                    .flat_map(|(_, set)| set.iter().copied())
-                    .collect()
-            })
-            .unwrap_or_default();
+        let previous: Vec<PartitionId> = {
+            let mut stripe = self.recent[stripe_of(client)].lock();
+            let sets = stripe.entry(client).or_default();
+            let previous: Vec<PartitionId> = sets
+                .iter()
+                .filter(|(t, _)| now.duration_since(*t) <= window)
+                .flat_map(|(_, set)| set.iter().copied())
+                .collect();
+            sets.push_back((now, partitions.to_vec()));
+            while let Some((t, _)) = sets.front() {
+                if now.duration_since(*t) > window && sets.len() > 1 {
+                    sets.pop_front();
+                } else {
+                    break;
+                }
+            }
+            previous
+        };
+
+        let max_partners = self.config.max_partners;
+        let mut intra_pairs = Vec::new();
         let mut inter_pairs = Vec::new();
-        for &p_old in &previous {
-            for &p_new in partitions {
-                if p_old == p_new {
-                    continue;
-                }
-                if inner.bump_partner(p_old, p_new, PartnerKind::Inter, self.config.max_partners) {
-                    inter_pairs.push((p_old, p_new));
-                }
-            }
-        }
 
-        // Update the client's recent history, pruning expired sets.
-        let recent = inner.recent.entry(client).or_default();
-        recent.push_back((now, partitions.to_vec()));
-        while let Some((t, _)) = recent.front() {
-            if now.duration_since(*t) > window && recent.len() > 1 {
-                recent.pop_front();
-            } else {
-                break;
-            }
-        }
+        // Count the sample BEFORE parking it: a concurrent flusher subtracts
+        // exactly the samples it drains, and every drained sample must
+        // already be counted or the counter would underflow and wedge the
+        // threshold check at "always flush".
+        self.pending_total.fetch_add(1, Ordering::Relaxed);
 
-        // History queue with expiry.
-        inner.history.push_back(Sample {
-            partitions: partitions.to_vec(),
-            intra_pairs,
-            inter_pairs,
-        });
-        if inner.history.len() > self.config.history_capacity {
-            if let Some(old) = inner.history.pop_front() {
-                inner.expire(&old);
+        // Fast path: every touched partition hashes to the home shard —
+        // always true for single-partition write sets, the dominant case on
+        // the routing fast path. One lock acquisition covers the counts, the
+        // partner bumps, and parking the sample; no grouping allocation.
+        let all_home = partitions.iter().all(|p| shard_of(*p) == home)
+            && previous.iter().all(|p| shard_of(*p) == home);
+        if all_home {
+            // Allocate the sample's partition list before taking the lock;
+            // the critical section stays just counter bumps and the push.
+            let sample_partitions = partitions.to_vec();
+            let mut shard = self.shards[home].lock();
+            for (p, master) in partitions.iter().zip(masters) {
+                let stats = shard.parts.entry(*p).or_default();
+                stats.count += 1;
+                stats.master = *master;
+                if let Some(m) = master {
+                    self.site_load[m.as_usize()].fetch_add(1, Ordering::Relaxed);
+                }
             }
+            for &p1 in partitions {
+                for &p2 in partitions {
+                    if p1 != p2 && shard.bump_partner(p1, p2, PartnerKind::Intra, max_partners) {
+                        intra_pairs.push((p1, p2));
+                    }
+                }
+            }
+            for &p_old in &previous {
+                for &p_new in partitions {
+                    if p_old != p_new
+                        && shard.bump_partner(p_old, p_new, PartnerKind::Inter, max_partners)
+                    {
+                        inter_pairs.push((p_old, p_new));
+                    }
+                }
+            }
+            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+            shard.pending.push(Sample {
+                seq,
+                partitions: sample_partitions,
+                intra_pairs,
+                inter_pairs,
+            });
+        } else {
+            // General path: group all per-partition work by shard so each
+            // shard is locked at most once per record; pairs are keyed by
+            // their `from` side.
+            struct ShardOps {
+                counts: Vec<(PartitionId, Option<SiteId>)>,
+                partners: Vec<(PartitionId, PartitionId, PartnerKind)>,
+            }
+            fn ops_for(ops: &mut HashMap<usize, ShardOps>, shard: usize) -> &mut ShardOps {
+                ops.entry(shard).or_insert_with(|| ShardOps {
+                    counts: Vec::new(),
+                    partners: Vec::new(),
+                })
+            }
+            let mut ops: HashMap<usize, ShardOps> = HashMap::new();
+            for (p, master) in partitions.iter().zip(masters) {
+                ops_for(&mut ops, shard_of(*p)).counts.push((*p, *master));
+            }
+            for &p1 in partitions {
+                for &p2 in partitions {
+                    if p1 != p2 {
+                        ops_for(&mut ops, shard_of(p1))
+                            .partners
+                            .push((p1, p2, PartnerKind::Intra));
+                    }
+                }
+            }
+            for &p_old in &previous {
+                for &p_new in partitions {
+                    if p_old != p_new {
+                        ops_for(&mut ops, shard_of(p_old)).partners.push((
+                            p_old,
+                            p_new,
+                            PartnerKind::Inter,
+                        ));
+                    }
+                }
+            }
+
+            for (shard_idx, shard_ops) in ops {
+                let mut shard = self.shards[shard_idx].lock();
+                for (p, master) in &shard_ops.counts {
+                    let stats = shard.parts.entry(*p).or_default();
+                    stats.count += 1;
+                    stats.master = *master;
+                    if let Some(m) = master {
+                        self.site_load[m.as_usize()].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                for (from, to, kind) in &shard_ops.partners {
+                    if shard.bump_partner(*from, *to, *kind, max_partners) {
+                        match kind {
+                            PartnerKind::Intra => intra_pairs.push((*from, *to)),
+                            PartnerKind::Inter => inter_pairs.push((*from, *to)),
+                        }
+                    }
+                }
+            }
+
+            // Defer history maintenance: park the sample on the home shard
+            // and let a batched flush apply FIFO expiry.
+            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+            self.shards[home].lock().pending.push(Sample {
+                seq,
+                partitions: partitions.to_vec(),
+                intra_pairs,
+                inter_pairs,
+            });
+        }
+        let pending = self.pending_total.load(Ordering::Relaxed);
+        if pending >= FLUSH_BACKPRESSURE_CAP {
+            self.flush();
+        } else if pending >= FLUSH_PENDING_THRESHOLD {
+            self.try_flush();
         }
     }
 
@@ -191,41 +372,51 @@ impl AccessStats {
     /// partition is remastered, so the per-site load aggregate stays
     /// consistent.
     pub fn on_remaster(&self, partition: PartitionId, to: SiteId) {
-        let mut inner = self.inner.lock();
-        let Some(stats) = inner.parts.get_mut(&partition) else {
-            return;
+        let (count, old) = {
+            let mut shard = self.shards[shard_of(partition)].lock();
+            let Some(stats) = shard.parts.get_mut(&partition) else {
+                return;
+            };
+            let old = stats.master;
+            stats.master = Some(to);
+            (stats.count, old)
         };
-        let count = stats.count;
-        let old = stats.master;
-        stats.master = Some(to);
         if let Some(m) = old {
-            inner.site_load[m.as_usize()] = inner.site_load[m.as_usize()].saturating_sub(count);
+            saturating_dec(&self.site_load[m.as_usize()], count);
         }
-        inner.site_load[to.as_usize()] += count;
+        self.site_load[to.as_usize()].fetch_add(count, Ordering::Relaxed);
     }
 
     /// Scoring snapshot for the write-set partitions plus the per-site load
     /// aggregate.
     pub fn snapshot(&self, partitions: &[PartitionId]) -> (Vec<PartitionSnapshot>, Vec<f64>) {
-        let inner = self.inner.lock();
+        self.flush();
         let snaps = partitions
             .iter()
-            .map(|p| match inner.parts.get(p) {
-                None => PartitionSnapshot::default(),
-                Some(stats) => PartitionSnapshot {
-                    load: stats.count as f64,
-                    intra: probs(&stats.intra, stats.count),
-                    inter: probs(&stats.inter, stats.count),
-                },
+            .map(|p| {
+                let shard = self.shards[shard_of(*p)].lock();
+                match shard.parts.get(p) {
+                    None => PartitionSnapshot::default(),
+                    Some(stats) => PartitionSnapshot {
+                        load: stats.count as f64,
+                        intra: probs(&stats.intra, stats.count),
+                        inter: probs(&stats.inter, stats.count),
+                    },
+                }
             })
             .collect();
-        let load = inner.site_load.iter().map(|&c| c as f64).collect();
+        let load = self
+            .site_load
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed) as f64)
+            .collect();
         (snaps, load)
     }
 
     /// The tracked write count of one partition (tests/diagnostics).
     pub fn partition_count(&self, partition: PartitionId) -> u64 {
-        self.inner
+        self.flush();
+        self.shards[shard_of(partition)]
             .lock()
             .parts
             .get(&partition)
@@ -234,7 +425,122 @@ impl AccessStats {
 
     /// Current history-queue length (tests/diagnostics).
     pub fn history_len(&self) -> usize {
-        self.inner.lock().history.len()
+        self.flush();
+        self.history.lock().len()
+    }
+
+    /// Blocking flush: drains every shard's pending samples into the
+    /// history queue and applies expiry. Reads call this so they observe
+    /// exact post-expiry counts.
+    fn flush(&self) {
+        let mut history = self.history.lock();
+        self.drain_into(&mut history);
+    }
+
+    /// Non-blocking flush for the record path; skips if another thread is
+    /// already flushing (that thread will pick up these samples).
+    fn try_flush(&self) {
+        if let Some(mut history) = self.history.try_lock() {
+            self.drain_into(&mut history);
+        }
+    }
+
+    fn drain_into(&self, history: &mut VecDeque<Sample>) {
+        let mut drained = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            drained.append(&mut shard.pending);
+        }
+        if drained.is_empty() {
+            return;
+        }
+        // Saturating: a racing recorder may have parked a sample between
+        // our shard sweeps and its own (already-counted) increment, but the
+        // counter must never wrap below zero.
+        let n = drained.len();
+        let _ = self
+            .pending_total
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+        // Restore global admission order across shards so expiry stays
+        // FIFO; exact whenever all earlier samples have been parked, which
+        // sequential use and forced reads always guarantee.
+        drained.sort_unstable_by_key(|s| s.seq);
+        let mut expired = Vec::new();
+        for sample in drained {
+            history.push_back(sample);
+            while history.len() > self.config.history_capacity {
+                if let Some(old) = history.pop_front() {
+                    expired.push(old);
+                }
+            }
+        }
+        self.expire_batch(&expired);
+    }
+
+    /// Decrements every count the retired samples contributed. Cold path:
+    /// runs only inside flushes. Decrements are flattened and grouped by
+    /// shard so each shard is locked once per batch rather than once per
+    /// sample — routing threads contend with at most one short lock hold
+    /// per shard per flush.
+    fn expire_batch(&self, expired: &[Sample]) {
+        enum Dec {
+            Count(PartitionId),
+            Intra(PartitionId, PartitionId),
+            Inter(PartitionId, PartitionId),
+        }
+        let mut decs: Vec<(usize, Dec)> = Vec::new();
+        for sample in expired {
+            for p in &sample.partitions {
+                decs.push((shard_of(*p), Dec::Count(*p)));
+            }
+            for (from, to) in &sample.intra_pairs {
+                decs.push((shard_of(*from), Dec::Intra(*from, *to)));
+            }
+            for (from, to) in &sample.inter_pairs {
+                decs.push((shard_of(*from), Dec::Inter(*from, *to)));
+            }
+        }
+        // Decrements commute, so ordering within a shard is irrelevant.
+        decs.sort_unstable_by_key(|(shard, _)| *shard);
+        let mut i = 0;
+        while i < decs.len() {
+            let shard_idx = decs[i].0;
+            let mut shard = self.shards[shard_idx].lock();
+            while i < decs.len() && decs[i].0 == shard_idx {
+                match &decs[i].1 {
+                    Dec::Count(p) => {
+                        if let Some(stats) = shard.parts.get_mut(p) {
+                            stats.count = stats.count.saturating_sub(1);
+                            if let Some(m) = stats.master {
+                                saturating_dec(&self.site_load[m.as_usize()], 1);
+                            }
+                        }
+                    }
+                    Dec::Intra(from, to) => {
+                        if let Some(stats) = shard.parts.get_mut(from) {
+                            decrement_partner(&mut stats.intra, to);
+                        }
+                    }
+                    Dec::Inter(from, to) => {
+                        if let Some(stats) = shard.parts.get_mut(from) {
+                            decrement_partner(&mut stats.inter, to);
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+fn decrement_partner(table: &mut HashMap<PartitionId, u64>, to: &PartitionId) {
+    if let Some(c) = table.get_mut(to) {
+        *c = c.saturating_sub(1);
+        if *c == 0 {
+            table.remove(to);
+        }
     }
 }
 
@@ -251,12 +557,7 @@ fn probs(counts: &HashMap<PartitionId, u64>, total: u64) -> PartnerProbs {
     }
 }
 
-enum PartnerKind {
-    Intra,
-    Inter,
-}
-
-impl StatsInner {
+impl Shard {
     /// Increments a co-access partner count; returns whether it was counted
     /// (partner-table capacity permitting).
     fn bump_partner(
@@ -276,37 +577,6 @@ impl StatsInner {
         }
         *table.entry(to).or_insert(0) += 1;
         true
-    }
-
-    fn expire(&mut self, sample: &Sample) {
-        for p in &sample.partitions {
-            if let Some(stats) = self.parts.get_mut(p) {
-                stats.count = stats.count.saturating_sub(1);
-                if let Some(m) = stats.master {
-                    self.site_load[m.as_usize()] = self.site_load[m.as_usize()].saturating_sub(1);
-                }
-            }
-        }
-        for (from, to) in sample.intra_pairs.iter() {
-            if let Some(stats) = self.parts.get_mut(from) {
-                if let Some(c) = stats.intra.get_mut(to) {
-                    *c = c.saturating_sub(1);
-                    if *c == 0 {
-                        stats.intra.remove(to);
-                    }
-                }
-            }
-        }
-        for (from, to) in sample.inter_pairs.iter() {
-            if let Some(stats) = self.parts.get_mut(from) {
-                if let Some(c) = stats.inter.get_mut(to) {
-                    *c = c.saturating_sub(1);
-                    if *c == 0 {
-                        stats.inter.remove(to);
-                    }
-                }
-            }
-        }
     }
 }
 
@@ -441,5 +711,94 @@ mod tests {
             &[Some(SiteId::new(0))],
         );
         assert_eq!(stats.partition_count(pid(1)), 0);
+    }
+
+    /// Satellite #3: hammer `record_write_set` from 8 threads over
+    /// overlapping write sets and check the merged counts equal a
+    /// sequential replay of the same records. At `sample_rate = 1.0` with
+    /// capacity bounds that never bind, every operation commutes, so the
+    /// sharded tracker must converge to the single-threaded ground truth.
+    #[test]
+    fn concurrent_records_merge_to_sequential_ground_truth() {
+        use std::sync::Arc;
+
+        const THREADS: usize = 8;
+        const RECORDS_PER_THREAD: usize = 200;
+        const POOL: usize = 32;
+
+        let cfg = StatsConfig {
+            sample_rate: 1.0,
+            // Large enough that nothing expires and nothing truncates, so
+            // the merged state is order-independent.
+            history_capacity: THREADS * RECORDS_PER_THREAD + 1,
+            inter_window: Duration::from_secs(60),
+            max_partners: POOL,
+        };
+        let num_sites = 3;
+        let t0 = Instant::now();
+
+        // Overlapping write sets: thread t's i-th record touches four
+        // partitions spread over a shared pool, each mastered by a fixed
+        // site derived from the partition id.
+        let record = |t: usize, i: usize| -> (Vec<PartitionId>, Vec<Option<SiteId>>) {
+            let parts: Vec<PartitionId> = (0..4)
+                .map(|k| pid((t * 7 + i * 13 + k * 5) % POOL))
+                .collect();
+            let mut parts = parts;
+            parts.sort_unstable();
+            parts.dedup();
+            let masters = parts
+                .iter()
+                .map(|p| Some(SiteId::new((p.raw() % num_sites as u64) as usize)))
+                .collect();
+            (parts, masters)
+        };
+
+        let concurrent = Arc::new(AccessStats::new(cfg, num_sites, 42));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let stats = Arc::clone(&concurrent);
+                scope.spawn(move || {
+                    for i in 0..RECORDS_PER_THREAD {
+                        let (parts, masters) = record(t, i);
+                        // One client per thread keeps the inter-transaction
+                        // pair stream deterministic per thread.
+                        stats.record_write_set(client(t), t0, &parts, &masters);
+                    }
+                });
+            }
+        });
+
+        let sequential = AccessStats::new(cfg, num_sites, 42);
+        for t in 0..THREADS {
+            for i in 0..RECORDS_PER_THREAD {
+                let (parts, masters) = record(t, i);
+                sequential.record_write_set(client(t), t0, &parts, &masters);
+            }
+        }
+
+        let all: Vec<PartitionId> = (0..POOL).map(pid).collect();
+        let (got_snaps, got_load) = concurrent.snapshot(&all);
+        let (want_snaps, want_load) = sequential.snapshot(&all);
+        assert_eq!(got_load, want_load);
+        assert_eq!(concurrent.history_len(), sequential.history_len());
+        for (p, (got, want)) in all.iter().zip(got_snaps.iter().zip(&want_snaps)) {
+            assert_eq!(got.load, want.load, "count diverged for {p:?}");
+            let sorted = |probs: &PartnerProbs| {
+                let mut v = probs.partners.clone();
+                v.sort_by_key(|(p, _)| *p);
+                v
+            };
+            assert_eq!(
+                sorted(&got.intra),
+                sorted(&want.intra),
+                "intra diverged for {p:?}"
+            );
+            assert_eq!(
+                sorted(&got.inter),
+                sorted(&want.inter),
+                "inter diverged for {p:?}"
+            );
+        }
     }
 }

@@ -114,11 +114,7 @@ fn f_refresh_delay(inputs: &ScoreInputs<'_>, candidate: SiteId) -> f64 {
 /// to `candidate` leaves `d1` and its partner co-located, −1 if it splits a
 /// currently co-located pair apart, 0 if they are apart both before and
 /// after.
-fn single_sited(
-    d1_master: Option<SiteId>,
-    partner: &CoAccess,
-    candidate: SiteId,
-) -> f64 {
+fn single_sited(d1_master: Option<SiteId>, partner: &CoAccess, candidate: SiteId) -> f64 {
     let partner_after = if partner.in_write_set {
         Some(candidate)
     } else {
@@ -263,7 +259,14 @@ mod tests {
         let vvs = zero_vvs(2);
         let cvv = VersionVector::zero(2);
         let inputs = base_inputs(
-            &weights, &partitions, &load, &site_load, &intra, &inter, &vvs, &cvv,
+            &weights,
+            &partitions,
+            &load,
+            &site_load,
+            &intra,
+            &inter,
+            &vvs,
+            &cvv,
         );
         let scores = score_sites(&inputs);
         assert!(
@@ -294,7 +297,14 @@ mod tests {
         ];
         let cvv = VersionVector::zero(3);
         let inputs = base_inputs(
-            &weights, &partitions, &load, &site_load, &intra, &inter, &vvs, &cvv,
+            &weights,
+            &partitions,
+            &load,
+            &site_load,
+            &intra,
+            &inter,
+            &vvs,
+            &cvv,
         );
         let scores = score_sites(&inputs);
         assert!(scores[1] > scores[2], "{scores:?}");
@@ -321,7 +331,10 @@ mod tests {
             in_write_set: false,
         };
         // d1 and partner both at site 0; moving d1 to 1 splits them: −1.
-        assert_eq!(single_sited(Some(site(0)), &partner_together, site(1)), -1.0);
+        assert_eq!(
+            single_sited(Some(site(0)), &partner_together, site(1)),
+            -1.0
+        );
         // Keeping d1 at site 0 keeps them together: +1.
         assert_eq!(single_sited(Some(site(0)), &partner_together, site(0)), 1.0);
         // Partner in the write set moves along: always together: +1.
@@ -356,7 +369,14 @@ mod tests {
         let vvs = zero_vvs(2);
         let cvv = VersionVector::zero(2);
         let inputs = base_inputs(
-            &weights, &partitions, &load, &site_load, &intra, &inter, &vvs, &cvv,
+            &weights,
+            &partitions,
+            &load,
+            &site_load,
+            &intra,
+            &inter,
+            &vvs,
+            &cvv,
         );
         let scores = score_sites(&inputs);
         assert!(scores[1] > scores[0], "{scores:?}");
@@ -385,10 +405,21 @@ mod tests {
         let vvs = zero_vvs(2);
         let cvv = VersionVector::zero(2);
         let inputs = base_inputs(
-            &weights, &partitions, &load, &site_load, &intra, &inter, &vvs, &cvv,
+            &weights,
+            &partitions,
+            &load,
+            &site_load,
+            &intra,
+            &inter,
+            &vvs,
+            &cvv,
         );
         let scores = score_sites(&inputs);
-        assert_eq!(best_site(&scores), site(1), "balance must dominate: {scores:?}");
+        assert_eq!(
+            best_site(&scores),
+            site(1),
+            "balance must dominate: {scores:?}"
+        );
     }
 
     #[test]

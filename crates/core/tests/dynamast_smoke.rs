@@ -150,7 +150,9 @@ fn counters_survive_many_concurrent_clients() {
                 // All clients increment the same keys: write-write conflicts
                 // must serialize, never abort, never lose updates.
                 for _ in 0..25 {
-                    system.update(&mut session, &add_proc(&[7, 205], 1)).unwrap();
+                    system
+                        .update(&mut session, &add_proc(&[7, 205], 1))
+                        .unwrap();
                 }
             })
         })
@@ -161,7 +163,9 @@ fn counters_survive_many_concurrent_clients() {
     let mut session = ClientSession::new(ClientId::new(99), 4);
     // A fresh session has no freshness floor; route a write through the
     // same keys first so the subsequent read observes all prior commits.
-    system.update(&mut session, &add_proc(&[7, 205], 0)).unwrap();
+    system
+        .update(&mut session, &add_proc(&[7, 205], 0))
+        .unwrap();
     let outcome = system.read(&mut session, &sum_proc(&[7, 205])).unwrap();
     assert_eq!(decode_sum(&outcome.result), 400);
     assert_eq!(system.stats().committed_updates, 201);
@@ -172,7 +176,9 @@ fn replicas_converge_after_updates() {
     let system = build_system(3);
     let mut session = ClientSession::new(ClientId::new(1), 3);
     for i in 0..30u64 {
-        system.update(&mut session, &add_proc(&[i * 100], 5)).unwrap();
+        system
+            .update(&mut session, &add_proc(&[i * 100], 5))
+            .unwrap();
     }
     // Wait for propagation: every site must reach the session's cvv.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);

@@ -152,7 +152,10 @@ impl Network {
         assert!(workers >= 1, "need at least one worker");
         let (tx, wire_rx): (Sender<Envelope>, Receiver<Envelope>) = unbounded();
         let previous = self.registry.write().insert(endpoint, tx);
-        assert!(previous.is_none(), "endpoint {endpoint:?} already registered");
+        assert!(
+            previous.is_none(),
+            "endpoint {endpoint:?} already registered"
+        );
         let mut threads = Vec::with_capacity(workers + 1);
         // The "wire": delays each message until its delivery deadline, then
         // hands it to the worker pool. Transit time must not occupy workers
@@ -234,12 +237,7 @@ impl Network {
     }
 
     /// Issues an RPC and blocks for the reply.
-    pub fn rpc(
-        &self,
-        to: EndpointId,
-        category: TrafficCategory,
-        payload: Bytes,
-    ) -> Result<Bytes> {
+    pub fn rpc(&self, to: EndpointId, category: TrafficCategory, payload: Bytes) -> Result<Bytes> {
         self.rpc_async(to, category, payload)?.wait()
     }
 
@@ -367,7 +365,11 @@ mod tests {
         net.disconnect(EndpointId::Site(0));
         assert!(!net.is_connected(EndpointId::Site(0)));
         assert!(net
-            .rpc(EndpointId::Site(0), TrafficCategory::ClientSite, Bytes::new())
+            .rpc(
+                EndpointId::Site(0),
+                TrafficCategory::ClientSite,
+                Bytes::new()
+            )
             .is_err());
         drop(server);
     }

@@ -1,7 +1,7 @@
 //! The durable, offset-addressed record log (Kafka substitute).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use bytes::Bytes;
 use dynamast_common::codec::{encode_to_vec, Decode};
@@ -16,6 +16,12 @@ use crate::record::LogRecord;
 /// Records are stored encoded so the log's byte footprint matches what the
 /// paper's Kafka deployment would carry; subscribers decode on read and the
 /// byte size is available for traffic accounting.
+///
+/// Tail reads are event-driven: [`DurableLog::wait_read_from`] parks on a
+/// condvar that [`DurableLog::append`] signals, so subscribers wake as soon
+/// as a record lands instead of on a polling interval. A blocked tail read
+/// is released by its caller-owned cancel flag via
+/// [`DurableLog::notify_waiters`].
 pub struct DurableLog {
     inner: Mutex<Vec<Bytes>>,
     appended: Condvar,
@@ -70,14 +76,31 @@ impl DurableLog {
         decode_batch(&log, offset)
     }
 
-    /// Like [`DurableLog::read_from`] but blocks up to `timeout` for at least
-    /// one new record.
-    pub fn wait_read_from(&self, offset: u64, timeout: Duration) -> Result<(Vec<LogRecord>, usize)> {
+    /// Like [`DurableLog::read_from`] but blocks until at least one record
+    /// exists at or past `offset`, or `cancel` becomes `true`. Returns an
+    /// empty batch only when cancelled.
+    ///
+    /// `cancel` is re-checked under the log lock on every wakeup, so a
+    /// cancellation signalled through [`DurableLog::notify_waiters`] cannot
+    /// be lost between the check and the park.
+    pub fn wait_read_from(
+        &self,
+        offset: u64,
+        cancel: &AtomicBool,
+    ) -> Result<(Vec<LogRecord>, usize)> {
         let mut log = self.inner.lock();
-        if (log.len() as u64) <= offset {
-            let _ = self.appended.wait_for(&mut log, timeout);
+        while (log.len() as u64) <= offset && !cancel.load(Ordering::Relaxed) {
+            self.appended.wait(&mut log);
         }
         decode_batch(&log, offset)
+    }
+
+    /// Wakes every blocked [`DurableLog::wait_read_from`] so it can observe
+    /// its cancel flag. Set the flag before calling this; taking the log
+    /// lock here orders the store before any waiter's re-check.
+    pub fn notify_waiters(&self) {
+        let _log = self.inner.lock();
+        self.appended.notify_all();
     }
 
     /// Reads the single record at `offset`, if present. Used by recovery's
@@ -116,7 +139,9 @@ impl LogSet {
     /// Creates `num_sites` empty logs.
     pub fn new(num_sites: usize) -> Self {
         LogSet {
-            logs: (0..num_sites).map(|_| Arc::new(DurableLog::new())).collect(),
+            logs: (0..num_sites)
+                .map(|_| Arc::new(DurableLog::new()))
+                .collect(),
         }
     }
 
@@ -141,6 +166,7 @@ mod tests {
     use super::*;
     use dynamast_common::VersionVector;
     use std::thread;
+    use std::time::Duration;
 
     fn commit(origin: usize, seq: u64) -> LogRecord {
         let mut tvv = VersionVector::zero(2);
@@ -180,9 +206,9 @@ mod tests {
     fn wait_read_wakes_on_append() {
         let log = Arc::new(DurableLog::new());
         let log2 = Arc::clone(&log);
-        let reader = thread::spawn(move || {
-            log2.wait_read_from(0, Duration::from_secs(5)).unwrap().0
-        });
+        let cancel = Arc::new(AtomicBool::new(false));
+        let cancel2 = Arc::clone(&cancel);
+        let reader = thread::spawn(move || log2.wait_read_from(0, &cancel2).unwrap().0);
         thread::sleep(Duration::from_millis(20));
         log.append(&commit(1, 1));
         let records = reader.join().unwrap();
@@ -190,11 +216,24 @@ mod tests {
     }
 
     #[test]
-    fn wait_read_times_out_empty() {
+    fn wait_read_returns_empty_when_cancelled() {
+        let log = Arc::new(DurableLog::new());
+        let log2 = Arc::clone(&log);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let cancel2 = Arc::clone(&cancel);
+        let reader = thread::spawn(move || log2.wait_read_from(0, &cancel2).unwrap().0);
+        thread::sleep(Duration::from_millis(20));
+        cancel.store(true, Ordering::Relaxed);
+        log.notify_waiters();
+        let records = reader.join().unwrap();
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn pre_cancelled_wait_read_returns_immediately() {
         let log = DurableLog::new();
-        let (records, _) = log
-            .wait_read_from(0, Duration::from_millis(10))
-            .unwrap();
+        let cancel = AtomicBool::new(true);
+        let (records, _) = log.wait_read_from(0, &cancel).unwrap();
         assert!(records.is_empty());
     }
 

@@ -9,18 +9,26 @@
 //! dependencies have not yet applied — and because each origin has its own
 //! thread, blocking one origin never stalls another, mirroring Kafka's
 //! independent topic consumption).
+//!
+//! Tailing is event-driven: subscribers park inside
+//! [`crate::log::DurableLog::wait_read_from`] until an append signals the
+//! log's condvar, then drain everything present as one batch. There is no
+//! polling interval — an idle origin costs zero wakeups, and delivery
+//! latency is condvar wake latency rather than half a poll period.
+//! [`Propagator::stop`] sets the shutdown flag and calls
+//! `notify_waiters` on every tailed log so parked subscribers return
+//! promptly even if nothing is ever appended again.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
 
 use dynamast_common::config::NetworkConfig;
 use dynamast_common::ids::SiteId;
 use dynamast_common::Result;
 use dynamast_network::{TrafficCategory, TrafficStats};
 
-use crate::log::LogSet;
+use crate::log::{DurableLog, LogSet};
 use crate::record::LogRecord;
 
 /// Applies refresh transactions at a site.
@@ -33,11 +41,11 @@ pub trait RefreshApplier: Send + Sync + 'static {
     fn apply(&self, record: LogRecord) -> Result<()>;
 }
 
-const POLL: Duration = Duration::from_millis(20);
-
 /// Running subscriber threads for one site.
 pub struct Propagator {
     shutdown: Arc<AtomicBool>,
+    /// The logs being tailed, kept to wake parked subscribers on stop.
+    tailed: Vec<Arc<DurableLog>>,
     threads: Vec<thread::JoinHandle<()>>,
 }
 
@@ -55,6 +63,7 @@ impl Propagator {
     ) -> Self {
         assert_eq!(start_offsets.len(), logs.num_sites());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let mut tailed = Vec::new();
         let mut threads = Vec::new();
         #[allow(clippy::needless_range_loop)] // origin_idx names both the site and its offset slot
         for origin_idx in 0..logs.num_sites() {
@@ -63,6 +72,7 @@ impl Propagator {
                 continue;
             }
             let log = Arc::clone(logs.log(origin));
+            tailed.push(Arc::clone(&log));
             let applier = Arc::clone(&applier);
             let stats = stats.clone();
             let shutdown = Arc::clone(&shutdown);
@@ -72,11 +82,13 @@ impl Propagator {
                     .name(format!("repl-{site}-from-{origin}"))
                     .spawn(move || {
                         while !shutdown.load(Ordering::Relaxed) {
-                            let (records, bytes) = match log.wait_read_from(cursor, POLL) {
+                            // Parks until an append lands or stop() cancels.
+                            let (records, bytes) = match log.wait_read_from(cursor, &shutdown) {
                                 Ok(batch) => batch,
                                 Err(_) => break,
                             };
                             if records.is_empty() {
+                                // Only cancellation returns an empty batch.
                                 continue;
                             }
                             // One transit delay per fetched batch (Kafka
@@ -100,15 +112,29 @@ impl Propagator {
                     .expect("spawn propagator"),
             );
         }
-        Propagator { shutdown, threads }
+        Propagator {
+            shutdown,
+            tailed,
+            threads,
+        }
     }
 
-    /// Signals shutdown and joins all subscriber threads.
+    /// Signals shutdown, wakes every parked subscriber, and joins them.
     ///
     /// The applier must unblock any waiting `apply` calls (returning an
     /// error) when its owning site shuts down, or this will hang.
     pub fn stop(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        // Subscribers may be parked in wait_read_from on an idle log; wake
+        // them so they observe the flag (notify_waiters takes the log lock,
+        // so the store above cannot race past a waiter's re-check).
+        for log in &self.tailed {
+            log.notify_waiters();
+        }
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -117,10 +143,7 @@ impl Propagator {
 
 impl Drop for Propagator {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.shutdown_and_join();
     }
 }
 
@@ -129,6 +152,7 @@ mod tests {
     use super::*;
     use dynamast_common::{DynaError, VersionVector};
     use parking_lot::Mutex;
+    use std::time::{Duration, Instant};
 
     struct Collector {
         seen: Mutex<Vec<LogRecord>>,
@@ -244,6 +268,35 @@ mod tests {
         // Stop should join promptly even though records remain unapplied.
         prop.stop();
         assert_eq!(collector.seen.lock().len(), 1);
+    }
+
+    /// Regression test for the shutdown race: subscribers now park
+    /// indefinitely on idle logs, so `stop()` must wake them explicitly.
+    /// Before the wake-on-stop, this would hang until a record arrived.
+    #[test]
+    fn stop_returns_promptly_with_idle_logs() {
+        let logs = LogSet::new(4);
+        let collector = Arc::new(Collector {
+            seen: Mutex::new(Vec::new()),
+            fail_after: None,
+        });
+        let prop = Propagator::start(
+            SiteId::new(0),
+            &logs,
+            collector as Arc<dyn RefreshApplier>,
+            NetworkConfig::instant(),
+            None,
+            vec![0; 4],
+        );
+        // Let the three subscriber threads park on their empty logs.
+        thread::sleep(Duration::from_millis(50));
+        let t0 = Instant::now();
+        prop.stop();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "stop() blocked for {:?} on idle logs",
+            t0.elapsed()
+        );
     }
 
     #[test]

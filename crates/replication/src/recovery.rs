@@ -148,10 +148,7 @@ pub fn rebuild_mastership(logs: &LogSet) -> Result<HashMap<PartitionId, SiteId>>
             }
         }
     }
-    Ok(best
-        .into_iter()
-        .map(|(p, (_, site))| (p, site))
-        .collect())
+    Ok(best.into_iter().map(|(p, (_, site))| (p, site)).collect())
 }
 
 #[cfg(test)]
@@ -194,8 +191,10 @@ mod tests {
         let logs = LogSet::new(2);
         // S0 commits k=1 (tvv [1,0]); S1 observes it then commits k=2
         // (tvv [1,1], begin included S0's update).
-        logs.log(SiteId::new(0)).append(&commit(0, &[1, 0], vec![(1, 10)]));
-        logs.log(SiteId::new(1)).append(&commit(1, &[1, 1], vec![(2, 20)]));
+        logs.log(SiteId::new(0))
+            .append(&commit(0, &[1, 0], vec![(1, 10)]));
+        logs.log(SiteId::new(1))
+            .append(&commit(1, &[1, 1], vec![(2, 20)]));
         let state = replay_all(&logs, catalog(), 4).unwrap();
         assert_eq!(state.svv.as_slice(), &[1, 1]);
         assert_eq!(state.offsets, vec![1, 1]);
@@ -207,10 +206,14 @@ mod tests {
     #[test]
     fn replay_handles_interleaved_multi_site_history() {
         let logs = LogSet::new(3);
-        logs.log(SiteId::new(0)).append(&commit(0, &[1, 0, 0], vec![(1, 1)]));
-        logs.log(SiteId::new(2)).append(&commit(2, &[1, 0, 1], vec![(3, 3)]));
-        logs.log(SiteId::new(0)).append(&commit(0, &[2, 0, 1], vec![(1, 2)]));
-        logs.log(SiteId::new(1)).append(&commit(1, &[2, 1, 1], vec![(2, 2)]));
+        logs.log(SiteId::new(0))
+            .append(&commit(0, &[1, 0, 0], vec![(1, 1)]));
+        logs.log(SiteId::new(2))
+            .append(&commit(2, &[1, 0, 1], vec![(3, 3)]));
+        logs.log(SiteId::new(0))
+            .append(&commit(0, &[2, 0, 1], vec![(1, 2)]));
+        logs.log(SiteId::new(1))
+            .append(&commit(1, &[2, 1, 1], vec![(2, 2)]));
         let state = replay_all(&logs, catalog(), 4).unwrap();
         assert_eq!(state.svv.as_slice(), &[2, 1, 1]);
         let snap = state.svv.clone();
@@ -222,7 +225,8 @@ mod tests {
     fn replay_detects_stuck_logs() {
         let logs = LogSet::new(2);
         // Depends on svv[1] >= 5, which never arrives.
-        logs.log(SiteId::new(0)).append(&commit(0, &[1, 5], vec![(1, 1)]));
+        logs.log(SiteId::new(0))
+            .append(&commit(0, &[1, 5], vec![(1, 1)]));
         match replay_all(&logs, catalog(), 4) {
             Err(err) => assert_eq!(err, DynaError::Internal("log replay is stuck")),
             Ok(_) => panic!("replay should report stuck logs"),
@@ -304,7 +308,8 @@ mod tests {
     #[test]
     fn mastership_rebuild_ignores_commits_and_unknown_partitions() {
         let logs = LogSet::new(2);
-        logs.log(SiteId::new(0)).append(&commit(0, &[1, 0], vec![(1, 1)]));
+        logs.log(SiteId::new(0))
+            .append(&commit(0, &[1, 0], vec![(1, 1)]));
         let map = rebuild_mastership(&logs).unwrap();
         assert!(map.is_empty());
     }

@@ -27,13 +27,16 @@ struct Step {
 
 fn steps() -> impl Strategy<Value = Vec<Step>> {
     prop::collection::vec(
-        (0usize..3, prop::collection::vec(0u64..40, 1..4), any::<u64>()).prop_map(
-            |(site, mut keys, value)| {
+        (
+            0usize..3,
+            prop::collection::vec(0u64..40, 1..4),
+            any::<u64>(),
+        )
+            .prop_map(|(site, mut keys, value)| {
                 keys.sort_unstable();
                 keys.dedup();
                 Step { site, keys, value }
-            },
-        ),
+            }),
         1..60,
     )
 }

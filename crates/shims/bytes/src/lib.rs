@@ -1,0 +1,390 @@
+//! Offline stand-in for the `bytes` crate (see `crates/shims/README.md`).
+//!
+//! Implements the subset this workspace uses: [`Bytes`] (cheaply clonable,
+//! reference-counted immutable byte slices), [`BytesMut`] (a growable
+//! buffer), and the [`Buf`]/[`BufMut`] cursor traits with the big-endian
+//! fixed-width accessors the codec relies on.
+
+use std::fmt;
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply clonable, sliceable, immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice (copied once; the shim does not keep the
+    /// zero-copy static-lifetime optimization of the real crate).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        let arc: Arc<[u8]> = Arc::from(data);
+        Bytes {
+            start: 0,
+            end: arc.len(),
+            data: arc,
+        }
+    }
+
+    /// Number of bytes remaining in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` iff no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a sub-slice view sharing the same allocation.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => len,
+        };
+        assert!(begin <= end && end <= len, "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// The bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copies the remaining bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let arc: Arc<[u8]> = Arc::from(v.into_boxed_slice());
+        Bytes {
+            start: 0,
+            end: arc.len(),
+            data: arc,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Self {
+        Bytes::from(v.into_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{:?}", self.as_slice())
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// `true` iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.vec.extend_from_slice(data);
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+/// Read cursor over a byte source. Multi-byte accessors are big-endian,
+/// matching the real `bytes` crate.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The next contiguous chunk of unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Consumes `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// `true` iff any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies `dst.len()` bytes out, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        let mut copied = 0;
+        while copied < dst.len() {
+            let chunk = self.chunk();
+            let n = chunk.len().min(dst.len() - copied);
+            dst[copied..copied + n].copy_from_slice(&chunk[..n]);
+            self.advance(n);
+            copied += n;
+        }
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `i64`.
+    fn get_i64(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_be_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.start += n;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+impl<T: Buf + ?Sized> Buf for &mut T {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+
+    fn advance(&mut self, n: usize) {
+        (**self).advance(n)
+    }
+}
+
+/// Write cursor. Multi-byte writers are big-endian.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, data: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.vec.extend_from_slice(data);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+impl<T: BufMut + ?Sized> BufMut for &mut T {
+    fn put_slice(&mut self, data: &[u8]) {
+        (**self).put_slice(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fixed_width() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(42);
+        buf.put_i64(-5);
+        buf.put_slice(b"xy");
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 1 + 4 + 8 + 8 + 2);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), 42);
+        assert_eq!(b.get_i64(), -5);
+        let mut rest = [0u8; 2];
+        b.copy_to_slice(&mut rest);
+        assert_eq!(&rest, b"xy");
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn clone_and_slice_share_data() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let c = s.clone();
+        assert_eq!(c, s);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn advance_moves_view() {
+        let mut b = Bytes::from(vec![9, 8, 7]);
+        b.advance(1);
+        assert_eq!(&b[..], &[8, 7]);
+    }
+}

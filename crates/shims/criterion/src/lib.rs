@@ -1,0 +1,282 @@
+//! Offline stand-in for the `criterion` crate (see `crates/shims/README.md`).
+//!
+//! Implements the harness surface the bench crate uses: `Criterion` with
+//! `benchmark_group`/`bench_function`, `Bencher::iter`/`iter_batched`, the
+//! `criterion_group!`/`criterion_main!` macros, and `black_box`. Measurement
+//! is a plain warm-up + timed-loop mean (no bootstrap statistics, no HTML
+//! reports); results print as `name  time: <mean>/iter (<n> iters)`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier to keep the optimizer from deleting benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How [`Bencher::iter_batched`] amortizes setup cost.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: large batches.
+    SmallInput,
+    /// Large per-iteration inputs: batches of one.
+    LargeInput,
+    /// Per-iteration setup, batch size one.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput | BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher<'a> {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Filled in by the iter calls: (total elapsed, iterations).
+    result: &'a mut Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let started = Instant::now();
+        let deadline = started + self.measurement_time;
+        loop {
+            for _ in 0..16 {
+                black_box(routine());
+            }
+            iters += 16;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        *self.result = Some((started.elapsed(), iters));
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = size.batch_len();
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            for input in inputs {
+                black_box(routine(input));
+            }
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let overall_start = Instant::now();
+        loop {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let started = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            elapsed += started.elapsed();
+            iters += batch as u64;
+            if elapsed >= self.measurement_time
+                || overall_start.elapsed() >= self.measurement_time * 4
+            {
+                break;
+            }
+        }
+        *self.result = Some((elapsed, iters));
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark warm-up duration.
+    pub fn warm_up_time(mut self, value: Duration) -> Self {
+        self.warm_up_time = value;
+        self
+    }
+
+    /// Sets the per-benchmark measurement duration.
+    pub fn measurement_time(mut self, value: Duration) -> Self {
+        self.measurement_time = value;
+        self
+    }
+
+    /// Accepted for API compatibility; this shim sizes by time, not samples.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(self, &name.to_string(), f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing the driver's configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(self.criterion, &full, f);
+        self
+    }
+
+    /// Ends the group (exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(criterion: &Criterion, name: &str, mut f: F) {
+    let mut result = None;
+    let mut bencher = Bencher {
+        measurement_time: criterion.measurement_time,
+        warm_up_time: criterion.warm_up_time,
+        result: &mut result,
+    };
+    f(&mut bencher);
+    match result {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<50} time: {} ({iters} iters)", format_ns(per_iter));
+        }
+        _ => println!("{name:<50} time: (no measurement recorded)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_measurement() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("group");
+        group.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = target_a
+    }
+
+    fn target_a(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_generates_callable() {
+        benches();
+    }
+}

@@ -258,9 +258,8 @@ mod tests {
     fn shutdown_unblocks_waiters_with_error() {
         let c = clock();
         let c2 = Arc::clone(&c);
-        let waiter = thread::spawn(move || {
-            c2.wait_dominates(&VersionVector::from_counts(vec![99, 0, 0]))
-        });
+        let waiter =
+            thread::spawn(move || c2.wait_dominates(&VersionVector::from_counts(vec![99, 0, 0])));
         thread::sleep(Duration::from_millis(20));
         c.shut_down();
         assert_eq!(waiter.join().unwrap().unwrap_err(), DynaError::ShuttingDown);

@@ -78,9 +78,7 @@ pub fn run_coordinated(
             read_stamps: HashMap::new(),
             ops: 0,
         };
-        let result = site
-            .executor()
-            .execute(&mut ctx, proc)?;
+        let result = site.executor().execute(&mut ctx, proc)?;
         site.service_sleep(ctx.ops);
         let writes = ctx.writes;
         let read_stamps = ctx.read_stamps;
@@ -131,13 +129,18 @@ fn try_commit(
     // Group writes by owning site, preserving write order within a site.
     let owner_of = site
         .static_owner()
-        .ok_or(DynaError::Internal("coordinated exec without static owners"))?
+        .ok_or(DynaError::Internal(
+            "coordinated exec without static owners",
+        ))?
         .clone();
     let catalog = site.store().catalog().clone();
     let mut groups: BTreeMap<SiteId, Vec<WriteEntry>> = BTreeMap::new();
     for (key, row) in writes {
         let owner = owner_of(catalog.partition_of(key)?);
-        groups.entry(owner).or_default().push(WriteEntry { key, row });
+        groups
+            .entry(owner)
+            .or_default()
+            .push(WriteEntry { key, row });
     }
 
     if groups.len() == 1 {
@@ -262,10 +265,9 @@ struct CoordCtx<'a> {
 
 impl CoordCtx<'_> {
     fn owner(&self, key: Key) -> Result<SiteId> {
-        let owner_of = self
-            .site
-            .static_owner()
-            .ok_or(DynaError::Internal("coordinated exec without static owners"))?;
+        let owner_of = self.site.static_owner().ok_or(DynaError::Internal(
+            "coordinated exec without static owners",
+        ))?;
         Ok(owner_of(self.site.store().catalog().partition_of(key)?))
     }
 
@@ -325,10 +327,11 @@ impl TxnCtx for CoordCtx<'_> {
                 .scan(range.table, range.start, range.end, self.begin);
         }
         match self.mode {
-            ReadMode::Snapshot => self
-                .site
-                .store()
-                .scan(range.table, range.start, range.end, self.begin),
+            ReadMode::Snapshot => {
+                self.site
+                    .store()
+                    .scan(range.table, range.start, range.end, self.begin)
+            }
             ReadMode::Latest => {
                 if self.site.is_replicated_table(range.table) {
                     let mut rows = Vec::new();

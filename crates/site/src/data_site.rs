@@ -266,9 +266,7 @@ impl DataSite {
         };
         let t_begin = Instant::now();
         let mut ctx = LocalCtx::new(&self.store, &begin, mode, &proc.write_set);
-        let result = self
-            .executor
-            .execute(&mut ctx, proc)?;
+        let result = self.executor.execute(&mut ctx, proc)?;
         self.service_sleep(ctx.ops());
         let writes = ctx.into_writes();
         let t_exec = Instant::now();
@@ -331,9 +329,7 @@ impl DataSite {
         };
         let t_begin = Instant::now();
         let mut ctx = LocalCtx::new(&self.store, &begin, mode, &[]);
-        let result = self
-            .executor
-            .execute(&mut ctx, proc)?;
+        let result = self.executor.execute(&mut ctx, proc)?;
         self.service_sleep(ctx.ops());
         let t_exec = Instant::now();
         Ok((

@@ -906,9 +906,7 @@ mod tests {
             site_vv: vv.clone(),
             timings: ExecTimings::default(),
         });
-        roundtrip_resp(SiteResponse::Released {
-            rel_vv: vv.clone(),
-        });
+        roundtrip_resp(SiteResponse::Released { rel_vv: vv.clone() });
         roundtrip_resp(SiteResponse::Granted {
             grant_vv: vv.clone(),
         });

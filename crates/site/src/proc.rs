@@ -216,7 +216,9 @@ impl TxnCtx for LocalCtx<'_> {
     fn scan(&mut self, range: ScanRange) -> Result<Vec<(RecordId, Row)>> {
         self.ops += range.end.saturating_sub(range.start);
         match self.mode {
-            ReadMode::Snapshot => self.store.scan(range.table, range.start, range.end, self.begin),
+            ReadMode::Snapshot => self
+                .store
+                .scan(range.table, range.start, range.end, self.begin),
             ReadMode::Latest => {
                 let mut out = Vec::new();
                 for record in range.start..range.end {

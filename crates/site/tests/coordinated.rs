@@ -107,8 +107,7 @@ fn single_fragment_local_write_commits_without_2pc() {
     let d = partitioned_deployment(false);
     load(&d.sites, 10, 5, false); // even partition → site 0
     let min = VersionVector::zero(2);
-    let (_, vv, _) =
-        run_coordinated(&d.sites[0], &min, &inc(&[10]), ReadMode::Latest).unwrap();
+    let (_, vv, _) = run_coordinated(&d.sites[0], &min, &inc(&[10]), ReadMode::Latest).unwrap();
     let (row, _) = d.sites[0]
         .store()
         .read_latest(Key::new(TABLE, 10))
@@ -144,8 +143,8 @@ fn cross_site_write_set_commits_via_two_phase_commit() {
 fn remote_reads_resolve_through_owners() {
     let d = partitioned_deployment(false);
     load(&d.sites, 110, 41, false); // owned by site 1
-    // Coordinator site 0 increments a key it does not own: the read goes
-    // remote, the write commits at the owner via 2PC.
+                                    // Coordinator site 0 increments a key it does not own: the read goes
+                                    // remote, the write commits at the owner via 2PC.
     let min = VersionVector::zero(2);
     run_coordinated(&d.sites[0], &min, &inc(&[110]), ReadMode::Latest).unwrap();
     let (row, _) = d.sites[1]

@@ -53,7 +53,10 @@ impl Catalog {
         partition_size: u64,
     ) -> TableId {
         assert!(columns > 0, "table {name} must have at least one column");
-        assert!(partition_size > 0, "table {name} partition_size must be > 0");
+        assert!(
+            partition_size > 0,
+            "table {name} partition_size must be > 0"
+        );
         let id = TableId::new(self.tables.len());
         self.tables.push(TableSchema {
             id,

@@ -151,10 +151,18 @@ mod tests {
         let store = Store::new(catalog(), 4);
         let s0 = SiteId::new(0);
         store
-            .install(Key::new(TableId::new(0), 1), VersionStamp::new(s0, 1), row(1))
+            .install(
+                Key::new(TableId::new(0), 1),
+                VersionStamp::new(s0, 1),
+                row(1),
+            )
             .unwrap();
         store
-            .install(Key::new(TableId::new(1), 1), VersionStamp::new(s0, 2), row(2))
+            .install(
+                Key::new(TableId::new(1), 1),
+                VersionStamp::new(s0, 2),
+                row(2),
+            )
             .unwrap();
         let snap = VersionVector::from_counts(vec![2]);
         assert_eq!(

@@ -59,7 +59,10 @@ impl Chain {
 
     /// Newest version visible to `begin`, scanning from the tail.
     fn read(&self, begin: &VersionVector) -> Option<&Version> {
-        self.versions.iter().rev().find(|v| v.stamp.visible_to(begin))
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.stamp.visible_to(begin))
     }
 
     fn latest(&self) -> Option<(&Row, VersionStamp)> {
@@ -137,7 +140,12 @@ impl Table {
 
     /// Snapshot multi-get over a contiguous key range (YCSB scans read
     /// 200–1000 sequentially ordered keys). Missing keys are skipped.
-    pub fn scan(&self, start: RecordId, end: RecordId, begin: &VersionVector) -> Vec<(RecordId, Row)> {
+    pub fn scan(
+        &self,
+        start: RecordId,
+        end: RecordId,
+        begin: &VersionVector,
+    ) -> Vec<(RecordId, Row)> {
         let mut out = Vec::with_capacity((end.saturating_sub(start)) as usize);
         for record in start..end {
             if let Some(row) = self.read(record, begin) {

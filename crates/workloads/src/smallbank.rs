@@ -245,7 +245,11 @@ struct SmallBankGen {
 impl SmallBankGen {
     fn customer(&mut self) -> u64 {
         let hot = self.config.hotspot_size.min(self.config.num_customers);
-        if hot > 0 && self.rng.gen_bool(self.config.hotspot_fraction.clamp(0.0, 1.0)) {
+        if hot > 0
+            && self
+                .rng
+                .gen_bool(self.config.hotspot_fraction.clamp(0.0, 1.0))
+        {
             self.rng.gen_range(0..hot)
         } else {
             self.rng.gen_range(0..self.config.num_customers)
@@ -306,7 +310,11 @@ impl ClientGenerator for SmallBankGen {
         let transfer = self.config.transfer_fraction;
         if roll < single {
             // DepositChecking / TransactSavings, evenly split.
-            let table = if self.rng.gen_bool(0.5) { CHECKING } else { SAVINGS };
+            let table = if self.rng.gen_bool(0.5) {
+                CHECKING
+            } else {
+                SAVINGS
+            };
             let key = Key::new(table, self.customer());
             let mut args = Vec::with_capacity(8);
             args.put_i64(self.rng.gen_range(1..1000));
@@ -395,10 +403,8 @@ mod tests {
             ..SmallBankConfig::default()
         });
         let store = Store::new(w.catalog(), 4);
-        w.populate(&mut |key, row| {
-            store.install(key, VersionStamp::new(SiteId::new(0), 0), row)
-        })
-        .unwrap();
+        w.populate(&mut |key, row| store.install(key, VersionStamp::new(SiteId::new(0), 0), row))
+            .unwrap();
         (w, store)
     }
 

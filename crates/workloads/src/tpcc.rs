@@ -311,9 +311,7 @@ impl Workload for TpccWorkload {
             let warehouse = match table {
                 WAREHOUSE => index,
                 DISTRICT => index, // partition size = DPW ⇒ index is w
-                CUSTOMER | ORDERS | ORDER_LINE | HISTORY => {
-                    index / config.districts_per_warehouse
-                }
+                CUSTOMER | ORDERS | ORDER_LINE | HISTORY => index / config.districts_per_warehouse,
                 STOCK => index / (config.num_items / config.stock_group()),
                 _ => 0, // ITEM: static/replicated; owner is irrelevant
             };
@@ -521,7 +519,9 @@ impl TpccGen {
         let district_index = c.district_index(w, d);
         let o_id = self.order_counters[district_index as usize].fetch_add(1, Ordering::Relaxed);
         let n = self.rng.gen_range(5..=MAX_LINES);
-        let cross = self.rng.gen_bool(c.neworder_remote_fraction.clamp(0.0, 1.0));
+        let cross = self
+            .rng
+            .gen_bool(c.neworder_remote_fraction.clamp(0.0, 1.0));
         let remote_lines = if cross { self.rng.gen_range(1..=2) } else { 0 };
 
         let mut items: Vec<(u64, u64, u64)> = Vec::with_capacity(n as usize);
@@ -584,9 +584,7 @@ impl TpccGen {
         let c = self.config.clone();
         let w = self.home_warehouse;
         let d = self.rng.gen_range(0..c.districts_per_warehouse);
-        let remote = self
-            .rng
-            .gen_bool(c.payment_remote_fraction.clamp(0.0, 1.0));
+        let remote = self.rng.gen_bool(c.payment_remote_fraction.clamp(0.0, 1.0));
         let (c_w, c_d) = if remote {
             (
                 self.remote_warehouse(),
@@ -697,18 +695,12 @@ mod tests {
     fn setup() -> (TpccWorkload, Store) {
         let w = TpccWorkload::new(config());
         let store = Store::new(w.catalog(), 4);
-        w.populate(&mut |key, row| {
-            store.install(key, VersionStamp::new(SiteId::new(0), 0), row)
-        })
-        .unwrap();
+        w.populate(&mut |key, row| store.install(key, VersionStamp::new(SiteId::new(0), 0), row))
+            .unwrap();
         (w, store)
     }
 
-    fn run_update(
-        w: &TpccWorkload,
-        store: &Store,
-        call: &ProcCall,
-    ) -> Vec<(Key, Row)> {
+    fn run_update(w: &TpccWorkload, store: &Store, call: &ProcCall) -> Vec<(Key, Row)> {
         let exec = w.executor();
         let begin = VersionVector::from_counts(vec![0]);
         let mut ctx = LocalCtx::new(store, &begin, ReadMode::Snapshot, &call.write_set);
@@ -734,8 +726,7 @@ mod tests {
             }
         };
         let writes = run_update(&w, &store, &txn.call);
-        let declared: std::collections::HashSet<Key> =
-            txn.call.write_set.iter().copied().collect();
+        let declared: std::collections::HashSet<Key> = txn.call.write_set.iter().copied().collect();
         for (key, _) in &writes {
             assert!(declared.contains(key), "undeclared write to {key:?}");
         }
@@ -838,15 +829,15 @@ mod tests {
         let c = w.config().clone();
         let catalog = w.catalog();
         for warehouse in 0..4u64 {
-            let wh = catalog.partition_of(Key::new(WAREHOUSE, warehouse)).unwrap();
+            let wh = catalog
+                .partition_of(Key::new(WAREHOUSE, warehouse))
+                .unwrap();
             let dist = catalog.partition_of(c.district_key(warehouse, 3)).unwrap();
             let cust = catalog
                 .partition_of(c.customer_key(warehouse, 5, 7))
                 .unwrap();
             let stock = catalog.partition_of(c.stock_key(warehouse, 9)).unwrap();
-            let order = catalog
-                .partition_of(c.order_key(warehouse, 2, 11))
-                .unwrap();
+            let order = catalog.partition_of(c.order_key(warehouse, 2, 11)).unwrap();
             let site = owner(wh);
             for p in [dist, cust, stock, order] {
                 assert_eq!(owner(p), site, "warehouse {warehouse} not colocated");

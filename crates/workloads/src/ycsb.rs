@@ -154,9 +154,10 @@ impl Workload for YcsbWorkload {
             config: self.config.clone(),
             perm: Arc::clone(&self.perm),
             pos: Arc::clone(&self.pos),
-            zipf: self.config.zipf.map(|theta| {
-                Zipfian::new(self.config.num_partitions(), theta)
-            }),
+            zipf: self
+                .config
+                .zipf
+                .map(|theta| Zipfian::new(self.config.num_partitions(), theta)),
             rng: SmallRng::seed_from_u64(seed ^ client.raw().wrapping_mul(0x9E37_79B9)),
             affinity_left: 0,
             center: 0,
@@ -234,8 +235,7 @@ impl YcsbGen {
     }
 
     fn key_in_partition(&mut self, partition: u64) -> u64 {
-        partition * self.config.partition_size
-            + self.rng.gen_range(0..self.config.partition_size)
+        partition * self.config.partition_size + self.rng.gen_range(0..self.config.partition_size)
     }
 
     fn rmw(&mut self) -> GeneratedTxn {
@@ -265,10 +265,7 @@ impl YcsbGen {
         let call = ProcCall {
             proc_id: PROC_RMW,
             args: Bytes::new(),
-            write_set: records
-                .iter()
-                .map(|r| Key::new(USERTABLE, *r))
-                .collect(),
+            write_set: records.iter().map(|r| Key::new(USERTABLE, *r)).collect(),
             read_keys: vec![],
             read_ranges: vec![],
         };
@@ -376,12 +373,7 @@ mod tests {
             assert_eq!(txn.kind, TxnKind::Update);
             assert!(!txn.call.write_set.is_empty() && txn.call.write_set.len() <= 3);
             // All keys within the neighbour window of some base partition.
-            let parts: Vec<u64> = txn
-                .call
-                .write_set
-                .iter()
-                .map(|k| k.record / 100)
-                .collect();
+            let parts: Vec<u64> = txn.call.write_set.iter().map(|k| k.record / 100).collect();
             let min = parts.iter().min().unwrap();
             let max = parts.iter().max().unwrap();
             assert!(max - min <= 5, "partitions too spread: {parts:?}");
@@ -395,12 +387,7 @@ mod tests {
         for _ in 0..100 {
             let txn = g.next_txn();
             assert_eq!(txn.kind, TxnKind::ReadOnly);
-            let keys: u64 = txn
-                .call
-                .read_ranges
-                .iter()
-                .map(|r| r.end - r.start)
-                .sum();
+            let keys: u64 = txn.call.read_ranges.iter().map(|r| r.end - r.start).sum();
             assert!((200..=1000).contains(&keys), "scan of {keys} keys");
         }
     }

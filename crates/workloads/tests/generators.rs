@@ -85,7 +85,11 @@ fn declared_sets_match_kind() {
                     assert!(!txn.call.write_set.is_empty(), "{} empty writes", txn.label);
                 }
                 dynamast_workloads::TxnKind::ReadOnly => {
-                    assert!(txn.call.write_set.is_empty(), "{} writes in read", txn.label);
+                    assert!(
+                        txn.call.write_set.is_empty(),
+                        "{} writes in read",
+                        txn.label
+                    );
                     assert!(
                         !txn.call.read_keys.is_empty() || !txn.call.read_ranges.is_empty(),
                         "{} reads nothing",
@@ -101,10 +105,7 @@ fn declared_sets_match_kind() {
 #[test]
 fn generated_keys_are_populated() {
     use std::collections::HashSet;
-    for workload in [
-        &ycsb() as &dyn Workload,
-        &smallbank() as &dyn Workload,
-    ] {
+    for workload in [&ycsb() as &dyn Workload, &smallbank() as &dyn Workload] {
         let mut populated = HashSet::new();
         workload
             .populate(&mut |key, _| {

@@ -63,9 +63,7 @@ fn main() -> Result<()> {
     });
     // Small, fast-to-run configuration: real protocol, light service costs.
     let config = || SystemConfig::new(SITES).with_instant_service();
-    println!(
-        "YCSB 50/50 RMW/scan, {SITES} sites, {CLIENTS} clients x {TXNS_PER_CLIENT} txns\n"
-    );
+    println!("YCSB 50/50 RMW/scan, {SITES} sites, {CLIENTS} clients x {TXNS_PER_CLIENT} txns\n");
 
     let dynamast = DynaMastSystem::build(
         DynaMastConfig::adaptive(config(), workload.catalog()),

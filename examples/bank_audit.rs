@@ -37,7 +37,10 @@ fn main() -> Result<()> {
 
     let expected_initial =
         workload.config().num_customers as i64 * workload.config().initial_balance * 2;
-    println!("loaded {} customers; total balance {expected_initial}", 5_000);
+    println!(
+        "loaded {} customers; total balance {expected_initial}",
+        5_000
+    );
 
     // Concurrent clients run the SmallBank mix; deposits add new money, so
     // track them to predict the audited total.
@@ -99,8 +102,15 @@ fn main() -> Result<()> {
         stats.committed_updates, stats.remaster_ops, stats.partitions_moved
     );
     println!("masters per site: {:?}", stats.masters_per_site);
-    println!("audited total: {total}; expected: {}", expected_initial + deposited);
-    assert_eq!(total, expected_initial + deposited, "the books must balance");
+    println!(
+        "audited total: {total}; expected: {}",
+        expected_initial + deposited
+    );
+    assert_eq!(
+        total,
+        expected_initial + deposited,
+        "the books must balance"
+    );
     println!("audit passed ✓");
     Ok(())
 }

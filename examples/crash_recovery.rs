@@ -70,7 +70,9 @@ fn main() -> Result<()> {
 
     // "Crash" site 1: cut it off the network. In-flight work drains; the
     // durable logs survive (they are the Kafka stand-in).
-    system.network().disconnect(dynamast::network::EndpointId::Site(1));
+    system
+        .network()
+        .disconnect(dynamast::network::EndpointId::Site(1));
     println!("site 1 disconnected");
 
     // Recover site 1 purely from the logs.
@@ -104,7 +106,11 @@ fn main() -> Result<()> {
     let placements = system.selector().map().placements();
     for (partition, master) in placements {
         if let Some(live_master) = master {
-            assert_eq!(map.get(&partition), Some(&live_master), "mastership diverged");
+            assert_eq!(
+                map.get(&partition),
+                Some(&live_master),
+                "mastership diverged"
+            );
         }
     }
     println!("recovered mastership map matches the live selector ✓");

@@ -77,10 +77,7 @@ fn main() -> Result<()> {
 
     // 2. Three data sites, adaptive site selector, simulated LAN.
     let config = SystemConfig::new(3);
-    let system = DynaMastSystem::build(
-        DynaMastConfig::adaptive(config, catalog),
-        Arc::new(KvApp),
-    );
+    let system = DynaMastSystem::build(DynaMastConfig::adaptive(config, catalog), Arc::new(KvApp));
 
     // 3. A client session (carries the SSSI session vector).
     let mut session = ClientSession::new(ClientId::new(1), 3);
@@ -99,10 +96,7 @@ fn main() -> Result<()> {
     let stats = system.stats();
     println!(
         "committed={} remaster_ops={} partitions_moved={} masters/site={:?}",
-        stats.committed_updates,
-        stats.remaster_ops,
-        stats.partitions_moved,
-        stats.masters_per_site
+        stats.committed_updates, stats.remaster_ops, stats.partitions_moved, stats.masters_per_site
     );
     Ok(())
 }

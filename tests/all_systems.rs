@@ -136,13 +136,12 @@ fn smallbank_conserves_money_on_every_system() {
                             TxnKind::Update => system.update(&mut session, &txn.call),
                             TxnKind::ReadOnly => system.read(&mut session, &txn.call),
                         };
-                        let outcome = outcome
-                            .unwrap_or_else(|e| panic!("txn failed: {e} ({})", txn.label));
+                        let outcome =
+                            outcome.unwrap_or_else(|e| panic!("txn failed: {e} ({})", txn.label));
                         if txn.label == "single-row-update" {
                             // Deposits add money; track to adjust the total.
                             let mut args = txn.call.args.clone();
-                            local_deposits +=
-                                dynamast::common::codec::get_i64(&mut args).unwrap();
+                            local_deposits += dynamast::common::codec::get_i64(&mut args).unwrap();
                         }
                         drop(outcome);
                     }

@@ -146,7 +146,8 @@ fn recovered_clock_continues_the_sequence() {
         system.update(&mut session, &set(&[i * 100], i)).unwrap();
     }
     let recovered = recover_site(SiteId::new(0), system.logs(), catalog, 4, &[]).unwrap();
-    let clock = dynamast::site::SiteClock::from_recovered(SiteId::new(0), recovered.state.svv.clone());
+    let clock =
+        dynamast::site::SiteClock::from_recovered(SiteId::new(0), recovered.state.svv.clone());
     let next = clock.allocate();
     assert_eq!(next, recovered.state.svv.get(SiteId::new(0)) + 1);
 }

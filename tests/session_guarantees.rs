@@ -200,5 +200,9 @@ fn concurrent_writers_never_lose_updates() {
         h.join().unwrap();
     }
     assert_eq!(system.stats().committed_updates, 200);
-    assert_eq!(system.stats().aborts, 0, "lock-based WW handling never aborts");
+    assert_eq!(
+        system.stats().aborts,
+        0,
+        "lock-based WW handling never aborts"
+    );
 }

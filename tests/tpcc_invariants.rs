@@ -63,14 +63,10 @@ fn run_mix(
 /// Reads the freshest committed state directly from a converged replica.
 fn converged_store(system: &Arc<DynaMastSystem>) -> &dynamast::storage::Store {
     // Wait for all replicas to converge to a common vv.
-    let target = system
-        .sites()
-        .iter()
-        .map(|s| s.clock().current())
-        .fold(
-            dynamast::common::VersionVector::zero(system.config().num_sites),
-            |acc, vv| acc.max_with(&vv),
-        );
+    let target = system.sites().iter().map(|s| s.clock().current()).fold(
+        dynamast::common::VersionVector::zero(system.config().num_sites),
+        |acc, vv| acc.max_with(&vv),
+    );
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
     for site in system.sites() {
         while !site.clock().current().dominates(&target) {
