@@ -118,6 +118,51 @@ pub enum WeightKind {
     InterTxn,
 }
 
+/// Deadline and retry policy for RPCs issued over the simulated network.
+///
+/// Faults (message drops, partitions, crashed endpoints) surface to callers
+/// as `DynaError::Timeout` / `DynaError::Network`; a resilient caller retries
+/// with capped exponential backoff and seeded jitter until either the
+/// per-call attempt budget or the overall deadline is exhausted.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Deadline for a single attempt's reply.
+    pub attempt_timeout: Duration,
+    /// Maximum number of attempts (≥ 1); the first send counts as one.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubled each retry.
+    pub base_backoff: Duration,
+    /// Backoff growth cap.
+    pub max_backoff: Duration,
+    /// Overall deadline across all attempts and backoffs.
+    pub deadline: Duration,
+}
+
+impl RetryPolicy {
+    /// Default policy: generous enough to ride out delay spikes and a site
+    /// restart, tight enough that chaos tests finish under their watchdog.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            attempt_timeout: Duration::from_millis(500),
+            max_attempts: 6,
+            base_backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_millis(50),
+            deadline: Duration::from_secs(10),
+        }
+    }
+
+    /// A single attempt with a bounded wait: fail fast, no retransmission.
+    pub fn one_shot(attempt_timeout: Duration) -> Self {
+        RetryPolicy {
+            attempt_timeout,
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            deadline: attempt_timeout,
+        }
+    }
+}
+
 /// Simulated network latency model.
 ///
 /// The paper runs on a 10Gbit/s LAN; network time is >40% of transaction
@@ -132,6 +177,8 @@ pub struct NetworkConfig {
     pub delay_per_kib: Duration,
     /// Uniform jitter added in `[0, jitter]`.
     pub jitter: Duration,
+    /// Deadline/retry policy applied by resilient RPC callers.
+    pub retry: RetryPolicy,
 }
 
 impl NetworkConfig {
@@ -141,6 +188,7 @@ impl NetworkConfig {
             one_way_delay: Duration::ZERO,
             delay_per_kib: Duration::ZERO,
             jitter: Duration::ZERO,
+            retry: RetryPolicy::standard(),
         }
     }
 
@@ -152,7 +200,15 @@ impl NetworkConfig {
             one_way_delay: Duration::from_micros(100),
             delay_per_kib: Duration::from_micros(1),
             jitter: Duration::from_micros(20),
+            retry: RetryPolicy::standard(),
         }
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Total one-way delay for a payload of `bytes` (before jitter).
@@ -291,6 +347,7 @@ mod tests {
             one_way_delay: Duration::from_micros(100),
             delay_per_kib: Duration::from_micros(10),
             jitter: Duration::ZERO,
+            retry: RetryPolicy::standard(),
         };
         assert_eq!(net.delay_for(100), Duration::from_micros(100));
         assert_eq!(net.delay_for(4096), Duration::from_micros(140));

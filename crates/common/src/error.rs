@@ -41,6 +41,14 @@ pub enum DynaError {
     },
     /// An RPC could not be delivered (endpoint shut down or crashed).
     Network(&'static str),
+    /// An RPC did not complete within its deadline: the request or reply was
+    /// lost, the link is partitioned, or the retry budget ran out.
+    Timeout {
+        /// What was being waited on.
+        op: &'static str,
+        /// Elapsed budget in milliseconds when the deadline fired.
+        ms: u64,
+    },
     /// The site is shutting down and rejects new work.
     ShuttingDown,
     /// An invariant that should be unreachable was violated.
@@ -65,6 +73,7 @@ impl fmt::Display for DynaError {
             }
             DynaError::TxnAborted { reason } => write!(f, "transaction aborted: {reason}"),
             DynaError::Network(what) => write!(f, "network error: {what}"),
+            DynaError::Timeout { op, ms } => write!(f, "timeout after {ms}ms: {op}"),
             DynaError::ShuttingDown => write!(f, "site shutting down"),
             DynaError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
@@ -93,5 +102,9 @@ mod tests {
     fn errors_are_comparable_for_test_assertions() {
         assert_eq!(DynaError::ShuttingDown, DynaError::ShuttingDown);
         assert_ne!(DynaError::Network("a"), DynaError::Internal("a"),);
+        assert_ne!(
+            DynaError::Timeout { op: "rpc", ms: 5 },
+            DynaError::Network("rpc"),
+        );
     }
 }

@@ -27,7 +27,7 @@ pub mod metrics;
 pub mod value;
 pub mod vv;
 
-pub use config::{StrategyWeights, SystemConfig};
+pub use config::{RetryPolicy, StrategyWeights, SystemConfig};
 pub use error::{DynaError, Result};
 pub use ids::{ClientId, Key, PartitionId, RecordId, SiteId, TableId};
 pub use value::{Row, Value};

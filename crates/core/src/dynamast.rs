@@ -15,6 +15,8 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::{Mutex, RwLock};
+
 use dynamast_common::ids::{PartitionId, SiteId};
 use dynamast_common::{DynaError, Result, SystemConfig};
 use dynamast_network::{Network, TrafficCategory};
@@ -73,11 +75,22 @@ pub struct DynaMastSystem {
     config: SystemConfig,
     network: Arc<Network>,
     logs: LogSet,
-    sites: Vec<Arc<DataSite>>,
+    /// Live sites; a slot is swapped for a freshly recovered instance on
+    /// [`DynaMastSystem::restart_site`].
+    sites: RwLock<Vec<Arc<DataSite>>>,
     selector: Arc<SiteSelector>,
+    // Retained so a crashed site can be rebuilt from the durable logs.
+    catalog: Catalog,
+    executor: Arc<dyn ProcExecutor>,
+    initial_placements: Vec<(PartitionId, SiteId)>,
+    rpc_workers: usize,
+    /// The initial bulk load (the recovery checkpoint): log replay starts
+    /// from an empty store, so rows that were loaded but never rewritten
+    /// must be restored from this image on restart.
+    base_image: Mutex<Vec<(dynamast_common::ids::Key, dynamast_common::Row)>>,
     // Drop order matters: stop the probe before the site runtimes.
-    probe: Option<ProbeHandle>,
-    runtimes: Vec<SiteRuntime>,
+    probe: Mutex<Option<ProbeHandle>>,
+    runtimes: Mutex<Vec<Option<SiteRuntime>>>,
 }
 
 impl DynaMastSystem {
@@ -137,10 +150,15 @@ impl DynaMastSystem {
             config: cfg.system,
             network,
             logs,
-            sites,
+            sites: RwLock::new(sites),
             selector,
-            probe,
-            runtimes,
+            catalog: cfg.catalog,
+            executor,
+            initial_placements: cfg.initial_placements,
+            rpc_workers: cfg.rpc_workers,
+            base_image: Mutex::new(Vec::new()),
+            probe: Mutex::new(probe),
+            runtimes: Mutex::new(runtimes.into_iter().map(Some).collect()),
         })
     }
 
@@ -154,9 +172,71 @@ impl DynaMastSystem {
         &self.logs
     }
 
-    /// The data sites.
-    pub fn sites(&self) -> &[Arc<DataSite>] {
-        &self.sites
+    /// Snapshot of the live data sites. A crashed-then-restarted site is a
+    /// *new* [`DataSite`] instance, so callers needing post-restart state
+    /// must re-take the snapshot.
+    pub fn sites(&self) -> Vec<Arc<DataSite>> {
+        self.sites.read().clone()
+    }
+
+    /// Crashes a site: its RPC server, replication subscribers, and all
+    /// volatile state (prepared 2PC fragments, caches, counters) are gone,
+    /// exactly as a process kill. Durable logs survive.
+    pub fn crash_site(&self, site: usize) {
+        // Drop the runtime outside the lock: ServerHandle joins its worker
+        // threads, which may be mid-RPC.
+        let runtime = self.runtimes.lock()[site].take();
+        drop(runtime);
+    }
+
+    /// Restarts a crashed site from the durable logs (§V-C): replays every
+    /// log into a fresh store, resumes replication from the replayed
+    /// offsets, and re-derives the mastership set from the grant/release
+    /// history.
+    pub fn restart_site(&self, site: usize) -> Result<()> {
+        let id = SiteId::new(site);
+        let recovered = crate::recovery::recover_site(
+            id,
+            &self.logs,
+            self.catalog.clone(),
+            self.config.mvcc_versions,
+            &self.initial_placements,
+        )?;
+        // Restore the checkpoint beneath the replayed log: version chains
+        // are read newest-from-tail, so the base row goes in only where no
+        // logged write ever touched the record (any replayed version
+        // supersedes the load image).
+        {
+            let image = self.base_image.lock();
+            for (key, row) in image.iter() {
+                if !recovered.state.store.contains(*key)? {
+                    recovered.state.store.install(
+                        *key,
+                        dynamast_storage::VersionStamp::new(SiteId::new(0), 0),
+                        row.clone(),
+                    )?;
+                }
+            }
+        }
+        let fresh = DataSite::from_recovered(
+            DataSiteConfig {
+                id,
+                system: self.config.clone(),
+                replicate: true,
+                initial_partitions: recovered.mastered,
+                static_owner: None,
+                replicated_tables: Vec::new(),
+            },
+            recovered.state.store,
+            recovered.state.svv,
+            self.logs.clone(),
+            Arc::clone(&self.network),
+            Arc::clone(&self.executor),
+        );
+        let runtime = fresh.start_with_offsets(self.rpc_workers, recovered.state.offsets);
+        self.sites.write()[site] = fresh;
+        self.runtimes.lock()[site] = Some(runtime);
+        Ok(())
     }
 
     /// The site selector.
@@ -176,16 +256,19 @@ impl DynaMastSystem {
         key: dynamast_common::ids::Key,
         row: dynamast_common::Row,
     ) -> Result<()> {
-        for site in &self.sites {
+        for site in self.sites.read().iter() {
             site.load_row(key, row.clone())?;
         }
+        self.base_image.lock().push((key, row));
         Ok(())
     }
 
     /// Stops the probe and site runtimes (also happens on drop).
-    pub fn shutdown(&mut self) {
-        self.probe.take();
-        self.runtimes.clear();
+    pub fn shutdown(&self) {
+        self.probe.lock().take();
+        // Drain under the lock, join worker threads outside it.
+        let drained: Vec<_> = self.runtimes.lock().iter_mut().map(Option::take).collect();
+        drop(drained);
     }
 }
 
@@ -212,9 +295,21 @@ impl ReplicatedSystem for DynaMastSystem {
             // begin_transaction request to the selector (charged hop).
             self.network
                 .charge_one_way(TrafficCategory::ClientSelector, route_request_size(proc));
-            let decision = self
-                .selector
-                .route_update(session.id, &session.cvv, &proc.write_set)?;
+            // Transport faults during routing or remastering (a crashed
+            // master, exhausted retries) are retryable: the selector's next
+            // attempt routes around the unreachable site where it can.
+            let decision =
+                match self
+                    .selector
+                    .route_update(session.id, &session.cvv, &proc.write_set)
+                {
+                    Ok(d) => d,
+                    Err(err @ (DynaError::Timeout { .. } | DynaError::Network(_))) => {
+                        last_err = err;
+                        continue;
+                    }
+                    Err(other) => return Err(other),
+                };
             // Routing response back to the client.
             self.network.charge_one_way(
                 TrafficCategory::ClientSelector,
@@ -239,7 +334,16 @@ impl ReplicatedSystem for DynaMastSystem {
                         ),
                     });
                 }
-                Err(err @ DynaError::NotMaster { .. }) => {
+                Err(
+                    err @ (DynaError::NotMaster { .. }
+                    | DynaError::Timeout { .. }
+                    | DynaError::Network(_)),
+                ) => {
+                    // NotMaster: mastership moved between routing and
+                    // execution — re-route. Timeout/Network: the routed
+                    // site died mid-transaction; execution is at-least-once
+                    // under faults (see `dynamast_site::system`), so
+                    // resubmission is the client's recovery path here too.
                     last_err = err;
                     continue;
                 }
@@ -251,27 +355,46 @@ impl ReplicatedSystem for DynaMastSystem {
 
     fn read(&self, session: &mut ClientSession, proc: &ProcCall) -> Result<TxnOutcome> {
         let t0 = Instant::now();
-        self.network
-            .charge_one_way(TrafficCategory::ClientSelector, 32);
-        let (site, lookup) = {
-            let start = Instant::now();
-            let site = self.selector.route_read(&session.cvv);
-            (site, start.elapsed())
-        };
-        self.network
-            .charge_one_way(TrafficCategory::ClientSelector, 16);
-        let (result, timings) =
-            exec_read_at(&self.network, site, session, proc, ReadMode::Snapshot)?;
-        Ok(TxnOutcome {
-            result,
-            breakdown: Breakdown::from_parts(lookup, Duration::ZERO, timings, t0.elapsed()),
-        })
+        let mut last_err = DynaError::Internal("unreachable: no read attempts");
+        // A site crashing under the read is recoverable: re-route (the
+        // selector skips unreachable sites) and run on a replica. Reads are
+        // idempotent, so the resubmission needs no further care.
+        for _ in 0..4u32 {
+            self.network
+                .charge_one_way(TrafficCategory::ClientSelector, 32);
+            let (site, lookup) = {
+                let start = Instant::now();
+                let site = self.selector.route_read(&session.cvv);
+                (site, start.elapsed())
+            };
+            self.network
+                .charge_one_way(TrafficCategory::ClientSelector, 16);
+            match exec_read_at(&self.network, site, session, proc, ReadMode::Snapshot) {
+                Ok((result, timings)) => {
+                    return Ok(TxnOutcome {
+                        result,
+                        breakdown: Breakdown::from_parts(
+                            lookup,
+                            Duration::ZERO,
+                            timings,
+                            t0.elapsed(),
+                        ),
+                    });
+                }
+                Err(err @ (DynaError::Timeout { .. } | DynaError::Network(_))) => {
+                    last_err = err;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last_err)
     }
 
     fn stats(&self) -> SystemStats {
+        let sites = self.sites.read();
         SystemStats {
-            committed_updates: self.sites.iter().map(|s| s.commits.get()).sum(),
-            aborts: self.sites.iter().map(|s| s.aborts.get()).sum(),
+            committed_updates: sites.iter().map(|s| s.commits.get()).sum(),
+            aborts: sites.iter().map(|s| s.aborts.get()).sum(),
             remaster_ops: self.selector.remaster_ops.get(),
             partitions_moved: self.selector.partitions_moved.get(),
             masters_per_site: self.selector.map().masters_per_site(self.config.num_sites),

@@ -150,14 +150,22 @@ impl SiteSelector {
         let thread = thread::Builder::new()
             .name("selector-vv-probe".into())
             .spawn(move || {
+                // Probe waits are bounded: a crashed or partitioned site
+                // must not wedge the probe loop (and with it the freshness
+                // cache for every *other* site).
+                let patience = selector.network.config().retry.attempt_timeout;
                 while !stop2.load(Ordering::Relaxed) {
                     for i in 0..selector.config.num_sites {
                         let req = Bytes::from(encode_to_vec(&SiteRequest::GetVv));
-                        if let Ok(reply) = selector.network.rpc(
-                            EndpointId::Site(i as u32),
-                            TrafficCategory::ClientSelector,
-                            req,
-                        ) {
+                        let reply = selector
+                            .network
+                            .rpc_async(
+                                EndpointId::Site(i as u32),
+                                TrafficCategory::ClientSelector,
+                                req,
+                            )
+                            .and_then(|pending| pending.wait_timeout(patience));
+                        if let Ok(reply) = reply {
                             if let Ok(SiteResponse::Vv { svv }) = expect_ok(&reply) {
                                 selector.observe_site_vv(SiteId::new(i), &svv);
                             }
@@ -256,7 +264,9 @@ impl SiteSelector {
         let mut moved = 0u64;
         let mut placed = 0u64;
         let mut pending_releases = Vec::new();
-        let mut pending_grants = Vec::new();
+        // (write-set index, epoch, grant request, in-flight reply, releaser).
+        let mut pending_grants: Vec<(usize, u64, SiteRequest, Result<_>, Option<SiteId>)> =
+            Vec::new();
         for (i, master) in masters.iter().enumerate() {
             match master {
                 Some(m) if *m == dest => {}
@@ -270,11 +280,11 @@ impl SiteSelector {
                         EndpointId::Site(m.raw()),
                         TrafficCategory::Remaster,
                         Bytes::from(encode_to_vec(&req)),
-                    )?;
+                    );
                     if self.config.sequential_remastering {
                         // Ablation: complete this partition's release AND
                         // grant before touching the next partition.
-                        let rel_vv = match expect_ok(&pending.wait()?)? {
+                        let rel_vv = match expect_ok(&self.settle(*m, &req, pending)?)? {
                             SiteResponse::Released { rel_vv } => rel_vv,
                             _ => return Err(DynaError::Internal("unexpected release response")),
                         };
@@ -284,11 +294,18 @@ impl SiteSelector {
                             epoch,
                             rel_vv,
                         };
-                        let reply = self.network.rpc(
+                        let sent = self.network.rpc_async(
                             EndpointId::Site(dest.raw()),
                             TrafficCategory::Remaster,
                             Bytes::from(encode_to_vec(&grant)),
-                        )?;
+                        );
+                        let reply = match self.settle(dest, &grant, sent) {
+                            Ok(reply) => reply,
+                            Err(e) => {
+                                self.back_grant(Some(*m), &grant);
+                                return Err(e);
+                            }
+                        };
                         let grant_vv = match expect_ok(&reply)? {
                             SiteResponse::Granted { grant_vv } => grant_vv,
                             _ => return Err(DynaError::Internal("unexpected grant response")),
@@ -299,7 +316,7 @@ impl SiteSelector {
                         moved += 1;
                         continue;
                     }
-                    pending_releases.push((i, *m, epoch, pending));
+                    pending_releases.push((i, *m, epoch, req, pending));
                 }
                 None => {
                     // First placement: no release necessary; grant directly.
@@ -313,14 +330,14 @@ impl SiteSelector {
                         EndpointId::Site(dest.raw()),
                         TrafficCategory::Remaster,
                         Bytes::from(encode_to_vec(&grant)),
-                    )?;
+                    );
                     placed += 1;
-                    pending_grants.push((i, pending));
+                    pending_grants.push((i, epoch, grant, pending, None));
                 }
             }
         }
-        for (i, releaser, epoch, pending) in pending_releases {
-            let rel_vv = match expect_ok(&pending.wait()?)? {
+        for (i, releaser, epoch, req, pending) in pending_releases {
+            let rel_vv = match expect_ok(&self.settle(releaser, &req, pending)?)? {
                 SiteResponse::Released { rel_vv } => rel_vv,
                 _ => return Err(DynaError::Internal("unexpected release response")),
             };
@@ -334,18 +351,41 @@ impl SiteSelector {
                 EndpointId::Site(dest.raw()),
                 TrafficCategory::Remaster,
                 Bytes::from(encode_to_vec(&grant)),
-            )?;
-            pending_grants.push((i, pending));
+            );
+            pending_grants.push((i, epoch, grant, pending, Some(releaser)));
         }
-        for (i, pending) in pending_grants {
-            let grant_vv = match expect_ok(&pending.wait()?)? {
-                SiteResponse::Granted { grant_vv } => grant_vv,
-                _ => return Err(DynaError::Internal("unexpected grant response")),
-            };
-            out_vv.merge_max(&grant_vv);
-            entries[i].set_master(&mut guards[i], dest);
-            self.stats.on_remaster(partitions[i], dest);
-            moved += 1;
+        // Settle every in-flight grant even once one has failed: each may
+        // still have taken effect at `dest`, and an unsettled failure must
+        // be backed out (below) so its partition is not orphaned.
+        let mut first_err: Option<DynaError> = None;
+        for (i, _epoch, grant, pending, releaser) in pending_grants {
+            let settled =
+                self.settle(dest, &grant, pending)
+                    .and_then(|reply| match expect_ok(&reply)? {
+                        SiteResponse::Granted { grant_vv } => Ok(grant_vv),
+                        _ => Err(DynaError::Internal("unexpected grant response")),
+                    });
+            match settled {
+                Ok(grant_vv) => {
+                    out_vv.merge_max(&grant_vv);
+                    entries[i].set_master(&mut guards[i], dest);
+                    self.stats.on_remaster(partitions[i], dest);
+                    moved += 1;
+                }
+                Err(e) => {
+                    // `dest` is unreachable. Re-grant the released partition
+                    // back to its releaser (idempotent; best-effort — if it
+                    // also fails, the next routing attempt's release replays
+                    // the recorded rel_vv and re-grants elsewhere). The map
+                    // keeps naming the releaser, matching recovery's
+                    // rebuild policy for a release without a matching grant.
+                    self.back_grant(releaser, &grant);
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         // First-touch placements are not remasterings: nothing released.
         moved = moved.saturating_sub(placed);
@@ -365,6 +405,43 @@ impl SiteSelector {
             routing: t_route.elapsed(),
             remastered: moved > 0,
         })
+    }
+
+    /// Settles a remaster RPC: rides the already-sent async request first;
+    /// a lost request or reply falls back to full retransmission under the
+    /// network's retry policy. Safe because release and grant are
+    /// idempotent per `(partition, epoch)` at the data sites.
+    fn settle(
+        &self,
+        to: SiteId,
+        req: &SiteRequest,
+        pending: Result<dynamast_network::PendingReply>,
+    ) -> Result<Bytes> {
+        let retry = self.network.config().retry;
+        match pending.and_then(|p| p.wait_timeout(retry.attempt_timeout)) {
+            Ok(reply) => Ok(reply),
+            Err(DynaError::Timeout { .. } | DynaError::Network(_)) => self.network.rpc_with_retry(
+                &retry,
+                None,
+                EndpointId::Site(to.raw()),
+                TrafficCategory::Remaster,
+                Bytes::from(encode_to_vec(req)),
+            ),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Best-effort re-grant of a released partition back to its releaser
+    /// after the intended grantee proved unreachable.
+    fn back_grant(&self, releaser: Option<SiteId>, grant: &SiteRequest) {
+        let Some(back_to) = releaser else { return };
+        let _ = self.network.rpc_with_retry(
+            &self.network.config().retry,
+            None,
+            EndpointId::Site(back_to.raw()),
+            TrafficCategory::Remaster,
+            Bytes::from(encode_to_vec(grant)),
+        );
     }
 
     /// Strategy evaluation (Eq. 8) over all candidate sites.
@@ -411,7 +488,7 @@ impl SiteSelector {
             .map(|s| to_coaccess(&s.inter.partners))
             .collect();
         let site_vvs = self.freshness.all();
-        let scores = score_sites(&ScoreInputs {
+        let mut scores = score_sites(&ScoreInputs {
             num_sites: self.config.num_sites,
             weights: &self.config.weights,
             partitions: &placed,
@@ -422,36 +499,64 @@ impl SiteSelector {
             site_vvs: &site_vvs,
             cvv,
         });
+        // Never remaster TOWARD an unreachable site: a grant to a crashed
+        // endpoint would strand the partition until the site recovers. (If
+        // every site is unreachable the unmasked argmax stands; the RPCs
+        // fail and the client backs off either way.)
+        let any_up = (0..self.config.num_sites).any(|i| self.network.site_reachable(i as u32));
+        if any_up {
+            for (i, score) in scores.iter_mut().enumerate() {
+                if !self.network.site_reachable(i as u32) {
+                    *score = f64::NEG_INFINITY;
+                }
+            }
+        }
         best_site(&scores)
     }
 
-    /// Routes a read-only transaction (§IV-B): a random site satisfying the
-    /// client's freshness requirement; if the cache says none does, any
-    /// random site (the site-side freshness wait still guarantees SSSI).
+    /// Routes a read-only transaction (§IV-B): a random *reachable* site
+    /// satisfying the client's freshness requirement; if the cache says none
+    /// does, any random reachable site (the site-side freshness wait still
+    /// guarantees SSSI); if every site looks down, any random site — its
+    /// RPC fails fast and the client backs off.
     pub fn route_read(&self, cvv: &VersionVector) -> SiteId {
-        // Allocation-free two-pass pick: count the fresh sites, then find
-        // the chosen one. Freshness estimates are monotone (sites only
-        // become fresher), so the second pass sees at least as many fresh
-        // sites as the first and the chosen index always resolves.
+        // Allocation-free two-pass pick: count the candidates, then find
+        // the chosen one. Freshness estimates are monotone but
+        // *reachability is not* (a site can crash between the passes), so
+        // the second pass falls back to the last candidate it saw if the
+        // chosen index no longer resolves.
         let num_sites = self.config.num_sites;
-        let fresh_count = (0..num_sites)
-            .filter(|&i| self.freshness.dominates(SiteId::new(i), cvv))
-            .count();
+        let candidate = |i: usize| -> bool {
+            self.network.site_reachable(i as u32) && self.freshness.dominates(SiteId::new(i), cvv)
+        };
+        let mut count = (0..num_sites).filter(|&i| candidate(i)).count();
+        let mut pass: fn(&SiteSelector, usize, &VersionVector) -> bool = |s, i, cvv| {
+            s.network.site_reachable(i as u32) && s.freshness.dominates(SiteId::new(i), cvv)
+        };
+        if count == 0 {
+            // No fresh reachable site: any reachable one.
+            count = (0..num_sites)
+                .filter(|&i| self.network.site_reachable(i as u32))
+                .count();
+            pass = |s, i, _| s.network.site_reachable(i as u32);
+        }
         let pick = with_thread_rng(self.rng_seed, |rng| {
-            if fresh_count == 0 {
+            if count == 0 {
                 return rng.gen_range(0..num_sites);
             }
-            let nth = rng.gen_range(0..fresh_count);
+            let nth = rng.gen_range(0..count);
             let mut seen = 0;
+            let mut last = None;
             for i in 0..num_sites {
-                if self.freshness.dominates(SiteId::new(i), cvv) {
+                if pass(self, i, cvv) {
                     if seen == nth {
                         return i;
                     }
                     seen += 1;
+                    last = Some(i);
                 }
             }
-            num_sites - 1 // unreachable: fresh sites never disappear
+            last.unwrap_or_else(|| rng.gen_range(0..num_sites))
         });
         SiteId::new(pick)
     }

@@ -16,28 +16,41 @@
 //!   Appendix D traffic breakdown (replication ≫ remastering).
 //! * **Endpoints can fail.** Deregistering an endpoint makes subsequent RPCs
 //!   fail with [`DynaError::Network`], which the recovery tests use to
-//!   simulate site crashes.
+//!   simulate site crashes; calling [`Network::serve`] again on the same
+//!   [`EndpointId`] restarts the endpoint.
+//! * **Links can misbehave.** An attached [`FaultPlan`] drops, duplicates,
+//!   delay-spikes, and partitions traffic on a seeded, deterministic
+//!   per-link schedule (see [`fault`]). Lost messages surface to callers as
+//!   [`DynaError::Timeout`] — immediately, rather than after the real wait,
+//!   a wall-clock compression that changes no fault *schedule*, only how
+//!   long the caller idles before noticing.
 //!
 //! Calls can be issued synchronously ([`Network::rpc`]) or asynchronously
 //! ([`Network::rpc_async`]) — Algorithm 1 issues release/grant RPCs in
-//! parallel, which maps to `rpc_async` + [`PendingReply::wait`].
+//! parallel, which maps to `rpc_async` + [`PendingReply::wait`]. Callers that
+//! must survive faults bound each attempt with [`PendingReply::wait_timeout`]
+//! or use [`Network::rpc_with_retry`], which adds capped exponential backoff
+//! with seeded jitter under an overall deadline.
 
+pub mod fault;
 pub mod stats;
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use dynamast_common::config::NetworkConfig;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use dynamast_common::config::{NetworkConfig, RetryPolicy};
 use dynamast_common::{DynaError, Result};
 use parking_lot::RwLock;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+pub use fault::{FaultDecision, FaultPlan};
 pub use stats::{TrafficCategory, TrafficStats};
 
 /// Addressable components in a deployment.
@@ -84,16 +97,32 @@ struct Envelope {
     payload: Bytes,
     deliver_at: Instant,
     category: TrafficCategory,
+    /// Sender identity, when the caller has one (sites, the selector).
+    /// Anonymous clients send `None`; partitions never apply to them.
+    from: Option<EndpointId>,
     reply: Sender<Envelope>,
 }
 
-type Registry = RwLock<HashMap<EndpointId, Sender<Envelope>>>;
+struct Registered {
+    tx: Sender<Envelope>,
+    /// Distinguishes successive registrations of the same endpoint so a
+    /// stale [`ServerHandle`] cannot deregister its restarted replacement.
+    generation: u64,
+}
+
+type Registry = RwLock<HashMap<EndpointId, Registered>>;
 
 /// The in-process network fabric shared by one deployment.
 pub struct Network {
     config: NetworkConfig,
     stats: Arc<TrafficStats>,
     registry: Registry,
+    faults: RwLock<Option<Arc<FaultPlan>>>,
+    next_generation: AtomicU64,
+    /// Lock-free liveness bitmap for `EndpointId::Site(i)`, `i < 64`; bit
+    /// `i` set ⇔ site `i` is registered. Lets the site selector's read hot
+    /// path route around crashed sites without touching the registry lock.
+    site_mask: AtomicU64,
     seed: u64,
 }
 
@@ -105,6 +134,9 @@ impl Network {
             config,
             stats: Arc::new(TrafficStats::new()),
             registry: RwLock::new(HashMap::new()),
+            faults: RwLock::new(None),
+            next_generation: AtomicU64::new(0),
+            site_mask: AtomicU64::new(0),
             seed,
         })
     }
@@ -119,30 +151,51 @@ impl Network {
         &self.stats
     }
 
+    /// Attaches (or with `None`, detaches) a fault plan. All subsequent
+    /// message hops consult it.
+    pub fn set_faults(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.faults.write() = plan;
+    }
+
+    /// The currently attached fault plan, if any.
+    pub fn faults(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.read().clone()
+    }
+
+    /// Draws the next jitter value in `[0, max_nanos]` from this network's
+    /// seeded RNG stream. The stream is cached per `(thread, seed)`: two
+    /// networks with different seeds on one thread draw from independent
+    /// streams, preserving per-network run-to-run determinism.
+    fn jitter_nanos(&self, max_nanos: u64) -> u64 {
+        if max_nanos == 0 {
+            return 0;
+        }
+        thread_local! {
+            static RNGS: std::cell::RefCell<HashMap<u64, SmallRng>> =
+                std::cell::RefCell::new(HashMap::new());
+        }
+        let seed = self.seed;
+        RNGS.with(|cell| {
+            let mut map = cell.borrow_mut();
+            let rng = map
+                .entry(seed)
+                .or_insert_with(|| SmallRng::seed_from_u64(seed));
+            rng.gen_range(0..=max_nanos)
+        })
+    }
+
     fn deadline(&self, bytes: usize) -> Instant {
         let base = self.config.delay_for(bytes);
-        let jitter_nanos = self.config.jitter.as_nanos() as u64;
-        let jitter = if jitter_nanos == 0 {
-            std::time::Duration::ZERO
-        } else {
-            // Thread-local RNG seeded from the network seed: cheap and
-            // deterministic enough for jitter.
-            thread_local! {
-                static RNG: std::cell::RefCell<Option<SmallRng>> =
-                    const { std::cell::RefCell::new(None) };
-            }
-            let seed = self.seed;
-            RNG.with(|cell| {
-                let mut slot = cell.borrow_mut();
-                let rng = slot.get_or_insert_with(|| SmallRng::seed_from_u64(seed));
-                std::time::Duration::from_nanos(rng.gen_range(0..=jitter_nanos))
-            })
-        };
+        let jitter = Duration::from_nanos(self.jitter_nanos(self.config.jitter.as_nanos() as u64));
         Instant::now() + base + jitter
     }
 
     /// Starts serving `endpoint` with `workers` handler threads. Returns a
     /// handle that deregisters the endpoint and joins the workers on drop.
+    ///
+    /// An endpoint may be served again after its previous registration ended
+    /// (handle dropped or [`Network::disconnect`]): recovery tests crash a
+    /// site and restart it on the same `EndpointId`.
     pub fn serve(
         self: &Arc<Self>,
         endpoint: EndpointId,
@@ -150,26 +203,45 @@ impl Network {
         workers: usize,
     ) -> ServerHandle {
         assert!(workers >= 1, "need at least one worker");
+        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
         let (tx, wire_rx): (Sender<Envelope>, Receiver<Envelope>) = unbounded();
-        let previous = self.registry.write().insert(endpoint, tx);
+        let previous = self
+            .registry
+            .write()
+            .insert(endpoint, Registered { tx, generation });
         assert!(
             previous.is_none(),
             "endpoint {endpoint:?} already registered"
         );
+        if let Some(bit) = site_mask_bit(endpoint) {
+            self.site_mask.fetch_or(bit, Ordering::Release);
+        }
         let mut threads = Vec::with_capacity(workers + 1);
         // The "wire": delays each message until its delivery deadline, then
         // hands it to the worker pool. Transit time must not occupy workers
-        // — a site's capacity is its worker pool, not the network's.
+        // — a site's capacity is its worker pool, not the network's. The
+        // delay sleep is interruptible so dropping the handle never blocks
+        // for a simulated transit time.
+        let (stop_tx, stop_rx) = bounded::<()>(1);
         let (rx_tx, rx): (Sender<Envelope>, Receiver<Envelope>) = unbounded();
         threads.push(
             thread::Builder::new()
                 .name(format!("{endpoint:?}-wire"))
                 .spawn(move || {
-                    while let Ok(env) = wire_rx.recv() {
+                    'wire: while let Ok(env) = wire_rx.recv() {
                         // FIFO per endpoint: later messages were sent later
                         // and carry (near-)monotone deadlines, so sleeping
                         // on the head approximates per-message delivery.
-                        sleep_until(env.deliver_at);
+                        let mut now = Instant::now();
+                        while env.deliver_at > now {
+                            match stop_rx.recv_timeout(env.deliver_at - now) {
+                                Err(RecvTimeoutError::Timeout) => {}
+                                // Stop requested (or handle gone): abandon
+                                // in-flight messages, as a crash would.
+                                Ok(()) | Err(RecvTimeoutError::Disconnected) => break 'wire,
+                            }
+                            now = Instant::now();
+                        }
                         if rx_tx.send(env).is_err() {
                             break;
                         }
@@ -188,15 +260,33 @@ impl Network {
                     .spawn(move || {
                         while let Ok(env) = rx.recv() {
                             let reply_payload = handler.handle(env.payload);
-                            net.stats.record(env.category, reply_payload.len());
-                            let reply = Envelope {
-                                deliver_at: net.deadline(reply_payload.len()),
-                                payload: reply_payload,
-                                category: env.category,
-                                reply: dead_letter(),
-                            };
-                            // Callers that no longer wait are fine.
-                            let _ = env.reply.send(reply);
+                            let mut deliver_at = net.deadline(reply_payload.len());
+                            // The reply hop is subject to faults too.
+                            let mut duplicate = false;
+                            if let Some(plan) = net.faults() {
+                                if plan.is_partitioned(Some(endpoint), env.from) {
+                                    continue; // reply lost; caller times out
+                                }
+                                let decision = plan.decide(Some(endpoint), env.from);
+                                if decision.drop {
+                                    continue;
+                                }
+                                duplicate = decision.duplicate;
+                                deliver_at += decision.extra_delay;
+                            }
+                            let copies = if duplicate { 2 } else { 1 };
+                            for _ in 0..copies {
+                                net.stats.record(env.category, reply_payload.len());
+                                let reply = Envelope {
+                                    deliver_at,
+                                    payload: reply_payload.clone(),
+                                    category: env.category,
+                                    from: Some(endpoint),
+                                    reply: dead_letter(),
+                                };
+                                // Callers that no longer wait are fine.
+                                let _ = env.reply.send(reply);
+                            }
                         }
                     })
                     .expect("spawn rpc worker"),
@@ -205,6 +295,8 @@ impl Network {
         ServerHandle {
             network: Arc::clone(self),
             endpoint,
+            generation,
+            stop_tx: Some(stop_tx),
             threads,
         }
     }
@@ -216,29 +308,128 @@ impl Network {
         category: TrafficCategory,
         payload: Bytes,
     ) -> Result<PendingReply> {
+        self.rpc_async_from(None, to, category, payload)
+    }
+
+    /// Issues an RPC with an explicit sender identity (used for partition
+    /// matching); anonymous callers pass `None` via [`Network::rpc_async`].
+    pub fn rpc_async_from(
+        &self,
+        from: Option<EndpointId>,
+        to: EndpointId,
+        category: TrafficCategory,
+        payload: Bytes,
+    ) -> Result<PendingReply> {
         let sender = self
             .registry
             .read()
             .get(&to)
-            .cloned()
+            .map(|r| r.tx.clone())
             .ok_or(DynaError::Network("endpoint not registered"))?;
-        self.stats.record(category, payload.len());
-        let (reply_tx, reply_rx) = bounded(1);
-        let env = Envelope {
-            deliver_at: self.deadline(payload.len()),
-            payload,
-            category,
-            reply: reply_tx,
-        };
-        sender
-            .send(env)
-            .map_err(|_| DynaError::Network("endpoint shut down"))?;
-        Ok(PendingReply { reply: reply_rx })
+        // Replies may be duplicated (and so may requests, each of whose
+        // copies produces replies): leave room so a worker never blocks on a
+        // full reply channel.
+        let (reply_tx, reply_rx) = bounded(4);
+        let mut deliver_at = self.deadline(payload.len());
+        let mut duplicate = false;
+        if let Some(plan) = self.faults() {
+            let lost = if plan.is_partitioned(from, Some(to)) {
+                true
+            } else {
+                let decision = plan.decide(from, Some(to));
+                duplicate = decision.duplicate;
+                deliver_at += decision.extra_delay;
+                decision.drop
+            };
+            if lost {
+                // The bytes left the sender; they just never arrive.
+                self.stats.record(category, payload.len());
+                return Ok(PendingReply {
+                    reply: reply_rx,
+                    lost: true,
+                });
+            }
+        }
+        let copies = if duplicate { 2 } else { 1 };
+        for copy in 0..copies {
+            self.stats.record(category, payload.len());
+            let env = Envelope {
+                deliver_at,
+                payload: payload.clone(),
+                category,
+                from,
+                reply: reply_tx.clone(),
+            };
+            if sender.send(env).is_err() {
+                if copy == 0 {
+                    return Err(DynaError::Network("endpoint shut down"));
+                }
+                break;
+            }
+        }
+        Ok(PendingReply {
+            reply: reply_rx,
+            lost: false,
+        })
     }
 
     /// Issues an RPC and blocks for the reply.
     pub fn rpc(&self, to: EndpointId, category: TrafficCategory, payload: Bytes) -> Result<Bytes> {
         self.rpc_async(to, category, payload)?.wait()
+    }
+
+    /// Issues an RPC under `policy`: each attempt's reply wait is bounded by
+    /// `policy.attempt_timeout`; transport failures ([`DynaError::Timeout`],
+    /// [`DynaError::Network`]) are retried after capped exponential backoff
+    /// with seeded jitter, until the attempt budget or the overall deadline
+    /// runs out. Application-level errors are returned immediately.
+    ///
+    /// Retransmission means *at-least-once* execution at the server: a lost
+    /// reply re-executes the handler. Handlers on retried paths must be
+    /// idempotent (the site layer deduplicates remaster and 2PC messages).
+    pub fn rpc_with_retry(
+        &self,
+        policy: &RetryPolicy,
+        from: Option<EndpointId>,
+        to: EndpointId,
+        category: TrafficCategory,
+        payload: Bytes,
+    ) -> Result<Bytes> {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        let start = Instant::now();
+        let mut backoff = policy.base_backoff;
+        let mut last_err = DynaError::Timeout {
+            op: "rpc: no attempt fit the deadline",
+            ms: 0,
+        };
+        for attempt in 0..policy.max_attempts {
+            if attempt > 0 {
+                let jitter = Duration::from_nanos(self.jitter_nanos(backoff.as_nanos() as u64 / 2));
+                thread::sleep(backoff + jitter);
+                backoff = (backoff * 2).min(policy.max_backoff);
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= policy.deadline {
+                break;
+            }
+            let attempt_budget = policy.attempt_timeout.min(policy.deadline - elapsed);
+            let outcome = self
+                .rpc_async_from(from, to, category, payload.clone())
+                .and_then(|pending| pending.wait_timeout(attempt_budget));
+            match outcome {
+                Ok(bytes) => return Ok(bytes),
+                Err(e @ (DynaError::Timeout { .. } | DynaError::Network(_))) => last_err = e,
+                Err(other) => return Err(other),
+            }
+        }
+        match last_err {
+            // A crashed endpoint is a crisper signal than a timeout; keep it.
+            e @ DynaError::Network("endpoint not registered") => Err(e),
+            _ => Err(DynaError::Timeout {
+                op: "rpc retry budget exhausted",
+                ms: start.elapsed().as_millis() as u64,
+            }),
+        }
     }
 
     /// Charges the latency and traffic of one message without routing it to
@@ -248,7 +439,8 @@ impl Network {
     /// calls but were RPCs in the paper's deployment (e.g. the
     /// client → site-selector `begin_transaction` request): the call itself
     /// stays a function call, but its network cost is still paid and
-    /// accounted.
+    /// accounted. Not subject to fault injection (an in-process call cannot
+    /// be lost).
     pub fn charge_one_way(&self, category: TrafficCategory, bytes: usize) {
         self.stats.record(category, bytes);
         sleep_until(self.deadline(bytes));
@@ -258,11 +450,46 @@ impl Network {
     /// In-flight requests still drain (messages already on the wire arrive).
     pub fn disconnect(&self, endpoint: EndpointId) {
         self.registry.write().remove(&endpoint);
+        if let Some(bit) = site_mask_bit(endpoint) {
+            self.site_mask.fetch_and(!bit, Ordering::Release);
+        }
+    }
+
+    /// Deregisters `endpoint` only if its current registration is
+    /// `generation`: a stale [`ServerHandle`] dropping after a restart must
+    /// not crash the replacement server.
+    fn disconnect_generation(&self, endpoint: EndpointId, generation: u64) {
+        let mut registry = self.registry.write();
+        if registry
+            .get(&endpoint)
+            .is_some_and(|r| r.generation == generation)
+        {
+            registry.remove(&endpoint);
+            if let Some(bit) = site_mask_bit(endpoint) {
+                self.site_mask.fetch_and(!bit, Ordering::Release);
+            }
+        }
     }
 
     /// `true` iff the endpoint is currently reachable.
     pub fn is_connected(&self, endpoint: EndpointId) -> bool {
         self.registry.read().contains_key(&endpoint)
+    }
+
+    /// Lock-free site liveness check (falls back to the registry for site
+    /// ids ≥ 64). Used by routing hot paths to skip crashed sites.
+    pub fn site_reachable(&self, site: u32) -> bool {
+        match site_mask_bit(EndpointId::Site(site)) {
+            Some(bit) => self.site_mask.load(Ordering::Acquire) & bit != 0,
+            None => self.is_connected(EndpointId::Site(site)),
+        }
+    }
+}
+
+fn site_mask_bit(endpoint: EndpointId) -> Option<u64> {
+    match endpoint {
+        EndpointId::Site(i) if i < 64 => Some(1u64 << i),
+        _ => None,
     }
 }
 
@@ -281,16 +508,63 @@ fn sleep_until(deadline: Instant) {
 /// An in-flight RPC.
 pub struct PendingReply {
     reply: Receiver<Envelope>,
+    /// The request was dropped or partitioned away: no reply can ever
+    /// arrive. Waits fail with [`DynaError::Timeout`] immediately instead of
+    /// idling out the full timeout (wall-clock compression; the fault
+    /// schedule itself is unaffected).
+    lost: bool,
 }
 
 impl PendingReply {
     /// Blocks until the reply arrives (respecting its simulated transit
     /// delay) and returns its payload.
     pub fn wait(self) -> Result<Bytes> {
+        if self.lost {
+            return Err(DynaError::Timeout {
+                op: "rpc reply (message lost)",
+                ms: 0,
+            });
+        }
         let env = self
             .reply
             .recv()
             .map_err(|_| DynaError::Network("server dropped request"))?;
+        sleep_until(env.deliver_at);
+        Ok(env.payload)
+    }
+
+    /// Like [`PendingReply::wait`] but gives up with [`DynaError::Timeout`]
+    /// once `timeout` has elapsed — including when the reply is in flight
+    /// but would land after the deadline.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Bytes> {
+        let timeout_ms = timeout.as_millis() as u64;
+        if self.lost {
+            return Err(DynaError::Timeout {
+                op: "rpc reply (message lost)",
+                ms: timeout_ms,
+            });
+        }
+        let deadline = Instant::now() + timeout;
+        let env = match self.reply.recv_timeout(timeout) {
+            Ok(env) => env,
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(DynaError::Timeout {
+                    op: "rpc reply",
+                    ms: timeout_ms,
+                })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(DynaError::Network("server dropped request"))
+            }
+        };
+        if env.deliver_at > deadline {
+            // The reply exists but its simulated arrival misses the
+            // deadline; the caller has already given up by then.
+            return Err(DynaError::Timeout {
+                op: "rpc reply (arrived late)",
+                ms: timeout_ms,
+            });
+        }
         sleep_until(env.deliver_at);
         Ok(env.payload)
     }
@@ -300,6 +574,8 @@ impl PendingReply {
 pub struct ServerHandle {
     network: Arc<Network>,
     endpoint: EndpointId,
+    generation: u64,
+    stop_tx: Option<Sender<()>>,
     threads: Vec<thread::JoinHandle<()>>,
 }
 
@@ -312,9 +588,11 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.network.disconnect(self.endpoint);
-        // Dropping the registry sender disconnects the channel; workers exit
-        // after draining.
+        self.network
+            .disconnect_generation(self.endpoint, self.generation);
+        // Wake the wire out of any delay sleep; in-flight messages are
+        // abandoned, as a crash would. Workers exit after draining.
+        drop(self.stop_tx.take());
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -324,6 +602,7 @@ impl Drop for ServerHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
     use std::time::Duration;
 
     fn echo_handler() -> Arc<dyn RpcHandler> {
@@ -380,6 +659,7 @@ mod tests {
             one_way_delay: Duration::from_millis(5),
             delay_per_kib: Duration::ZERO,
             jitter: Duration::ZERO,
+            retry: RetryPolicy::standard(),
         };
         let net = Network::new(cfg, 1);
         let _server = net.serve(EndpointId::Site(0), echo_handler(), 1);
@@ -400,6 +680,7 @@ mod tests {
             one_way_delay: Duration::from_millis(10),
             delay_per_kib: Duration::ZERO,
             jitter: Duration::ZERO,
+            retry: RetryPolicy::standard(),
         };
         let net = Network::new(cfg, 1);
         let _a = net.serve(EndpointId::Site(0), echo_handler(), 2);
@@ -463,5 +744,246 @@ mod tests {
         let net = Network::new(NetworkConfig::instant(), 1);
         let _a = net.serve(EndpointId::Site(0), echo_handler(), 1);
         let _b = net.serve(EndpointId::Site(0), echo_handler(), 1);
+    }
+
+    /// Regression (jitter determinism): two networks with different seeds on
+    /// one thread must draw from independent RNG streams. The old
+    /// implementation cached a single thread-local RNG seeded by whichever
+    /// network touched the thread first, so the second network silently
+    /// reused the first network's seed.
+    #[test]
+    fn jitter_rngs_are_keyed_by_network_seed() {
+        const MAX: u64 = 1 << 40;
+        // Reference: network B's stream drawn on a thread it has to itself.
+        let reference = thread::spawn(|| {
+            let only_b = Network::new(NetworkConfig::instant(), 2222);
+            (0..32)
+                .map(|_| only_b.jitter_nanos(MAX))
+                .collect::<Vec<_>>()
+        })
+        .join()
+        .unwrap();
+        // Interleave draws from A and B on this thread; A must not hijack
+        // B's stream.
+        let a = Network::new(NetworkConfig::instant(), 1111);
+        let b = Network::new(NetworkConfig::instant(), 2222);
+        let mut observed = Vec::new();
+        for _ in 0..32 {
+            let _ = a.jitter_nanos(MAX);
+            observed.push(b.jitter_nanos(MAX));
+        }
+        assert_eq!(observed, reference);
+    }
+
+    /// Regression (prompt shutdown): dropping a `ServerHandle` while the
+    /// wire thread is sleeping out a long simulated delay must interrupt the
+    /// sleep instead of serving it out.
+    #[test]
+    fn server_drop_is_prompt_under_long_delays() {
+        let cfg = NetworkConfig {
+            one_way_delay: Duration::from_millis(500),
+            delay_per_kib: Duration::ZERO,
+            jitter: Duration::ZERO,
+            retry: RetryPolicy::standard(),
+        };
+        let net = Network::new(cfg, 1);
+        let server = net.serve(EndpointId::Site(0), echo_handler(), 1);
+        // Park a message on the wire so the wire thread is mid-sleep.
+        let _pending = net
+            .rpc_async(
+                EndpointId::Site(0),
+                TrafficCategory::ClientSite,
+                Bytes::new(),
+            )
+            .unwrap();
+        thread::sleep(Duration::from_millis(30));
+        let start = Instant::now();
+        drop(server);
+        assert!(
+            start.elapsed() < Duration::from_millis(250),
+            "drop blocked for {:?} (full simulated delay)",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn endpoint_can_be_served_again_after_handle_drop() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        let server = net.serve(EndpointId::Site(0), echo_handler(), 1);
+        drop(server);
+        assert!(!net.is_connected(EndpointId::Site(0)));
+        let _restarted = net.serve(EndpointId::Site(0), echo_handler(), 1);
+        let reply = net
+            .rpc(
+                EndpointId::Site(0),
+                TrafficCategory::ClientSite,
+                Bytes::from_static(b"back"),
+            )
+            .unwrap();
+        assert_eq!(&reply[..], b"back");
+    }
+
+    #[test]
+    fn stale_handle_drop_does_not_kill_restarted_server() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        let old = net.serve(EndpointId::Site(0), echo_handler(), 1);
+        net.disconnect(EndpointId::Site(0));
+        let _new = net.serve(EndpointId::Site(0), echo_handler(), 1);
+        drop(old); // must not deregister the new generation
+        assert!(net.is_connected(EndpointId::Site(0)));
+        assert!(net
+            .rpc(
+                EndpointId::Site(0),
+                TrafficCategory::ClientSite,
+                Bytes::new()
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn wait_timeout_gives_up_on_wedged_handler() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        let wedged: Arc<dyn RpcHandler> = Arc::new(|payload: Bytes| {
+            thread::sleep(Duration::from_millis(400));
+            payload
+        });
+        let _server = net.serve(EndpointId::Site(0), wedged, 1);
+        let start = Instant::now();
+        let err = net
+            .rpc_async(
+                EndpointId::Site(0),
+                TrafficCategory::ClientSite,
+                Bytes::new(),
+            )
+            .unwrap()
+            .wait_timeout(Duration::from_millis(20))
+            .unwrap_err();
+        assert!(matches!(err, DynaError::Timeout { .. }), "got {err}");
+        assert!(start.elapsed() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn dropped_messages_surface_as_timeouts() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        net.set_faults(Some(Arc::new(FaultPlan::new(7).with_drops(1.0))));
+        let _server = net.serve(EndpointId::Site(0), echo_handler(), 1);
+        let err = net
+            .rpc_async(
+                EndpointId::Site(0),
+                TrafficCategory::ClientSite,
+                Bytes::new(),
+            )
+            .unwrap()
+            .wait_timeout(Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, DynaError::Timeout { .. }), "got {err}");
+        let err = net
+            .rpc_with_retry(
+                &RetryPolicy {
+                    attempt_timeout: Duration::from_millis(10),
+                    max_attempts: 3,
+                    base_backoff: Duration::from_micros(100),
+                    max_backoff: Duration::from_millis(1),
+                    deadline: Duration::from_secs(1),
+                },
+                None,
+                EndpointId::Site(0),
+                TrafficCategory::ClientSite,
+                Bytes::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DynaError::Timeout { .. }), "got {err}");
+    }
+
+    #[test]
+    fn duplicated_requests_execute_twice() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        net.set_faults(Some(Arc::new(FaultPlan::new(7).with_duplication(1.0))));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&calls);
+        let handler: Arc<dyn RpcHandler> = Arc::new(move |payload: Bytes| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            payload
+        });
+        let _server = net.serve(EndpointId::Site(0), handler, 1);
+        net.rpc(
+            EndpointId::Site(0),
+            TrafficCategory::ClientSite,
+            Bytes::new(),
+        )
+        .unwrap();
+        // The duplicate copy is processed too (possibly just after the
+        // first reply unblocks the caller).
+        for _ in 0..100 {
+            if calls.load(Ordering::SeqCst) == 2 {
+                return;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        panic!("duplicate request never executed");
+    }
+
+    #[test]
+    fn partitions_block_until_healed_and_retry_rides_through() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        let plan = Arc::new(FaultPlan::new(3));
+        net.set_faults(Some(Arc::clone(&plan)));
+        let _server = net.serve(EndpointId::Site(0), echo_handler(), 1);
+        let from = EndpointId::Site(5);
+        plan.partition(from, EndpointId::Site(0));
+        let policy = RetryPolicy {
+            attempt_timeout: Duration::from_millis(20),
+            max_attempts: 2,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(1),
+            deadline: Duration::from_millis(200),
+        };
+        let err = net
+            .rpc_with_retry(
+                &policy,
+                Some(from),
+                EndpointId::Site(0),
+                TrafficCategory::ClientSite,
+                Bytes::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DynaError::Timeout { .. }), "got {err}");
+        // Heal mid-retry from another thread: the retry loop must recover.
+        let healer = {
+            let plan = Arc::clone(&plan);
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(30));
+                plan.heal_all();
+            })
+        };
+        let generous = RetryPolicy {
+            attempt_timeout: Duration::from_millis(20),
+            max_attempts: 50,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(10),
+            deadline: Duration::from_secs(5),
+        };
+        plan.partition(from, EndpointId::Site(0));
+        let reply = net.rpc_with_retry(
+            &generous,
+            Some(from),
+            EndpointId::Site(0),
+            TrafficCategory::ClientSite,
+            Bytes::from_static(b"through"),
+        );
+        healer.join().unwrap();
+        assert_eq!(&reply.unwrap()[..], b"through");
+    }
+
+    #[test]
+    fn site_mask_tracks_registrations() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        assert!(!net.site_reachable(0));
+        let s0 = net.serve(EndpointId::Site(0), echo_handler(), 1);
+        let _s1 = net.serve(EndpointId::Site(1), echo_handler(), 1);
+        assert!(net.site_reachable(0) && net.site_reachable(1));
+        drop(s0);
+        assert!(!net.site_reachable(0));
+        assert!(net.site_reachable(1));
     }
 }

@@ -18,15 +18,26 @@
 //! [`Propagator::stop`] sets the shutdown flag and calls
 //! `notify_waiters` on every tailed log so parked subscribers return
 //! promptly even if nothing is ever appended again.
+//!
+//! When a [`Network`] fabric with an attached
+//! [`dynamast_network::FaultPlan`] is supplied, each batch transit consults
+//! the plan on the `origin site → subscriber site` link: a directed
+//! partition stalls delivery (the subscriber holds its cursor and re-fetches
+//! once healed — the log is durable, so nothing is lost), and delay spikes
+//! lengthen the batch transit. Drops and duplication are meaningless for a
+//! cursor-tailed durable log (a "lost" fetch is just refetched at the same
+//! cursor; a duplicated fetch applies nothing new), so those decisions are
+//! consumed but ignored.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use dynamast_common::config::NetworkConfig;
 use dynamast_common::ids::SiteId;
 use dynamast_common::Result;
-use dynamast_network::{TrafficCategory, TrafficStats};
+use dynamast_network::{EndpointId, Network, TrafficCategory, TrafficStats};
 
 use crate::log::{DurableLog, LogSet};
 use crate::record::LogRecord;
@@ -53,11 +64,14 @@ impl Propagator {
     /// Starts one subscriber per remote origin, applying records via
     /// `applier`. `start_offsets[origin]` is the log offset to resume from
     /// (zero for a fresh site; the svv-indicated positions after recovery).
+    /// `fabric`, when given, subjects batch transits to the network's
+    /// attached fault plan (partitions stall, spikes delay).
     pub fn start(
         site: SiteId,
         logs: &LogSet,
         applier: Arc<dyn RefreshApplier>,
         network: NetworkConfig,
+        fabric: Option<Arc<Network>>,
         stats: Option<Arc<TrafficStats>>,
         start_offsets: Vec<u64>,
     ) -> Self {
@@ -75,6 +89,7 @@ impl Propagator {
             tailed.push(Arc::clone(&log));
             let applier = Arc::clone(&applier);
             let stats = stats.clone();
+            let fabric = fabric.clone();
             let shutdown = Arc::clone(&shutdown);
             let mut cursor = start_offsets[origin_idx];
             threads.push(
@@ -94,7 +109,23 @@ impl Propagator {
                             // One transit delay per fetched batch (Kafka
                             // consumers batch; charging per record would
                             // impose an unrealistic serial 1/RTT cap).
-                            let delay = network.delay_for(bytes);
+                            let mut delay = network.delay_for(bytes);
+                            if let Some(plan) = fabric.as_ref().and_then(|n| n.faults()) {
+                                let link = (
+                                    Some(EndpointId::Site(origin.raw())),
+                                    Some(EndpointId::Site(site.raw())),
+                                );
+                                // A partition stalls the stream: hold the
+                                // batch until the link heals or we shut
+                                // down (the durable log loses nothing).
+                                while plan.is_partitioned(link.0, link.1) {
+                                    if shutdown.load(Ordering::Relaxed) {
+                                        return;
+                                    }
+                                    thread::sleep(Duration::from_millis(1));
+                                }
+                                delay += plan.decide(link.0, link.1).extra_delay;
+                            }
                             if !delay.is_zero() {
                                 thread::sleep(delay);
                             }
@@ -205,6 +236,7 @@ mod tests {
             Arc::clone(&collector) as Arc<dyn RefreshApplier>,
             NetworkConfig::instant(),
             None,
+            None,
             vec![0; 3],
         );
         for seq in 1..=3 {
@@ -239,6 +271,7 @@ mod tests {
             Arc::clone(&collector) as Arc<dyn RefreshApplier>,
             NetworkConfig::instant(),
             None,
+            None,
             vec![0, 2],
         );
         wait_for(|| collector.seen.lock().len() == 2);
@@ -258,6 +291,7 @@ mod tests {
             &logs,
             Arc::clone(&collector) as Arc<dyn RefreshApplier>,
             NetworkConfig::instant(),
+            None,
             None,
             vec![0, 0],
         );
@@ -286,6 +320,7 @@ mod tests {
             collector as Arc<dyn RefreshApplier>,
             NetworkConfig::instant(),
             None,
+            None,
             vec![0; 4],
         );
         // Let the three subscriber threads park on their empty logs.
@@ -312,6 +347,7 @@ mod tests {
             &logs,
             Arc::clone(&collector) as Arc<dyn RefreshApplier>,
             NetworkConfig::instant(),
+            None,
             Some(Arc::clone(&stats)),
             vec![0, 0],
         );
@@ -319,6 +355,37 @@ mod tests {
         wait_for(|| collector.seen.lock().len() == 1);
         let snap = stats.snapshot();
         assert!(snap.get(TrafficCategory::Replication).bytes > 0);
+        prop.stop();
+    }
+
+    #[test]
+    fn partition_stalls_stream_until_healed() {
+        let logs = LogSet::new(2);
+        let network = Network::new(NetworkConfig::instant(), 11);
+        let plan = Arc::new(dynamast_network::FaultPlan::new(11));
+        network.set_faults(Some(Arc::clone(&plan)));
+        plan.partition(EndpointId::Site(1), EndpointId::Site(0));
+        let collector = Arc::new(Collector {
+            seen: Mutex::new(Vec::new()),
+            fail_after: None,
+        });
+        let prop = Propagator::start(
+            SiteId::new(0),
+            &logs,
+            Arc::clone(&collector) as Arc<dyn RefreshApplier>,
+            NetworkConfig::instant(),
+            Some(Arc::clone(&network)),
+            None,
+            vec![0, 0],
+        );
+        logs.log(SiteId::new(1)).append(&commit(1, 1, 2));
+        thread::sleep(Duration::from_millis(60));
+        assert!(
+            collector.seen.lock().is_empty(),
+            "partitioned stream must not deliver"
+        );
+        plan.heal_all();
+        wait_for(|| collector.seen.lock().len() == 1);
         prop.stop();
     }
 }

@@ -104,9 +104,16 @@ pub fn run_coordinated(
                         reason: "2pc retries exhausted",
                     });
                 }
-                // Randomized backoff derived from the attempt and txn id
-                // keeps contending coordinators from lock-stepping.
-                let jitter = site.next_txn_id() % 7;
+                // Randomized backoff keeps contending coordinators from
+                // lock-stepping. The jitter comes from a cheap local hash of
+                // (site, last allocated txn id, attempt) — drawing it from
+                // next_txn_id() would consume real transaction ids as a side
+                // effect of backing off, polluting the id space.
+                let jitter = mix64(
+                    (u64::from(site.id().raw()) << 32)
+                        ^ site.txn_ids_allocated()
+                        ^ (u64::from(attempt) << 17),
+                ) % 7;
                 thread::sleep(Duration::from_micros(
                     200 * u64::from(attempt) + 100 * jitter,
                 ));
@@ -169,12 +176,18 @@ fn try_commit(
     }
 
     // Full 2PC. The local fragment (if any) is prepared in-process; remote
-    // fragments via parallel RPCs.
+    // fragments via parallel RPCs. Transport faults use presumed abort: a
+    // lost or late vote counts as a no — and phase two ALWAYS runs, so
+    // participants that did vote yes hear a decision and release their
+    // locks instead of holding them until a coordinator that bailed early
+    // never comes back.
+    let retry = site.network().config().retry;
+    let self_endpoint = EndpointId::Site(site.id().raw());
     let txn_id = site.next_txn_id();
-    let mut participants: Vec<SiteId> = groups.keys().copied().collect();
+    let participants: Vec<SiteId> = groups.keys().copied().collect();
     let mut votes_yes = true;
+    let mut fatal: Option<DynaError> = None;
     let mut pending = Vec::new();
-    let mut local_vote = None;
     for (owner, entries) in &groups {
         let expected: Vec<ExpectedVersion> = entries
             .iter()
@@ -186,56 +199,120 @@ fn try_commit(
             })
             .collect();
         if *owner == site.id() {
-            local_vote = Some(site.prepare(txn_id, entries.clone(), &expected)?);
+            match site.prepare(txn_id, entries.clone(), &expected) {
+                Ok(yes) => votes_yes &= yes,
+                Err(e) => {
+                    votes_yes = false;
+                    fatal.get_or_insert(e);
+                }
+            }
         } else {
             let req = SiteRequest::Prepare {
                 txn_id,
                 writes: entries.clone(),
                 expected,
             };
-            pending.push(site.network().rpc_async(
+            match site.network().rpc_async_from(
+                Some(self_endpoint),
                 EndpointId::Site(owner.raw()),
                 TrafficCategory::TwoPhaseCommit,
                 Bytes::from(encode_to_vec(&req)),
-            )?);
+            ) {
+                Ok(reply) => pending.push(reply),
+                // Unreachable participant: presumed abort.
+                Err(DynaError::Network(_)) => votes_yes = false,
+                Err(e) => {
+                    votes_yes = false;
+                    fatal.get_or_insert(e);
+                }
+            }
         }
     }
-    if local_vote == Some(false) {
-        votes_yes = false;
-    }
     for reply in pending {
-        match crate::messages::expect_ok(&reply.wait()?)? {
-            SiteResponse::Voted { yes } => votes_yes &= yes,
-            _ => return Err(DynaError::Internal("unexpected prepare response")),
+        match reply.wait_timeout(retry.attempt_timeout) {
+            Ok(bytes) => match crate::messages::expect_ok(&bytes) {
+                Ok(SiteResponse::Voted { yes }) => votes_yes &= yes,
+                Ok(_) => {
+                    votes_yes = false;
+                    fatal.get_or_insert(DynaError::Internal("unexpected prepare response"));
+                }
+                Err(e) => {
+                    votes_yes = false;
+                    fatal.get_or_insert(e);
+                }
+            },
+            // Lost vote: presumed abort.
+            Err(DynaError::Timeout { .. } | DynaError::Network(_)) => votes_yes = false,
+            Err(e) => {
+                votes_yes = false;
+                fatal.get_or_insert(e);
+            }
         }
     }
 
     // Phase two: decide everywhere (including self).
     let mut commit_vv = begin.clone();
+    let decide_payload = Bytes::from(encode_to_vec(&SiteRequest::Decide {
+        txn_id,
+        commit: votes_yes,
+    }));
     let mut decisions = Vec::new();
-    for owner in participants.drain(..) {
+    for owner in participants {
         if owner == site.id() {
             let vv = site.decide(txn_id, votes_yes)?;
             commit_vv.merge_max(&vv);
         } else {
-            let req = SiteRequest::Decide {
-                txn_id,
-                commit: votes_yes,
-            };
-            decisions.push(site.network().rpc_async(
+            let sent = site.network().rpc_async_from(
+                Some(self_endpoint),
                 EndpointId::Site(owner.raw()),
                 TrafficCategory::TwoPhaseCommit,
-                Bytes::from(encode_to_vec(&req)),
-            )?);
+                decide_payload.clone(),
+            );
+            decisions.push((owner, sent));
         }
     }
-    for reply in decisions {
-        match crate::messages::expect_ok(&reply.wait()?)? {
-            SiteResponse::Decided { site_vv } => commit_vv.merge_max(&site_vv),
-            _ => return Err(DynaError::Internal("unexpected decide response")),
+    for (owner, sent) in decisions {
+        let outcome = sent.and_then(|reply| reply.wait_timeout(retry.attempt_timeout));
+        let bytes = match outcome {
+            Ok(bytes) => Ok(bytes),
+            // Lost decision: retransmit under the full retry policy — a
+            // live participant holds the fragment's locks until it hears
+            // the outcome (decide is idempotent at the participant).
+            Err(DynaError::Timeout { .. } | DynaError::Network(_)) => {
+                site.network().rpc_with_retry(
+                    &retry,
+                    Some(self_endpoint),
+                    EndpointId::Site(owner.raw()),
+                    TrafficCategory::TwoPhaseCommit,
+                    decide_payload.clone(),
+                )
+            }
+            Err(other) => Err(other),
+        };
+        match bytes.and_then(|b| crate::messages::expect_ok(&b)) {
+            Ok(SiteResponse::Decided { site_vv }) => commit_vv.merge_max(&site_vv),
+            Ok(_) => {
+                fatal.get_or_insert(DynaError::Internal("unexpected decide response"));
+            }
+            // The participant crashed (its staged fragment is volatile and
+            // died with it). Fragment commits apply independently at each
+            // participant — see the module docs — so the surviving
+            // fragments stand; nothing more can be delivered here.
+            Err(_) => {}
         }
+    }
+    if let Some(e) = fatal {
+        return Err(e);
     }
     Ok(votes_yes.then_some(commit_vv))
+}
+
+/// A splitmix64 finalizer: cheap stateless jitter for retry backoff.
+fn mix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Commits an already-locked local fragment.

@@ -1,6 +1,6 @@
 //! The data site: site manager + database + replication manager (§V-A).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -48,6 +48,34 @@ struct PreparedTxn {
     writes: Vec<WriteEntry>,
 }
 
+/// Bounded memory of settled 2PC decisions, so duplicated or retransmitted
+/// `Decide` (and late duplicate `Prepare`) messages are answered
+/// idempotently instead of erroring or re-staging locks.
+#[derive(Default)]
+struct DecidedCache {
+    outcomes: HashMap<u64, (bool, VersionVector)>,
+    order: VecDeque<u64>,
+}
+
+impl DecidedCache {
+    const CAPACITY: usize = 4096;
+
+    fn record(&mut self, txn_id: u64, committed: bool, vv: VersionVector) {
+        if self.outcomes.insert(txn_id, (committed, vv)).is_none() {
+            self.order.push_back(txn_id);
+            if self.order.len() > Self::CAPACITY {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.outcomes.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    fn get(&self, txn_id: u64) -> Option<&(bool, VersionVector)> {
+        self.outcomes.get(&txn_id)
+    }
+}
+
 /// One data site.
 pub struct DataSite {
     id: SiteId,
@@ -59,6 +87,12 @@ pub struct DataSite {
     network: Arc<Network>,
     static_owner: Option<StaticOwnerFn>,
     prepared: parking_lot::Mutex<HashMap<u64, PreparedTxn>>,
+    decided: parking_lot::Mutex<DecidedCache>,
+    /// Settled remaster operations, keyed by `(partition, epoch)`: a
+    /// retransmitted Release/Grant (at-least-once RPC) replays the recorded
+    /// result instead of re-revoking or re-granting.
+    released: parking_lot::Mutex<HashMap<(PartitionId, u64), VersionVector>>,
+    granted: parking_lot::Mutex<HashMap<(PartitionId, u64), VersionVector>>,
     /// Serializes the commit critical section (sequence allocation, version
     /// install, log append, svv publication). Without it, two concurrent
     /// commits could append to the durable log out of sequence order, and a
@@ -107,16 +141,49 @@ impl DataSite {
         executor: Arc<dyn ProcExecutor>,
     ) -> Arc<Self> {
         let store = Store::new(catalog, cfg.system.mvcc_versions);
+        let clock = SiteClock::new(cfg.id, cfg.system.num_sites);
+        Self::build(cfg, store, clock, logs, network, executor)
+    }
+
+    /// Re-creates a crashed site from state replayed out of the durable
+    /// logs (§V-C): the store and svv come from
+    /// `dynamast_replication::recovery::replay_all`, the mastered set from
+    /// the recovered grant/release history. Volatile state (prepared 2PC
+    /// fragments, dedup caches, the txn-id counter) starts empty, exactly
+    /// as a process restart would leave it.
+    pub fn from_recovered(
+        cfg: DataSiteConfig,
+        store: Store,
+        svv: VersionVector,
+        logs: LogSet,
+        network: Arc<Network>,
+        executor: Arc<dyn ProcExecutor>,
+    ) -> Arc<Self> {
+        let clock = SiteClock::from_recovered(cfg.id, svv);
+        Self::build(cfg, store, clock, logs, network, executor)
+    }
+
+    fn build(
+        cfg: DataSiteConfig,
+        store: Store,
+        clock: SiteClock,
+        logs: LogSet,
+        network: Arc<Network>,
+        executor: Arc<dyn ProcExecutor>,
+    ) -> Arc<Self> {
         Arc::new(DataSite {
             id: cfg.id,
             store,
-            clock: SiteClock::new(cfg.id, cfg.system.num_sites),
+            clock,
             ownership: Arc::new(Ownership::new(cfg.initial_partitions)),
             logs,
             executor,
             network,
             static_owner: cfg.static_owner,
             prepared: parking_lot::Mutex::new(HashMap::new()),
+            decided: parking_lot::Mutex::new(DecidedCache::default()),
+            released: parking_lot::Mutex::new(HashMap::new()),
+            granted: parking_lot::Mutex::new(HashMap::new()),
             commit_order: parking_lot::Mutex::new(()),
             txn_counter: AtomicU64::new(1),
             config: cfg.system,
@@ -129,6 +196,13 @@ impl DataSite {
 
     /// Registers the RPC endpoint and starts replication subscribers.
     pub fn start(self: &Arc<Self>, workers: usize) -> SiteRuntime {
+        self.start_with_offsets(workers, vec![0; self.logs.num_sites()])
+    }
+
+    /// Like [`DataSite::start`], but resumes replication subscribers from
+    /// the given per-origin log offsets (the replayed positions after
+    /// recovery, so already-applied records are not re-fetched).
+    pub fn start_with_offsets(self: &Arc<Self>, workers: usize, offsets: Vec<u64>) -> SiteRuntime {
         let handler: Arc<dyn RpcHandler> = Arc::new(SiteRpc {
             site: Arc::clone(self),
         });
@@ -141,8 +215,9 @@ impl DataSite {
                 &self.logs,
                 Arc::clone(self) as Arc<dyn RefreshApplier>,
                 self.network.config(),
+                Some(Arc::clone(&self.network)),
                 Some(Arc::clone(self.network.stats())),
-                vec![0; self.logs.num_sites()],
+                offsets,
             )
         });
         SiteRuntime {
@@ -201,6 +276,13 @@ impl DataSite {
     /// Allocates a globally unique 2PC transaction id.
     pub(crate) fn next_txn_id(&self) -> u64 {
         (u64::from(self.id.raw()) << 48) | self.txn_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// How many transaction ids this site has allocated so far. Exposed so
+    /// tests can assert the id space stays contiguous — backoff and other
+    /// side paths must not consume ids (see the coordinator's jitter fix).
+    pub fn txn_ids_allocated(&self) -> u64 {
+        self.txn_counter.load(Ordering::Relaxed) - 1
     }
 
     /// Charges the simulated CPU cost of executing a stored procedure that
@@ -350,8 +432,37 @@ impl DataSite {
     /// Releases mastership of a partition: waits for in-flight writers,
     /// logs the release (recovery, §V-C) and returns the svv at the release
     /// point.
+    ///
+    /// Idempotent per `(partition, epoch)`: a retransmitted release (lost
+    /// reply under fault injection) replays the recorded `rel_vv` instead of
+    /// failing the unmastered-revoke check.
     pub fn release(&self, partition: PartitionId, epoch: u64) -> Result<VersionVector> {
-        self.ownership.revoke_and_drain(partition)?;
+        if let Some(vv) = self.released.lock().get(&(partition, epoch)) {
+            return Ok(vv.clone());
+        }
+        if let Err(e) = self.ownership.revoke_and_drain(partition) {
+            let released = self.released.lock();
+            // A racing duplicate may have completed the revoke between the
+            // cache check and here; answer from its recorded result.
+            if let Some(vv) = released.get(&(partition, epoch)) {
+                return Ok(vv.clone());
+            }
+            // A selector that lost the reply retries under a *fresh* epoch
+            // (each routing attempt allocates one). The selector only sends
+            // Release to the site its exclusively-locked map names as
+            // master, so reaching here unmastered means the earlier release
+            // executed and its reply was lost: replay the latest recorded
+            // release for the partition.
+            if let Some(vv) = released
+                .iter()
+                .filter(|((p, _), _)| *p == partition)
+                .max_by_key(|((_, e), _)| *e)
+                .map(|(_, vv)| vv.clone())
+            {
+                return Ok(vv);
+            }
+            return Err(e);
+        }
         let _commit_order = self.commit_order.lock();
         let seq = self.clock.allocate();
         self.logs.log(self.id).append(&LogRecord::Release {
@@ -360,17 +471,28 @@ impl DataSite {
             partition,
             epoch,
         });
-        self.clock.publish(seq)
+        let rel_vv = self.clock.publish(seq)?;
+        self.released
+            .lock()
+            .insert((partition, epoch), rel_vv.clone());
+        Ok(rel_vv)
     }
 
     /// Takes mastership of a partition after catching up to the releaser's
     /// state.
+    ///
+    /// Idempotent per `(partition, epoch)`, like [`DataSite::release`]: a
+    /// duplicated grant returns the recorded `grant_vv` without appending a
+    /// second Grant record.
     pub fn grant(
         &self,
         partition: PartitionId,
         epoch: u64,
         rel_vv: &VersionVector,
     ) -> Result<VersionVector> {
+        if let Some(vv) = self.granted.lock().get(&(partition, epoch)) {
+            return Ok(vv.clone());
+        }
         self.clock.wait_dominates(rel_vv)?;
         self.ownership.grant(partition);
         let _commit_order = self.commit_order.lock();
@@ -381,7 +503,11 @@ impl DataSite {
             partition,
             epoch,
         });
-        self.clock.publish(seq)
+        let grant_vv = self.clock.publish(seq)?;
+        self.granted
+            .lock()
+            .insert((partition, epoch), grant_vv.clone());
+        Ok(grant_vv)
     }
 
     // ------------------------------------------------------------------
@@ -399,6 +525,15 @@ impl DataSite {
         writes: Vec<WriteEntry>,
         expected: &[crate::messages::ExpectedVersion],
     ) -> Result<bool> {
+        // Duplicate-delivery idempotency: a second copy of a Prepare must
+        // not deadlock on its own staged locks, and a copy arriving after
+        // the decision must not re-stage (its locks would leak).
+        if let Some((committed, _)) = self.decided.lock().get(txn_id) {
+            return Ok(*committed);
+        }
+        if self.prepared.lock().contains_key(&txn_id) {
+            return Ok(true);
+        }
         let keys: Vec<Key> = writes.iter().map(|w| w.key).collect();
         let partitions = self.partitions_of(&keys)?;
         for p in &partitions {
@@ -444,10 +579,20 @@ impl DataSite {
         Ok(true)
     }
 
-    /// 2PC phase two.
+    /// 2PC phase two. Idempotent: a duplicated or retransmitted decision
+    /// replays the recorded outcome instead of committing twice (or
+    /// erroring on the already-consumed staged fragment).
     pub fn decide(&self, txn_id: u64, commit: bool) -> Result<VersionVector> {
+        if let Some((decided_commit, vv)) = self.decided.lock().get(txn_id) {
+            // A coordinator never reverses its decision, so a retransmission
+            // that disagrees with the recorded outcome is a protocol error.
+            if *decided_commit != commit {
+                return Err(DynaError::Internal("conflicting decision for txn"));
+            }
+            return Ok(vv.clone());
+        }
         let staged = self.prepared.lock().remove(&txn_id);
-        match (staged, commit) {
+        let vv = match (staged, commit) {
             (Some(txn), true) => {
                 let begin = self.clock.current();
                 let vv = self.commit_local(
@@ -455,15 +600,25 @@ impl DataSite {
                     txn.writes.into_iter().map(|w| (w.key, w.row)).collect(),
                 )?;
                 self.commits.inc();
-                Ok(vv)
+                vv
             }
             (Some(_), false) => {
                 self.aborts.inc();
-                Ok(self.clock.current())
+                self.clock.current()
             }
-            (None, false) => Ok(self.clock.current()), // abort is idempotent
-            (None, true) => Err(DynaError::Internal("commit for unprepared txn")),
-        }
+            (None, false) => self.clock.current(), // abort is idempotent
+            (None, true) => {
+                // A racing duplicate may have consumed the staged fragment
+                // and be about to record its outcome; re-check before
+                // declaring the commit unprepared.
+                if let Some((true, vv)) = self.decided.lock().get(txn_id) {
+                    return Ok(vv.clone());
+                }
+                return Err(DynaError::Internal("commit for unprepared txn"));
+            }
+        };
+        self.decided.lock().record(txn_id, commit, vv.clone());
+        Ok(vv)
     }
 
     // ------------------------------------------------------------------

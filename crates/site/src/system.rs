@@ -131,6 +131,24 @@ pub trait ReplicatedSystem: Send + Sync {
     fn stats(&self) -> SystemStats;
 }
 
+/// Issues a client → site request under the network's retry policy.
+///
+/// Transport faults (lost request or reply, delay spikes past the attempt
+/// timeout) are retried with backoff. Retransmission gives *at-least-once*
+/// execution: a lost reply re-executes the procedure, so workloads driven
+/// under fault injection must use operations whose invariants tolerate
+/// re-execution (chaos tests use SmallBank transfers, which conserve the
+/// global balance however many times they apply).
+fn client_rpc(network: &Network, site: SiteId, req: &SiteRequest) -> Result<Bytes> {
+    network.rpc_with_retry(
+        &network.config().retry,
+        None,
+        EndpointId::Site(site.raw()),
+        TrafficCategory::ClientSite,
+        Bytes::from(encode_to_vec(req)),
+    )
+}
+
 /// Sends an `ExecUpdate` to a site and folds the response into the session.
 ///
 /// Shared by DynaMast, single-master and LEAP (their update paths differ in
@@ -148,11 +166,7 @@ pub fn exec_update_at(
         proc: proc.clone(),
         check_mastery,
     };
-    let reply = network.rpc(
-        EndpointId::Site(site.raw()),
-        TrafficCategory::ClientSite,
-        Bytes::from(encode_to_vec(&req)),
-    )?;
+    let reply = client_rpc(network, site, &req)?;
     match expect_ok(&reply)? {
         SiteResponse::Executed {
             result,
@@ -181,11 +195,7 @@ pub fn exec_read_at(
         proc: proc.clone(),
         mode,
     };
-    let reply = network.rpc(
-        EndpointId::Site(site.raw()),
-        TrafficCategory::ClientSite,
-        Bytes::from(encode_to_vec(&req)),
-    )?;
+    let reply = client_rpc(network, site, &req)?;
     match expect_ok(&reply)? {
         SiteResponse::ReadDone {
             result,
@@ -214,11 +224,7 @@ pub fn exec_coordinated_at(
         proc: proc.clone(),
         mode,
     };
-    let reply = network.rpc(
-        EndpointId::Site(site.raw()),
-        TrafficCategory::ClientSite,
-        Bytes::from(encode_to_vec(&req)),
-    )?;
+    let reply = client_rpc(network, site, &req)?;
     match expect_ok(&reply)? {
         SiteResponse::Executed {
             result,

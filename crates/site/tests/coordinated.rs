@@ -156,6 +156,44 @@ fn remote_reads_resolve_through_owners() {
 }
 
 #[test]
+fn retry_backoff_leaves_txn_ids_contiguous() {
+    let d = partitioned_deployment(false);
+    load(&d.sites, 110, 0, false); // owned by site 1
+    let coord = Arc::clone(&d.sites[0]);
+    let remote = Arc::clone(&d.sites[1]);
+    let key = Key::new(TABLE, 110);
+
+    let ids_before = coord.txn_ids_allocated();
+    let aborts_before = coord.aborts.get();
+
+    // Hold the remote record lock so the participant votes no and the
+    // coordinator retries with backoff; release it while retries are still
+    // well inside the budget.
+    let (locked_tx, locked_rx) = std::sync::mpsc::channel();
+    let blocker = std::thread::spawn(move || {
+        let guard = remote.store().locks().try_acquire(key).unwrap();
+        locked_tx.send(()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(guard);
+    });
+    locked_rx.recv().unwrap();
+
+    let min = VersionVector::zero(2);
+    run_coordinated(&coord, &min, &inc(&[110]), ReadMode::Latest).unwrap();
+    blocker.join().unwrap();
+
+    let retries = coord.aborts.get() - aborts_before;
+    assert!(
+        retries >= 1,
+        "held lock must force at least one no-vote retry"
+    );
+    // Every 2PC attempt allocates exactly one transaction id; the backoff
+    // jitter must not draw from the id sequence (it used to be seeded from
+    // next_txn_id(), burning one real id per backoff).
+    assert_eq!(coord.txn_ids_allocated() - ids_before, retries + 1);
+}
+
+#[test]
 fn concurrent_coordinators_never_lose_increments() {
     let d = partitioned_deployment(true);
     // Replicated (multi-master style): both sites hold the row.

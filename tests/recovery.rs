@@ -139,6 +139,55 @@ fn crashed_site_does_not_block_others() {
 }
 
 #[test]
+fn mid_remaster_crash_recovers_consistent_mastership() {
+    let (system, _) = build();
+    let mut session = ClientSession::new(ClientId::new(1), 3);
+    for i in 0..12u64 {
+        system.update(&mut session, &set(&[i * 100], 1)).unwrap();
+    }
+    // Pick a placed partition; its master A will die mid-remaster.
+    let placements = system.selector().map().placements();
+    let (partition, master) = placements
+        .iter()
+        .find_map(|(p, m)| m.map(|m| (*p, m)))
+        .expect("some partition is placed");
+    let a = master.as_usize();
+    let b = (a + 1) % 3;
+    let sites = system.sites();
+
+    // Release at A, then crash A before any grant is issued: the remaster
+    // is cut down exactly between its two halves.
+    let rel_vv = sites[a].release(partition, 1_000_000).unwrap();
+    system.crash_site(a);
+
+    // The grant still completes at B: the release record is durable in A's
+    // log and B's replica catches up to `rel_vv` from it.
+    let grant_vv = sites[b].grant(partition, 1_000_000, &rel_vv).unwrap();
+    assert!(grant_vv.dominates(&rel_vv));
+
+    // A restarts from the logs and re-derives its mastership set.
+    system.restart_site(a).unwrap();
+    let sites = system.sites();
+    let recovered = recover_selector_map(system.logs(), &[]).unwrap();
+    assert_eq!(
+        recovered.get(&partition),
+        Some(&SiteId::new(b)),
+        "recovery must honor the grant that outlived the releaser's crash"
+    );
+    // The recovered selector map agrees with every live ownership table,
+    // including the restarted site's.
+    for (p, owner) in &recovered {
+        for (i, site) in sites.iter().enumerate() {
+            assert_eq!(
+                site.ownership().is_mastered(*p),
+                i == owner.as_usize(),
+                "site {i} ownership of {p:?} disagrees with the recovered map"
+            );
+        }
+    }
+}
+
+#[test]
 fn recovered_clock_continues_the_sequence() {
     let (system, catalog) = build();
     let mut session = ClientSession::new(ClientId::new(1), 3);

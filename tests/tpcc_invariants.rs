@@ -61,7 +61,7 @@ fn run_mix(
 }
 
 /// Reads the freshest committed state directly from a converged replica.
-fn converged_store(system: &Arc<DynaMastSystem>) -> &dynamast::storage::Store {
+fn converged_store(system: &Arc<DynaMastSystem>) -> Arc<dynamast::site::data_site::DataSite> {
     // Wait for all replicas to converge to a common vv.
     let target = system.sites().iter().map(|s| s.clock().current()).fold(
         dynamast::common::VersionVector::zero(system.config().num_sites),
@@ -74,7 +74,7 @@ fn converged_store(system: &Arc<DynaMastSystem>) -> &dynamast::storage::Store {
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
     }
-    system.sites()[0].store()
+    system.sites()[0].clone()
 }
 
 #[test]
@@ -82,6 +82,7 @@ fn payment_totals_balance_across_tables() {
     let (workload, system) = build();
     run_mix(&workload, &system, 4, 80).unwrap();
     let store = converged_store(&system);
+    let store = store.store();
     let snapshot = system.sites()[0].clock().current();
     let cfg = workload.config();
 
@@ -128,6 +129,7 @@ fn district_counters_match_committed_orders() {
     let (workload, system) = build();
     run_mix(&workload, &system, 3, 60).unwrap();
     let store = converged_store(&system);
+    let store = store.store();
     let snapshot = system.sites()[0].clock().current();
     let cfg = workload.config();
 
