@@ -208,7 +208,7 @@ fn bench_remastering(c: &mut Criterion) {
         config.sequential_remastering = sequential;
         let system =
             DynaMastSystem::build(DynaMastConfig::adaptive(config, catalog), Arc::new(Nop));
-        let selector = Arc::clone(system.selector());
+        let selector = system.selector();
         let cvv = VersionVector::zero(4);
         // Pre-place a large partition pool round-robin over the sites, so
         // every iteration's 3-partition write set spans 3 distinct masters
@@ -360,7 +360,7 @@ mod selector_mt {
                 DynaMastConfig::adaptive(bench_config(), catalog),
                 Arc::new(Nop),
             );
-            let selector = Arc::clone(system.selector());
+            let selector = system.selector();
             selector.map().seed((0..POOL).map(|i| {
                 (
                     partition_id(table, i),

@@ -49,6 +49,15 @@ pub enum DynaError {
         /// Elapsed budget in milliseconds when the deadline fired.
         ms: u64,
     },
+    /// A data site rejected a remaster operation carrying a selector
+    /// generation older than the highest one the site has observed: the
+    /// sender is a deposed (zombie) selector and must not move mastership.
+    StaleSelector {
+        /// The generation the rejected request carried.
+        observed: u64,
+        /// The newest generation the site has been fenced to.
+        current: u64,
+    },
     /// The site is shutting down and rejects new work.
     ShuttingDown,
     /// An invariant that should be unreachable was violated.
@@ -74,6 +83,10 @@ impl fmt::Display for DynaError {
             DynaError::TxnAborted { reason } => write!(f, "transaction aborted: {reason}"),
             DynaError::Network(what) => write!(f, "network error: {what}"),
             DynaError::Timeout { op, ms } => write!(f, "timeout after {ms}ms: {op}"),
+            DynaError::StaleSelector { observed, current } => write!(
+                f,
+                "stale selector generation {observed} rejected (site fenced to {current})"
+            ),
             DynaError::ShuttingDown => write!(f, "site shutting down"),
             DynaError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }

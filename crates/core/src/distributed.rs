@@ -164,8 +164,7 @@ impl DistributedSelectorSystem {
         let num_sites = inner.config().num_sites;
         let replicas = (0..replicas)
             .map(|_| {
-                let r =
-                    ReplicaSelector::new(Arc::clone(inner.selector()), catalog.clone(), num_sites);
+                let r = ReplicaSelector::new(inner.selector(), catalog.clone(), num_sites);
                 r.refresh_all();
                 r
             })

@@ -12,16 +12,21 @@
 //! master while reads spread over the replicas, exactly the paper's
 //! single-master comparator (§VI-A1).
 
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
+use dynamast_common::codec::encode_to_vec;
 use dynamast_common::ids::{PartitionId, SiteId};
-use dynamast_common::{DynaError, Result, SystemConfig};
-use dynamast_network::{Network, TrafficCategory};
+use dynamast_common::{DynaError, Result, SystemConfig, VersionVector};
+use dynamast_network::{CrashSwitch, EndpointId, Network, TrafficCategory};
 use dynamast_replication::LogSet;
 use dynamast_site::data_site::{DataSite, DataSiteConfig, SiteRuntime};
+use dynamast_site::messages::{expect_ok, SiteRequest, SiteResponse};
 use dynamast_site::proc::{ProcCall, ProcExecutor, ReadMode};
 use dynamast_site::system::{
     exec_read_at, exec_update_at, Breakdown, ClientSession, ReplicatedSystem, SystemStats,
@@ -29,7 +34,7 @@ use dynamast_site::system::{
 };
 use dynamast_storage::Catalog;
 
-use crate::selector::{ProbeHandle, SelectorMode, SiteSelector};
+use crate::selector::{ProbeHandle, SelectorInit, SelectorMode, SiteSelector};
 
 /// Estimated wire size of a `begin_transaction` routing request (write-set
 /// keys plus header); used to charge the client→selector hop.
@@ -53,6 +58,8 @@ pub struct DynaMastConfig {
     pub probe_interval: Duration,
     /// RPC worker threads per site.
     pub rpc_workers: usize,
+    /// Deterministic selector kill switch (crash-point injection tests).
+    pub crash_switch: Option<Arc<CrashSwitch>>,
 }
 
 impl DynaMastConfig {
@@ -65,6 +72,7 @@ impl DynaMastConfig {
             mode: SelectorMode::Adaptive,
             probe_interval: Duration::from_millis(20),
             rpc_workers: 24,
+            crash_switch: None,
         }
     }
 }
@@ -78,9 +86,16 @@ pub struct DynaMastSystem {
     /// Live sites; a slot is swapped for a freshly recovered instance on
     /// [`DynaMastSystem::restart_site`].
     sites: RwLock<Vec<Arc<DataSite>>>,
-    selector: Arc<SiteSelector>,
-    // Retained so a crashed site can be rebuilt from the durable logs.
+    /// The live selector; swapped for a promoted standby on
+    /// [`DynaMastSystem::promote_standby`].
+    selector: RwLock<Arc<SiteSelector>>,
+    /// Set between [`DynaMastSystem::crash_selector`] and promotion: the
+    /// client paths fail fast (retryably) instead of talking to the corpse.
+    selector_down: AtomicBool,
+    // Retained so a crashed site/selector can be rebuilt.
     catalog: Catalog,
+    mode: SelectorMode,
+    probe_interval: Duration,
     executor: Arc<dyn ProcExecutor>,
     initial_placements: Vec<(PartitionId, SiteId)>,
     rpc_workers: usize,
@@ -136,11 +151,15 @@ impl DynaMastSystem {
             runtimes.push(site.start(cfg.rpc_workers));
             sites.push(site);
         }
-        let selector = SiteSelector::new(
+        let selector = SiteSelector::with_init(
             cfg.system.clone(),
             cfg.catalog.clone(),
-            cfg.mode,
+            cfg.mode.clone(),
             Arc::clone(&network),
+            SelectorInit {
+                crash_switch: cfg.crash_switch,
+                ..SelectorInit::default()
+            },
         );
         selector.map().seed(cfg.initial_placements.iter().copied());
         let probe = (cfg.probe_interval > Duration::ZERO)
@@ -151,8 +170,11 @@ impl DynaMastSystem {
             network,
             logs,
             sites: RwLock::new(sites),
-            selector,
+            selector: RwLock::new(selector),
+            selector_down: AtomicBool::new(false),
             catalog: cfg.catalog,
+            mode: cfg.mode,
+            probe_interval: cfg.probe_interval,
             executor,
             initial_placements: cfg.initial_placements,
             rpc_workers: cfg.rpc_workers,
@@ -233,15 +255,170 @@ impl DynaMastSystem {
             Arc::clone(&self.network),
             Arc::clone(&self.executor),
         );
+        // A restarted site lost its volatile fence watermark; re-arm it so
+        // a selector deposed before the crash stays fenced out.
+        fresh.install_selector_generation(self.selector.read().generation());
         let runtime = fresh.start_with_offsets(self.rpc_workers, recovered.state.offsets);
         self.sites.write()[site] = fresh;
         self.runtimes.lock()[site] = Some(runtime);
         Ok(())
     }
 
-    /// The site selector.
-    pub fn selector(&self) -> &Arc<SiteSelector> {
-        &self.selector
+    /// The live site selector. After [`DynaMastSystem::promote_standby`]
+    /// this is a *new* [`SiteSelector`] instance; callers holding an old
+    /// `Arc` hold the deposed (fenced-out) selector.
+    pub fn selector(&self) -> Arc<SiteSelector> {
+        self.selector.read().clone()
+    }
+
+    /// Kills the selector process: its svv probe stops, and the client
+    /// paths fail retryably until a standby is promoted. Returns the dead
+    /// selector's handle so tests can exercise the zombie (a deposed
+    /// selector whose queued remaster RPCs fire after promotion and must be
+    /// fenced out by the data sites).
+    pub fn crash_selector(&self) -> Arc<SiteSelector> {
+        self.probe.lock().take();
+        self.selector_down.store(true, Ordering::Release);
+        self.selector.read().clone()
+    }
+
+    /// Promotes a warm standby to replace a crashed selector (§V-C).
+    ///
+    /// The standby:
+    /// 1. **Fences** every reachable site at `generation + 1`, collecting
+    ///    each site's svv and live ownership table in the same RPC. From
+    ///    this instant the sites reject the deposed selector's remaster
+    ///    messages with [`DynaError::StaleSelector`], so no repair below can
+    ///    race a zombie grant.
+    /// 2. **Rebuilds the partition map** from the durable grant/release
+    ///    logs reconciled against the live tables
+    ///    ([`crate::recovery::recover_selector_map_reconciled`]).
+    /// 3. **Repairs half-completed remasters**: a partition whose
+    ///    log-derived owner is live but does not claim it in its table was
+    ///    caught in the release-without-grant window — the standby re-grants
+    ///    it to that owner at a fresh epoch (mirroring the live selector's
+    ///    back-grant self-healing), with `rel_vv` = the owner's own fenced
+    ///    svv so the dominance wait is trivially satisfied.
+    /// 4. **Rebuilds the freshness cache** from the fenced svvs and raises
+    ///    the new selector's session floor to their element-wise max, so a
+    ///    client whose session vector died with the old selector still
+    ///    reads its own writes (SSSI holds across failover).
+    ///
+    /// Epochs are allocated strictly above anything in the logs so the new
+    /// selector never collides with its predecessor in the sites'
+    /// per-`(partition, epoch)` idempotency caches.
+    pub fn promote_standby(&self) -> Result<()> {
+        let old_generation = self.selector.read().generation();
+        let new_generation = old_generation + 1;
+        let retry = self.network.config().retry;
+        let fence = Bytes::from(encode_to_vec(&SiteRequest::FenceSelector {
+            generation: new_generation,
+        }));
+
+        // 1. Fence + snapshot. A site that cannot be reached is treated as
+        // crashed: it cannot accept zombie grants either, and it re-learns
+        // the generation on restart (`restart_site`).
+        let mut fenced: Vec<(SiteId, VersionVector, Vec<PartitionId>)> = Vec::new();
+        for i in 0..self.config.num_sites {
+            let reply = self.network.rpc_with_retry(
+                &retry,
+                None,
+                EndpointId::Site(i as u32),
+                TrafficCategory::Remaster,
+                fence.clone(),
+            );
+            match reply.and_then(|bytes| expect_ok(&bytes)) {
+                Ok(SiteResponse::Fenced { svv, mastered }) => {
+                    fenced.push((SiteId::new(i), svv, mastered));
+                }
+                Ok(_) => return Err(DynaError::Internal("unexpected fence response")),
+                Err(DynaError::Timeout { .. } | DynaError::Network(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+
+        // 2. Log-derived map, reconciled against the live tables.
+        let live_tables: Vec<(SiteId, Vec<PartitionId>)> = fenced
+            .iter()
+            .map(|(site, _, mastered)| (*site, mastered.clone()))
+            .collect();
+        let map = crate::recovery::recover_selector_map_reconciled(
+            &self.logs,
+            &self.initial_placements,
+            &live_tables,
+        )?;
+        let mut next_epoch = crate::recovery::max_remaster_epoch(&self.logs)?;
+
+        // 3. Repair release-without-grant windows: the map names a live
+        // owner whose table does not claim the partition. Sorted so the
+        // epoch assignment is deterministic.
+        let claims: HashMap<SiteId, HashSet<PartitionId>> = fenced
+            .iter()
+            .map(|(site, _, mastered)| (*site, mastered.iter().copied().collect()))
+            .collect();
+        let mut repairs: Vec<(PartitionId, SiteId)> = map
+            .iter()
+            .filter(|(p, owner)| claims.get(owner).is_some_and(|owned| !owned.contains(p)))
+            .map(|(p, owner)| (*p, *owner))
+            .collect();
+        repairs.sort_by_key(|(p, _)| *p);
+        for (partition, owner) in repairs {
+            next_epoch += 1;
+            let rel_vv = fenced
+                .iter()
+                .find(|(site, _, _)| *site == owner)
+                .map(|(_, svv, _)| svv.clone())
+                .expect("owner came from the fenced set");
+            let grant = SiteRequest::Grant {
+                partition,
+                epoch: next_epoch,
+                rel_vv,
+                generation: new_generation,
+            };
+            let reply = self.network.rpc_with_retry(
+                &retry,
+                None,
+                EndpointId::Site(owner.raw()),
+                TrafficCategory::Remaster,
+                Bytes::from(encode_to_vec(&grant)),
+            )?;
+            match expect_ok(&reply)? {
+                SiteResponse::Granted { .. } => {}
+                _ => return Err(DynaError::Internal("unexpected repair-grant response")),
+            }
+        }
+
+        // 4. Conservative session floor: element-wise max of the fenced
+        // svvs. Every version any client could have observed through the
+        // old selector is ≤ some site's svv, so routing every post-failover
+        // transaction at or above this floor preserves SSSI.
+        let mut floor = VersionVector::zero(self.config.num_sites);
+        for (_, svv, _) in &fenced {
+            floor.merge_max(svv);
+        }
+        let standby = SiteSelector::with_init(
+            self.config.clone(),
+            self.catalog.clone(),
+            self.mode.clone(),
+            Arc::clone(&self.network),
+            SelectorInit {
+                generation: new_generation,
+                epoch_floor: next_epoch,
+                session_floor: Some(floor),
+                crash_switch: None,
+            },
+        );
+        standby.map().seed(map);
+        for (site, svv, _) in &fenced {
+            standby.observe_site_vv(*site, svv);
+        }
+
+        let probe = (self.probe_interval > Duration::ZERO)
+            .then(|| standby.start_vv_probe(self.probe_interval));
+        *self.selector.write() = standby;
+        *self.probe.lock() = probe;
+        self.selector_down.store(false, Ordering::Release);
+        Ok(())
     }
 
     /// The system configuration.
@@ -292,24 +469,37 @@ impl ReplicatedSystem for DynaMastSystem {
             if attempt > 0 {
                 std::thread::sleep(Duration::from_micros(u64::from(attempt) * 50));
             }
+            // Between selector crash and standby promotion there is no one
+            // to route; fail the attempt retryably so a concurrent
+            // promotion un-wedges the resubmission loop.
+            if self.selector_down.load(Ordering::Acquire) {
+                last_err = DynaError::Network("selector unavailable (awaiting promotion)");
+                continue;
+            }
+            // Re-read per attempt: a promotion may have swapped the
+            // selector since the last one.
+            let selector = self.selector.read().clone();
             // begin_transaction request to the selector (charged hop).
             self.network
                 .charge_one_way(TrafficCategory::ClientSelector, route_request_size(proc));
             // Transport faults during routing or remastering (a crashed
-            // master, exhausted retries) are retryable: the selector's next
-            // attempt routes around the unreachable site where it can.
-            let decision =
-                match self
-                    .selector
-                    .route_update(session.id, &session.cvv, &proc.write_set)
-                {
-                    Ok(d) => d,
-                    Err(err @ (DynaError::Timeout { .. } | DynaError::Network(_))) => {
-                        last_err = err;
-                        continue;
-                    }
-                    Err(other) => return Err(other),
-                };
+            // master, exhausted retries, a mid-protocol selector crash) are
+            // retryable: the next attempt routes around the unreachable
+            // site — or through the promoted standby. StaleSelector means
+            // this routing raced a promotion; the retry picks up the new
+            // selector.
+            let decision = match selector.route_update(session.id, &session.cvv, &proc.write_set) {
+                Ok(d) => d,
+                Err(
+                    err @ (DynaError::Timeout { .. }
+                    | DynaError::Network(_)
+                    | DynaError::StaleSelector { .. }),
+                ) => {
+                    last_err = err;
+                    continue;
+                }
+                Err(other) => return Err(other),
+            };
             // Routing response back to the client.
             self.network.charge_one_way(
                 TrafficCategory::ClientSelector,
@@ -359,12 +549,20 @@ impl ReplicatedSystem for DynaMastSystem {
         // A site crashing under the read is recoverable: re-route (the
         // selector skips unreachable sites) and run on a replica. Reads are
         // idempotent, so the resubmission needs no further care.
-        for _ in 0..4u32 {
+        for attempt in 0..4u32 {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_micros(u64::from(attempt) * 50));
+            }
+            if self.selector_down.load(Ordering::Acquire) {
+                last_err = DynaError::Network("selector unavailable (awaiting promotion)");
+                continue;
+            }
+            let selector = self.selector.read().clone();
             self.network
                 .charge_one_way(TrafficCategory::ClientSelector, 32);
             let (site, lookup) = {
                 let start = Instant::now();
-                let site = self.selector.route_read(&session.cvv);
+                let site = selector.route_read(&session.cvv);
                 (site, start.elapsed())
             };
             self.network
@@ -392,13 +590,14 @@ impl ReplicatedSystem for DynaMastSystem {
 
     fn stats(&self) -> SystemStats {
         let sites = self.sites.read();
+        let selector = self.selector.read();
         SystemStats {
             committed_updates: sites.iter().map(|s| s.commits.get()).sum(),
             aborts: sites.iter().map(|s| s.aborts.get()).sum(),
-            remaster_ops: self.selector.remaster_ops.get(),
-            partitions_moved: self.selector.partitions_moved.get(),
-            masters_per_site: self.selector.map().masters_per_site(self.config.num_sites),
-            updates_routed_per_site: self.selector.routed_per_site(),
+            remaster_ops: selector.remaster_ops.get(),
+            partitions_moved: selector.partitions_moved.get(),
+            masters_per_site: selector.map().masters_per_site(self.config.num_sites),
+            updates_routed_per_site: selector.routed_per_site(),
         }
     }
 }

@@ -10,7 +10,8 @@
 use std::collections::HashMap;
 
 use dynamast_common::ids::{PartitionId, SiteId};
-use dynamast_common::Result;
+use dynamast_common::{DynaError, Result};
+use dynamast_replication::record::LogRecord;
 use dynamast_replication::recovery::{rebuild_mastership, replay_all, ReplayedState};
 use dynamast_replication::LogSet;
 use dynamast_storage::Catalog;
@@ -26,6 +27,60 @@ pub fn recover_selector_map(
         map.insert(p, s);
     }
     Ok(map)
+}
+
+/// Like [`recover_selector_map`], but reconciled against the live sites'
+/// ownership tables (the promotion path, §V-C).
+///
+/// The durable logs lag the tables by construction: a site updates its
+/// ownership table *before* appending the Release/Grant record, so a crash
+/// in that window leaves a live site claiming a partition the logs do not
+/// (yet) award it. A single live claimant therefore wins over the log-derived
+/// owner — the site's positive claim is the later fact. Two live sites
+/// claiming the same partition is dual mastership, which fencing makes
+/// impossible; seeing it means the tables are corrupt, and reconciliation
+/// fails loudly rather than guessing.
+pub fn recover_selector_map_reconciled(
+    logs: &LogSet,
+    initial_placements: &[(PartitionId, SiteId)],
+    live_tables: &[(SiteId, Vec<PartitionId>)],
+) -> Result<HashMap<PartitionId, SiteId>> {
+    let mut map = recover_selector_map(logs, initial_placements)?;
+    let mut claimants: HashMap<PartitionId, SiteId> = HashMap::new();
+    // Sort by site id so iteration order (and any error raised) is
+    // deterministic regardless of fencing reply order.
+    let mut tables: Vec<&(SiteId, Vec<PartitionId>)> = live_tables.iter().collect();
+    tables.sort_by_key(|(site, _)| *site);
+    for (site, mastered) in tables {
+        for p in mastered {
+            if let Some(other) = claimants.insert(*p, *site) {
+                if other != *site {
+                    return Err(DynaError::Internal(
+                        "two live sites claim mastership of one partition",
+                    ));
+                }
+            }
+            map.insert(*p, *site);
+        }
+    }
+    Ok(map)
+}
+
+/// The highest remastering epoch recorded in any durable log (0 when no
+/// remaster ever happened). A promoted selector allocates epochs strictly
+/// above this so it never collides with its predecessor's in the sites'
+/// per-`(partition, epoch)` idempotency caches.
+pub fn max_remaster_epoch(logs: &LogSet) -> Result<u64> {
+    let mut max = 0u64;
+    for origin_idx in 0..logs.num_sites() {
+        let (records, _) = logs.log(SiteId::new(origin_idx)).read_from(0)?;
+        for record in records {
+            if let LogRecord::Release { epoch, .. } | LogRecord::Grant { epoch, .. } = record {
+                max = max.max(epoch);
+            }
+        }
+    }
+    Ok(max)
 }
 
 /// Recovers one site's storage state plus the partitions it mastered at
@@ -76,6 +131,56 @@ mod tests {
             recover_selector_map(&logs, &[(p1, SiteId::new(0)), (p2, SiteId::new(0))]).unwrap();
         assert_eq!(map[&p1], SiteId::new(0)); // untouched: initial placement
         assert_eq!(map[&p2], SiteId::new(1)); // remastered per the log
+    }
+
+    #[test]
+    fn reconciliation_prefers_the_live_sites_positive_claim() {
+        // Log says S1 mastered p (grant epoch 1); but S2's live table claims
+        // p — the grant-before-log-append crash window. The site wins.
+        let logs = LogSet::new(3);
+        let p = PartitionId::new(4);
+        logs.log(SiteId::new(1)).append(&LogRecord::Grant {
+            origin: SiteId::new(1),
+            sequence: 1,
+            partition: p,
+            epoch: 1,
+        });
+        let live = vec![(SiteId::new(1), vec![]), (SiteId::new(2), vec![p])];
+        let map = recover_selector_map_reconciled(&logs, &[(p, SiteId::new(0))], &live).unwrap();
+        assert_eq!(map[&p], SiteId::new(2));
+    }
+
+    #[test]
+    fn reconciliation_rejects_dual_live_claims() {
+        let logs = LogSet::new(3);
+        let p = PartitionId::new(4);
+        let live = vec![(SiteId::new(0), vec![p]), (SiteId::new(1), vec![p])];
+        let err = recover_selector_map_reconciled(&logs, &[], &live).unwrap_err();
+        assert_eq!(
+            err,
+            dynamast_common::DynaError::Internal(
+                "two live sites claim mastership of one partition"
+            )
+        );
+    }
+
+    #[test]
+    fn max_remaster_epoch_spans_all_logs() {
+        let logs = LogSet::new(2);
+        assert_eq!(max_remaster_epoch(&logs).unwrap(), 0);
+        logs.log(SiteId::new(0)).append(&LogRecord::Release {
+            origin: SiteId::new(0),
+            sequence: 1,
+            partition: PartitionId::new(1),
+            epoch: 7,
+        });
+        logs.log(SiteId::new(1)).append(&LogRecord::Grant {
+            origin: SiteId::new(1),
+            sequence: 1,
+            partition: PartitionId::new(1),
+            epoch: 9,
+        });
+        assert_eq!(max_remaster_epoch(&logs).unwrap(), 9);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use dynamast_common::codec::encode_to_vec;
 use dynamast_common::ids::{ClientId, Key, PartitionId, SiteId};
 use dynamast_common::metrics::Counter;
 use dynamast_common::{DynaError, Result, SystemConfig, VersionVector};
-use dynamast_network::{EndpointId, Network, TrafficCategory};
+use dynamast_network::{CrashPoint, CrashSwitch, EndpointId, Network, TrafficCategory};
 use dynamast_site::messages::{expect_ok, SiteRequest, SiteResponse};
 use dynamast_storage::Catalog;
 use rand::rngs::SmallRng;
@@ -45,6 +45,38 @@ pub enum SelectorMode {
     /// the single-master baseline (everything pinned to one site) inside
     /// the DynaMast framework, exactly as the paper's evaluation does.
     Pinned(Arc<dyn Fn(PartitionId) -> SiteId + Send + Sync>),
+}
+
+impl Clone for SelectorMode {
+    fn clone(&self) -> Self {
+        match self {
+            SelectorMode::Adaptive => SelectorMode::Adaptive,
+            SelectorMode::Pinned(pin) => SelectorMode::Pinned(Arc::clone(pin)),
+        }
+    }
+}
+
+/// Failover-related construction parameters for a [`SiteSelector`].
+///
+/// The defaults describe a first-generation selector with nothing to inherit;
+/// a promoting standby (§V-C) passes the successor generation, the epoch
+/// floor recovered from the durable logs, and the conservative session floor
+/// rebuilt from fenced site svvs.
+#[derive(Clone, Default)]
+pub struct SelectorInit {
+    /// Fencing token stamped on every remaster RPC this selector sends.
+    pub generation: u64,
+    /// Remaster epochs start above this value (a promoted selector must not
+    /// reuse epochs its predecessor already burned — the sites' idempotency
+    /// caches key on them).
+    pub epoch_floor: u64,
+    /// Conservative client-session reconstruction: element-wise max of the
+    /// svvs collected while fencing. Merged into every routing decision's
+    /// `min_vv` and into read-routing freshness checks, so a client whose
+    /// pre-failover session state is unknown still reads its own writes.
+    pub session_floor: Option<VersionVector>,
+    /// Deterministic kill switch for crash-point injection tests.
+    pub crash_switch: Option<Arc<CrashSwitch>>,
 }
 
 /// Outcome of routing one update transaction.
@@ -73,6 +105,12 @@ pub struct SiteSelector {
     network: Arc<Network>,
     freshness: FreshnessCache,
     epoch: AtomicU64,
+    /// This selector's fencing generation (see [`SelectorInit::generation`]).
+    generation: u64,
+    /// Post-failover session floor (see [`SelectorInit::session_floor`]).
+    session_floor: Option<VersionVector>,
+    /// Armed crash-point switch, if any (tests only).
+    crash_switch: Option<Arc<CrashSwitch>>,
     /// Seed for the per-thread read-routing RNGs.
     rng_seed: u64,
     /// Transactions that required remastering (at least one release).
@@ -87,12 +125,24 @@ pub struct SiteSelector {
 }
 
 impl SiteSelector {
-    /// Creates a selector.
+    /// Creates a first-generation selector.
     pub fn new(
         config: SystemConfig,
         catalog: Catalog,
         mode: SelectorMode,
         network: Arc<Network>,
+    ) -> Arc<Self> {
+        Self::with_init(config, catalog, mode, network, SelectorInit::default())
+    }
+
+    /// Creates a selector with explicit failover parameters (used by
+    /// standby promotion and crash-injection tests).
+    pub fn with_init(
+        config: SystemConfig,
+        catalog: Catalog,
+        mode: SelectorMode,
+        network: Arc<Network>,
+        init: SelectorInit,
     ) -> Arc<Self> {
         let m = config.num_sites;
         let stats = AccessStats::new(
@@ -112,7 +162,10 @@ impl SiteSelector {
             stats,
             network,
             freshness: FreshnessCache::new(m),
-            epoch: AtomicU64::new(0),
+            epoch: AtomicU64::new(init.epoch_floor),
+            generation: init.generation,
+            session_floor: init.session_floor,
+            crash_switch: init.crash_switch,
             rng_seed: config.seed ^ 0x0EAD_0125,
             remaster_ops: Counter::new(),
             partitions_moved: Counter::new(),
@@ -125,6 +178,44 @@ impl SiteSelector {
     /// The partition map (seeding, diagnostics, recovery).
     pub fn map(&self) -> &PartitionMap {
         &self.map
+    }
+
+    /// This selector's fencing generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The placement mode (cloned so a standby can inherit it).
+    pub fn mode(&self) -> SelectorMode {
+        self.mode.clone()
+    }
+
+    /// Fails with [`DynaError::Network`] when the armed crash switch says
+    /// the selector dies at `at` — and on every call once fired, freezing
+    /// the crashed selector's protocol activity mid-remaster.
+    fn crash_check(&self, at: CrashPoint) -> Result<()> {
+        if self
+            .crash_switch
+            .as_ref()
+            .is_some_and(|s| s.should_crash(at))
+        {
+            return Err(DynaError::Network("selector crashed"));
+        }
+        Ok(())
+    }
+
+    /// `true` once this selector's crash switch has fired.
+    pub fn crashed(&self) -> bool {
+        self.crash_switch.as_ref().is_some_and(|s| s.fired())
+    }
+
+    /// Merges the post-failover session floor into a routing decision's
+    /// minimum begin version.
+    fn with_session_floor(&self, mut vv: VersionVector) -> VersionVector {
+        if let Some(floor) = &self.session_floor {
+            vv.merge_max(floor);
+        }
+        vv
     }
 
     /// The statistics tracker.
@@ -188,6 +279,10 @@ impl SiteSelector {
         cvv: &VersionVector,
         write_set: &[Key],
     ) -> Result<RouteDecision> {
+        // A crashed selector does nothing more — not even fast-path routing.
+        if self.crashed() {
+            return Err(DynaError::Network("selector crashed"));
+        }
         let t0 = Instant::now();
         let mut partitions = Vec::with_capacity(write_set.len());
         for key in write_set {
@@ -212,7 +307,7 @@ impl SiteSelector {
                 self.routed[site.as_usize()].inc();
                 return Ok(RouteDecision {
                     site,
-                    min_vv: VersionVector::zero(self.config.num_sites),
+                    min_vv: self.with_session_floor(VersionVector::zero(self.config.num_sites)),
                     lookup,
                     routing: Duration::ZERO,
                     remastered: false,
@@ -233,7 +328,7 @@ impl SiteSelector {
             self.routed[site.as_usize()].inc();
             return Ok(RouteDecision {
                 site,
-                min_vv: VersionVector::zero(self.config.num_sites),
+                min_vv: self.with_session_floor(VersionVector::zero(self.config.num_sites)),
                 lookup,
                 routing: t_route.elapsed(),
                 remastered: false,
@@ -271,10 +366,12 @@ impl SiteSelector {
             match master {
                 Some(m) if *m == dest => {}
                 Some(m) => {
+                    self.crash_check(CrashPoint::BeforeReleaseSend)?;
                     let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
                     let req = SiteRequest::Release {
                         partition: partitions[i],
                         epoch,
+                        generation: self.generation,
                     };
                     let pending = self.network.rpc_async(
                         EndpointId::Site(m.raw()),
@@ -288,17 +385,21 @@ impl SiteSelector {
                             SiteResponse::Released { rel_vv } => rel_vv,
                             _ => return Err(DynaError::Internal("unexpected release response")),
                         };
+                        self.crash_check(CrashPoint::AfterReleaseAck)?;
                         self.observe_site_vv(*m, &rel_vv);
+                        self.crash_check(CrashPoint::BeforeGrantSend)?;
                         let grant = SiteRequest::Grant {
                             partition: partitions[i],
                             epoch,
                             rel_vv,
+                            generation: self.generation,
                         };
                         let sent = self.network.rpc_async(
                             EndpointId::Site(dest.raw()),
                             TrafficCategory::Remaster,
                             Bytes::from(encode_to_vec(&grant)),
                         );
+                        self.crash_check(CrashPoint::AfterGrantSend)?;
                         let reply = match self.settle(dest, &grant, sent) {
                             Ok(reply) => reply,
                             Err(e) => {
@@ -320,17 +421,20 @@ impl SiteSelector {
                 }
                 None => {
                     // First placement: no release necessary; grant directly.
+                    self.crash_check(CrashPoint::BeforeGrantSend)?;
                     let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
                     let grant = SiteRequest::Grant {
                         partition: partitions[i],
                         epoch,
                         rel_vv: VersionVector::zero(self.config.num_sites),
+                        generation: self.generation,
                     };
                     let pending = self.network.rpc_async(
                         EndpointId::Site(dest.raw()),
                         TrafficCategory::Remaster,
                         Bytes::from(encode_to_vec(&grant)),
                     );
+                    self.crash_check(CrashPoint::AfterGrantSend)?;
                     placed += 1;
                     pending_grants.push((i, epoch, grant, pending, None));
                 }
@@ -341,17 +445,21 @@ impl SiteSelector {
                 SiteResponse::Released { rel_vv } => rel_vv,
                 _ => return Err(DynaError::Internal("unexpected release response")),
             };
+            self.crash_check(CrashPoint::AfterReleaseAck)?;
             self.observe_site_vv(releaser, &rel_vv);
+            self.crash_check(CrashPoint::BeforeGrantSend)?;
             let grant = SiteRequest::Grant {
                 partition: partitions[i],
                 epoch,
                 rel_vv,
+                generation: self.generation,
             };
             let pending = self.network.rpc_async(
                 EndpointId::Site(dest.raw()),
                 TrafficCategory::Remaster,
                 Bytes::from(encode_to_vec(&grant)),
             );
+            self.crash_check(CrashPoint::AfterGrantSend)?;
             pending_grants.push((i, epoch, grant, pending, Some(releaser)));
         }
         // Settle every in-flight grant even once one has failed: each may
@@ -398,9 +506,10 @@ impl SiteSelector {
             self.partitions_moved.add(moved);
         }
         self.routed[dest.as_usize()].inc();
+        self.crash_check(CrashPoint::BeforeClientReply)?;
         Ok(RouteDecision {
             site: dest,
-            min_vv: out_vv,
+            min_vv: self.with_session_floor(out_vv),
             lookup,
             routing: t_route.elapsed(),
             remastered: moved > 0,
@@ -520,6 +629,18 @@ impl SiteSelector {
     /// guarantees SSSI); if every site looks down, any random site — its
     /// RPC fails fast and the client backs off.
     pub fn route_read(&self, cvv: &VersionVector) -> SiteId {
+        // Post-failover, raise the client's requirement to the session
+        // floor: a client whose pre-crash session state the promoted
+        // selector never saw must still be routed to a sufficiently fresh
+        // replica. (Allocates only while a floor is installed.)
+        let floored;
+        let cvv = match &self.session_floor {
+            Some(floor) => {
+                floored = cvv.max_with(floor);
+                &floored
+            }
+            None => cvv,
+        };
         // Allocation-free two-pass pick: count the candidates, then find
         // the chosen one. Freshness estimates are monotone but
         // *reachability is not* (a site can crash between the passes), so

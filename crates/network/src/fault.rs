@@ -18,6 +18,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
@@ -168,6 +169,137 @@ impl fmt::Debug for FaultPlan {
     }
 }
 
+/// Enumerated crash points inside the dynamic mastering protocol (§III-B).
+///
+/// A [`CrashSwitch`] armed with one of these kills the selector at a precise
+/// step of a remaster, so failover tests can exercise every half-completed
+/// state the promotion path must repair: release not yet sent, release
+/// durable but grant not yet sent (the release-without-grant window), grant
+/// sent but the reply to the client lost, and so on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Before the Release RPC leaves the selector: the remaster is chosen
+    /// but nothing has been sent; the old master still owns the partition.
+    BeforeReleaseSend,
+    /// After the Release reply is settled: the old master has revoked and
+    /// logged the release, but no Grant has been sent — the
+    /// release-without-grant window recovery must re-grant out of.
+    AfterReleaseAck,
+    /// Between settling the release and sending the Grant RPC (the same
+    /// durable window as [`CrashPoint::AfterReleaseAck`], but crossed on the
+    /// grant half of the protocol, after `rel_vv` is in hand).
+    BeforeGrantSend,
+    /// After the Grant RPC is sent: the grantee may or may not have logged
+    /// the grant by the time the standby promotes.
+    AfterGrantSend,
+    /// After the remaster fully settled, before the routing decision is
+    /// returned: mastership moved but the client never learns where to.
+    BeforeClientReply,
+}
+
+impl CrashPoint {
+    /// Every enumerated crash point, in protocol order (drives sweep tests).
+    pub const ALL: [CrashPoint; 5] = [
+        CrashPoint::BeforeReleaseSend,
+        CrashPoint::AfterReleaseAck,
+        CrashPoint::BeforeGrantSend,
+        CrashPoint::AfterGrantSend,
+        CrashPoint::BeforeClientReply,
+    ];
+
+    /// Stable numeric code mixed into the trigger hash.
+    pub fn code(self) -> u64 {
+        match self {
+            CrashPoint::BeforeReleaseSend => 1,
+            CrashPoint::AfterReleaseAck => 2,
+            CrashPoint::BeforeGrantSend => 3,
+            CrashPoint::AfterGrantSend => 4,
+            CrashPoint::BeforeClientReply => 5,
+        }
+    }
+}
+
+/// A deterministic selector kill switch, [`FaultPlan`]-style.
+///
+/// The switch is armed for one crash point; the selector calls
+/// [`CrashSwitch::should_crash`] each time execution passes any crash point.
+/// The switch fires on the *k*-th pass over its armed point, where `k` is
+/// derived by hashing `(seed, crash point)` through the same splitmix64
+/// mixer as [`FaultPlan::decide`] — so for a given `(seed, point)` pair the
+/// selector always dies on the same remaster ordinal, bit-for-bit, no matter
+/// how threads interleave. Once fired it stays fired: every later pass (any
+/// point) reports `true`, freezing the crashed selector's protocol activity.
+pub struct CrashSwitch {
+    point: CrashPoint,
+    trigger: u64,
+    passes: AtomicU64,
+    fired: AtomicBool,
+}
+
+impl CrashSwitch {
+    /// How many passes over the armed point are allowed before firing
+    /// (bounded so sweeps trigger within a short workload prefix).
+    const TRIGGER_WINDOW: u64 = 8;
+
+    /// Arms a switch for `point`, deriving the trigger ordinal from
+    /// `(seed, point)`.
+    pub fn new(seed: u64, point: CrashPoint) -> Self {
+        let mut state = seed.wrapping_add(point.code().wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let trigger = splitmix64(&mut state) % Self::TRIGGER_WINDOW;
+        CrashSwitch {
+            point,
+            trigger,
+            passes: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// Reports whether the selector must die now. Counts a pass only when
+    /// `at` matches the armed point; fires when that pass count reaches the
+    /// derived trigger ordinal.
+    pub fn should_crash(&self, at: CrashPoint) -> bool {
+        if self.fired.load(Ordering::Acquire) {
+            return true;
+        }
+        if at != self.point {
+            return false;
+        }
+        let pass = self.passes.fetch_add(1, Ordering::AcqRel);
+        if pass == self.trigger {
+            self.fired.store(true, Ordering::Release);
+            return true;
+        }
+        false
+    }
+
+    /// `true` once the switch has fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+
+    /// The armed crash point.
+    pub fn point(&self) -> CrashPoint {
+        self.point
+    }
+
+    /// The derived trigger ordinal (diagnostics: printed with the seed so a
+    /// failing sweep run can be replayed).
+    pub fn trigger_ordinal(&self) -> u64 {
+        self.trigger
+    }
+}
+
+impl fmt::Debug for CrashSwitch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CrashSwitch")
+            .field("point", &self.point)
+            .field("trigger", &self.trigger)
+            .field("passes", &self.passes.load(Ordering::Relaxed))
+            .field("fired", &self.fired())
+            .finish()
+    }
+}
+
 /// Stable numeric code for an endpoint; `None` (anonymous client) gets its
 /// own code so client links hash distinctly from any site link.
 fn endpoint_code(endpoint: Option<EndpointId>) -> u64 {
@@ -285,5 +417,37 @@ mod tests {
         for _ in 0..64 {
             assert_eq!(plan.decide(LINK_A.0, LINK_A.1), FaultDecision::default());
         }
+    }
+
+    #[test]
+    fn crash_switch_is_deterministic_per_seed_and_point() {
+        for point in CrashPoint::ALL {
+            let a = CrashSwitch::new(0xFEED, point);
+            let b = CrashSwitch::new(0xFEED, point);
+            assert_eq!(a.trigger_ordinal(), b.trigger_ordinal());
+            // Same pass sequence → same firing pass.
+            let fired_at = |s: &CrashSwitch| (0..16).position(|_| s.should_crash(point));
+            assert_eq!(fired_at(&a), fired_at(&b));
+            assert!(a.fired());
+        }
+        // Distinct points under one seed must not all share a trigger.
+        let triggers: std::collections::HashSet<u64> = CrashPoint::ALL
+            .iter()
+            .map(|&p| CrashSwitch::new(0xFEED, p).trigger_ordinal())
+            .collect();
+        assert!(triggers.len() > 1, "triggers should vary across points");
+    }
+
+    #[test]
+    fn crash_switch_ignores_other_points_until_fired() {
+        let switch = CrashSwitch::new(3, CrashPoint::AfterReleaseAck);
+        for _ in 0..64 {
+            assert!(!switch.should_crash(CrashPoint::BeforeReleaseSend));
+        }
+        assert!(!switch.fired(), "other points must not advance the count");
+        while !switch.should_crash(CrashPoint::AfterReleaseAck) {}
+        // Once fired, every point reports a crash.
+        assert!(switch.should_crash(CrashPoint::BeforeClientReply));
+        assert!(switch.should_crash(CrashPoint::BeforeReleaseSend));
     }
 }

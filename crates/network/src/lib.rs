@@ -37,7 +37,7 @@ pub mod stats;
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -46,11 +46,11 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use dynamast_common::config::{NetworkConfig, RetryPolicy};
 use dynamast_common::{DynaError, Result};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-pub use fault::{FaultDecision, FaultPlan};
+pub use fault::{CrashPoint, CrashSwitch, FaultDecision, FaultPlan};
 pub use stats::{TrafficCategory, TrafficStats};
 
 /// Addressable components in a deployment.
@@ -112,12 +112,68 @@ struct Registered {
 
 type Registry = RwLock<HashMap<EndpointId, Registered>>;
 
+struct InflightEntry {
+    from: Option<EndpointId>,
+    to: EndpointId,
+    category: TrafficCategory,
+    since: Instant,
+}
+
+/// Registry of RPCs issued but not yet resolved, for hang diagnostics: when
+/// a chaos watchdog fires, the dump shows exactly which calls the run was
+/// stuck on. Off by default (zero hot-path cost beyond one relaxed load);
+/// enabled by chaos harnesses via [`Network::enable_inflight_tracking`].
+#[derive(Default)]
+struct InflightTable {
+    enabled: AtomicBool,
+    next_id: AtomicU64,
+    entries: Mutex<HashMap<u64, InflightEntry>>,
+}
+
+impl InflightTable {
+    fn register(
+        self: &Arc<Self>,
+        from: Option<EndpointId>,
+        to: EndpointId,
+        category: TrafficCategory,
+    ) -> InflightGuard {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().insert(
+            id,
+            InflightEntry {
+                from,
+                to,
+                category,
+                since: Instant::now(),
+            },
+        );
+        InflightGuard {
+            table: Arc::clone(self),
+            id,
+        }
+    }
+}
+
+/// Removes its in-flight entry when the owning [`PendingReply`] resolves
+/// (or is abandoned — either way the RPC is no longer awaited).
+struct InflightGuard {
+    table: Arc<InflightTable>,
+    id: u64,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.table.entries.lock().remove(&self.id);
+    }
+}
+
 /// The in-process network fabric shared by one deployment.
 pub struct Network {
     config: NetworkConfig,
     stats: Arc<TrafficStats>,
     registry: Registry,
     faults: RwLock<Option<Arc<FaultPlan>>>,
+    inflight: Arc<InflightTable>,
     next_generation: AtomicU64,
     /// Lock-free liveness bitmap for `EndpointId::Site(i)`, `i < 64`; bit
     /// `i` set ⇔ site `i` is registered. Lets the site selector's read hot
@@ -135,6 +191,7 @@ impl Network {
             stats: Arc::new(TrafficStats::new()),
             registry: RwLock::new(HashMap::new()),
             faults: RwLock::new(None),
+            inflight: Arc::new(InflightTable::default()),
             next_generation: AtomicU64::new(0),
             site_mask: AtomicU64::new(0),
             seed,
@@ -160,6 +217,37 @@ impl Network {
     /// The currently attached fault plan, if any.
     pub fn faults(&self) -> Option<Arc<FaultPlan>> {
         self.faults.read().clone()
+    }
+
+    /// Starts recording every issued-but-unresolved RPC, so a wedged run can
+    /// be diagnosed with [`Network::dump_inflight`]. Intended for chaos
+    /// harnesses; tracking stays enabled for the network's lifetime.
+    pub fn enable_inflight_tracking(&self) {
+        self.inflight.enabled.store(true, Ordering::Release);
+    }
+
+    /// Renders the in-flight RPC table, oldest call first — what a chaos
+    /// watchdog prints before killing a hung run. Empty string when nothing
+    /// is pending (or tracking was never enabled).
+    pub fn dump_inflight(&self) -> String {
+        let entries = self.inflight.entries.lock();
+        let mut rows: Vec<&InflightEntry> = entries.values().collect();
+        rows.sort_by_key(|e| e.since);
+        let now = Instant::now();
+        rows.iter()
+            .map(|e| {
+                let from = match e.from {
+                    Some(ep) => format!("{ep:?}"),
+                    None => "client".to_string(),
+                };
+                format!(
+                    "{from} -> {:?} [{:?}] pending {}ms\n",
+                    e.to,
+                    e.category,
+                    now.saturating_duration_since(e.since).as_millis()
+                )
+            })
+            .collect()
     }
 
     /// Draws the next jitter value in `[0, max_nanos]` from this network's
@@ -326,6 +414,11 @@ impl Network {
             .get(&to)
             .map(|r| r.tx.clone())
             .ok_or(DynaError::Network("endpoint not registered"))?;
+        let track = self
+            .inflight
+            .enabled
+            .load(Ordering::Acquire)
+            .then(|| self.inflight.register(from, to, category));
         // Replies may be duplicated (and so may requests, each of whose
         // copies produces replies): leave room so a worker never blocks on a
         // full reply channel.
@@ -347,6 +440,7 @@ impl Network {
                 return Ok(PendingReply {
                     reply: reply_rx,
                     lost: true,
+                    _track: track,
                 });
             }
         }
@@ -370,6 +464,7 @@ impl Network {
         Ok(PendingReply {
             reply: reply_rx,
             lost: false,
+            _track: track,
         })
     }
 
@@ -405,7 +500,14 @@ impl Network {
         for attempt in 0..policy.max_attempts {
             if attempt > 0 {
                 let jitter = Duration::from_nanos(self.jitter_nanos(backoff.as_nanos() as u64 / 2));
-                thread::sleep(backoff + jitter);
+                // Clamp the backoff sleep to the remaining deadline: an
+                // unclamped sleep could overshoot `policy.deadline` by up to
+                // a full backoff before the deadline check below runs.
+                let remaining = policy.deadline.saturating_sub(start.elapsed());
+                if remaining.is_zero() {
+                    break;
+                }
+                thread::sleep((backoff + jitter).min(remaining));
                 backoff = (backoff * 2).min(policy.max_backoff);
             }
             let elapsed = start.elapsed();
@@ -513,6 +615,8 @@ pub struct PendingReply {
     /// idling out the full timeout (wall-clock compression; the fault
     /// schedule itself is unaffected).
     lost: bool,
+    /// In-flight-table entry, removed when the reply resolves (drop).
+    _track: Option<InflightGuard>,
 }
 
 impl PendingReply {
@@ -973,6 +1077,71 @@ mod tests {
         );
         healer.join().unwrap();
         assert_eq!(&reply.unwrap()[..], b"through");
+    }
+
+    /// Regression: the pre-attempt backoff sleep used to run unclamped, so
+    /// a retry sequence with a large `base_backoff` could overshoot the
+    /// overall `deadline` by a full backoff before the deadline check fired.
+    #[test]
+    fn retry_backoff_cannot_overshoot_deadline() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        // Every message is lost, so each attempt fails fast (wall-clock
+        // compression) and the loop spends its time in backoff sleeps.
+        net.set_faults(Some(Arc::new(FaultPlan::new(7).with_drops(1.0))));
+        let _server = net.serve(EndpointId::Site(0), echo_handler(), 1);
+        let policy = RetryPolicy {
+            attempt_timeout: Duration::from_millis(10),
+            max_attempts: 16,
+            base_backoff: Duration::from_millis(200),
+            max_backoff: Duration::from_millis(400),
+            deadline: Duration::from_millis(80),
+        };
+        let start = Instant::now();
+        let err = net
+            .rpc_with_retry(
+                &policy,
+                None,
+                EndpointId::Site(0),
+                TrafficCategory::ClientSite,
+                Bytes::new(),
+            )
+            .unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(matches!(err, DynaError::Timeout { .. }), "got {err}");
+        // One clamped backoff (≤ deadline) plus scheduling slack; the old
+        // behaviour slept the full 200–300ms backoff.
+        assert!(
+            elapsed < Duration::from_millis(160),
+            "retry overshot deadline: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn inflight_table_tracks_pending_rpcs_for_dump() {
+        let net = Network::new(NetworkConfig::instant(), 1);
+        net.enable_inflight_tracking();
+        let wedged: Arc<dyn RpcHandler> = Arc::new(|payload: Bytes| {
+            thread::sleep(Duration::from_millis(60));
+            payload
+        });
+        let _server = net.serve(EndpointId::Site(0), wedged, 1);
+        let pending = net
+            .rpc_async_from(
+                Some(EndpointId::Selector),
+                EndpointId::Site(0),
+                TrafficCategory::Remaster,
+                Bytes::new(),
+            )
+            .unwrap();
+        let dump = net.dump_inflight();
+        assert!(dump.contains("selector -> site-0"), "dump: {dump:?}");
+        assert!(dump.contains("Remaster"), "dump: {dump:?}");
+        pending.wait().unwrap();
+        assert!(
+            net.dump_inflight().is_empty(),
+            "resolved rpc still listed: {:?}",
+            net.dump_inflight()
+        );
     }
 
     #[test]

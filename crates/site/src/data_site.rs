@@ -93,6 +93,11 @@ pub struct DataSite {
     /// result instead of re-revoking or re-granting.
     released: parking_lot::Mutex<HashMap<(PartitionId, u64), VersionVector>>,
     granted: parking_lot::Mutex<HashMap<(PartitionId, u64), VersionVector>>,
+    /// Selector fence watermark (§V-C failover): the highest selector
+    /// generation this site has observed. Remaster RPCs carrying a lower
+    /// generation come from a deposed selector and are rejected with
+    /// [`DynaError::StaleSelector`], making dual mastership impossible.
+    selector_generation: AtomicU64,
     /// Serializes the commit critical section (sequence allocation, version
     /// install, log append, svv publication). Without it, two concurrent
     /// commits could append to the durable log out of sequence order, and a
@@ -184,6 +189,7 @@ impl DataSite {
             decided: parking_lot::Mutex::new(DecidedCache::default()),
             released: parking_lot::Mutex::new(HashMap::new()),
             granted: parking_lot::Mutex::new(HashMap::new()),
+            selector_generation: AtomicU64::new(0),
             commit_order: parking_lot::Mutex::new(()),
             txn_counter: AtomicU64::new(1),
             config: cfg.system,
@@ -426,8 +432,53 @@ impl DataSite {
     }
 
     // ------------------------------------------------------------------
-    // Dynamic mastering protocol (§III-B)
+    // Dynamic mastering protocol (§III-B) and selector fencing (§V-C)
     // ------------------------------------------------------------------
+
+    /// Admits a remaster RPC's fencing token: raises the site's watermark to
+    /// `generation` if higher, and rejects the request if a newer selector
+    /// has already fenced this site. The `fetch_max` makes the watermark
+    /// monotone under concurrent remasters and fences.
+    pub fn check_selector_generation(&self, generation: u64) -> Result<()> {
+        let prev = self
+            .selector_generation
+            .fetch_max(generation, Ordering::AcqRel);
+        if generation < prev {
+            return Err(DynaError::StaleSelector {
+                observed: generation,
+                current: prev,
+            });
+        }
+        Ok(())
+    }
+
+    /// Installs a selector fence and returns the reconciliation snapshot a
+    /// promoting standby needs: the site's svv and the partitions its live
+    /// ownership table currently masters (draining sentinels excluded — a
+    /// partition mid-release is no longer a positive mastership claim).
+    pub fn fence_selector(&self, generation: u64) -> Result<(VersionVector, Vec<PartitionId>)> {
+        self.check_selector_generation(generation)?;
+        let mastered = self
+            .ownership
+            .mastered_partitions()
+            .into_iter()
+            .filter(|p| p.raw() & (1 << 63) == 0)
+            .collect();
+        Ok((self.clock.current(), mastered))
+    }
+
+    /// Seeds the fence watermark on a freshly (re)built site, so a restarted
+    /// site does not accept remasters from selectors deposed before its
+    /// crash. Monotone: never lowers an already-observed generation.
+    pub fn install_selector_generation(&self, generation: u64) {
+        self.selector_generation
+            .fetch_max(generation, Ordering::AcqRel);
+    }
+
+    /// The highest selector generation this site has observed.
+    pub fn selector_generation(&self) -> u64 {
+        self.selector_generation.load(Ordering::Acquire)
+    }
 
     /// Releases mastership of a partition: waits for in-flight writers,
     /// logs the release (recovery, §V-C) and returns the svv at the release
@@ -788,16 +839,27 @@ impl SiteRpc {
                     timings,
                 })
             }
-            SiteRequest::Release { partition, epoch } => Ok(SiteResponse::Released {
-                rel_vv: site.release(partition, epoch)?,
-            }),
+            SiteRequest::Release {
+                partition,
+                epoch,
+                generation,
+            } => {
+                site.check_selector_generation(generation)?;
+                Ok(SiteResponse::Released {
+                    rel_vv: site.release(partition, epoch)?,
+                })
+            }
             SiteRequest::Grant {
                 partition,
                 epoch,
                 rel_vv,
-            } => Ok(SiteResponse::Granted {
-                grant_vv: site.grant(partition, epoch, &rel_vv)?,
-            }),
+                generation,
+            } => {
+                site.check_selector_generation(generation)?;
+                Ok(SiteResponse::Granted {
+                    grant_vv: site.grant(partition, epoch, &rel_vv)?,
+                })
+            }
             SiteRequest::ExecCoordinated { min_vv, proc, mode } => {
                 let (result, commit_vv, timings) =
                     crate::coord::run_coordinated(site, &min_vv, &proc, mode)?;
@@ -834,6 +896,10 @@ impl SiteRpc {
             SiteRequest::GetVv => Ok(SiteResponse::Vv {
                 svv: site.clock.current(),
             }),
+            SiteRequest::FenceSelector { generation } => {
+                let (svv, mastered) = site.fence_selector(generation)?;
+                Ok(SiteResponse::Fenced { svv, mastered })
+            }
         }
     }
 }

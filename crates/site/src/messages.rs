@@ -184,6 +184,9 @@ pub enum SiteRequest {
         partition: PartitionId,
         /// Selector-assigned remastering epoch.
         epoch: u64,
+        /// Fencing token: the sending selector's generation. Sites reject
+        /// generations below their fence watermark (`StaleSelector`).
+        generation: u64,
     },
     /// Take mastership of a partition (dynamic mastering, §III-B).
     Grant {
@@ -194,6 +197,8 @@ pub enum SiteRequest {
         /// The releasing site's svv at release; the grantee waits until its
         /// own svv dominates this.
         rel_vv: VersionVector,
+        /// Fencing token: the sending selector's generation.
+        generation: u64,
     },
     /// Execute as a 2PC coordinator (multi-master / partition-store).
     ExecCoordinated {
@@ -242,6 +247,14 @@ pub enum SiteRequest {
     },
     /// Fetch the site's current svv.
     GetVv,
+    /// Install a selector fence: the site raises its generation watermark to
+    /// `generation` (rejecting any lower-generation remaster afterwards) and
+    /// returns a snapshot of its svv and live mastered partitions — the
+    /// inputs a promoting standby needs for reconciliation (§V-C).
+    FenceSelector {
+        /// The promoting selector's generation.
+        generation: u64,
+    },
 }
 
 const REQ_EXEC_UPDATE: u8 = 1;
@@ -255,6 +268,7 @@ const REQ_REMOTE_READ: u8 = 8;
 const REQ_LEAP_RELEASE: u8 = 9;
 const REQ_LEAP_GRANT: u8 = 10;
 const REQ_GET_VV: u8 = 11;
+const REQ_FENCE_SELECTOR: u8 = 12;
 
 impl Encode for SiteRequest {
     fn encode(&self, buf: &mut impl BufMut) {
@@ -275,20 +289,27 @@ impl Encode for SiteRequest {
                 proc.encode(buf);
                 encode_read_mode(*mode, buf);
             }
-            SiteRequest::Release { partition, epoch } => {
+            SiteRequest::Release {
+                partition,
+                epoch,
+                generation,
+            } => {
                 buf.put_u8(REQ_RELEASE);
                 buf.put_u64(partition.raw());
                 buf.put_u64(*epoch);
+                buf.put_u64(*generation);
             }
             SiteRequest::Grant {
                 partition,
                 epoch,
                 rel_vv,
+                generation,
             } => {
                 buf.put_u8(REQ_GRANT);
                 buf.put_u64(partition.raw());
                 buf.put_u64(*epoch);
                 rel_vv.encode(buf);
+                buf.put_u64(*generation);
             }
             SiteRequest::ExecCoordinated { min_vv, proc, mode } => {
                 buf.put_u8(REQ_EXEC_COORD);
@@ -329,6 +350,10 @@ impl Encode for SiteRequest {
                 codec::encode_seq(records, buf);
             }
             SiteRequest::GetVv => buf.put_u8(REQ_GET_VV),
+            SiteRequest::FenceSelector { generation } => {
+                buf.put_u8(REQ_FENCE_SELECTOR);
+                buf.put_u64(*generation);
+            }
         }
     }
 
@@ -341,8 +366,8 @@ impl Encode for SiteRequest {
             | SiteRequest::ExecCoordinated { min_vv, proc, .. } => {
                 min_vv.encoded_len() + proc.encoded_len() + 1
             }
-            SiteRequest::Release { .. } => 16,
-            SiteRequest::Grant { rel_vv, .. } => 16 + rel_vv.encoded_len(),
+            SiteRequest::Release { .. } => 24,
+            SiteRequest::Grant { rel_vv, .. } => 24 + rel_vv.encoded_len(),
             SiteRequest::Prepare {
                 writes, expected, ..
             } => 8 + codec::seq_len(writes) + codec::seq_len(expected),
@@ -356,6 +381,7 @@ impl Encode for SiteRequest {
                 records,
             } => 4 + 8 * partitions.len() + codec::seq_len(records),
             SiteRequest::GetVv => 0,
+            SiteRequest::FenceSelector { .. } => 8,
         }
     }
 }
@@ -392,11 +418,13 @@ impl Decode for SiteRequest {
             REQ_RELEASE => Ok(SiteRequest::Release {
                 partition: PartitionId::new(codec::get_u64(buf)? as usize),
                 epoch: codec::get_u64(buf)?,
+                generation: codec::get_u64(buf)?,
             }),
             REQ_GRANT => Ok(SiteRequest::Grant {
                 partition: PartitionId::new(codec::get_u64(buf)? as usize),
                 epoch: codec::get_u64(buf)?,
                 rel_vv: VersionVector::decode(buf)?,
+                generation: codec::get_u64(buf)?,
             }),
             REQ_EXEC_COORD => Ok(SiteRequest::ExecCoordinated {
                 min_vv: VersionVector::decode(buf)?,
@@ -424,6 +452,9 @@ impl Decode for SiteRequest {
                 records: codec::decode_seq(buf)?,
             }),
             REQ_GET_VV => Ok(SiteRequest::GetVv),
+            REQ_FENCE_SELECTOR => Ok(SiteRequest::FenceSelector {
+                generation: codec::get_u64(buf)?,
+            }),
             _ => Err(DynaError::Codec {
                 what: "site request tag",
                 needed: 0,
@@ -495,6 +526,13 @@ pub enum SiteResponse {
         /// The site's svv.
         svv: VersionVector,
     },
+    /// Selector fence installed; reconciliation snapshot attached.
+    Fenced {
+        /// The site's svv at fencing time.
+        svv: VersionVector,
+        /// Partitions the site's live ownership table masters.
+        mastered: Vec<PartitionId>,
+    },
     /// The request failed.
     Error {
         /// The failure.
@@ -516,6 +554,14 @@ pub enum RemoteError {
     Aborted,
     /// The site is shutting down.
     ShuttingDown,
+    /// The request carried a selector generation below the site's fence
+    /// watermark: the sender is a deposed selector.
+    StaleSelector {
+        /// Generation the rejected request carried.
+        observed: u64,
+        /// Generation the site is fenced to.
+        current: u64,
+    },
     /// Any other failure.
     Internal,
 }
@@ -526,6 +572,9 @@ impl From<DynaError> for RemoteError {
             DynaError::NotMaster { site, partition } => RemoteError::NotMaster { site, partition },
             DynaError::TxnAborted { .. } => RemoteError::Aborted,
             DynaError::ShuttingDown => RemoteError::ShuttingDown,
+            DynaError::StaleSelector { observed, current } => {
+                RemoteError::StaleSelector { observed, current }
+            }
             _ => RemoteError::Internal,
         }
     }
@@ -539,6 +588,9 @@ impl From<RemoteError> for DynaError {
                 reason: "remote abort",
             },
             RemoteError::ShuttingDown => DynaError::ShuttingDown,
+            RemoteError::StaleSelector { observed, current } => {
+                DynaError::StaleSelector { observed, current }
+            }
             RemoteError::Internal => DynaError::Internal("remote internal error"),
         }
     }
@@ -555,6 +607,7 @@ const RESP_LEAP_RELEASED: u8 = 8;
 const RESP_LEAP_GRANTED: u8 = 9;
 const RESP_VV: u8 = 10;
 const RESP_ERROR: u8 = 11;
+const RESP_FENCED: u8 = 12;
 
 impl Encode for SiteResponse {
     fn encode(&self, buf: &mut impl BufMut) {
@@ -628,6 +681,11 @@ impl Encode for SiteResponse {
                 buf.put_u8(RESP_VV);
                 svv.encode(buf);
             }
+            SiteResponse::Fenced { svv, mastered } => {
+                buf.put_u8(RESP_FENCED);
+                svv.encode(buf);
+                encode_partitions(mastered, buf);
+            }
             SiteResponse::Error { error } => {
                 buf.put_u8(RESP_ERROR);
                 match error {
@@ -639,6 +697,11 @@ impl Encode for SiteResponse {
                     RemoteError::Aborted => buf.put_u8(2),
                     RemoteError::ShuttingDown => buf.put_u8(3),
                     RemoteError::Internal => buf.put_u8(4),
+                    RemoteError::StaleSelector { observed, current } => {
+                        buf.put_u8(5);
+                        buf.put_u64(*observed);
+                        buf.put_u64(*current);
+                    }
                 }
             }
         }
@@ -678,8 +741,10 @@ impl Encode for SiteResponse {
             SiteResponse::LeapReleased { records } => codec::seq_len(records),
             SiteResponse::LeapGranted => 0,
             SiteResponse::Vv { svv } => svv.encoded_len(),
+            SiteResponse::Fenced { svv, mastered } => svv.encoded_len() + 4 + 8 * mastered.len(),
             SiteResponse::Error { error } => match error {
                 RemoteError::NotMaster { .. } => 13,
+                RemoteError::StaleSelector { .. } => 17,
                 _ => 1,
             },
         }
@@ -749,6 +814,10 @@ impl Decode for SiteResponse {
             RESP_VV => Ok(SiteResponse::Vv {
                 svv: VersionVector::decode(buf)?,
             }),
+            RESP_FENCED => Ok(SiteResponse::Fenced {
+                svv: VersionVector::decode(buf)?,
+                mastered: decode_partitions(buf)?,
+            }),
             RESP_ERROR => {
                 let error = match codec::get_u8(buf)? {
                     1 => RemoteError::NotMaster {
@@ -758,6 +827,10 @@ impl Decode for SiteResponse {
                     2 => RemoteError::Aborted,
                     3 => RemoteError::ShuttingDown,
                     4 => RemoteError::Internal,
+                    5 => RemoteError::StaleSelector {
+                        observed: codec::get_u64(buf)?,
+                        current: codec::get_u64(buf)?,
+                    },
                     _ => {
                         return Err(DynaError::Codec {
                             what: "remote error tag",
@@ -834,11 +907,13 @@ mod tests {
         roundtrip_req(SiteRequest::Release {
             partition: PartitionId::new(4),
             epoch: 9,
+            generation: 2,
         });
         roundtrip_req(SiteRequest::Grant {
             partition: PartitionId::new(4),
             epoch: 9,
             rel_vv: vv.clone(),
+            generation: 2,
         });
         roundtrip_req(SiteRequest::ExecCoordinated {
             min_vv: vv.clone(),
@@ -887,6 +962,7 @@ mod tests {
             }],
         });
         roundtrip_req(SiteRequest::GetVv);
+        roundtrip_req(SiteRequest::FenceSelector { generation: 7 });
     }
 
     #[test]
@@ -929,6 +1005,10 @@ mod tests {
         });
         roundtrip_resp(SiteResponse::LeapReleased { records: vec![] });
         roundtrip_resp(SiteResponse::LeapGranted);
+        roundtrip_resp(SiteResponse::Fenced {
+            svv: vv.clone(),
+            mastered: vec![PartitionId::new(0), PartitionId::new(5)],
+        });
         roundtrip_resp(SiteResponse::Vv { svv: vv });
         roundtrip_resp(SiteResponse::Error {
             error: RemoteError::NotMaster {
@@ -938,6 +1018,12 @@ mod tests {
         });
         roundtrip_resp(SiteResponse::Error {
             error: RemoteError::Aborted,
+        });
+        roundtrip_resp(SiteResponse::Error {
+            error: RemoteError::StaleSelector {
+                observed: 3,
+                current: 8,
+            },
         });
     }
 

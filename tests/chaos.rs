@@ -8,158 +8,26 @@
 //! plan so `CHAOS_SEED=<seed> cargo test --test chaos` replays the exact
 //! fault schedule.
 
+mod common;
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use bytes::{BufMut, Bytes};
 use dynamast::common::ids::{ClientId, Key};
-use dynamast::common::{codec, DynaError, RetryPolicy, SystemConfig, VersionVector};
+use dynamast::common::{codec, VersionVector};
 use dynamast::core::dynamast::{DynaMastConfig, DynaMastSystem};
 use dynamast::network::{EndpointId, FaultPlan};
-use dynamast::site::proc::ProcCall;
 use dynamast::site::system::{ClientSession, ReplicatedSystem};
 use dynamast::workloads::smallbank::{self, SmallBankConfig, SmallBankWorkload};
 use dynamast::workloads::ycsb::{YcsbConfig, YcsbWorkload};
 use dynamast::workloads::{TxnKind, Workload};
 
-/// Seed override for replaying a failed run; accepts `0x`-hex or decimal.
-fn chaos_seed() -> u64 {
-    match std::env::var("CHAOS_SEED") {
-        Ok(raw) => {
-            let raw = raw.trim();
-            if let Some(hex) = raw.strip_prefix("0x") {
-                u64::from_str_radix(hex, 16).expect("CHAOS_SEED must be hex after 0x")
-            } else {
-                raw.parse().expect("CHAOS_SEED must be an integer")
-            }
-        }
-        Err(_) => 0xD15A_57E5_0C0D_E5EA,
-    }
-}
-
-/// Splitmix64: a deterministic per-thread driver RNG (kept local so the
-/// client schedule is reproducible from the same seed as the fault plan).
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-}
-
-/// Disarms the watchdog on scope exit (including panic unwinding), so the
-/// watchdog only fires on a genuine wedge, not after a normal assertion
-/// failure.
-struct WatchdogGuard {
-    done: Arc<AtomicBool>,
-}
-
-impl Drop for WatchdogGuard {
-    fn drop(&mut self) {
-        self.done.store(true, Ordering::Relaxed);
-    }
-}
-
-/// Kills the whole test process if the chaos run wedges: a liveness failure
-/// would otherwise hang CI with no diagnostics. Prints the reproduction seed
-/// and the full plan before exiting.
-fn arm_watchdog(seed: u64, plan: &Arc<FaultPlan>, secs: u64) -> WatchdogGuard {
-    let done = Arc::new(AtomicBool::new(false));
-    let flag = Arc::clone(&done);
-    let plan = Arc::clone(plan);
-    thread::spawn(move || {
-        let deadline = Instant::now() + Duration::from_secs(secs);
-        while Instant::now() < deadline {
-            if flag.load(Ordering::Relaxed) {
-                return;
-            }
-            thread::sleep(Duration::from_millis(100));
-        }
-        eprintln!(
-            "[chaos] WATCHDOG FIRED after {secs}s — reproduce with CHAOS_SEED={seed:#x}; {plan:?}"
-        );
-        std::process::exit(101);
-    });
-    WatchdogGuard { done }
-}
-
-/// A 3-site config with a compressed retry policy so lost messages cost
-/// milliseconds, not the production half-second attempt timeout.
-fn chaos_config(num_sites: usize) -> SystemConfig {
-    let mut config = SystemConfig::new(num_sites)
-        .with_instant_network()
-        .with_instant_service();
-    config.network = config.network.with_retry(RetryPolicy {
-        attempt_timeout: Duration::from_millis(100),
-        max_attempts: 3,
-        base_backoff: Duration::from_micros(200),
-        max_backoff: Duration::from_millis(5),
-        deadline: Duration::from_millis(300),
-    });
-    config
-}
-
-/// Errors a client may legitimately observe while faults are active: the
-/// retry budget ran out, a link was down, routing metadata was stale, or the
-/// crashed site was mid-shutdown. Anything else is a real bug.
-fn tolerable(err: &DynaError) -> bool {
-    matches!(
-        err,
-        DynaError::Timeout { .. }
-            | DynaError::Network(_)
-            | DynaError::NotMaster { .. }
-            | DynaError::TxnAborted { .. }
-            | DynaError::ShuttingDown
-    )
-}
-
-/// Waits until every live site's clock dominates `target`.
-fn await_convergence(system: &DynaMastSystem, target: &VersionVector, seed: u64) {
-    let deadline = Instant::now() + Duration::from_secs(20);
-    for site in system.sites() {
-        while !site.clock().current().dominates(target) {
-            assert!(
-                Instant::now() < deadline,
-                "replicas failed to converge after healing (seed {seed:#x})"
-            );
-            thread::sleep(Duration::from_millis(10));
-        }
-    }
-}
-
-fn transfer(from: u64, to: u64, amount: i64) -> ProcCall {
-    let mut args = Vec::with_capacity(8);
-    args.put_i64(amount);
-    ProcCall {
-        proc_id: smallbank::PROC_SEND_PAYMENT,
-        args: Bytes::from(args),
-        write_set: vec![
-            Key::new(smallbank::CHECKING, from),
-            Key::new(smallbank::CHECKING, to),
-        ],
-        read_keys: vec![],
-        read_ranges: vec![],
-    }
-}
-
-fn pair_balance(a: u64, b: u64) -> ProcCall {
-    ProcCall {
-        proc_id: smallbank::PROC_BALANCE,
-        args: Bytes::new(),
-        write_set: vec![],
-        read_keys: vec![
-            Key::new(smallbank::CHECKING, a),
-            Key::new(smallbank::CHECKING, b),
-        ],
-        read_ranges: vec![],
-    }
-}
+use common::{
+    arm_watchdog, await_convergence, chaos_config, chaos_seed, pair_balance, tolerable, transfer,
+    Rng,
+};
 
 /// SmallBank under 1% drops + duplication + a crash/restart of site 1.
 ///
@@ -184,7 +52,6 @@ fn smallbank_survives_drops_duplication_and_a_site_crash() {
             .with_duplication(0.005),
     );
     eprintln!("[chaos] smallbank seed={seed:#x} {plan:?}");
-    let _watchdog = arm_watchdog(seed, &plan, 60);
 
     let workload = SmallBankWorkload::new(SmallBankConfig {
         num_customers: CUSTOMERS,
@@ -194,6 +61,12 @@ fn smallbank_survives_drops_duplication_and_a_site_crash() {
     let system = DynaMastSystem::build(
         DynaMastConfig::adaptive(chaos_config(3), workload.catalog()),
         workload.executor(),
+    );
+    let _watchdog = arm_watchdog(
+        seed,
+        format!("{plan:?}"),
+        60,
+        Some(Arc::clone(system.network())),
     );
     workload
         .populate(&mut |key, row| system.load_row(key, row))
@@ -331,7 +204,6 @@ fn ycsb_converges_after_partition_heals() {
             .with_delay_spikes(0.02, Duration::from_millis(2)),
     );
     eprintln!("[chaos] ycsb seed={seed:#x} {plan:?}");
-    let _watchdog = arm_watchdog(seed, &plan, 60);
 
     let workload = YcsbWorkload::new(YcsbConfig {
         num_keys: KEYS,
@@ -343,6 +215,12 @@ fn ycsb_converges_after_partition_heals() {
     let system = DynaMastSystem::build(
         DynaMastConfig::adaptive(chaos_config(3), workload.catalog()),
         workload.executor(),
+    );
+    let _watchdog = arm_watchdog(
+        seed,
+        format!("{plan:?}"),
+        60,
+        Some(Arc::clone(system.network())),
     );
     workload
         .populate(&mut |key, row| system.load_row(key, row))

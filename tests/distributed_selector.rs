@@ -95,7 +95,7 @@ fn replica_routes_locally_after_refresh() {
     for i in 0..5u64 {
         system.update(&mut session, &set(&[i * 100], 1)).unwrap();
     }
-    let replica = ReplicaSelector::new(Arc::clone(system.selector()), catalog, 3);
+    let replica = ReplicaSelector::new(system.selector(), catalog, 3);
     replica.refresh_all();
     // Single-partition writes now route from the replica cache.
     for i in 0..5u64 {
@@ -108,7 +108,7 @@ fn replica_routes_locally_after_refresh() {
 #[test]
 fn unknown_and_split_write_sets_forward_to_master() {
     let (system, catalog) = build();
-    let replica = ReplicaSelector::new(Arc::clone(system.selector()), catalog, 3);
+    let replica = ReplicaSelector::new(system.selector(), catalog, 3);
     let mut session = ClientSession::new(ClientId::new(2), 3);
     // Nothing cached → forward (and the master places the partitions).
     update_via_replica(&system, &replica, &mut session, &set(&[100, 4200], 1)).unwrap();
@@ -125,7 +125,7 @@ fn stale_replica_metadata_aborts_and_resubmits() {
     // Place partitions 0 and 77 separately, then capture the stale view.
     system.update(&mut session, &set(&[50], 1)).unwrap();
     system.update(&mut session, &set(&[7750], 1)).unwrap();
-    let replica = ReplicaSelector::new(Arc::clone(system.selector()), catalog, 3);
+    let replica = ReplicaSelector::new(system.selector(), catalog, 3);
     replica.refresh_all();
 
     // Move partition 0 by forcing a joint write set through the master.
