@@ -171,12 +171,37 @@ impl TxnCtx for ClientCtx {
 /// Every update transaction goes through both rounds — including single-
 /// fragment ones — matching the paper's observation that even single-row
 /// transactions suffer the uncertain phase in these architectures.
+///
+/// `trace_id` is the flight-recorder trace id for the client transaction
+/// (0 = untraced), distinct from the wire-level 2PC `txn_id`.
 pub fn two_phase_commit(
     network: &Arc<Network>,
+    trace_id: u64,
     txn_id: u64,
     groups: BTreeMap<SiteId, Vec<WriteEntry>>,
     read_stamps: &HashMap<Key, Option<VersionStamp>>,
 ) -> Result<Option<VersionVector>> {
+    use dynamast_common::trace::{TraceKind, TracePayload, TraceSite};
+    let recorder = if trace_id == 0 {
+        None
+    } else {
+        network.recorder()
+    };
+    let participants = groups.len() as u32;
+    let trace = |kind: TraceKind, site: u32, ok: bool| {
+        if let Some(rec) = &recorder {
+            rec.record(
+                trace_id,
+                TraceSite::None,
+                kind,
+                TracePayload::TwoPc {
+                    site,
+                    ok,
+                    participants,
+                },
+            );
+        }
+    };
     // Phase one: parallel prepares.
     let mut pending = Vec::with_capacity(groups.len());
     for (owner, entries) in &groups {
@@ -194,19 +219,29 @@ pub fn two_phase_commit(
             writes: entries.clone(),
             expected,
         };
-        pending.push(network.rpc_async(
-            EndpointId::Site(owner.raw()),
-            TrafficCategory::TwoPhaseCommit,
-            Bytes::from(encode_to_vec(&req)),
-        )?);
+        trace(TraceKind::TwoPcPrepare, owner.raw(), true);
+        pending.push((
+            *owner,
+            network.rpc_async(
+                EndpointId::Site(owner.raw()),
+                TrafficCategory::TwoPhaseCommit,
+                Bytes::from(encode_to_vec(&req)),
+            )?,
+        ));
     }
     let mut votes_yes = true;
-    for reply in pending {
+    for (owner, reply) in pending {
         match expect_ok(&reply.wait()?)? {
-            SiteResponse::Voted { yes } => votes_yes &= yes,
+            SiteResponse::Voted { yes } => {
+                trace(TraceKind::TwoPcVote, owner.raw(), yes);
+                votes_yes &= yes;
+            }
             _ => return Err(DynaError::Internal("unexpected prepare response")),
         }
     }
+    // The decide originates at the client, not a site; u32::MAX marks the
+    // client-side coordinator in the trace.
+    trace(TraceKind::TwoPcDecide, u32::MAX, votes_yes);
 
     // Phase two: parallel decides (abort is sent to everyone; it is
     // idempotent for participants that never staged).

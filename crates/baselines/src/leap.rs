@@ -76,6 +76,7 @@ impl LeapSystem {
     ) -> Arc<Self> {
         let m = system.num_sites;
         let network = Network::new(system.network, system.seed);
+        network.set_recorder(Some(dynamast_common::FlightRecorder::from_env()));
         let logs = LogSet::new(m);
         let mut sites = Vec::with_capacity(m);
         let mut runtimes = Vec::with_capacity(m);
@@ -268,11 +269,20 @@ impl ReplicatedSystem for LeapSystem {
             TrafficCategory::ClientSelector,
             32 + proc.write_set.len() * 12,
         );
+        let txn_id = dynamast_common::trace::next_trace_id();
         let min_vv = dynamast_common::VersionVector::zero(self.config.num_sites);
         let home = SiteId::new((session.id.raw() % self.config.num_sites as u64) as usize);
         let ((result, timings), localize) = self.localized(home, proc, |dest| {
             let mut session_ref = session.clone();
-            let out = exec_update_at(&self.network, dest, &mut session_ref, &min_vv, proc, true)?;
+            let out = exec_update_at(
+                &self.network,
+                dest,
+                txn_id,
+                &mut session_ref,
+                &min_vv,
+                proc,
+                true,
+            )?;
             session.cvv = session_ref.cvv;
             Ok(out)
         })?;
@@ -288,12 +298,14 @@ impl ReplicatedSystem for LeapSystem {
             TrafficCategory::ClientSelector,
             32 + proc.read_keys.len() * 12,
         );
+        let txn_id = dynamast_common::trace::next_trace_id();
         let home = SiteId::new((session.id.raw() % self.config.num_sites as u64) as usize);
         let ((result, timings), localize) = self.localized(home, proc, |dest| {
             let mut session_ref = session.clone();
             let out = exec_read_at(
                 &self.network,
                 dest,
+                txn_id,
                 &mut session_ref,
                 proc,
                 ReadMode::Latest,

@@ -101,6 +101,7 @@ impl StaticSystem {
     ) -> Arc<Self> {
         let m = system.num_sites;
         let network = Network::new(system.network, system.seed);
+        network.set_recorder(Some(dynamast_common::FlightRecorder::from_env()));
         let logs = LogSet::new(m);
         let mut sites = Vec::with_capacity(m);
         let mut runtimes = Vec::with_capacity(m);
@@ -235,6 +236,7 @@ impl ReplicatedSystem for StaticSystem {
 
     fn update(&self, session: &mut ClientSession, proc: &ProcCall) -> Result<TxnOutcome> {
         let t0 = Instant::now();
+        let trace_id = dynamast_common::trace::next_trace_id();
         let mut attempt = 0u32;
         loop {
             // 1. Fetch phase (parallel per site; stragglers bound latency).
@@ -245,6 +247,18 @@ impl ReplicatedSystem for StaticSystem {
             let result = self.executor.execute(&mut ctx, proc)?;
             let (writes, read_stamps) = ctx.into_writes();
             let exec_time = t_exec0.elapsed();
+            if let Some(rec) = self.network.recorder() {
+                use dynamast_common::trace::{TraceKind, TracePayload, TraceSite};
+                rec.record(
+                    trace_id,
+                    TraceSite::None,
+                    TraceKind::TxnExecute,
+                    TracePayload::Span {
+                        us: exec_time.as_micros() as u64,
+                        vv_wait_us: 0,
+                    },
+                );
+            }
             // 3. Two-phase commit (prepare + decide, even for one fragment).
             let t_commit0 = Instant::now();
             let mut groups: BTreeMap<SiteId, Vec<WriteEntry>> = BTreeMap::new();
@@ -256,7 +270,7 @@ impl ReplicatedSystem for StaticSystem {
             }
             let txn_id = (u64::from(self.config.num_sites as u32) << 48)
                 | self.txn_counter.fetch_add(1, Ordering::Relaxed);
-            match two_phase_commit(&self.network, txn_id, groups, &read_stamps)? {
+            match two_phase_commit(&self.network, trace_id, txn_id, groups, &read_stamps)? {
                 Some(commit_vv) => {
                     session.observe(&commit_vv);
                     for site in &self.sites {
@@ -299,8 +313,15 @@ impl ReplicatedSystem for StaticSystem {
             StaticKind::MultiMaster => {
                 // Replicas make any site a valid snapshot reader.
                 let site = SiteId::new(self.rng.lock().gen_range(0..self.config.num_sites));
-                let (result, timings) =
-                    exec_read_at(&self.network, site, session, proc, ReadMode::Snapshot)?;
+                let txn_id = dynamast_common::trace::next_trace_id();
+                let (result, timings) = exec_read_at(
+                    &self.network,
+                    site,
+                    txn_id,
+                    session,
+                    proc,
+                    ReadMode::Snapshot,
+                )?;
                 Ok(TxnOutcome {
                     result,
                     breakdown: Breakdown::from_parts(

@@ -792,6 +792,25 @@ mod selector_mt {
         runs[1]
     }
 
+    /// Flight-recorder overhead on the 8-thread update-routing hot path:
+    /// the same deployment measured with the recorder enabled (every route
+    /// appends a `Route` event to the calling thread's ring) vs disabled
+    /// (one relaxed atomic load, no event built). Returns
+    /// `(on_ops_per_sec, off_ops_per_sec, overhead_percent)`.
+    fn recorder_overhead() -> (f64, f64, f64) {
+        let router = ShardedRouter::build();
+        let recorder = router._system.recorder().clone();
+        let router: Arc<dyn Router> = Arc::new(router);
+        // Interleave on/off medians so host noise hits both sides equally.
+        recorder.set_enabled(true);
+        let on = run_median(&router, 8, Mix::Update);
+        recorder.set_enabled(false);
+        let off = run_median(&router, 8, Mix::Update);
+        recorder.set_enabled(true);
+        let overhead = (off / on - 1.0) * 100.0;
+        (on, off, overhead)
+    }
+
     pub fn run_and_write_json() {
         println!("\nselector_mt: routing throughput, sharded vs single-mutex baseline");
         let mut sections = String::new();
@@ -872,6 +891,11 @@ mod selector_mt {
         }
         let sections = sections.trim_end_matches(",\n").to_string() + "\n";
         let serialization = serialization.trim_end_matches(",\n").to_string() + "\n";
+        let (rec_on, rec_off, rec_overhead) = recorder_overhead();
+        println!(
+            "  flight recorder, update_route 8 threads: on {rec_on:.0} ops/s, \
+             off {rec_off:.0} ops/s, overhead {rec_overhead:.1}%"
+        );
         let json = format!(
             "{{\n  \"benchmark\": \"selector_route_hot_path\",\n  \
              \"description\": \"Selector routing throughput at 1/4/8 router threads: the sharded/lock-free hot path vs a faithful replica of the pre-refactor single-mutex implementation. update_route = single-partition sole-master fast path over a {POOL}-partition pre-placed pool (access-statistics recording); read_route = freshness-checked read routing. {}ms measured window after {}ms warmup; fresh deployment per data point.\",\n  \
@@ -879,6 +903,10 @@ mod selector_mt {
              \"config\": {{\n    \"sites\": {SITES},\n    \"sample_rate\": 1.0,\n    \"history_capacity\": 4096,\n    \"inter_window_ms\": 0,\n    \"cpus\": {cpus}\n  }},\n  \
              \"mixes\": {{\n{sections}  }},\n  \
              \"serialization\": {{\n{serialization}  }},\n  \
+             \"flight_recorder\": {{\n    \
+             \"description\": \"Always-on flight recorder cost on the 8-thread update-routing hot path: recorder enabled (every route appends a Route event to the calling thread's bounded ring) vs disabled (one relaxed atomic load). Acceptance bound: <= 5% overhead.\",\n    \
+             \"update_route_8_threads_ops_per_sec\": {{\"recorder_on\": {rec_on:.0}, \"recorder_off\": {rec_off:.0}}},\n    \
+             \"overhead_percent\": {rec_overhead:.2}\n  }},\n  \
              \"measured_speedup_at_8_threads\": {{\"{m0}\": {v0:.3}, \"{m1}\": {v1:.3}}}\n}}\n",
             MEASURE.as_millis(),
             WARMUP.as_millis(),
@@ -899,4 +927,7 @@ fn main() {
         benches();
     }
     selector_mt::run_and_write_json();
+    // Emit the per-benchmark JSON report (CRITERION_JSON) and fail the run
+    // if any benchmark recorded no measurement.
+    criterion::finalize();
 }

@@ -12,7 +12,10 @@
 //! * [`config`] — system-wide configuration, including the site-selector
 //!   strategy weights of paper Eq. 8 / Appendix H.
 //! * [`metrics`] — latency histograms and counters used by the benchmark
-//!   harness to report the paper's figures.
+//!   harness to report the paper's figures, unified under the
+//!   [`metrics::MetricsRegistry`].
+//! * [`trace`] — the flight recorder: a bounded per-thread event ring that
+//!   records every transaction's causal path through the system.
 //! * [`dist`] — workload distributions (Zipfian, Bernoulli-neighbour) shared
 //!   by the YCSB/TPC-C/SmallBank generators.
 //! * [`codec`] — the small explicit byte codec used for log records and RPC
@@ -24,11 +27,14 @@ pub mod dist;
 pub mod error;
 pub mod ids;
 pub mod metrics;
+pub mod trace;
 pub mod value;
 pub mod vv;
 
 pub use config::{RetryPolicy, StrategyWeights, SystemConfig};
 pub use error::{DynaError, Result};
 pub use ids::{ClientId, Key, PartitionId, RecordId, SiteId, TableId};
+pub use metrics::MetricsRegistry;
+pub use trace::{FlightRecorder, TraceEvent, TraceKind, TracePayload, TraceSite};
 pub use value::{Row, Value};
 pub use vv::VersionVector;

@@ -7,18 +7,24 @@
 //!   experiment (Fig. 5b).
 //! * [`TxnTimings`] — the six latency categories of the paper's Figure 7
 //!   breakdown.
+//! * [`MetricsRegistry`] — named handles over all of the above with a single
+//!   JSON snapshot export (schema: `schemas/metrics_snapshot.schema.json`).
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
 /// Number of histogram buckets: covers 1µs .. ~1100s with ~9% resolution.
-const BUCKETS: usize = 256;
+pub const BUCKETS: usize = 256;
 /// Geometric bucket growth factor.
 const GROWTH: f64 = 1.09;
 
-fn bucket_for(micros: u64) -> usize {
+/// The bucket index a latency of `micros` is recorded into. Public so
+/// boundary consistency with [`bucket_upper_micros`] can be property-tested.
+pub fn bucket_for(micros: u64) -> usize {
     if micros <= 1 {
         return 0;
     }
@@ -26,7 +32,9 @@ fn bucket_for(micros: u64) -> usize {
     (idx as usize).min(BUCKETS - 1)
 }
 
-fn bucket_upper_micros(bucket: usize) -> u64 {
+/// The inclusive upper bound (µs) reported for `bucket` — what
+/// [`LatencyHistogram::quantile`] returns when the quantile lands there.
+pub fn bucket_upper_micros(bucket: usize) -> u64 {
     GROWTH.powi(bucket as i32 + 1) as u64
 }
 
@@ -280,6 +288,170 @@ impl TxnTimings {
     }
 }
 
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A metric that can render itself as a JSON value. Implemented by the
+/// measurement primitives in this module; downstream crates implement it for
+/// their own aggregates (e.g. the network fabric's `TrafficStats`) so one
+/// [`MetricsRegistry`] snapshot covers the whole deployment.
+pub trait JsonMetric: Send + Sync {
+    /// Renders the metric's current value as a JSON value (not a document).
+    fn metric_json(&self) -> String;
+}
+
+impl JsonMetric for Counter {
+    fn metric_json(&self) -> String {
+        self.get().to_string()
+    }
+}
+
+impl JsonMetric for LatencyHistogram {
+    fn metric_json(&self) -> String {
+        let s = self.summary();
+        format!(
+            "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            s.count,
+            s.mean.as_micros(),
+            s.p50.as_micros(),
+            s.p90.as_micros(),
+            s.p99.as_micros(),
+            s.max.as_micros()
+        )
+    }
+}
+
+impl JsonMetric for TxnTimings {
+    fn metric_json(&self) -> String {
+        let fields: Vec<String> = self
+            .categories()
+            .iter()
+            .map(|(label, h)| format!("\"{label}\":{}", h.metric_json()))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+/// Named handles over the measurement primitives, with a single JSON
+/// snapshot export.
+///
+/// Components obtain (or create) shared handles by name — `counter("…")`,
+/// `histogram("…")`, `timings("…")` — and pre-existing aggregates (like the
+/// network's traffic accounting) are attached with
+/// [`MetricsRegistry::register_traffic`]. [`MetricsRegistry::snapshot_json`]
+/// renders everything as one document with four stable top-level sections:
+/// `counters`, `histograms`, `timings`, and `traffic`.
+///
+/// ```
+/// use dynamast_common::metrics::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// reg.counter("selector.routed").add(3);
+/// let json = reg.snapshot_json();
+/// assert!(json.contains("\"selector.routed\":3"));
+/// ```
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<LatencyHistogram>>>,
+    timings: Mutex<BTreeMap<String, Arc<TxnTimings>>>,
+    traffic: Mutex<BTreeMap<String, Arc<dyn JsonMetric>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it if absent.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Returns the histogram registered under `name`, creating it if absent.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(LatencyHistogram::new())),
+        )
+    }
+
+    /// Returns the timing breakdown registered under `name`, creating it if
+    /// absent.
+    pub fn timings(&self, name: &str) -> Arc<TxnTimings> {
+        Arc::clone(
+            self.timings
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(TxnTimings::new())),
+        )
+    }
+
+    /// Attaches an existing counter under `name` (replacing any previous
+    /// registration of that name). Lets components keep their hot-path
+    /// `Arc<Counter>` fields while still appearing in the snapshot.
+    pub fn register_counter(&self, name: &str, counter: Arc<Counter>) {
+        self.counters.lock().insert(name.to_string(), counter);
+    }
+
+    /// Attaches an existing histogram under `name` (replacing any previous
+    /// registration of that name).
+    pub fn register_histogram(&self, name: &str, histogram: Arc<LatencyHistogram>) {
+        self.histograms.lock().insert(name.to_string(), histogram);
+    }
+
+    /// Attaches an existing timing breakdown under `name` (replacing any
+    /// previous registration of that name).
+    pub fn register_timings(&self, name: &str, timings: Arc<TxnTimings>) {
+        self.timings.lock().insert(name.to_string(), timings);
+    }
+
+    /// Attaches an externally owned traffic-style aggregate under `name`.
+    pub fn register_traffic(&self, name: &str, traffic: Arc<dyn JsonMetric>) {
+        self.traffic.lock().insert(name.to_string(), traffic);
+    }
+
+    /// Renders every registered metric as one JSON document.
+    pub fn snapshot_json(&self) -> String {
+        fn section<T: JsonMetric + ?Sized>(map: &BTreeMap<String, Arc<T>>) -> String {
+            let fields: Vec<String> = map
+                .iter()
+                .map(|(name, m)| format!("\"{}\":{}", json_escape(name), m.metric_json()))
+                .collect();
+            format!("{{{}}}", fields.join(","))
+        }
+        format!(
+            "{{\"counters\":{},\"histograms\":{},\"timings\":{},\"traffic\":{}}}",
+            section(&self.counters.lock()),
+            section(&self.histograms.lock()),
+            section(&self.timings.lock()),
+            section(&self.traffic.lock())
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,5 +534,45 @@ mod tests {
         t.execution.record(Duration::from_micros(400));
         assert_eq!(t.total_mean(), Duration::from_micros(500));
         assert_eq!(t.categories().len(), 6);
+    }
+
+    #[test]
+    fn registry_handles_are_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(2);
+        reg.counter("a").add(3);
+        assert_eq!(reg.counter("a").get(), 5);
+        let h = reg.histogram("lat");
+        h.record(Duration::from_micros(10));
+        assert_eq!(reg.histogram("lat").count(), 1);
+    }
+
+    #[test]
+    fn registry_snapshot_has_stable_sections() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").inc();
+        reg.histogram("h").record(Duration::from_micros(50));
+        reg.timings("txn").lookup.record(Duration::from_micros(5));
+        struct Fake;
+        impl JsonMetric for Fake {
+            fn metric_json(&self) -> String {
+                "{\"bytes\":7}".to_string()
+            }
+        }
+        reg.register_traffic("net", Arc::new(Fake));
+        let json = reg.snapshot_json();
+        for needle in [
+            "\"counters\":{\"c\":1}",
+            "\"histograms\":{\"h\":{\"count\":1",
+            "\"timings\":{\"txn\":{\"lookup\"",
+            "\"traffic\":{\"net\":{\"bytes\":7}}",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 }

@@ -131,6 +131,62 @@ proptest! {
 }
 
 proptest! {
+    /// A latency can never be reported above its own bucket's upper bound:
+    /// `bucket_for` and `bucket_upper_micros` must agree at every boundary
+    /// (except the final catch-all bucket, which is open-ended).
+    #[test]
+    fn histogram_bucket_bounds_contain_their_values(micros in 1u64..100_000_000) {
+        use dynamast_common::metrics::{bucket_for, bucket_upper_micros, BUCKETS};
+        let bucket = bucket_for(micros);
+        prop_assert!(bucket < BUCKETS);
+        if bucket + 1 < BUCKETS {
+            prop_assert!(
+                micros <= bucket_upper_micros(bucket),
+                "{micros}us lands in bucket {bucket} whose upper bound is {}us",
+                bucket_upper_micros(bucket)
+            );
+        }
+        // The bucket below (if any) must end strictly before this value.
+        if bucket > 0 {
+            prop_assert!(bucket_upper_micros(bucket - 1) < micros);
+        }
+    }
+
+    /// Larger latencies never land in smaller buckets, and bucket upper
+    /// bounds never decrease.
+    #[test]
+    fn histogram_bucketing_is_monotone(a in 1u64..100_000_000, b in 1u64..100_000_000) {
+        use dynamast_common::metrics::{bucket_for, bucket_upper_micros};
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_for(lo) <= bucket_for(hi));
+        prop_assert!(bucket_upper_micros(bucket_for(lo)) <= bucket_upper_micros(bucket_for(hi)));
+    }
+
+    /// Quantiles are monotone in `q`, bounded by the recorded maximum, and
+    /// `quantile(1.0)` reports exactly `max()`.
+    #[test]
+    fn histogram_quantiles_are_monotone_and_meet_max(
+        samples in prop::collection::vec(1u64..50_000_000, 1..200),
+        qa in 0u32..=100,
+        qb in 0u32..=100,
+    ) {
+        use dynamast_common::metrics::LatencyHistogram;
+        use std::time::Duration;
+        let hist = LatencyHistogram::new();
+        for &micros in &samples {
+            hist.record(Duration::from_micros(micros));
+        }
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let q_lo = hist.quantile(f64::from(lo) / 100.0);
+        let q_hi = hist.quantile(f64::from(hi) / 100.0);
+        prop_assert!(q_lo <= q_hi, "quantile({lo}%) {q_lo:?} > quantile({hi}%) {q_hi:?}");
+        prop_assert!(q_hi <= hist.max());
+        prop_assert_eq!(hist.quantile(1.0), hist.max());
+    }
+}
+
+proptest! {
     /// The Zipfian sampler is a valid distribution over its domain and
     /// monotonically favours lower ranks.
     #[test]

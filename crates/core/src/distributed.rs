@@ -203,6 +203,7 @@ impl dynamast_site::system::ReplicatedSystem for DistributedSelectorSystem {
         use dynamast_common::DynaError;
         use dynamast_site::system::{exec_update_at, Breakdown, TxnOutcome};
         let t0 = std::time::Instant::now();
+        let txn_id = dynamast_common::trace::next_trace_id();
         let replica = self.replica_for(session.id);
         let mut decision = replica.route_update(session.id, &session.cvv, &proc.write_set)?;
         // A stale replica routing is aborted by the site manager's
@@ -212,6 +213,7 @@ impl dynamast_site::system::ReplicatedSystem for DistributedSelectorSystem {
             match exec_update_at(
                 self.inner.network(),
                 decision.site,
+                txn_id,
                 session,
                 &decision.min_vv,
                 proc,

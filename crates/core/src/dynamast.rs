@@ -22,7 +22,9 @@ use parking_lot::{Mutex, RwLock};
 
 use dynamast_common::codec::encode_to_vec;
 use dynamast_common::ids::{PartitionId, SiteId};
-use dynamast_common::{DynaError, Result, SystemConfig, VersionVector};
+use dynamast_common::metrics::MetricsRegistry;
+use dynamast_common::trace::next_trace_id;
+use dynamast_common::{DynaError, FlightRecorder, Result, SystemConfig, VersionVector};
 use dynamast_network::{CrashSwitch, EndpointId, Network, TrafficCategory};
 use dynamast_replication::LogSet;
 use dynamast_site::data_site::{DataSite, DataSiteConfig, SiteRuntime};
@@ -40,6 +42,18 @@ use crate::selector::{ProbeHandle, SelectorInit, SelectorMode, SiteSelector};
 /// keys plus header); used to charge the client→selector hop.
 fn route_request_size(proc: &ProcCall) -> usize {
     32 + proc.write_set.len() * 12
+}
+
+/// (Re-)binds the live selector's counters into the registry. Called at
+/// build and again on standby promotion, when a *new* selector instance
+/// (with fresh counters) replaces the crashed one.
+fn register_selector_metrics(metrics: &MetricsRegistry, selector: &SiteSelector) {
+    metrics.register_counter("selector.remaster_ops", Arc::clone(&selector.remaster_ops));
+    metrics.register_counter(
+        "selector.partitions_moved",
+        Arc::clone(&selector.partitions_moved),
+    );
+    metrics.register_counter("selector.placements", Arc::clone(&selector.placements));
 }
 
 /// Construction parameters.
@@ -92,6 +106,12 @@ pub struct DynaMastSystem {
     /// Set between [`DynaMastSystem::crash_selector`] and promotion: the
     /// client paths fail fast (retryably) instead of talking to the corpse.
     selector_down: AtomicBool,
+    /// Always-on flight recorder; shared with every component through the
+    /// network fabric's attach point.
+    recorder: Arc<FlightRecorder>,
+    /// Unified metrics registry: selector counters, per-architecture
+    /// timings, and the fabric's traffic matrix under named handles.
+    metrics: Arc<MetricsRegistry>,
     // Retained so a crashed site/selector can be rebuilt.
     catalog: Catalog,
     mode: SelectorMode,
@@ -123,6 +143,11 @@ impl DynaMastSystem {
     ) -> Arc<Self> {
         let m = cfg.system.num_sites;
         let network = Network::new(cfg.system.network, cfg.system.seed);
+        // Attach the recorder before any component construction: sites, the
+        // selector, and the replication subscribers each cache the handle at
+        // build time and would otherwise run untraced.
+        let recorder = FlightRecorder::from_env();
+        network.set_recorder(Some(Arc::clone(&recorder)));
         let logs = LogSet::new(m);
         let mut sites = Vec::with_capacity(m);
         let mut runtimes = Vec::with_capacity(m);
@@ -164,6 +189,9 @@ impl DynaMastSystem {
         selector.map().seed(cfg.initial_placements.iter().copied());
         let probe = (cfg.probe_interval > Duration::ZERO)
             .then(|| selector.start_vv_probe(cfg.probe_interval));
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.register_traffic("network", Arc::clone(network.stats()) as _);
+        register_selector_metrics(&metrics, &selector);
         Arc::new(DynaMastSystem {
             name,
             config: cfg.system,
@@ -172,6 +200,8 @@ impl DynaMastSystem {
             sites: RwLock::new(sites),
             selector: RwLock::new(selector),
             selector_down: AtomicBool::new(false),
+            recorder,
+            metrics,
             catalog: cfg.catalog,
             mode: cfg.mode,
             probe_interval: cfg.probe_interval,
@@ -187,6 +217,16 @@ impl DynaMastSystem {
     /// The simulated network (traffic accounting).
     pub fn network(&self) -> &Arc<Network> {
         &self.network
+    }
+
+    /// The always-on flight recorder (causal transaction timelines).
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// The unified metrics registry (JSON snapshot export).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// The durable logs (recovery tests).
@@ -415,6 +455,7 @@ impl DynaMastSystem {
 
         let probe = (self.probe_interval > Duration::ZERO)
             .then(|| standby.start_vv_probe(self.probe_interval));
+        register_selector_metrics(&self.metrics, &standby);
         *self.selector.write() = standby;
         *self.probe.lock() = probe;
         self.selector_down.store(false, Ordering::Release);
@@ -456,6 +497,9 @@ impl ReplicatedSystem for DynaMastSystem {
 
     fn update(&self, session: &mut ClientSession, proc: &ProcCall) -> Result<TxnOutcome> {
         let t0 = Instant::now();
+        // One trace id for the whole client transaction: resubmissions show
+        // up as additional Route events on the same timeline.
+        let txn_id = next_trace_id();
         // Retry loop: between routing and execution another transaction may
         // remaster a partition away; the site rejects with NotMaster and the
         // client re-routes (same resubmission rule as Appendix I).
@@ -488,7 +532,12 @@ impl ReplicatedSystem for DynaMastSystem {
             // site — or through the promoted standby. StaleSelector means
             // this routing raced a promotion; the retry picks up the new
             // selector.
-            let decision = match selector.route_update(session.id, &session.cvv, &proc.write_set) {
+            let decision = match selector.route_update_traced(
+                txn_id,
+                session.id,
+                &session.cvv,
+                &proc.write_set,
+            ) {
                 Ok(d) => d,
                 Err(
                     err @ (DynaError::Timeout { .. }
@@ -508,6 +557,7 @@ impl ReplicatedSystem for DynaMastSystem {
             match exec_update_at(
                 &self.network,
                 decision.site,
+                txn_id,
                 session,
                 &decision.min_vv,
                 proc,
@@ -545,6 +595,7 @@ impl ReplicatedSystem for DynaMastSystem {
 
     fn read(&self, session: &mut ClientSession, proc: &ProcCall) -> Result<TxnOutcome> {
         let t0 = Instant::now();
+        let txn_id = next_trace_id();
         let mut last_err = DynaError::Internal("unreachable: no read attempts");
         // A site crashing under the read is recoverable: re-route (the
         // selector skips unreachable sites) and run on a replica. Reads are
@@ -562,12 +613,19 @@ impl ReplicatedSystem for DynaMastSystem {
                 .charge_one_way(TrafficCategory::ClientSelector, 32);
             let (site, lookup) = {
                 let start = Instant::now();
-                let site = selector.route_read(&session.cvv);
+                let site = selector.route_read_traced(txn_id, &session.cvv);
                 (site, start.elapsed())
             };
             self.network
                 .charge_one_way(TrafficCategory::ClientSelector, 16);
-            match exec_read_at(&self.network, site, session, proc, ReadMode::Snapshot) {
+            match exec_read_at(
+                &self.network,
+                site,
+                txn_id,
+                session,
+                proc,
+                ReadMode::Snapshot,
+            ) {
                 Ok((result, timings)) => {
                     return Ok(TxnOutcome {
                         result,

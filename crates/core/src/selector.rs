@@ -25,6 +25,7 @@ use bytes::Bytes;
 use dynamast_common::codec::encode_to_vec;
 use dynamast_common::ids::{ClientId, Key, PartitionId, SiteId};
 use dynamast_common::metrics::Counter;
+use dynamast_common::trace::{next_trace_id, FlightRecorder, TraceKind, TracePayload, TraceSite};
 use dynamast_common::{DynaError, Result, SystemConfig, VersionVector};
 use dynamast_network::{CrashPoint, CrashSwitch, EndpointId, Network, TrafficCategory};
 use dynamast_site::messages::{expect_ok, SiteRequest, SiteResponse};
@@ -35,7 +36,7 @@ use rand::{Rng, SeedableRng};
 use crate::freshness::FreshnessCache;
 use crate::partition_map::PartitionMap;
 use crate::stats::{AccessStats, StatsConfig};
-use crate::strategy::{best_site, score_sites, CoAccess, ScoreInputs};
+use crate::strategy::{best_site, score_sites_detailed, CoAccess, ScoreInputs};
 
 /// How the selector places masters.
 pub enum SelectorMode {
@@ -113,13 +114,16 @@ pub struct SiteSelector {
     crash_switch: Option<Arc<CrashSwitch>>,
     /// Seed for the per-thread read-routing RNGs.
     rng_seed: u64,
+    /// Flight recorder shared by the deployment (cached from the network at
+    /// construction so the routing hot path never touches the fabric lock).
+    recorder: Option<Arc<FlightRecorder>>,
     /// Transactions that required remastering (at least one release).
-    pub remaster_ops: Counter,
+    pub remaster_ops: Arc<Counter>,
     /// Individual partitions whose mastership moved between sites.
-    pub partitions_moved: Counter,
+    pub partitions_moved: Arc<Counter>,
     /// First-touch placements (no release involved; the paper's DynaMast
     /// starts unplaced, so early transactions *place* rather than remaster).
-    pub placements: Counter,
+    pub placements: Arc<Counter>,
     /// Update transactions routed, per site.
     routed: Vec<Counter>,
 }
@@ -155,6 +159,7 @@ impl SiteSelector {
             m,
             config.seed ^ 0x5E1E_C70A,
         );
+        let recorder = network.recorder();
         Arc::new(SiteSelector {
             mode,
             catalog,
@@ -167,9 +172,10 @@ impl SiteSelector {
             session_floor: init.session_floor,
             crash_switch: init.crash_switch,
             rng_seed: config.seed ^ 0x0EAD_0125,
-            remaster_ops: Counter::new(),
-            partitions_moved: Counter::new(),
-            placements: Counter::new(),
+            recorder,
+            remaster_ops: Arc::new(Counter::new()),
+            partitions_moved: Arc::new(Counter::new()),
+            placements: Arc::new(Counter::new()),
             routed: (0..m).map(|_| Counter::new()).collect(),
             config,
         })
@@ -216,6 +222,37 @@ impl SiteSelector {
             vv.merge_max(floor);
         }
         vv
+    }
+
+    /// Records one selector-side flight-recorder event, if a recorder is
+    /// attached to this deployment.
+    #[inline]
+    fn trace(&self, txn_id: u64, kind: TraceKind, payload: TracePayload) {
+        if let Some(rec) = &self.recorder {
+            rec.record(txn_id, TraceSite::Selector, kind, payload);
+        }
+    }
+
+    /// Records a release/grant protocol step.
+    fn trace_remaster(
+        &self,
+        txn_id: u64,
+        kind: TraceKind,
+        partition: PartitionId,
+        from: SiteId,
+        to: SiteId,
+        epoch: u64,
+    ) {
+        self.trace(
+            txn_id,
+            kind,
+            TracePayload::Remaster {
+                partition: partition.raw(),
+                from: from.raw(),
+                to: to.raw(),
+                epoch,
+            },
+        );
     }
 
     /// The statistics tracker.
@@ -273,8 +310,24 @@ impl SiteSelector {
     }
 
     /// Routes an update transaction, remastering if necessary (Algorithm 1).
+    /// Allocates a fresh trace id; callers that correlate routing with
+    /// execution use [`SiteSelector::route_update_traced`].
     pub fn route_update(
         &self,
+        client: ClientId,
+        cvv: &VersionVector,
+        write_set: &[Key],
+    ) -> Result<RouteDecision> {
+        self.route_update_traced(next_trace_id(), client, cvv, write_set)
+    }
+
+    /// Routes an update transaction under an externally allocated trace id,
+    /// so the flight-recorder events it emits (route, remaster decision,
+    /// release/grant steps) join the same causal timeline as the data site's
+    /// begin/execute/commit events.
+    pub fn route_update_traced(
+        &self,
+        txn_id: u64,
         client: ClientId,
         cvv: &VersionVector,
         write_set: &[Key],
@@ -305,6 +358,16 @@ impl SiteSelector {
                 self.stats
                     .record_write_set(client, Instant::now(), &partitions, &masters);
                 self.routed[site.as_usize()].inc();
+                self.trace(
+                    txn_id,
+                    TraceKind::Route,
+                    TracePayload::Route {
+                        dest: site.raw(),
+                        partitions: partitions.len() as u32,
+                        fast_path: true,
+                        remastered: false,
+                    },
+                );
                 return Ok(RouteDecision {
                     site,
                     min_vv: self.with_session_floor(VersionVector::zero(self.config.num_sites)),
@@ -326,6 +389,16 @@ impl SiteSelector {
             self.stats
                 .record_write_set(client, Instant::now(), &partitions, &masters);
             self.routed[site.as_usize()].inc();
+            self.trace(
+                txn_id,
+                TraceKind::Route,
+                TracePayload::Route {
+                    dest: site.raw(),
+                    partitions: partitions.len() as u32,
+                    fast_path: false,
+                    remastered: false,
+                },
+            );
             return Ok(RouteDecision {
                 site,
                 min_vv: self.with_session_floor(VersionVector::zero(self.config.num_sites)),
@@ -349,7 +422,7 @@ impl SiteSelector {
                 }
                 dest
             }
-            SelectorMode::Adaptive => self.decide_destination(&partitions, &masters, cvv),
+            SelectorMode::Adaptive => self.decide_destination(txn_id, &partitions, &masters, cvv),
         };
 
         // Remaster every partition not already mastered at `dest`
@@ -378,6 +451,14 @@ impl SiteSelector {
                         TrafficCategory::Remaster,
                         Bytes::from(encode_to_vec(&req)),
                     );
+                    self.trace_remaster(
+                        txn_id,
+                        TraceKind::ReleaseSend,
+                        partitions[i],
+                        *m,
+                        dest,
+                        epoch,
+                    );
                     if self.config.sequential_remastering {
                         // Ablation: complete this partition's release AND
                         // grant before touching the next partition.
@@ -385,6 +466,14 @@ impl SiteSelector {
                             SiteResponse::Released { rel_vv } => rel_vv,
                             _ => return Err(DynaError::Internal("unexpected release response")),
                         };
+                        self.trace_remaster(
+                            txn_id,
+                            TraceKind::ReleaseAck,
+                            partitions[i],
+                            *m,
+                            dest,
+                            epoch,
+                        );
                         self.crash_check(CrashPoint::AfterReleaseAck)?;
                         self.observe_site_vv(*m, &rel_vv);
                         self.crash_check(CrashPoint::BeforeGrantSend)?;
@@ -399,6 +488,14 @@ impl SiteSelector {
                             TrafficCategory::Remaster,
                             Bytes::from(encode_to_vec(&grant)),
                         );
+                        self.trace_remaster(
+                            txn_id,
+                            TraceKind::GrantSend,
+                            partitions[i],
+                            *m,
+                            dest,
+                            epoch,
+                        );
                         self.crash_check(CrashPoint::AfterGrantSend)?;
                         let reply = match self.settle(dest, &grant, sent) {
                             Ok(reply) => reply,
@@ -411,6 +508,14 @@ impl SiteSelector {
                             SiteResponse::Granted { grant_vv } => grant_vv,
                             _ => return Err(DynaError::Internal("unexpected grant response")),
                         };
+                        self.trace_remaster(
+                            txn_id,
+                            TraceKind::GrantAck,
+                            partitions[i],
+                            *m,
+                            dest,
+                            epoch,
+                        );
                         out_vv.merge_max(&grant_vv);
                         entries[i].set_master(&mut guards[i], dest);
                         self.stats.on_remaster(partitions[i], dest);
@@ -434,6 +539,16 @@ impl SiteSelector {
                         TrafficCategory::Remaster,
                         Bytes::from(encode_to_vec(&grant)),
                     );
+                    // First placements have no releaser; `from == to` marks
+                    // a placement grant on the trace.
+                    self.trace_remaster(
+                        txn_id,
+                        TraceKind::GrantSend,
+                        partitions[i],
+                        dest,
+                        dest,
+                        epoch,
+                    );
                     self.crash_check(CrashPoint::AfterGrantSend)?;
                     placed += 1;
                     pending_grants.push((i, epoch, grant, pending, None));
@@ -445,6 +560,14 @@ impl SiteSelector {
                 SiteResponse::Released { rel_vv } => rel_vv,
                 _ => return Err(DynaError::Internal("unexpected release response")),
             };
+            self.trace_remaster(
+                txn_id,
+                TraceKind::ReleaseAck,
+                partitions[i],
+                releaser,
+                dest,
+                epoch,
+            );
             self.crash_check(CrashPoint::AfterReleaseAck)?;
             self.observe_site_vv(releaser, &rel_vv);
             self.crash_check(CrashPoint::BeforeGrantSend)?;
@@ -459,6 +582,14 @@ impl SiteSelector {
                 TrafficCategory::Remaster,
                 Bytes::from(encode_to_vec(&grant)),
             );
+            self.trace_remaster(
+                txn_id,
+                TraceKind::GrantSend,
+                partitions[i],
+                releaser,
+                dest,
+                epoch,
+            );
             self.crash_check(CrashPoint::AfterGrantSend)?;
             pending_grants.push((i, epoch, grant, pending, Some(releaser)));
         }
@@ -466,7 +597,7 @@ impl SiteSelector {
         // still have taken effect at `dest`, and an unsettled failure must
         // be backed out (below) so its partition is not orphaned.
         let mut first_err: Option<DynaError> = None;
-        for (i, _epoch, grant, pending, releaser) in pending_grants {
+        for (i, epoch, grant, pending, releaser) in pending_grants {
             let settled =
                 self.settle(dest, &grant, pending)
                     .and_then(|reply| match expect_ok(&reply)? {
@@ -475,6 +606,14 @@ impl SiteSelector {
                     });
             match settled {
                 Ok(grant_vv) => {
+                    self.trace_remaster(
+                        txn_id,
+                        TraceKind::GrantAck,
+                        partitions[i],
+                        releaser.unwrap_or(dest),
+                        dest,
+                        epoch,
+                    );
                     out_vv.merge_max(&grant_vv);
                     entries[i].set_master(&mut guards[i], dest);
                     self.stats.on_remaster(partitions[i], dest);
@@ -507,6 +646,16 @@ impl SiteSelector {
         }
         self.routed[dest.as_usize()].inc();
         self.crash_check(CrashPoint::BeforeClientReply)?;
+        self.trace(
+            txn_id,
+            TraceKind::Route,
+            TracePayload::Route {
+                dest: dest.raw(),
+                partitions: partitions.len() as u32,
+                fast_path: false,
+                remastered: moved > 0,
+            },
+        );
         Ok(RouteDecision {
             site: dest,
             min_vv: self.with_session_floor(out_vv),
@@ -553,9 +702,12 @@ impl SiteSelector {
         );
     }
 
-    /// Strategy evaluation (Eq. 8) over all candidate sites.
+    /// Strategy evaluation (Eq. 8) over all candidate sites, recording a
+    /// [`TraceKind::RemasterDecision`] event with every candidate's feature
+    /// scores.
     fn decide_destination(
         &self,
+        txn_id: u64,
         partitions: &[PartitionId],
         masters: &[Option<SiteId>],
         cvv: &VersionVector,
@@ -597,7 +749,7 @@ impl SiteSelector {
             .map(|s| to_coaccess(&s.inter.partners))
             .collect();
         let site_vvs = self.freshness.all();
-        let mut scores = score_sites(&ScoreInputs {
+        let mut cands = score_sites_detailed(&ScoreInputs {
             num_sites: self.config.num_sites,
             weights: &self.config.weights,
             partitions: &placed,
@@ -614,13 +766,35 @@ impl SiteSelector {
         // fail and the client backs off either way.)
         let any_up = (0..self.config.num_sites).any(|i| self.network.site_reachable(i as u32));
         if any_up {
-            for (i, score) in scores.iter_mut().enumerate() {
-                if !self.network.site_reachable(i as u32) {
-                    *score = f64::NEG_INFINITY;
+            for cand in &mut cands {
+                if !self.network.site_reachable(cand.site) {
+                    cand.reachable = false;
                 }
             }
         }
-        best_site(&scores)
+        let scores: Vec<f64> = cands
+            .iter()
+            .map(|c| {
+                if c.reachable {
+                    c.total
+                } else {
+                    f64::NEG_INFINITY
+                }
+            })
+            .collect();
+        let dest = best_site(&scores);
+        // Decision explainability: the full per-candidate feature breakdown
+        // (Eq. 8's four terms) behind this choice, on the flight recorder.
+        self.trace(
+            txn_id,
+            TraceKind::RemasterDecision,
+            TracePayload::Decision {
+                chosen: dest.raw(),
+                partitions: partitions.len() as u32,
+                candidates: Arc::new(cands),
+            },
+        );
+        dest
     }
 
     /// Routes a read-only transaction (§IV-B): a random *reachable* site
@@ -628,7 +802,16 @@ impl SiteSelector {
     /// does, any random reachable site (the site-side freshness wait still
     /// guarantees SSSI); if every site looks down, any random site — its
     /// RPC fails fast and the client backs off.
+    ///
+    /// Allocates a fresh trace id; callers that correlate routing with
+    /// execution use [`SiteSelector::route_read_traced`].
     pub fn route_read(&self, cvv: &VersionVector) -> SiteId {
+        self.route_read_traced(next_trace_id(), cvv)
+    }
+
+    /// Read routing under an externally allocated trace id (see
+    /// [`SiteSelector::route_update_traced`]).
+    pub fn route_read_traced(&self, txn_id: u64, cvv: &VersionVector) -> SiteId {
         // Post-failover, raise the client's requirement to the session
         // floor: a client whose pre-crash session state the promoted
         // selector never saw must still be routed to a sufficiently fresh
@@ -679,6 +862,16 @@ impl SiteSelector {
             }
             last.unwrap_or_else(|| rng.gen_range(0..num_sites))
         });
+        self.trace(
+            txn_id,
+            TraceKind::Route,
+            TracePayload::Route {
+                dest: pick as u32,
+                partitions: 0,
+                fast_path: true,
+                remastered: false,
+            },
+        );
         SiteId::new(pick)
     }
 }

@@ -22,6 +22,7 @@
 //! where Eq. 4 puts it: `f_balance = Δbalance · exp(balance_rate)`.
 
 use dynamast_common::ids::{PartitionId, SiteId};
+use dynamast_common::trace::CandidateScore;
 use dynamast_common::{StrategyWeights, VersionVector};
 
 /// One co-access partner of a write-set partition, with everything
@@ -150,9 +151,12 @@ fn f_localization(
     score
 }
 
-/// Scores every site as a remastering destination (Eq. 8). Returns one
-/// `f_benefit` value per site.
-pub fn score_sites(inputs: &ScoreInputs<'_>) -> Vec<f64> {
+/// Scores every site as a remastering destination (Eq. 8), keeping the four
+/// weighted feature terms separate so the decision can be explained — the
+/// flight recorder stores these per-candidate tables in `RemasterDecision`
+/// events. `reachable` is initialised `true`; the caller masks out sites it
+/// cannot reach.
+pub fn score_sites_detailed(inputs: &ScoreInputs<'_>) -> Vec<CandidateScore> {
     debug_assert_eq!(inputs.partitions.len(), inputs.partition_load.len());
     debug_assert_eq!(inputs.partitions.len(), inputs.intra.len());
     debug_assert_eq!(inputs.partitions.len(), inputs.inter.len());
@@ -180,8 +184,25 @@ pub fn score_sites(inputs: &ScoreInputs<'_>) -> Vec<f64> {
             } else {
                 0.0
             };
-            balance - delay + intra + inter
+            CandidateScore {
+                site: i as u32,
+                balance,
+                delay,
+                intra,
+                inter,
+                total: balance - delay + intra + inter,
+                reachable: true,
+            }
         })
+        .collect()
+}
+
+/// Scores every site as a remastering destination (Eq. 8). Returns one
+/// `f_benefit` value per site.
+pub fn score_sites(inputs: &ScoreInputs<'_>) -> Vec<f64> {
+    score_sites_detailed(inputs)
+        .into_iter()
+        .map(|c| c.total)
         .collect()
 }
 
@@ -426,5 +447,61 @@ mod tests {
     fn best_site_breaks_ties_toward_lowest_id() {
         assert_eq!(best_site(&[1.0, 1.0, 0.5]), site(0));
         assert_eq!(best_site(&[0.0, 2.0, 2.0]), site(1));
+    }
+
+    #[test]
+    fn detailed_scores_decompose_the_total() {
+        let weights = StrategyWeights {
+            balance: 2.0,
+            delay: 1.0,
+            intra_txn: 1.5,
+            inter_txn: 0.5,
+        };
+        let partitions = [(pid(1), Some(site(0)))];
+        let load = [1.0];
+        let site_load = [4.0, 1.0];
+        let intra = vec![vec![CoAccess {
+            partner: pid(2),
+            probability: 0.8,
+            partner_master: Some(site(1)),
+            in_write_set: false,
+        }]];
+        let inter = vec![vec![CoAccess {
+            partner: pid(3),
+            probability: 0.4,
+            partner_master: Some(site(0)),
+            in_write_set: false,
+        }]];
+        let vvs = vec![
+            VersionVector::from_counts(vec![5, 0]),
+            VersionVector::from_counts(vec![1, 0]),
+        ];
+        let cvv = VersionVector::zero(2);
+        let inputs = base_inputs(
+            &weights,
+            &partitions,
+            &load,
+            &site_load,
+            &intra,
+            &inter,
+            &vvs,
+            &cvv,
+        );
+        let detailed = score_sites_detailed(&inputs);
+        let flat = score_sites(&inputs);
+        assert_eq!(detailed.len(), 2);
+        for (c, total) in detailed.iter().zip(&flat) {
+            assert_eq!(c.total, *total);
+            assert!(
+                (c.balance - c.delay + c.intra + c.inter - c.total).abs() < 1e-12,
+                "features must sum to the total: {c:?}"
+            );
+            assert!(c.reachable);
+        }
+        // Site 1 lags the releaser (site 0) by 4, so it pays a delay penalty
+        // site 0 does not; the co-access partner at site 1 pulls intra there.
+        assert!(detailed[1].delay > detailed[0].delay);
+        assert!(detailed[1].intra > detailed[0].intra);
+        assert!(detailed[0].inter > detailed[1].inter);
     }
 }

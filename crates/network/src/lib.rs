@@ -45,6 +45,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use dynamast_common::config::{NetworkConfig, RetryPolicy};
+use dynamast_common::trace::{FlightRecorder, TraceKind, TracePayload, TraceSite};
 use dynamast_common::{DynaError, Result};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
@@ -173,6 +174,7 @@ pub struct Network {
     stats: Arc<TrafficStats>,
     registry: Registry,
     faults: RwLock<Option<Arc<FaultPlan>>>,
+    recorder: RwLock<Option<Arc<FlightRecorder>>>,
     inflight: Arc<InflightTable>,
     next_generation: AtomicU64,
     /// Lock-free liveness bitmap for `EndpointId::Site(i)`, `i < 64`; bit
@@ -191,6 +193,7 @@ impl Network {
             stats: Arc::new(TrafficStats::new()),
             registry: RwLock::new(HashMap::new()),
             faults: RwLock::new(None),
+            recorder: RwLock::new(None),
             inflight: Arc::new(InflightTable::default()),
             next_generation: AtomicU64::new(0),
             site_mask: AtomicU64::new(0),
@@ -217,6 +220,43 @@ impl Network {
     /// The currently attached fault plan, if any.
     pub fn faults(&self) -> Option<Arc<FaultPlan>> {
         self.faults.read().clone()
+    }
+
+    /// Attaches (or with `None`, detaches) a flight recorder. The fabric
+    /// records send/deliver events and fault-plan verdicts; components that
+    /// share this network fetch the recorder from here at construction so a
+    /// whole deployment traces into one ring.
+    pub fn set_recorder(&self, recorder: Option<Arc<FlightRecorder>>) {
+        *self.recorder.write() = recorder;
+    }
+
+    /// The currently attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.recorder.read().clone()
+    }
+
+    /// Records one fabric-level event on the attached recorder, if any.
+    fn trace_net(
+        &self,
+        kind: TraceKind,
+        from: Option<EndpointId>,
+        to: Option<EndpointId>,
+        category: TrafficCategory,
+        bytes: usize,
+    ) {
+        if let Some(rec) = &*self.recorder.read() {
+            rec.record(
+                0,
+                TraceSite::None,
+                kind,
+                TracePayload::Net {
+                    from: trace_code(from),
+                    to: trace_code(to),
+                    category: category.index() as u8,
+                    bytes: bytes.min(u32::MAX as usize) as u32,
+                },
+            );
+        }
     }
 
     /// Starts recording every issued-but-unresolved RPC, so a wedged run can
@@ -347,20 +387,44 @@ impl Network {
                     .name(name)
                     .spawn(move || {
                         while let Ok(env) = rx.recv() {
+                            net.trace_net(
+                                TraceKind::NetDeliver,
+                                env.from,
+                                Some(endpoint),
+                                env.category,
+                                env.payload.len(),
+                            );
                             let reply_payload = handler.handle(env.payload);
                             let mut deliver_at = net.deadline(reply_payload.len());
                             // The reply hop is subject to faults too.
                             let mut duplicate = false;
                             if let Some(plan) = net.faults() {
-                                if plan.is_partitioned(Some(endpoint), env.from) {
-                                    continue; // reply lost; caller times out
-                                }
-                                let decision = plan.decide(Some(endpoint), env.from);
-                                if decision.drop {
+                                let lost = plan.is_partitioned(Some(endpoint), env.from) || {
+                                    let decision = plan.decide(Some(endpoint), env.from);
+                                    duplicate = decision.duplicate;
+                                    deliver_at += decision.extra_delay;
+                                    decision.drop
+                                };
+                                if lost {
+                                    // Reply lost; caller times out.
+                                    net.trace_net(
+                                        TraceKind::NetDrop,
+                                        Some(endpoint),
+                                        env.from,
+                                        env.category,
+                                        reply_payload.len(),
+                                    );
                                     continue;
                                 }
-                                duplicate = decision.duplicate;
-                                deliver_at += decision.extra_delay;
+                            }
+                            if duplicate {
+                                net.trace_net(
+                                    TraceKind::NetDuplicate,
+                                    Some(endpoint),
+                                    env.from,
+                                    env.category,
+                                    reply_payload.len(),
+                                );
                             }
                             let copies = if duplicate { 2 } else { 1 };
                             for _ in 0..copies {
@@ -426,24 +490,46 @@ impl Network {
         let mut deliver_at = self.deadline(payload.len());
         let mut duplicate = false;
         if let Some(plan) = self.faults() {
+            let mut spike = Duration::ZERO;
             let lost = if plan.is_partitioned(from, Some(to)) {
                 true
             } else {
                 let decision = plan.decide(from, Some(to));
                 duplicate = decision.duplicate;
+                spike = decision.extra_delay;
                 deliver_at += decision.extra_delay;
                 decision.drop
             };
             if lost {
                 // The bytes left the sender; they just never arrive.
                 self.stats.record(category, payload.len());
+                self.trace_net(TraceKind::NetDrop, from, Some(to), category, payload.len());
                 return Ok(PendingReply {
                     reply: reply_rx,
                     lost: true,
                     _track: track,
                 });
             }
+            if duplicate {
+                self.trace_net(
+                    TraceKind::NetDuplicate,
+                    from,
+                    Some(to),
+                    category,
+                    payload.len(),
+                );
+            }
+            if !spike.is_zero() {
+                self.trace_net(
+                    TraceKind::NetDelaySpike,
+                    from,
+                    Some(to),
+                    category,
+                    payload.len(),
+                );
+            }
         }
+        self.trace_net(TraceKind::NetSend, from, Some(to), category, payload.len());
         let copies = if duplicate { 2 } else { 1 };
         for copy in 0..copies {
             self.stats.record(category, payload.len());
@@ -545,6 +631,7 @@ impl Network {
     /// be lost).
     pub fn charge_one_way(&self, category: TrafficCategory, bytes: usize) {
         self.stats.record(category, bytes);
+        self.trace_net(TraceKind::NetSend, None, None, category, bytes);
         sleep_until(self.deadline(bytes));
     }
 
@@ -585,6 +672,18 @@ impl Network {
             Some(bit) => self.site_mask.load(Ordering::Acquire) & bit != 0,
             None => self.is_connected(EndpointId::Site(site)),
         }
+    }
+}
+
+/// Compact endpoint encoding carried by flight-recorder `Net` payloads:
+/// sites map to their id, the selector to `0xFFFF_0000`, selector replicas
+/// to `0xFFFE_0000 | i`, and anonymous clients to `0xFFFF_FFFF`.
+fn trace_code(ep: Option<EndpointId>) -> u32 {
+    match ep {
+        None => 0xFFFF_FFFF,
+        Some(EndpointId::Selector) => 0xFFFF_0000,
+        Some(EndpointId::SelectorReplica(i)) => 0xFFFE_0000 | (i & 0xFFFF),
+        Some(EndpointId::Site(i)) => i,
     }
 }
 

@@ -5,7 +5,7 @@
 //! remastering requests. [`TrafficStats`] lets the harness reproduce that
 //! breakdown by tagging every message with a [`TrafficCategory`].
 
-use dynamast_common::metrics::Counter;
+use dynamast_common::metrics::{Counter, JsonMetric};
 
 /// Message categories for traffic accounting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,7 +35,9 @@ impl TrafficCategory {
         TrafficCategory::DataShip,
     ];
 
-    fn index(self) -> usize {
+    /// Stable numeric index, used for array storage and as the category
+    /// code carried by flight-recorder network events.
+    pub fn index(self) -> usize {
         match self {
             TrafficCategory::ClientSelector => 0,
             TrafficCategory::ClientSite => 1,
@@ -89,6 +91,25 @@ impl TrafficStats {
             };
         }
         out
+    }
+}
+
+impl JsonMetric for TrafficStats {
+    fn metric_json(&self) -> String {
+        let snap = self.snapshot();
+        let fields: Vec<String> = TrafficCategory::ALL
+            .iter()
+            .map(|cat| {
+                let totals = snap.get(*cat);
+                format!(
+                    "\"{}\":{{\"messages\":{},\"bytes\":{}}}",
+                    cat.label(),
+                    totals.messages,
+                    totals.bytes
+                )
+            })
+            .collect();
+        format!("{{{}}}", fields.join(","))
     }
 }
 

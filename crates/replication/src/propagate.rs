@@ -36,6 +36,7 @@ use std::time::Duration;
 
 use dynamast_common::config::NetworkConfig;
 use dynamast_common::ids::SiteId;
+use dynamast_common::trace::{TraceKind, TracePayload, TraceSite};
 use dynamast_common::Result;
 use dynamast_network::{EndpointId, Network, TrafficCategory, TrafficStats};
 
@@ -89,6 +90,7 @@ impl Propagator {
             tailed.push(Arc::clone(&log));
             let applier = Arc::clone(&applier);
             let stats = stats.clone();
+            let recorder = fabric.as_ref().and_then(|n| n.recorder());
             let fabric = fabric.clone();
             let shutdown = Arc::clone(&shutdown);
             let mut cursor = start_offsets[origin_idx];
@@ -132,10 +134,30 @@ impl Propagator {
                             if let Some(stats) = &stats {
                                 stats.record(TrafficCategory::Replication, bytes);
                             }
+                            // Refresh lag measured from batch fetch: transit
+                            // delay plus the applier's admission wait (Eq. 1
+                            // dependency blocking) — the components the
+                            // paper's f_delay feature estimates.
+                            let fetched = std::time::Instant::now();
                             cursor += records.len() as u64;
+                            let batch = records.len() as u32;
                             for record in records {
+                                let stamp = (record.origin().raw(), record.sequence());
                                 if applier.apply(record).is_err() {
                                     return;
+                                }
+                                if let Some(rec) = &recorder {
+                                    rec.record(
+                                        0,
+                                        TraceSite::Site(site.raw()),
+                                        TraceKind::RefreshApply,
+                                        TracePayload::Refresh {
+                                            origin: stamp.0,
+                                            sequence: stamp.1,
+                                            records: batch,
+                                            lag_us: fetched.elapsed().as_micros() as u64,
+                                        },
+                                    );
                                 }
                             }
                         }

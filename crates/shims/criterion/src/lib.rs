@@ -5,8 +5,17 @@
 //! `criterion_group!`/`criterion_main!` macros, and `black_box`. Measurement
 //! is a plain warm-up + timed-loop mean (no bootstrap statistics, no HTML
 //! reports); results print as `name  time: <mean>/iter (<n> iters)`.
+//!
+//! Every completed benchmark is also collected into a process-global result
+//! table. [`finalize`] (called automatically by `criterion_main!`; custom
+//! mains call it explicitly) writes the table as JSON to the path named by
+//! the `CRITERION_JSON` environment variable and **exits nonzero if any
+//! benchmark recorded no measurement** — a benchmark whose closure never
+//! called an `iter` method is a harness bug, not a result, and CI must not
+//! treat its "(no measurement recorded)" line as a pass.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier to keep the optimizer from deleting benchmarked work.
@@ -172,6 +181,79 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// One benchmark's collected outcome.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/function`).
+    pub name: String,
+    /// Mean nanoseconds per iteration; `None` if no measurement was
+    /// recorded (the closure never called an `iter` method).
+    pub mean_ns: Option<f64>,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Snapshot of every benchmark result collected so far in this process.
+pub fn results() -> Vec<BenchResult> {
+    RESULTS.lock().unwrap().clone()
+}
+
+/// Renders the collected results as a JSON document.
+pub fn results_json() -> String {
+    let results = RESULTS.lock().unwrap();
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
+            match r.mean_ns {
+                Some(ns) => format!(
+                    "    {{\"name\":\"{name}\",\"mean_ns\":{ns:.1},\"iters\":{}}}",
+                    r.iters
+                ),
+                None => format!("    {{\"name\":\"{name}\",\"missing\":true}}"),
+            }
+        })
+        .collect();
+    format!(
+        "{{\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
+/// Writes `CRITERION_JSON` (when set) and returns the number of benchmarks
+/// that recorded no measurement. Split from [`finalize`] so tests can check
+/// the outcome without the process exit.
+pub fn finalize_report() -> usize {
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            std::fs::write(&path, results_json()).expect("write CRITERION_JSON");
+            println!("benchmark results written to {path}");
+        }
+    }
+    let missing: Vec<String> = RESULTS
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|r| r.mean_ns.is_none())
+        .map(|r| r.name.clone())
+        .collect();
+    for name in &missing {
+        eprintln!("error: benchmark `{name}` recorded no measurement");
+    }
+    missing.len()
+}
+
+/// End-of-run hook: emits the JSON report and fails the process if any
+/// benchmark recorded no measurement. `criterion_main!` calls this; custom
+/// `main`s should call it as their last statement.
+pub fn finalize() {
+    if finalize_report() > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn run_one<F: FnMut(&mut Bencher<'_>)>(criterion: &Criterion, name: &str, mut f: F) {
     let mut result = None;
     let mut bencher = Bencher {
@@ -180,13 +262,26 @@ fn run_one<F: FnMut(&mut Bencher<'_>)>(criterion: &Criterion, name: &str, mut f:
         result: &mut result,
     };
     f(&mut bencher);
-    match result {
+    let collected = match result {
         Some((elapsed, iters)) if iters > 0 => {
             let per_iter = elapsed.as_nanos() as f64 / iters as f64;
             println!("{name:<50} time: {} ({iters} iters)", format_ns(per_iter));
+            BenchResult {
+                name: name.to_string(),
+                mean_ns: Some(per_iter),
+                iters,
+            }
         }
-        _ => println!("{name:<50} time: (no measurement recorded)"),
-    }
+        _ => {
+            println!("{name:<50} time: (no measurement recorded)");
+            BenchResult {
+                name: name.to_string(),
+                mean_ns: None,
+                iters: 0,
+            }
+        }
+    };
+    RESULTS.lock().unwrap().push(collected);
 }
 
 fn format_ns(ns: f64) -> String {
@@ -220,11 +315,14 @@ macro_rules! criterion_group {
 }
 
 /// Declares the benchmark binary's `main`, mirroring criterion's macro.
+/// Finishes with [`finalize`]: the JSON report is written and a missing
+/// measurement fails the run.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -278,5 +376,39 @@ mod tests {
     #[test]
     fn group_macro_generates_callable() {
         benches();
+    }
+
+    #[test]
+    fn results_collect_means_and_missing() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.bench_function("collected_ok", |b| b.iter(|| 2 + 2));
+        // A closure that never calls an iter method records nothing.
+        c.bench_function("collected_missing", |_b| {});
+        let all = results();
+        let ok = all
+            .iter()
+            .find(|r| r.name == "collected_ok")
+            .expect("collected");
+        assert!(ok.mean_ns.is_some() && ok.iters > 0);
+        let missing = all
+            .iter()
+            .find(|r| r.name == "collected_missing")
+            .expect("collected");
+        assert!(missing.mean_ns.is_none());
+        assert!(
+            finalize_report() >= 1,
+            "missing benchmark must fail the run"
+        );
+        let json = results_json();
+        assert!(
+            json.contains("\"name\":\"collected_ok\",\"mean_ns\":"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"name\":\"collected_missing\",\"missing\":true"),
+            "{json}"
+        );
     }
 }

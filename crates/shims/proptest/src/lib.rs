@@ -463,6 +463,10 @@ macro_rules! __proptest_fns {
                             &mut __proptest_rng,
                         );
                     )+
+                    // The closure is called where declared on purpose: it
+                    // gives `prop_assert!`'s `return Err(...)` a function
+                    // boundary to return through.
+                    #[allow(clippy::redundant_closure_call)]
                     let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
                         (move || {
                             $body

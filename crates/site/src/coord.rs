@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use dynamast_common::codec::encode_to_vec;
 use dynamast_common::ids::{Key, SiteId};
+use dynamast_common::trace::{TraceKind, TracePayload};
 use dynamast_common::{DynaError, Result, Row, VersionVector};
 use dynamast_network::{EndpointId, TrafficCategory};
 use dynamast_replication::record::WriteEntry;
@@ -46,9 +47,12 @@ use std::collections::HashMap;
 
 const MAX_RETRIES: u32 = 64;
 
-/// Runs `proc` with this site as 2PC coordinator.
+/// Runs `proc` with this site as 2PC coordinator. `trace_id` is the
+/// flight-recorder trace id (0 = untraced), distinct from the 2PC
+/// transaction id allocated per prepare round.
 pub fn run_coordinated(
     site: &Arc<DataSite>,
+    trace_id: u64,
     min_vv: &VersionVector,
     proc: &ProcCall,
     mode: ReadMode,
@@ -59,6 +63,14 @@ pub fn run_coordinated(
         ReadMode::Latest => site.clock().current(),
     };
     let t_begin = Instant::now();
+    site.trace(
+        trace_id,
+        TraceKind::TxnBegin,
+        TracePayload::Span {
+            us: (t_begin - t0).as_micros() as u64,
+            vv_wait_us: (t_begin - t0).as_micros() as u64,
+        },
+    );
     let mut attempt = 0;
     loop {
         // Retries take a fresh snapshot: a validation failure means a newer
@@ -83,9 +95,26 @@ pub fn run_coordinated(
         let writes = ctx.writes;
         let read_stamps = ctx.read_stamps;
         let t_exec = Instant::now();
-        match try_commit(site, &begin, writes, &read_stamps)? {
+        site.trace(
+            trace_id,
+            TraceKind::TxnExecute,
+            TracePayload::Span {
+                us: (t_exec - t_begin).as_micros() as u64,
+                vv_wait_us: 0,
+            },
+        );
+        match try_commit(site, trace_id, &begin, writes, &read_stamps)? {
             Some(commit_vv) => {
                 let t_commit = Instant::now();
+                site.trace(
+                    trace_id,
+                    TraceKind::TxnCommit,
+                    TracePayload::Commit {
+                        origin: site.id().raw(),
+                        sequence: commit_vv.get(site.id()),
+                        us: (t_commit - t_exec).as_micros() as u64,
+                    },
+                );
                 return Ok((
                     result,
                     commit_vv,
@@ -126,6 +155,7 @@ pub fn run_coordinated(
 /// validation failed (retry with fresh reads).
 fn try_commit(
     site: &Arc<DataSite>,
+    trace_id: u64,
     begin: &VersionVector,
     writes: Vec<(Key, Row)>,
     read_stamps: &HashMap<Key, Option<VersionStamp>>,
@@ -185,6 +215,15 @@ fn try_commit(
     let self_endpoint = EndpointId::Site(site.id().raw());
     let txn_id = site.next_txn_id();
     let participants: Vec<SiteId> = groups.keys().copied().collect();
+    site.trace(
+        trace_id,
+        TraceKind::TwoPcPrepare,
+        TracePayload::TwoPc {
+            site: site.id().raw(),
+            ok: true,
+            participants: participants.len() as u32,
+        },
+    );
     let mut votes_yes = true;
     let mut fatal: Option<DynaError> = None;
     let mut pending = Vec::new();
@@ -199,13 +238,26 @@ fn try_commit(
             })
             .collect();
         if *owner == site.id() {
-            match site.prepare(txn_id, entries.clone(), &expected) {
-                Ok(yes) => votes_yes &= yes,
+            let vote = match site.prepare(txn_id, entries.clone(), &expected) {
+                Ok(yes) => {
+                    votes_yes &= yes;
+                    yes
+                }
                 Err(e) => {
                     votes_yes = false;
                     fatal.get_or_insert(e);
+                    false
                 }
-            }
+            };
+            site.trace(
+                trace_id,
+                TraceKind::TwoPcVote,
+                TracePayload::TwoPc {
+                    site: owner.raw(),
+                    ok: vote,
+                    participants: participants.len() as u32,
+                },
+            );
         } else {
             let req = SiteRequest::Prepare {
                 txn_id,
@@ -218,7 +270,7 @@ fn try_commit(
                 TrafficCategory::TwoPhaseCommit,
                 Bytes::from(encode_to_vec(&req)),
             ) {
-                Ok(reply) => pending.push(reply),
+                Ok(reply) => pending.push((*owner, reply)),
                 // Unreachable participant: presumed abort.
                 Err(DynaError::Network(_)) => votes_yes = false,
                 Err(e) => {
@@ -228,29 +280,56 @@ fn try_commit(
             }
         }
     }
-    for reply in pending {
-        match reply.wait_timeout(retry.attempt_timeout) {
+    for (owner, reply) in pending {
+        let vote = match reply.wait_timeout(retry.attempt_timeout) {
             Ok(bytes) => match crate::messages::expect_ok(&bytes) {
-                Ok(SiteResponse::Voted { yes }) => votes_yes &= yes,
+                Ok(SiteResponse::Voted { yes }) => {
+                    votes_yes &= yes;
+                    yes
+                }
                 Ok(_) => {
                     votes_yes = false;
                     fatal.get_or_insert(DynaError::Internal("unexpected prepare response"));
+                    false
                 }
                 Err(e) => {
                     votes_yes = false;
                     fatal.get_or_insert(e);
+                    false
                 }
             },
             // Lost vote: presumed abort.
-            Err(DynaError::Timeout { .. } | DynaError::Network(_)) => votes_yes = false,
+            Err(DynaError::Timeout { .. } | DynaError::Network(_)) => {
+                votes_yes = false;
+                false
+            }
             Err(e) => {
                 votes_yes = false;
                 fatal.get_or_insert(e);
+                false
             }
-        }
+        };
+        site.trace(
+            trace_id,
+            TraceKind::TwoPcVote,
+            TracePayload::TwoPc {
+                site: owner.raw(),
+                ok: vote,
+                participants: participants.len() as u32,
+            },
+        );
     }
 
     // Phase two: decide everywhere (including self).
+    site.trace(
+        trace_id,
+        TraceKind::TwoPcDecide,
+        TracePayload::TwoPc {
+            site: site.id().raw(),
+            ok: votes_yes,
+            participants: participants.len() as u32,
+        },
+    );
     let mut commit_vv = begin.clone();
     let decide_payload = Bytes::from(encode_to_vec(&SiteRequest::Decide {
         txn_id,

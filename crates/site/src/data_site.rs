@@ -8,6 +8,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use dynamast_common::codec::{encode_to_vec, Decode};
 use dynamast_common::ids::{Key, PartitionId, SiteId};
+use dynamast_common::trace::{FlightRecorder, TraceKind, TracePayload, TraceSite};
 use dynamast_common::{DynaError, Result, SystemConfig, VersionVector};
 use dynamast_network::{EndpointId, Network, RpcHandler, ServerHandle};
 use dynamast_replication::record::{LogRecord, WriteEntry};
@@ -106,6 +107,9 @@ pub struct DataSite {
     commit_order: parking_lot::Mutex<()>,
     txn_counter: AtomicU64,
     config: SystemConfig,
+    /// Flight recorder shared by the deployment (cached from the network at
+    /// construction so execution hot paths never touch the fabric lock).
+    recorder: Option<Arc<FlightRecorder>>,
     replicate: bool,
     replicated_tables: std::collections::HashSet<dynamast_common::ids::TableId>,
     /// Committed update transactions (diagnostics).
@@ -176,6 +180,7 @@ impl DataSite {
         network: Arc<Network>,
         executor: Arc<dyn ProcExecutor>,
     ) -> Arc<Self> {
+        let recorder = network.recorder();
         Arc::new(DataSite {
             id: cfg.id,
             store,
@@ -193,6 +198,7 @@ impl DataSite {
             commit_order: parking_lot::Mutex::new(()),
             txn_counter: AtomicU64::new(1),
             config: cfg.system,
+            recorder,
             replicate: cfg.replicate,
             replicated_tables: cfg.replicated_tables.into_iter().collect(),
             commits: dynamast_common::metrics::Counter::new(),
@@ -291,6 +297,18 @@ impl DataSite {
         self.txn_counter.load(Ordering::Relaxed) - 1
     }
 
+    /// Records one site-side flight-recorder event. Untraced transactions
+    /// (`txn_id == 0` — e.g. raw test RPCs) are skipped so they do not
+    /// crowd the bounded ring.
+    pub(crate) fn trace(&self, txn_id: u64, kind: TraceKind, payload: TracePayload) {
+        if txn_id == 0 {
+            return;
+        }
+        if let Some(rec) = &self.recorder {
+            rec.record(txn_id, TraceSite::Site(self.id.raw()), kind, payload);
+        }
+    }
+
     /// Charges the simulated CPU cost of executing a stored procedure that
     /// touched `ops` rows. Sleeping here occupies the RPC worker — the data
     /// site's capacity is its worker pool, like the paper's 12-core
@@ -331,6 +349,7 @@ impl DataSite {
     /// Executes and locally commits an update transaction (§III-B step 3).
     pub fn run_update(
         self: &Arc<Self>,
+        txn_id: u64,
         min_vv: &VersionVector,
         proc: &ProcCall,
         check_mastery: bool,
@@ -347,21 +366,47 @@ impl DataSite {
         // refresh stream exists — and do not need to: ownership transfer /
         // 2PC moves the data itself, so latest-read is already session
         // consistent there.
+        let t_locked = Instant::now();
         let (begin, mode) = if self.replicate {
             (self.clock.wait_dominates(min_vv)?, ReadMode::Snapshot)
         } else {
             (self.clock.current(), ReadMode::Latest)
         };
         let t_begin = Instant::now();
+        self.trace(
+            txn_id,
+            TraceKind::TxnBegin,
+            TracePayload::Span {
+                us: (t_begin - t0).as_micros() as u64,
+                vv_wait_us: (t_begin - t_locked).as_micros() as u64,
+            },
+        );
         let mut ctx = LocalCtx::new(&self.store, &begin, mode, &proc.write_set);
         let result = self.executor.execute(&mut ctx, proc)?;
         self.service_sleep(ctx.ops());
         let writes = ctx.into_writes();
         let t_exec = Instant::now();
+        self.trace(
+            txn_id,
+            TraceKind::TxnExecute,
+            TracePayload::Span {
+                us: (t_exec - t_begin).as_micros() as u64,
+                vv_wait_us: 0,
+            },
+        );
         let commit_vv = self.commit_local(&begin, writes)?;
         drop(locks);
         let t_commit = Instant::now();
         self.commits.inc();
+        self.trace(
+            txn_id,
+            TraceKind::TxnCommit,
+            TracePayload::Commit {
+                origin: self.id.raw(),
+                sequence: commit_vv.get(self.id),
+                us: (t_commit - t_exec).as_micros() as u64,
+            },
+        );
         Ok((
             result,
             commit_vv,
@@ -406,6 +451,7 @@ impl DataSite {
     /// owners under latest-read mode for the unreplicated systems).
     pub fn run_read(
         self: &Arc<Self>,
+        txn_id: u64,
         min_vv: &VersionVector,
         proc: &ProcCall,
         mode: ReadMode,
@@ -416,10 +462,26 @@ impl DataSite {
             ReadMode::Latest => self.clock.current(),
         };
         let t_begin = Instant::now();
+        self.trace(
+            txn_id,
+            TraceKind::TxnBegin,
+            TracePayload::Span {
+                us: (t_begin - t0).as_micros() as u64,
+                vv_wait_us: (t_begin - t0).as_micros() as u64,
+            },
+        );
         let mut ctx = LocalCtx::new(&self.store, &begin, mode, &[]);
         let result = self.executor.execute(&mut ctx, proc)?;
         self.service_sleep(ctx.ops());
         let t_exec = Instant::now();
+        self.trace(
+            txn_id,
+            TraceKind::TxnExecute,
+            TracePayload::Span {
+                us: (t_exec - t_begin).as_micros() as u64,
+                vv_wait_us: 0,
+            },
+        );
         Ok((
             result,
             begin,
@@ -819,20 +881,26 @@ impl SiteRpc {
         let site = &self.site;
         match request {
             SiteRequest::ExecUpdate {
+                txn_id,
                 min_vv,
                 proc,
                 check_mastery,
             } => {
                 let (result, commit_vv, timings) =
-                    site.run_update(&min_vv, &proc, check_mastery)?;
+                    site.run_update(txn_id, &min_vv, &proc, check_mastery)?;
                 Ok(SiteResponse::Executed {
                     result,
                     commit_vv,
                     timings,
                 })
             }
-            SiteRequest::ExecRead { min_vv, proc, mode } => {
-                let (result, site_vv, timings) = site.run_read(&min_vv, &proc, mode)?;
+            SiteRequest::ExecRead {
+                txn_id,
+                min_vv,
+                proc,
+                mode,
+            } => {
+                let (result, site_vv, timings) = site.run_read(txn_id, &min_vv, &proc, mode)?;
                 Ok(SiteResponse::ReadDone {
                     result,
                     site_vv,
@@ -860,9 +928,14 @@ impl SiteRpc {
                     grant_vv: site.grant(partition, epoch, &rel_vv)?,
                 })
             }
-            SiteRequest::ExecCoordinated { min_vv, proc, mode } => {
+            SiteRequest::ExecCoordinated {
+                txn_id,
+                min_vv,
+                proc,
+                mode,
+            } => {
                 let (result, commit_vv, timings) =
-                    crate::coord::run_coordinated(site, &min_vv, &proc, mode)?;
+                    crate::coord::run_coordinated(site, txn_id, &min_vv, &proc, mode)?;
                 Ok(SiteResponse::Executed {
                     result,
                     commit_vv,

@@ -160,6 +160,10 @@ fn decode_read_mode(buf: &mut impl Buf) -> Result<ReadMode> {
 pub enum SiteRequest {
     /// Execute and locally commit an update transaction.
     ExecUpdate {
+        /// Flight-recorder trace id (0 = untraced). Carried on the wire so
+        /// site-side begin/execute/commit events join the selector's
+        /// routing events on one causal timeline.
+        txn_id: u64,
         /// Freshness floor: max of client session vector and remaster
         /// out-vv (Algorithm 1).
         min_vv: VersionVector,
@@ -171,6 +175,8 @@ pub enum SiteRequest {
     },
     /// Execute a read-only transaction.
     ExecRead {
+        /// Flight-recorder trace id (0 = untraced).
+        txn_id: u64,
         /// Freshness floor (client session vector).
         min_vv: VersionVector,
         /// The transaction.
@@ -202,6 +208,8 @@ pub enum SiteRequest {
     },
     /// Execute as a 2PC coordinator (multi-master / partition-store).
     ExecCoordinated {
+        /// Flight-recorder trace id (0 = untraced).
+        txn_id: u64,
         /// Freshness floor.
         min_vv: VersionVector,
         /// The transaction.
@@ -274,17 +282,25 @@ impl Encode for SiteRequest {
     fn encode(&self, buf: &mut impl BufMut) {
         match self {
             SiteRequest::ExecUpdate {
+                txn_id,
                 min_vv,
                 proc,
                 check_mastery,
             } => {
                 buf.put_u8(REQ_EXEC_UPDATE);
+                buf.put_u64(*txn_id);
                 min_vv.encode(buf);
                 proc.encode(buf);
                 buf.put_u8(u8::from(*check_mastery));
             }
-            SiteRequest::ExecRead { min_vv, proc, mode } => {
+            SiteRequest::ExecRead {
+                txn_id,
+                min_vv,
+                proc,
+                mode,
+            } => {
                 buf.put_u8(REQ_EXEC_READ);
+                buf.put_u64(*txn_id);
                 min_vv.encode(buf);
                 proc.encode(buf);
                 encode_read_mode(*mode, buf);
@@ -311,8 +327,14 @@ impl Encode for SiteRequest {
                 rel_vv.encode(buf);
                 buf.put_u64(*generation);
             }
-            SiteRequest::ExecCoordinated { min_vv, proc, mode } => {
+            SiteRequest::ExecCoordinated {
+                txn_id,
+                min_vv,
+                proc,
+                mode,
+            } => {
                 buf.put_u8(REQ_EXEC_COORD);
+                buf.put_u64(*txn_id);
                 min_vv.encode(buf);
                 proc.encode(buf);
                 encode_read_mode(*mode, buf);
@@ -359,12 +381,10 @@ impl Encode for SiteRequest {
 
     fn encoded_len(&self) -> usize {
         1 + match self {
-            SiteRequest::ExecUpdate { min_vv, proc, .. } => {
-                min_vv.encoded_len() + proc.encoded_len() + 1
-            }
-            SiteRequest::ExecRead { min_vv, proc, .. }
+            SiteRequest::ExecUpdate { min_vv, proc, .. }
+            | SiteRequest::ExecRead { min_vv, proc, .. }
             | SiteRequest::ExecCoordinated { min_vv, proc, .. } => {
-                min_vv.encoded_len() + proc.encoded_len() + 1
+                8 + min_vv.encoded_len() + proc.encoded_len() + 1
             }
             SiteRequest::Release { .. } => 24,
             SiteRequest::Grant { rel_vv, .. } => 24 + rel_vv.encoded_len(),
@@ -406,11 +426,13 @@ impl Decode for SiteRequest {
     fn decode(buf: &mut impl Buf) -> Result<Self> {
         match codec::get_u8(buf)? {
             REQ_EXEC_UPDATE => Ok(SiteRequest::ExecUpdate {
+                txn_id: codec::get_u64(buf)?,
                 min_vv: VersionVector::decode(buf)?,
                 proc: ProcCall::decode(buf)?,
                 check_mastery: codec::get_u8(buf)? != 0,
             }),
             REQ_EXEC_READ => Ok(SiteRequest::ExecRead {
+                txn_id: codec::get_u64(buf)?,
                 min_vv: VersionVector::decode(buf)?,
                 proc: ProcCall::decode(buf)?,
                 mode: decode_read_mode(buf)?,
@@ -427,6 +449,7 @@ impl Decode for SiteRequest {
                 generation: codec::get_u64(buf)?,
             }),
             REQ_EXEC_COORD => Ok(SiteRequest::ExecCoordinated {
+                txn_id: codec::get_u64(buf)?,
                 min_vv: VersionVector::decode(buf)?,
                 proc: ProcCall::decode(buf)?,
                 mode: decode_read_mode(buf)?,
@@ -895,11 +918,13 @@ mod tests {
     fn all_requests_roundtrip() {
         let vv = VersionVector::from_counts(vec![1, 2]);
         roundtrip_req(SiteRequest::ExecUpdate {
+            txn_id: 41,
             min_vv: vv.clone(),
             proc: sample_proc(),
             check_mastery: true,
         });
         roundtrip_req(SiteRequest::ExecRead {
+            txn_id: 0,
             min_vv: vv.clone(),
             proc: sample_proc(),
             mode: ReadMode::Snapshot,
@@ -916,6 +941,7 @@ mod tests {
             generation: 2,
         });
         roundtrip_req(SiteRequest::ExecCoordinated {
+            txn_id: 42,
             min_vv: vv.clone(),
             proc: sample_proc(),
             mode: ReadMode::Latest,

@@ -156,12 +156,14 @@ fn client_rpc(network: &Network, site: SiteId, req: &SiteRequest) -> Result<Byte
 pub fn exec_update_at(
     network: &Network,
     site: SiteId,
+    txn_id: u64,
     session: &mut ClientSession,
     min_vv: &VersionVector,
     proc: &ProcCall,
     check_mastery: bool,
 ) -> Result<(Bytes, ExecTimings)> {
     let req = SiteRequest::ExecUpdate {
+        txn_id,
         min_vv: min_vv.max_with(&session.cvv),
         proc: proc.clone(),
         check_mastery,
@@ -186,11 +188,13 @@ pub fn exec_update_at(
 pub fn exec_read_at(
     network: &Network,
     site: SiteId,
+    txn_id: u64,
     session: &mut ClientSession,
     proc: &ProcCall,
     mode: ReadMode,
 ) -> Result<(Bytes, ExecTimings)> {
     let req = SiteRequest::ExecRead {
+        txn_id,
         min_vv: session.cvv.clone(),
         proc: proc.clone(),
         mode,
@@ -215,11 +219,13 @@ pub fn exec_read_at(
 pub fn exec_coordinated_at(
     network: &Network,
     site: SiteId,
+    txn_id: u64,
     session: &mut ClientSession,
     proc: &ProcCall,
     mode: ReadMode,
 ) -> Result<(Bytes, ExecTimings)> {
     let req = SiteRequest::ExecCoordinated {
+        txn_id,
         min_vv: session.cvv.clone(),
         proc: proc.clone(),
         mode,

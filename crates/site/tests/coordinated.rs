@@ -107,7 +107,7 @@ fn single_fragment_local_write_commits_without_2pc() {
     let d = partitioned_deployment(false);
     load(&d.sites, 10, 5, false); // even partition → site 0
     let min = VersionVector::zero(2);
-    let (_, vv, _) = run_coordinated(&d.sites[0], &min, &inc(&[10]), ReadMode::Latest).unwrap();
+    let (_, vv, _) = run_coordinated(&d.sites[0], 0, &min, &inc(&[10]), ReadMode::Latest).unwrap();
     let (row, _) = d.sites[0]
         .store()
         .read_latest(Key::new(TABLE, 10))
@@ -123,7 +123,7 @@ fn cross_site_write_set_commits_via_two_phase_commit() {
     load(&d.sites, 10, 0, false); // site 0
     load(&d.sites, 110, 0, false); // site 1
     let min = VersionVector::zero(2);
-    run_coordinated(&d.sites[0], &min, &inc(&[10, 110]), ReadMode::Latest).unwrap();
+    run_coordinated(&d.sites[0], 0, &min, &inc(&[10, 110]), ReadMode::Latest).unwrap();
     // Both fragments installed at their owners.
     let (r0, _) = d.sites[0]
         .store()
@@ -146,7 +146,7 @@ fn remote_reads_resolve_through_owners() {
                                     // Coordinator site 0 increments a key it does not own: the read goes
                                     // remote, the write commits at the owner via 2PC.
     let min = VersionVector::zero(2);
-    run_coordinated(&d.sites[0], &min, &inc(&[110]), ReadMode::Latest).unwrap();
+    run_coordinated(&d.sites[0], 0, &min, &inc(&[110]), ReadMode::Latest).unwrap();
     let (row, _) = d.sites[1]
         .store()
         .read_latest(Key::new(TABLE, 110))
@@ -179,7 +179,7 @@ fn retry_backoff_leaves_txn_ids_contiguous() {
     locked_rx.recv().unwrap();
 
     let min = VersionVector::zero(2);
-    run_coordinated(&coord, &min, &inc(&[110]), ReadMode::Latest).unwrap();
+    run_coordinated(&coord, 0, &min, &inc(&[110]), ReadMode::Latest).unwrap();
     blocker.join().unwrap();
 
     let retries = coord.aborts.get() - aborts_before;
@@ -205,7 +205,7 @@ fn concurrent_coordinators_never_lose_increments() {
         handles.push(std::thread::spawn(move || {
             let min = VersionVector::zero(2);
             for _ in 0..25 {
-                run_coordinated(&site, &min, &inc(&[10, 110]), ReadMode::Snapshot).unwrap();
+                run_coordinated(&site, 0, &min, &inc(&[10, 110]), ReadMode::Snapshot).unwrap();
             }
         }));
     }

@@ -20,7 +20,7 @@ fn release_then_grant_transfers_mastership() {
     a.ownership().grant(pid(0));
     // A local commit at A must be visible at B after the grant's catch-up.
     let min = VersionVector::zero(2);
-    a.run_update(&min, &write_call(&[5]), true).unwrap();
+    a.run_update(0, &min, &write_call(&[5]), true).unwrap();
 
     let rel_vv = a.release(pid(0), 1).unwrap();
     assert!(!a.ownership().is_mastered(pid(0)));
@@ -31,7 +31,7 @@ fn release_then_grant_transfers_mastership() {
     let row = b.store().read(Key::new(TABLE, 5), &grant_vv).unwrap();
     assert!(row.is_some(), "grantee must have the releaser's state");
     // And B can now execute updates on the partition.
-    b.run_update(&grant_vv, &write_call(&[6]), true).unwrap();
+    b.run_update(0, &grant_vv, &write_call(&[6]), true).unwrap();
 }
 
 #[test]
@@ -39,12 +39,12 @@ fn updates_on_unmastered_partitions_are_rejected() {
     let d = deployment(2);
     let site = &d.sites[0];
     let err = site
-        .run_update(&VersionVector::zero(2), &write_call(&[1]), true)
+        .run_update(0, &VersionVector::zero(2), &write_call(&[1]), true)
         .unwrap_err();
     assert!(matches!(err, DynaError::NotMaster { .. }));
     // With the mastership check disabled (2PC systems own their checks),
     // the update executes.
-    site.run_update(&VersionVector::zero(2), &write_call(&[1]), false)
+    site.run_update(0, &VersionVector::zero(2), &write_call(&[1]), false)
         .unwrap();
 }
 
@@ -134,7 +134,7 @@ fn refresh_propagation_carries_local_commits_to_peers() {
     let a = &d.sites[0];
     a.ownership().grant(pid(0));
     let min = VersionVector::zero(3);
-    let (_, commit_vv, _) = a.run_update(&min, &write_call(&[1, 2]), true).unwrap();
+    let (_, commit_vv, _) = a.run_update(0, &min, &write_call(&[1, 2]), true).unwrap();
     // Peers converge via their propagators.
     for peer in &d.sites[1..] {
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
@@ -158,7 +158,7 @@ fn grant_blocks_until_releaser_state_arrives() {
     // Commit a burst at A so the release vector is ahead of B.
     let min = VersionVector::zero(2);
     for i in 0..20u64 {
-        a.run_update(&min, &write_call(&[i]), true).unwrap();
+        a.run_update(0, &min, &write_call(&[i]), true).unwrap();
     }
     let rel_vv = a.release(pid(0), 1).unwrap();
     // The grant must wait for B to apply A's history, then B's vv dominates.

@@ -14,12 +14,43 @@ use dynamast::baselines::static_system::{StaticKind, StaticSystem};
 use dynamast::common::ids::ClientId;
 use dynamast::common::{Result, SystemConfig};
 use dynamast::core::dynamast::{DynaMastConfig, DynaMastSystem};
+use dynamast::network::{Network, TrafficCategory};
 use dynamast::site::system::{ClientSession, ReplicatedSystem};
 use dynamast::workloads::{TxnKind, Workload, YcsbConfig, YcsbWorkload};
 
 const CLIENTS: usize = 8;
 const TXNS_PER_CLIENT: usize = 150;
 const SITES: usize = 4;
+
+/// Asserts the traffic matrix matches the architecture: every category in
+/// `expected` saw at least one message, every other category saw none. A
+/// zero where traffic belongs (or traffic where none belongs) means an RPC
+/// path lost its accounting — exactly the regression this example guards.
+fn audit_traffic(name: &str, network: &Arc<Network>, expected: &[TrafficCategory]) {
+    let snapshot = network.stats().snapshot();
+    let mut bad = Vec::new();
+    for category in TrafficCategory::ALL {
+        let messages = snapshot.get(category).messages;
+        let relevant = expected.contains(&category);
+        if relevant && messages == 0 {
+            bad.push(format!("{} expected traffic, saw none", category.label()));
+        } else if !relevant && messages != 0 {
+            bad.push(format!(
+                "{} expected no traffic, saw {messages} msgs",
+                category.label()
+            ));
+        }
+    }
+    assert!(bad.is_empty(), "{name}: traffic audit failed: {bad:?}");
+    let breakdown: Vec<String> = expected
+        .iter()
+        .map(|c| {
+            let totals = snapshot.get(*c);
+            format!("{} {:.1} KiB", c.label(), totals.bytes as f64 / 1024.0)
+        })
+        .collect();
+    println!("{:>16}  traffic: {}", "", breakdown.join(" | "));
+}
 
 fn drive(name: &str, system: Arc<dyn ReplicatedSystem>, workload: &YcsbWorkload) -> Result<()> {
     let start = Instant::now();
@@ -70,11 +101,35 @@ fn main() -> Result<()> {
         workload.executor(),
     );
     workload.populate(&mut |k, r| dynamast.load_row(k, r))?;
+    let net = Arc::clone(dynamast.network());
     drive("dynamast", dynamast as Arc<dyn ReplicatedSystem>, &workload)?;
+    audit_traffic(
+        "dynamast",
+        &net,
+        &[
+            TrafficCategory::ClientSelector,
+            TrafficCategory::ClientSite,
+            TrafficCategory::Remaster,
+            TrafficCategory::Replication,
+        ],
+    );
 
     let sm = single_master(config(), workload.catalog(), workload.executor());
     workload.populate(&mut |k, r| sm.load_row(k, r))?;
+    let net = Arc::clone(sm.network());
     drive("single-master", sm as Arc<dyn ReplicatedSystem>, &workload)?;
+    // Remaster traffic with zero remaster ops: first-touch placement grants
+    // are charged to the remaster category even under a pinned strategy.
+    audit_traffic(
+        "single-master",
+        &net,
+        &[
+            TrafficCategory::ClientSelector,
+            TrafficCategory::ClientSite,
+            TrafficCategory::Remaster,
+            TrafficCategory::Replication,
+        ],
+    );
 
     for kind in [StaticKind::MultiMaster, StaticKind::PartitionStore] {
         let system = StaticSystem::build(
@@ -92,7 +147,22 @@ fn main() -> Result<()> {
         } else {
             "partition-store"
         };
+        let net = Arc::clone(system.network());
         drive(name, system as Arc<dyn ReplicatedSystem>, &workload)?;
+        // Both static systems spread writes through client-coordinated 2PC.
+        // Multi-master additionally tails every commit out to the other
+        // full replicas; partition-store owns each partition exactly once,
+        // so its propagator has nothing to ship.
+        let expected: &[TrafficCategory] = if kind == StaticKind::MultiMaster {
+            &[
+                TrafficCategory::ClientSite,
+                TrafficCategory::TwoPhaseCommit,
+                TrafficCategory::Replication,
+            ]
+        } else {
+            &[TrafficCategory::ClientSite, TrafficCategory::TwoPhaseCommit]
+        };
+        audit_traffic(name, &net, expected);
     }
 
     let leap = LeapSystem::build(
@@ -104,7 +174,17 @@ fn main() -> Result<()> {
         8,
     );
     workload.populate(&mut |k, r| leap.load_row(k, r))?;
+    let net = Arc::clone(leap.network());
     drive("leap", leap as Arc<dyn ReplicatedSystem>, &workload)?;
+    audit_traffic(
+        "leap",
+        &net,
+        &[
+            TrafficCategory::ClientSelector,
+            TrafficCategory::ClientSite,
+            TrafficCategory::DataShip,
+        ],
+    );
 
     Ok(())
 }

@@ -1,0 +1,164 @@
+//! Flight-recorder walkthrough: run a SmallBank burst against an adaptive
+//! DynaMast deployment, then reconstruct one transaction's causal timeline
+//! (route → remaster → execute → commit → refresh) and explain one remaster
+//! decision's per-candidate feature scores (paper Eq. 8).
+//!
+//! Run with: `cargo run --release --example trace`
+//!
+//! Environment:
+//! * `TRACE_RING` — per-thread recorder ring capacity (default 1024).
+//! * `DYNA_METRICS_JSON` — when set, the unified metrics snapshot is written
+//!   to this path (CI validates it against `schemas/metrics_snapshot.schema.json`).
+
+use std::thread;
+
+use dynamast::common::ids::ClientId;
+use dynamast::common::trace::{render_timelines, TraceEvent, TraceKind, TracePayload};
+use dynamast::core::dynamast::{DynaMastConfig, DynaMastSystem};
+use dynamast::site::system::{ClientSession, ReplicatedSystem};
+use dynamast::workloads::smallbank::{SmallBankConfig, SmallBankWorkload};
+use dynamast::workloads::spec::{TxnKind, Workload};
+
+const NUM_SITES: usize = 3;
+const CLIENTS: usize = 4;
+const TXNS_PER_CLIENT: usize = 250;
+
+fn main() -> dynamast::common::Result<()> {
+    // A small SmallBank instance with a pronounced hotspot: the co-access
+    // pattern gives the selector real remaster decisions to make.
+    let workload = SmallBankWorkload::new(SmallBankConfig {
+        num_customers: 2_000,
+        hotspot_size: 100,
+        ..SmallBankConfig::default()
+    });
+    let config = dynamast::common::SystemConfig::new(NUM_SITES);
+    let system = DynaMastSystem::build(
+        DynaMastConfig::adaptive(config, workload.catalog()),
+        workload.executor(),
+    );
+    workload.populate(&mut |key, row| system.load_row(key, row))?;
+
+    // Burst: a few client threads each running their deterministic stream.
+    thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let system = &system;
+            let workload = &workload;
+            scope.spawn(move || {
+                let id = ClientId::new(c + 1);
+                let mut generator = workload.client(id, 0xF11_6487 + c as u64);
+                let mut session = ClientSession::new(id, NUM_SITES);
+                for _ in 0..TXNS_PER_CLIENT {
+                    let txn = generator.next_txn();
+                    let outcome = match txn.kind {
+                        TxnKind::Update => system.update(&mut session, &txn.call),
+                        TxnKind::ReadOnly => system.read(&mut session, &txn.call),
+                    };
+                    // Chaos-free run: every transaction must commit.
+                    outcome.unwrap_or_else(|e| panic!("{} failed: {e}", txn.label));
+                }
+            });
+        }
+    });
+
+    let events = system.recorder().snapshot();
+    println!(
+        "recorded {} events across the burst ({} dropped under snapshot contention)\n",
+        events.len(),
+        system.recorder().dropped()
+    );
+
+    print_one_lifecycle(&events);
+    print_one_decision(&events);
+
+    let stats = system.stats();
+    println!(
+        "burst summary: committed={} remaster_ops={} partitions_moved={} masters/site={:?}\n",
+        stats.committed_updates, stats.remaster_ops, stats.partitions_moved, stats.masters_per_site
+    );
+
+    // The unified metrics snapshot: selector counters + the traffic matrix.
+    let json = system.metrics().snapshot_json();
+    match std::env::var("DYNA_METRICS_JSON") {
+        Ok(path) if !path.is_empty() => {
+            std::fs::write(&path, &json).expect("write DYNA_METRICS_JSON");
+            println!("metrics snapshot written to {path}");
+        }
+        _ => println!("metrics snapshot:\n{json}"),
+    }
+    Ok(())
+}
+
+/// Picks the most interesting fully-recorded transaction — preferring one
+/// whose routing required a remaster — and prints its causal timeline.
+fn print_one_lifecycle(events: &[TraceEvent]) {
+    let complete = |txn: u64| {
+        let has = |k: TraceKind| events.iter().any(|e| e.txn_id == txn && e.kind == k);
+        has(TraceKind::Route) && has(TraceKind::TxnCommit)
+    };
+    let remastered = events.iter().rev().find(|e| {
+        matches!(e.payload, TracePayload::Route { remastered, .. } if remastered)
+            && complete(e.txn_id)
+    });
+    let chosen = remastered
+        .or_else(|| {
+            events
+                .iter()
+                .rev()
+                .find(|e| e.kind == TraceKind::Route && complete(e.txn_id))
+        })
+        .map(|e| e.txn_id);
+    let Some(txn) = chosen else {
+        println!("no complete transaction lifecycle in the recorder window");
+        return;
+    };
+    // Keep the transaction's own events plus every untraced refresh event;
+    // the renderer joins the refreshes in via the commit's version stamp.
+    let slice: Vec<TraceEvent> = events
+        .iter()
+        .filter(|e| e.txn_id == txn || (e.txn_id == 0 && e.kind == TraceKind::RefreshApply))
+        .cloned()
+        .collect();
+    println!("=== one transaction's causal timeline ===");
+    print!("{}", render_timelines(&slice, 1));
+    println!();
+}
+
+/// Prints the per-candidate four-feature scoring table of the most recent
+/// remaster decision (Eq. 8: total = balance − delay + intra + inter).
+fn print_one_decision(events: &[TraceEvent]) {
+    let Some(ev) = events
+        .iter()
+        .rev()
+        .find(|e| e.kind == TraceKind::RemasterDecision)
+    else {
+        println!("no remaster decision in the recorder window");
+        return;
+    };
+    let TracePayload::Decision {
+        chosen,
+        partitions,
+        candidates,
+    } = &ev.payload
+    else {
+        return;
+    };
+    println!(
+        "=== one remaster decision explained (txn {}, {partitions} partitions, chose site{chosen}) ===",
+        ev.txn_id
+    );
+    println!("  site   balance    delay    intra    inter    total");
+    for c in candidates.iter() {
+        println!(
+            "  {:>4} {:>9.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4}{}{}",
+            c.site,
+            c.balance,
+            c.delay,
+            c.intra,
+            c.inter,
+            c.total,
+            if c.site == *chosen { "  <= chosen" } else { "" },
+            if c.reachable { "" } else { "  (unreachable)" }
+        );
+    }
+    println!("  (total = balance - delay + intra + inter; argmax wins, ties to the lowest id)\n");
+}

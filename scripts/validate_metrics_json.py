@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate a MetricsRegistry snapshot against its checked-in JSON schema.
+
+Stdlib-only (no jsonschema dependency): implements exactly the schema
+subset `schemas/metrics_snapshot.schema.json` uses — `type` (object /
+integer), `required`, `properties`, `additionalProperties` (false or a
+subschema), `minimum`, and local `$ref` into `$defs`.
+
+Usage: validate_metrics_json.py <schema.json> <document.json>
+Exits 0 when the document conforms; prints every violation and exits 1
+otherwise.
+"""
+
+import json
+import sys
+
+
+class Validator:
+    def __init__(self, schema):
+        self.root = schema
+        self.errors = []
+
+    def resolve(self, schema):
+        """Follows a local `$ref` (e.g. `#/$defs/categoryTotals`)."""
+        while "$ref" in schema:
+            ref = schema["$ref"]
+            if not ref.startswith("#/"):
+                raise ValueError(f"only local $refs supported, got {ref!r}")
+            node = self.root
+            for part in ref[2:].split("/"):
+                node = node[part]
+            schema = node
+        return schema
+
+    def check(self, schema, value, path):
+        schema = self.resolve(schema)
+
+        expected = schema.get("type")
+        if expected == "object":
+            if not isinstance(value, dict):
+                self.errors.append(f"{path}: expected object, got {type(value).__name__}")
+                return
+        elif expected == "integer":
+            # bool is an int subclass in Python; a JSON true is not an integer.
+            if not isinstance(value, int) or isinstance(value, bool):
+                self.errors.append(f"{path}: expected integer, got {type(value).__name__}")
+                return
+            if "minimum" in schema and value < schema["minimum"]:
+                self.errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+            return
+        elif expected is not None:
+            raise ValueError(f"unsupported type keyword {expected!r} at {path}")
+
+        props = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                self.errors.append(f"{path}: missing required property {name!r}")
+        for name, subvalue in value.items():
+            subpath = f"{path}/{name}"
+            if name in props:
+                self.check(props[name], subvalue, subpath)
+            else:
+                additional = schema.get("additionalProperties", True)
+                if additional is False:
+                    self.errors.append(f"{path}: unexpected property {name!r}")
+                elif additional is not True:
+                    self.check(additional, subvalue, subpath)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} <schema.json> <document.json>")
+    with open(sys.argv[1], encoding="utf-8") as f:
+        schema = json.load(f)
+    with open(sys.argv[2], encoding="utf-8") as f:
+        document = json.load(f)
+
+    validator = Validator(schema)
+    validator.check(schema, document, "$")
+    if validator.errors:
+        print(f"{sys.argv[2]} violates {sys.argv[1]}:", file=sys.stderr)
+        for error in validator.errors:
+            print(f"  {error}", file=sys.stderr)
+        sys.exit(1)
+    print(f"{sys.argv[2]}: conforms to {sys.argv[1]}")
+
+
+if __name__ == "__main__":
+    main()

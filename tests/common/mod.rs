@@ -95,6 +95,17 @@ pub fn arm_watchdog(
             } else {
                 eprintln!("[chaos] in-flight RPC table:\n{dump}");
             }
+            // The flight recorder explains *how the system got here*: the
+            // last recorded events grouped into per-transaction causal
+            // timelines (route → remaster → execute → commit → refresh).
+            if let Some(rec) = net.recorder() {
+                let timelines = rec.dump_recent_timelines(256, 8);
+                if timelines.is_empty() {
+                    eprintln!("[chaos] flight recorder is empty");
+                } else {
+                    eprintln!("[chaos] flight-recorder timelines (last 256 events):\n{timelines}");
+                }
+            }
         }
         std::process::exit(101);
     });

@@ -65,6 +65,7 @@ fn update_via_replica(
     match exec_update_at(
         system.network(),
         decision.site,
+        0,
         session,
         &decision.min_vv,
         proc,
@@ -76,6 +77,7 @@ fn update_via_replica(
             exec_update_at(
                 system.network(),
                 decision.site,
+                0,
                 session,
                 &decision.min_vv,
                 proc,

@@ -1,0 +1,220 @@
+//! Per-architecture traffic-matrix audit: every category of network traffic
+//! an architecture is supposed to generate must be nonzero after a burst,
+//! and every category it must not generate must stay zero. A silent zero
+//! (or a silent nonzero) means an RPC path gained or lost its accounting —
+//! the regression this test pins down for all five systems the paper
+//! compares.
+
+use std::sync::Arc;
+use std::thread;
+
+use dynamast::baselines::leap::LeapSystem;
+use dynamast::baselines::single_master::single_master;
+use dynamast::baselines::static_system::{StaticKind, StaticSystem};
+use dynamast::common::ids::ClientId;
+use dynamast::common::SystemConfig;
+use dynamast::core::dynamast::{DynaMastConfig, DynaMastSystem};
+use dynamast::network::{Network, TrafficCategory};
+use dynamast::site::system::{ClientSession, ReplicatedSystem};
+use dynamast::workloads::{TxnKind, Workload, YcsbConfig, YcsbWorkload};
+
+const SITES: usize = 3;
+const CLIENTS: usize = 4;
+const TXNS_PER_CLIENT: usize = 100;
+
+fn workload() -> YcsbWorkload {
+    YcsbWorkload::new(YcsbConfig {
+        num_keys: 4_000,
+        rmw_fraction: 0.5,
+        ..YcsbConfig::default()
+    })
+}
+
+fn config() -> SystemConfig {
+    SystemConfig::new(SITES).with_instant_service()
+}
+
+/// Runs a short burst, then asserts the traffic matrix: nonzero messages
+/// for every expected category, zero for every other.
+fn burst_and_audit(
+    name: &str,
+    system: Arc<dyn ReplicatedSystem>,
+    network: &Arc<Network>,
+    workload: &YcsbWorkload,
+    expected: &[TrafficCategory],
+) {
+    thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let system = Arc::clone(&system);
+            let mut generator = workload.client(ClientId::new(c), 31 + c as u64);
+            scope.spawn(move || {
+                let mut session = ClientSession::new(ClientId::new(c), SITES);
+                for _ in 0..TXNS_PER_CLIENT {
+                    let txn = generator.next_txn();
+                    let outcome = match txn.kind {
+                        TxnKind::Update => system.update(&mut session, &txn.call),
+                        TxnKind::ReadOnly => system.read(&mut session, &txn.call),
+                    };
+                    outcome.unwrap_or_else(|e| panic!("{name}: {} failed: {e}", txn.label));
+                }
+            });
+        }
+    });
+    let snapshot = network.stats().snapshot();
+    for category in TrafficCategory::ALL {
+        let totals = snapshot.get(category);
+        if expected.contains(&category) {
+            assert!(
+                totals.messages > 0,
+                "{name}: expected {} traffic, saw none",
+                category.label()
+            );
+            assert!(
+                totals.bytes > 0,
+                "{name}: {} messages recorded but zero bytes charged",
+                category.label()
+            );
+        } else {
+            assert_eq!(
+                totals.messages,
+                0,
+                "{name}: expected no {} traffic, saw {} msgs",
+                category.label(),
+                totals.messages
+            );
+        }
+    }
+}
+
+#[test]
+fn dynamast_traffic_categories() {
+    let workload = workload();
+    let system = DynaMastSystem::build(
+        DynaMastConfig::adaptive(config(), workload.catalog()),
+        workload.executor(),
+    );
+    workload
+        .populate(&mut |k, r| system.load_row(k, r))
+        .unwrap();
+    let net = Arc::clone(system.network());
+    burst_and_audit(
+        "dynamast",
+        system,
+        &net,
+        &workload,
+        &[
+            TrafficCategory::ClientSelector,
+            TrafficCategory::ClientSite,
+            TrafficCategory::Remaster,
+            TrafficCategory::Replication,
+        ],
+    );
+}
+
+#[test]
+fn single_master_traffic_categories() {
+    let workload = workload();
+    let system = single_master(config(), workload.catalog(), workload.executor());
+    workload
+        .populate(&mut |k, r| system.load_row(k, r))
+        .unwrap();
+    let net = Arc::clone(system.network());
+    // Remaster traffic without remaster ops: first-touch placement grants
+    // are charged to the remaster category even under a pinned strategy.
+    burst_and_audit(
+        "single-master",
+        system,
+        &net,
+        &workload,
+        &[
+            TrafficCategory::ClientSelector,
+            TrafficCategory::ClientSite,
+            TrafficCategory::Remaster,
+            TrafficCategory::Replication,
+        ],
+    );
+}
+
+#[test]
+fn multi_master_traffic_categories() {
+    let workload = workload();
+    let system = StaticSystem::build(
+        StaticKind::MultiMaster,
+        config(),
+        workload.catalog(),
+        workload.static_owner(SITES),
+        workload.static_tables(),
+        workload.executor(),
+        8,
+    );
+    workload
+        .populate(&mut |k, r| system.load_row(k, r))
+        .unwrap();
+    let net = Arc::clone(system.network());
+    burst_and_audit(
+        "multi-master",
+        system,
+        &net,
+        &workload,
+        &[
+            TrafficCategory::ClientSite,
+            TrafficCategory::TwoPhaseCommit,
+            TrafficCategory::Replication,
+        ],
+    );
+}
+
+#[test]
+fn partition_store_traffic_categories() {
+    let workload = workload();
+    let system = StaticSystem::build(
+        StaticKind::PartitionStore,
+        config(),
+        workload.catalog(),
+        workload.static_owner(SITES),
+        workload.static_tables(),
+        workload.executor(),
+        8,
+    );
+    workload
+        .populate(&mut |k, r| system.load_row(k, r))
+        .unwrap();
+    let net = Arc::clone(system.network());
+    // Each partition is owned exactly once, so the propagator has nothing
+    // to ship: replication must stay zero.
+    burst_and_audit(
+        "partition-store",
+        system,
+        &net,
+        &workload,
+        &[TrafficCategory::ClientSite, TrafficCategory::TwoPhaseCommit],
+    );
+}
+
+#[test]
+fn leap_traffic_categories() {
+    let workload = workload();
+    let system = LeapSystem::build(
+        config(),
+        workload.catalog(),
+        workload.static_owner(SITES),
+        workload.static_tables(),
+        workload.executor(),
+        8,
+    );
+    workload
+        .populate(&mut |k, r| system.load_row(k, r))
+        .unwrap();
+    let net = Arc::clone(system.network());
+    burst_and_audit(
+        "leap",
+        system,
+        &net,
+        &workload,
+        &[
+            TrafficCategory::ClientSelector,
+            TrafficCategory::ClientSite,
+            TrafficCategory::DataShip,
+        ],
+    );
+}
