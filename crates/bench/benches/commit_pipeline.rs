@@ -1,0 +1,375 @@
+//! Commit-throughput microbenchmark: the shared [`CommitPipeline`] (narrow
+//! sequencing section, install/serialize outside any global lock,
+//! group-committed log, batched refresh apply) against a faithful replica of
+//! the pre-refactor path (one `commit_order` mutex held across sequence
+//! allocation, per-row clone-installs, record encoding, log append, and svv
+//! publication; per-record clone-apply on the consume side).
+//!
+//! After the criterion single-op benches, `main` runs the multi-threaded
+//! comparison at 1/4/8 committer threads — each run commits a fixed
+//! transaction count and then drains the whole log into a replica, so the
+//! measured window covers commit *and* replication apply — and writes the
+//! numbers to `BENCH_commit.json` at the repo root. Set `DYNAMAST_MT_ONLY=1`
+//! to skip the criterion benches and run only the comparison.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use bytes::Bytes;
+use criterion::{criterion_group, BatchSize, Criterion};
+use dynamast_common::codec::encode_to_vec;
+use dynamast_common::ids::{Key, SiteId, TableId};
+use dynamast_common::{Row, Value, VersionVector};
+use dynamast_replication::record::{LogRecord, WriteEntry};
+use dynamast_replication::DurableLog;
+use dynamast_site::{apply_refresh_batch, CommitPipeline, SiteClock};
+use dynamast_storage::{Catalog, Store, VersionStamp};
+use parking_lot::Mutex;
+
+const TABLE: TableId = TableId::new(0);
+const WRITES_PER_TXN: usize = 8;
+const ROW_FIELDS: usize = 25;
+const ROW_FIELD_BYTES: usize = 40;
+/// Total committed transactions per measured run (split across threads).
+const TXNS_PER_RUN: u64 = 6000;
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table("t", 1, 4096);
+    cat
+}
+
+/// A wide row (25 fields of 40 bytes, 1 KB payload): each deep clone the old
+/// path performs (into the origin chain at commit, into the replica chain at
+/// apply) costs one allocation per field, next to the flat encode/decode
+/// work both paths share.
+fn row(tag: u64) -> Row {
+    Row::new(
+        (0..ROW_FIELDS as u64)
+            .map(|f| Value::Bytes(vec![(tag ^ f) as u8; ROW_FIELD_BYTES]))
+            .collect(),
+    )
+}
+
+fn txn_writes(thread: u64, i: u64) -> Vec<WriteEntry> {
+    (0..WRITES_PER_TXN as u64)
+        .map(|w| {
+            let record = thread * 512 + (i * WRITES_PER_TXN as u64 + w) % 512;
+            WriteEntry::new(Key::new(TABLE, record), row(i))
+        })
+        .collect()
+}
+
+/// One origin + one replica, committed to and drained by either path.
+trait Committer: Send + Sync {
+    fn commit(&self, writes: Vec<WriteEntry>);
+    /// Applies every log record to the replica, returning the replica's
+    /// final svv entry for the origin (sanity check).
+    fn drain_into_replica(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------
+// Baseline: the pre-refactor commit critical section, verbatim shape
+// ---------------------------------------------------------------------
+
+/// Faithful replica of the old `commit_local`: one `commit_order` mutex held
+/// across allocate → clone-install → encode+append → publish, and the old
+/// per-record refresh apply that installs row clones under the replica's
+/// clock lock.
+struct MutexCommitter {
+    site: SiteId,
+    store: Store,
+    log: DurableLog,
+    clock: SiteClock,
+    commit_order: Mutex<()>,
+    replica: Store,
+    replica_svv: Mutex<VersionVector>,
+}
+
+impl MutexCommitter {
+    fn build() -> Self {
+        MutexCommitter {
+            site: SiteId::new(0),
+            store: Store::new(catalog(), usize::MAX >> 1),
+            log: DurableLog::new(),
+            clock: SiteClock::new(SiteId::new(0), 2),
+            commit_order: Mutex::new(()),
+            replica: Store::new(catalog(), usize::MAX >> 1),
+            replica_svv: Mutex::new(VersionVector::zero(2)),
+        }
+    }
+}
+
+impl Committer for MutexCommitter {
+    fn commit(&self, writes: Vec<WriteEntry>) {
+        let begin = VersionVector::zero(2);
+        let _commit_order = self.commit_order.lock();
+        let seq = self.clock.allocate();
+        let stamp = VersionStamp::new(self.site, seq);
+        for w in &writes {
+            self.store.install(w.key, stamp, w.row.clone()).unwrap();
+        }
+        let mut tvv = begin;
+        tvv.set(self.site, seq);
+        let record = LogRecord::Commit {
+            origin: self.site,
+            tvv,
+            writes,
+        };
+        self.log.append(&record);
+        self.clock.publish(seq).unwrap();
+    }
+
+    fn drain_into_replica(&self) -> u64 {
+        let (records, _) = self.log.read_from(0).unwrap();
+        for record in records {
+            let LogRecord::Commit {
+                origin,
+                tvv,
+                writes,
+            } = record
+            else {
+                unreachable!("commit-only workload")
+            };
+            // Old consume side: admission check and clone-installs both
+            // inside the svv lock, one advance + (implicit) wake per record.
+            let mut svv = self.replica_svv.lock();
+            assert!(svv.can_apply_refresh(&tvv, origin));
+            let stamp = VersionStamp::new(origin, tvv.get(origin));
+            for w in &writes {
+                self.replica.install(w.key, stamp, w.row.clone()).unwrap();
+            }
+            svv.set(origin, tvv.get(origin));
+        }
+        self.replica_svv.lock().get(self.site)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The commit pipeline
+// ---------------------------------------------------------------------
+
+struct PipelineCommitter {
+    site: SiteId,
+    store: Store,
+    log: Arc<DurableLog>,
+    pipeline: CommitPipeline,
+    replica: Store,
+    replica_clock: SiteClock,
+}
+
+impl PipelineCommitter {
+    fn build() -> Self {
+        let site = SiteId::new(0);
+        let clock = Arc::new(SiteClock::new(site, 2));
+        let log = Arc::new(DurableLog::new());
+        PipelineCommitter {
+            site,
+            store: Store::new(catalog(), usize::MAX >> 1),
+            log: Arc::clone(&log),
+            pipeline: CommitPipeline::new(site, clock, log),
+            replica: Store::new(catalog(), usize::MAX >> 1),
+            replica_clock: SiteClock::new(SiteId::new(1), 2),
+        }
+    }
+}
+
+impl Committer for PipelineCommitter {
+    fn commit(&self, writes: Vec<WriteEntry>) {
+        let begin = VersionVector::zero(2);
+        let ticket = self.pipeline.begin();
+        let stamp = VersionStamp::new(self.site, ticket.seq);
+        let mut tvv = begin;
+        tvv.set(self.site, ticket.seq);
+        let record = LogRecord::Commit {
+            origin: self.site,
+            tvv,
+            writes,
+        };
+        let encoded = Bytes::from(encode_to_vec(&record));
+        let LogRecord::Commit { writes, .. } = record else {
+            unreachable!("constructed above")
+        };
+        for w in writes {
+            self.store.install(w.key, stamp, w.row).unwrap();
+        }
+        self.pipeline.commit_encoded(ticket, encoded);
+    }
+
+    fn drain_into_replica(&self) -> u64 {
+        let (records, _) = self.log.read_from(0).unwrap();
+        apply_refresh_batch(&self.replica_clock, &self.replica, records).unwrap();
+        self.replica_clock.current().get(self.site)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Criterion single-op benches (skipped under DYNAMAST_MT_ONLY)
+// ---------------------------------------------------------------------
+
+fn bench_single_thread_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit");
+    let pipeline = PipelineCommitter::build();
+    group.bench_function("pipeline_commit_txn", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            pipeline.commit(txn_writes(0, i));
+        })
+    });
+    let baseline = MutexCommitter::build();
+    group.bench_function("mutex_baseline_commit_txn", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            baseline.commit(txn_writes(0, i));
+        })
+    });
+    group.finish();
+}
+
+fn bench_refresh_apply(c: &mut Criterion) {
+    c.bench_function("refresh_apply_batch_64_records", |b| {
+        b.iter_batched(
+            || {
+                let committer = PipelineCommitter::build();
+                for i in 0..64 {
+                    committer.commit(txn_writes(0, i));
+                }
+                committer
+            },
+            |committer| committer.drain_into_replica(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_single_thread_commit, bench_refresh_apply);
+
+// ---------------------------------------------------------------------
+// Multi-threaded comparison + BENCH_commit.json
+// ---------------------------------------------------------------------
+
+mod commit_mt {
+    use super::*;
+
+    fn run_one(committer: Arc<dyn Committer>, threads: usize) -> f64 {
+        let per_thread = TXNS_PER_RUN / threads as u64;
+        // Workload synthesis (hundreds of row-field allocations per
+        // transaction) happens before the clock starts: the timed window
+        // covers commit + drain work only, not generating the inputs.
+        let workloads: Vec<Vec<Vec<WriteEntry>>> = (0..threads as u64)
+            .map(|t| (0..per_thread).map(|i| txn_writes(t, i)).collect())
+            .collect();
+        let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
+        let start = Instant::now();
+        thread::scope(|scope| {
+            for txns in workloads {
+                let committer = Arc::clone(&committer);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    for writes in txns {
+                        committer.commit(writes);
+                    }
+                });
+            }
+            barrier.wait();
+        });
+        let committed = Instant::now();
+        let applied = committer.drain_into_replica();
+        let elapsed = start.elapsed();
+        if std::env::var_os("DYNAMAST_PHASES").is_some() {
+            println!(
+                "    commit {:?}  drain {:?}",
+                committed - start,
+                elapsed - (committed - start)
+            );
+        }
+        assert_eq!(applied, per_thread * threads as u64);
+        (per_thread * threads as u64) as f64 / elapsed.as_secs_f64()
+    }
+
+    fn median(mut xs: Vec<f64>) -> f64 {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    }
+
+    /// Five *paired* back-to-back runs per thread count, each on a fresh
+    /// fixture (logs and version chains grow monotonically, so runs must
+    /// not share state). The headline number is the median of the per-pair
+    /// throughput ratios: the container shares its host and single windows
+    /// swing by tens of percent, so pairing puts slow windows on both sides
+    /// of each ratio instead of comparing medians from different windows.
+    const PAIRS: usize = 5;
+
+    pub fn run_and_write_json() {
+        println!("\ncommit_mt: commit + replication-drain throughput, pipeline vs mutex baseline");
+        let build_pipeline = || Arc::new(PipelineCommitter::build()) as Arc<dyn Committer>;
+        let build_mutex = || Arc::new(MutexCommitter::build()) as Arc<dyn Committer>;
+        // Warm both paths once so allocator and code caches settle.
+        run_one(build_pipeline(), 1);
+        run_one(build_mutex(), 1);
+        let mut pipeline = Vec::new();
+        let mut baseline = Vec::new();
+        let mut speedup = Vec::new();
+        for &threads in &THREAD_COUNTS {
+            let mut p_runs = Vec::new();
+            let mut b_runs = Vec::new();
+            let mut ratios = Vec::new();
+            for _ in 0..PAIRS {
+                let p = run_one(build_pipeline(), threads);
+                let b = run_one(build_mutex(), threads);
+                p_runs.push(p);
+                b_runs.push(b);
+                ratios.push(p / b);
+            }
+            let (p, b, r) = (median(p_runs), median(b_runs), median(ratios));
+            println!(
+                "  {threads} committer thread(s): pipeline {p:>10.0} txns/s, \
+                 mutex baseline {b:>10.0} txns/s, paired speedup {r:.2}x"
+            );
+            pipeline.push((threads, p));
+            baseline.push((threads, b));
+            speedup.push(r);
+        }
+        let fmt = |points: &[(usize, f64)]| -> String {
+            points
+                .iter()
+                .map(|(t, v)| format!("      \"{t}\": {v:.0}"))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
+        let json = format!(
+            "{{\n  \"benchmark\": \"commit_pipeline\",\n  \
+             \"description\": \"Commit throughput at 1/4/8 committer threads, measured end-to-end: each run commits {TXNS_PER_RUN} transactions ({WRITES_PER_TXN} writes of {row_bytes}-byte {ROW_FIELDS}-field rows each, pre-generated outside the timed window) and then drains the full log into a replica; the speedup is the median of paired back-to-back run ratios. pipeline = narrow sequencing section (sequence + reserved log slot under one tiny mutex), encode + version installs outside any global lock with rows moved (never cloned), group-committed log fill, and batched refresh apply on the consume side. mutex_baseline = faithful replica of the pre-refactor path: one commit_order mutex held across allocate, per-row clone-install, encode, append, and publish, with per-record clone-apply at the replica.\",\n  \
+             \"note\": \"Measured on a {cpus}-CPU container: committer threads cannot run in parallel, so multi-thread speedups reflect per-transaction cost only — chiefly the two deep row clones per write the old path performs (into the origin version chain at commit, into the replica chain at apply; one allocation per row field each) that the pipeline replaces with moves, plus per-record log/clock lock round-trips replaced by one batched fill/publish. On multi-core hardware the pipeline additionally stops serializing committers behind one mutex for the encode+install work.\",\n  \
+             \"config\": {{\n    \"txns_per_run\": {TXNS_PER_RUN},\n    \"writes_per_txn\": {WRITES_PER_TXN},\n    \"row_fields\": {ROW_FIELDS},\n    \"row_payload_bytes\": {row_bytes},\n    \"paired_runs_per_point\": {PAIRS},\n    \"cpus\": {cpus}\n  }},\n  \
+             \"txns_per_sec\": {{\n    \"pipeline\": {{\n{p}\n    }},\n    \"mutex_baseline\": {{\n{b}\n    }}\n  }},\n  \
+             \"speedup_pipeline_over_mutex\": {{\"1\": {s0:.3}, \"4\": {s1:.3}, \"8\": {s2:.3}}},\n  \
+             \"measured_speedup_at_8_threads\": {s2:.3}\n}}\n",
+            row_bytes = ROW_FIELDS * ROW_FIELD_BYTES,
+            cpus = thread::available_parallelism().map_or(0, |n| n.get()),
+            p = fmt(&pipeline),
+            b = fmt(&baseline),
+            s0 = speedup[0],
+            s1 = speedup[1],
+            s2 = speedup[2],
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_commit.json");
+        std::fs::write(path, json).expect("write BENCH_commit.json");
+        println!("  wrote {path}");
+    }
+}
+
+fn main() {
+    if std::env::var_os("DYNAMAST_MT_ONLY").is_none() {
+        benches();
+    }
+    commit_mt::run_and_write_json();
+    // Emit the per-benchmark JSON report (CRITERION_JSON) and fail the run
+    // if any benchmark recorded no measurement.
+    criterion::finalize();
+}

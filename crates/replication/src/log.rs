@@ -11,20 +11,40 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::record::LogRecord;
 
-/// An append-only log of encoded [`LogRecord`]s with blocking tail reads.
+/// An append-only log of encoded [`LogRecord`]s with blocking tail reads and
+/// a two-phase reserve/fill write protocol.
 ///
 /// Records are stored encoded so the log's byte footprint matches what the
 /// paper's Kafka deployment would carry; subscribers decode on read and the
 /// byte size is available for traffic accounting.
 ///
+/// **Reserve/fill.** A writer that must hold its slot in a globally agreed
+/// order (the commit pipeline: slot order = commit-sequence order) calls
+/// [`DurableLog::reserve`] inside its tiny sequencing section, does its
+/// expensive work (version installs, record serialization) outside any
+/// global lock, then calls [`DurableLog::fill`]. Filled slots become visible
+/// to readers only as a contiguous prefix: the fill that closes a gap
+/// publishes the whole contiguous run behind it in one step — a group
+/// commit — with a single wake-up for tail readers. Readers can therefore
+/// never observe a gap or a torn batch. [`DurableLog::append`] is the
+/// one-shot convenience (reserve + fill) for writers with no ordering
+/// constraint of their own.
+///
 /// Tail reads are event-driven: [`DurableLog::wait_read_from`] parks on a
-/// condvar that [`DurableLog::append`] signals, so subscribers wake as soon
-/// as a record lands instead of on a polling interval. A blocked tail read
-/// is released by its caller-owned cancel flag via
+/// condvar that the publishing fill signals, so subscribers wake as soon as
+/// a contiguous run lands instead of on a polling interval. A blocked tail
+/// read is released by its caller-owned cancel flag via
 /// [`DurableLog::notify_waiters`].
 pub struct DurableLog {
-    inner: Mutex<Vec<Bytes>>,
+    inner: Mutex<LogInner>,
     appended: Condvar,
+}
+
+struct LogInner {
+    /// Reserved slots; `None` = reserved but not yet filled.
+    slots: Vec<Option<Bytes>>,
+    /// Length of the contiguous filled prefix visible to readers.
+    visible: usize,
 }
 
 impl Default for DurableLog {
@@ -37,48 +57,107 @@ impl DurableLog {
     /// Creates an empty log.
     pub fn new() -> Self {
         DurableLog {
-            inner: Mutex::new(Vec::new()),
+            inner: Mutex::new(LogInner {
+                slots: Vec::new(),
+                visible: 0,
+            }),
             appended: Condvar::new(),
         }
     }
 
-    /// Appends a record, returning its offset.
+    /// Reserves the next slot, returning its offset. The caller must
+    /// eventually [`DurableLog::fill`] it; readers cannot see this slot (or
+    /// any later one) until every slot up to and including it is filled.
+    pub fn reserve(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.slots.push(None);
+        inner.slots.len() as u64 - 1
+    }
+
+    /// Fills a reserved slot. Serialization happens outside the log lock;
+    /// if this fill closes the gap at the visible watermark, the whole
+    /// contiguous run of filled slots behind it publishes at once (group
+    /// commit) with one reader wake-up. Returns the new visible length when
+    /// this fill advanced the watermark (`None` if an earlier slot is still
+    /// open), so the gap-closing filler can publish the run downstream.
+    pub fn fill(&self, offset: u64, record: &LogRecord) -> Option<u64> {
+        self.fill_encoded(offset, Bytes::from(encode_to_vec(record)))
+    }
+
+    /// Like [`DurableLog::fill`] with a pre-encoded record (the commit
+    /// pipeline serializes outside the log lock while other committers run).
+    pub fn fill_encoded(&self, offset: u64, encoded: Bytes) -> Option<u64> {
+        let mut inner = self.inner.lock();
+        let slot = &mut inner.slots[offset as usize];
+        debug_assert!(slot.is_none(), "log slot {offset} filled twice");
+        *slot = Some(encoded);
+        // Advance the visible watermark over the contiguous filled prefix.
+        let mut advanced = false;
+        while inner.slots.get(inner.visible).is_some_and(|s| s.is_some()) {
+            inner.visible += 1;
+            advanced = true;
+        }
+        let visible = inner.visible as u64;
+        drop(inner);
+        if advanced {
+            self.appended.notify_all();
+            Some(visible)
+        } else {
+            None
+        }
+    }
+
+    /// Appends a record in one step (reserve + fill), returning its offset.
+    ///
+    /// With concurrent appenders the record still publishes only when every
+    /// earlier reserved slot has filled, so readers always see a gap-free
+    /// prefix.
     pub fn append(&self, record: &LogRecord) -> u64 {
         let encoded = Bytes::from(encode_to_vec(record));
-        let mut log = self.inner.lock();
-        log.push(encoded);
-        let offset = log.len() as u64 - 1;
-        drop(log);
-        self.appended.notify_all();
+        let offset = {
+            let mut inner = self.inner.lock();
+            inner.slots.push(None);
+            inner.slots.len() as u64 - 1
+        };
+        self.fill_encoded(offset, encoded);
         offset
     }
 
-    /// Number of records.
+    /// Number of published (visible) records.
     pub fn len(&self) -> u64 {
-        self.inner.lock().len() as u64
+        self.inner.lock().visible as u64
     }
 
-    /// `true` if no records have been appended.
+    /// Number of reserved slots, published or not (tests, diagnostics).
+    pub fn reserved_len(&self) -> u64 {
+        self.inner.lock().slots.len() as u64
+    }
+
+    /// `true` if no records have been published.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Total encoded bytes in the log.
+    /// Total encoded bytes published.
     pub fn byte_size(&self) -> u64 {
-        self.inner.lock().iter().map(|b| b.len() as u64).sum()
+        let inner = self.inner.lock();
+        inner.slots[..inner.visible]
+            .iter()
+            .map(|b| b.as_ref().expect("visible slot filled").len() as u64)
+            .sum()
     }
 
-    /// Reads every record at `offset` and beyond that is currently present,
-    /// returning `(records, total encoded bytes)`. Returns immediately (an
-    /// empty batch if nothing new).
+    /// Reads every published record at `offset` and beyond, returning
+    /// `(records, total encoded bytes)`. Returns immediately (an empty batch
+    /// if nothing new).
     pub fn read_from(&self, offset: u64) -> Result<(Vec<LogRecord>, usize)> {
-        let log = self.inner.lock();
-        decode_batch(&log, offset)
+        let inner = self.inner.lock();
+        decode_batch(&inner, offset)
     }
 
     /// Like [`DurableLog::read_from`] but blocks until at least one record
-    /// exists at or past `offset`, or `cancel` becomes `true`. Returns an
-    /// empty batch only when cancelled.
+    /// is published at or past `offset`, or `cancel` becomes `true`. Returns
+    /// an empty batch only when cancelled.
     ///
     /// `cancel` is re-checked under the log lock on every wakeup, so a
     /// cancellation signalled through [`DurableLog::notify_waiters`] cannot
@@ -88,40 +167,42 @@ impl DurableLog {
         offset: u64,
         cancel: &AtomicBool,
     ) -> Result<(Vec<LogRecord>, usize)> {
-        let mut log = self.inner.lock();
-        while (log.len() as u64) <= offset && !cancel.load(Ordering::Relaxed) {
-            self.appended.wait(&mut log);
+        let mut inner = self.inner.lock();
+        while (inner.visible as u64) <= offset && !cancel.load(Ordering::Relaxed) {
+            self.appended.wait(&mut inner);
         }
-        decode_batch(&log, offset)
+        decode_batch(&inner, offset)
     }
 
     /// Wakes every blocked [`DurableLog::wait_read_from`] so it can observe
     /// its cancel flag. Set the flag before calling this; taking the log
     /// lock here orders the store before any waiter's re-check.
     pub fn notify_waiters(&self) {
-        let _log = self.inner.lock();
+        let _inner = self.inner.lock();
         self.appended.notify_all();
     }
 
-    /// Reads the single record at `offset`, if present. Used by recovery's
-    /// replay scheduler, which needs cheap random access.
+    /// Reads the single published record at `offset`, if present. Used by
+    /// recovery's replay scheduler, which needs cheap random access.
     pub fn get(&self, offset: u64) -> Result<Option<LogRecord>> {
-        let log = self.inner.lock();
-        match log.get(offset as usize) {
-            None => Ok(None),
-            Some(encoded) => {
-                let mut slice = encoded.clone();
-                Ok(Some(LogRecord::decode(&mut slice)?))
-            }
+        let inner = self.inner.lock();
+        if (offset as usize) >= inner.visible {
+            return Ok(None);
         }
+        let encoded = inner.slots[offset as usize]
+            .as_ref()
+            .expect("visible slot filled");
+        let mut slice = encoded.clone();
+        Ok(Some(LogRecord::decode(&mut slice)?))
     }
 }
 
-fn decode_batch(log: &[Bytes], offset: u64) -> Result<(Vec<LogRecord>, usize)> {
-    let start = (offset as usize).min(log.len());
-    let mut records = Vec::with_capacity(log.len() - start);
+fn decode_batch(inner: &LogInner, offset: u64) -> Result<(Vec<LogRecord>, usize)> {
+    let start = (offset as usize).min(inner.visible);
+    let mut records = Vec::with_capacity(inner.visible - start);
     let mut bytes = 0;
-    for encoded in &log[start..] {
+    for encoded in &inner.slots[start..inner.visible] {
+        let encoded = encoded.as_ref().expect("visible slot filled");
         bytes += encoded.len();
         let mut slice = encoded.clone();
         records.push(LogRecord::decode(&mut slice)?);
@@ -200,6 +281,44 @@ mod tests {
         let (empty, b) = log.read_from(99).unwrap();
         assert!(empty.is_empty());
         assert_eq!(b, 0);
+    }
+
+    #[test]
+    fn unfilled_reservation_hides_later_fills() {
+        let log = DurableLog::new();
+        let s1 = log.reserve();
+        let s2 = log.reserve();
+        log.fill(s2, &commit(0, 2));
+        // Slot 2 is filled but slot 1 is not: nothing is visible.
+        assert_eq!(log.len(), 0);
+        assert!(log.get(s2).unwrap().is_none());
+        assert_eq!(log.reserved_len(), 2);
+        // Filling the gap publishes the whole contiguous run at once.
+        log.fill(s1, &commit(0, 1));
+        assert_eq!(log.len(), 2);
+        let (records, _) = log.read_from(0).unwrap();
+        let seqs: Vec<u64> = records.iter().map(|r| r.sequence()).collect();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn gap_fill_wakes_reader_with_whole_run() {
+        let log = Arc::new(DurableLog::new());
+        let s1 = log.reserve();
+        let s2 = log.reserve();
+        let s3 = log.reserve();
+        log.fill(s2, &commit(0, 2));
+        log.fill(s3, &commit(0, 3));
+        let log2 = Arc::clone(&log);
+        let reader = thread::spawn(move || {
+            let cancel = AtomicBool::new(false);
+            log2.wait_read_from(0, &cancel).unwrap().0
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert!(!reader.is_finished(), "gapped log must not deliver");
+        log.fill(s1, &commit(0, 1));
+        let records = reader.join().unwrap();
+        assert_eq!(records.len(), 3, "one group publish delivers the run");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Each replication manager "subscribes to updates from logs at other sites"
 //! (§V-A2). [`Propagator::start`] spawns one subscriber thread per remote
 //! origin; each thread tails that origin's log, charges the simulated network
-//! for the batch transit, and hands records to the site's
+//! for the batch transit, and hands each drained batch whole to the site's
 //! [`RefreshApplier`] *in origin order*. Cross-origin ordering is the
 //! applier's job (the update application rule blocks records whose
 //! dependencies have not yet applied — and because each origin has its own
@@ -51,6 +51,21 @@ use crate::record::LogRecord;
 pub trait RefreshApplier: Send + Sync + 'static {
     /// Applies one record originated at another site.
     fn apply(&self, record: LogRecord) -> Result<()>;
+
+    /// Applies a whole drained batch from one origin's log, in order.
+    ///
+    /// The default delegates to [`RefreshApplier::apply`] per record; sites
+    /// override this to amortize admission checks and watermark publication
+    /// across the batch (install out of order, publish once per contiguous
+    /// admissible run). Records arrive in origin log order and ownership
+    /// transfers to the applier, so rows are moved — never cloned — into
+    /// storage.
+    fn apply_batch(&self, records: Vec<LogRecord>) -> Result<()> {
+        for record in records {
+            self.apply(record)?;
+        }
+        Ok(())
+    }
 }
 
 /// Running subscriber threads for one site.
@@ -141,24 +156,25 @@ impl Propagator {
                             let fetched = std::time::Instant::now();
                             cursor += records.len() as u64;
                             let batch = records.len() as u32;
-                            for record in records {
-                                let stamp = (record.origin().raw(), record.sequence());
-                                if applier.apply(record).is_err() {
-                                    return;
-                                }
-                                if let Some(rec) = &recorder {
-                                    rec.record(
-                                        0,
-                                        TraceSite::Site(site.raw()),
-                                        TraceKind::RefreshApply,
-                                        TracePayload::Refresh {
-                                            origin: stamp.0,
-                                            sequence: stamp.1,
-                                            records: batch,
-                                            lag_us: fetched.elapsed().as_micros() as u64,
-                                        },
-                                    );
-                                }
+                            // The batch tail's stamp identifies the run after
+                            // the applier consumes the records.
+                            let last = records.last().expect("non-empty batch");
+                            let stamp = (last.origin().raw(), last.sequence());
+                            if applier.apply_batch(records).is_err() {
+                                return;
+                            }
+                            if let Some(rec) = &recorder {
+                                rec.record(
+                                    0,
+                                    TraceSite::Site(site.raw()),
+                                    TraceKind::RefreshApply,
+                                    TracePayload::Refresh {
+                                        origin: stamp.0,
+                                        sequence: stamp.1,
+                                        records: batch,
+                                        lag_us: fetched.elapsed().as_micros() as u64,
+                                    },
+                                );
                             }
                         }
                     })

@@ -29,6 +29,14 @@ pub struct WriteEntry {
     pub row: Row,
 }
 
+impl WriteEntry {
+    /// Builds an entry, taking the after-image by value so callers hand rows
+    /// over rather than cloning them into the record.
+    pub fn new(key: Key, row: Row) -> Self {
+        WriteEntry { key, row }
+    }
+}
+
 impl Encode for WriteEntry {
     fn encode(&self, buf: &mut impl BufMut) {
         self.key.encode(buf);

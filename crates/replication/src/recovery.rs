@@ -58,7 +58,7 @@ pub fn replay_all(logs: &LogSet, catalog: Catalog, mvcc_versions: usize) -> Resu
             if !admissible(&svv, &record) {
                 continue;
             }
-            apply(&store, &mut svv, &record)?;
+            apply(&store, &mut svv, record)?;
             offsets[origin_idx] += 1;
             progressed = true;
         }
@@ -87,18 +87,20 @@ fn admissible(svv: &VersionVector, record: &LogRecord) -> bool {
     }
 }
 
-fn apply(store: &Store, svv: &mut VersionVector, record: &LogRecord) -> Result<()> {
+fn apply(store: &Store, svv: &mut VersionVector, record: LogRecord) -> Result<()> {
     match record {
         LogRecord::Commit {
             origin,
             tvv,
             writes,
         } => {
-            let seq = tvv.get(*origin);
+            let seq = tvv.get(origin);
+            // The record is owned (decoded fresh from the log), so rows move
+            // straight into the version chains without a copy.
             for w in writes {
-                store.install(w.key, VersionStamp::new(*origin, seq), w.row.clone())?;
+                store.install(w.key, VersionStamp::new(origin, seq), w.row)?;
             }
-            svv.set(*origin, seq);
+            svv.set(origin, seq);
         }
         LogRecord::Release {
             origin, sequence, ..
@@ -106,7 +108,7 @@ fn apply(store: &Store, svv: &mut VersionVector, record: &LogRecord) -> Result<(
         | LogRecord::Grant {
             origin, sequence, ..
         } => {
-            svv.set(*origin, *sequence);
+            svv.set(origin, sequence);
         }
     }
     Ok(())

@@ -8,8 +8,11 @@
 //! * **freshness waits** — transaction begin blocks until `svv` dominates the
 //!   session's required vector (SSSI, §III-A), and grant blocks until the
 //!   releaser's state has been applied (§III-B);
-//! * **refresh admission** — refresh application blocks until the update
-//!   application rule (Eq. 1) admits the record.
+//! * **refresh admission** — the batched refresh applier blocks until the
+//!   update application rule (Eq. 1) admits the head of a batch
+//!   ([`SiteClock::wait_admissible`]), installs versions outside the clock
+//!   lock, and publishes one watermark advance per applied run
+//!   ([`SiteClock::publish_refresh`]).
 //!
 //! All waits abort with [`DynaError::ShuttingDown`] once [`SiteClock::shut_down`]
 //! is called, so propagator threads and blocked clients drain cleanly.
@@ -100,6 +103,13 @@ impl SiteClock {
     /// Publishes local commit `seq`: blocks until all earlier local commits
     /// have published (so versions become visible in commit order), then
     /// sets `svv[self] = seq`.
+    ///
+    /// This is the pre-pipeline publication discipline — every committer
+    /// parks until its predecessor's turn completes. The commit pipeline
+    /// uses [`SiteClock::publish_up_to`] instead: the durable log's
+    /// gap-closing fill publishes a whole contiguous run without any
+    /// committer waiting. Kept for recovery replay and as the faithful
+    /// baseline in the commit microbenchmark.
     pub fn publish(&self, seq: u64) -> Result<VersionVector> {
         let mut state = self.state.lock();
         loop {
@@ -115,51 +125,59 @@ impl SiteClock {
         }
     }
 
-    /// Blocks until the update application rule admits a record from
-    /// `origin` with commit vector `tvv` (Eq. 1), then applies `install`
-    /// *while holding the clock* and advances `svv[origin]`.
+    /// Advances `svv[self]` to `seq` if it is behind, never blocking. The
+    /// caller (the commit pipeline's gap-closing log fill) guarantees that
+    /// every local commit with a sequence `<= seq` has already installed its
+    /// versions and filled its log slot — so one call publishes a whole
+    /// group-committed run, and a racing late call for an earlier run is a
+    /// no-op. Monotone under races by construction.
+    pub fn publish_up_to(&self, seq: u64) {
+        let mut state = self.state.lock();
+        if state.svv.get(self.site) < seq {
+            state.svv.set(self.site, seq);
+            self.changed.notify_all();
+        }
+    }
+
+    /// Blocks until `admit(&svv)` holds, returning a snapshot of the svv at
+    /// that moment. This is the refresh admission wait: the batched applier
+    /// passes Eq. 1 (commit records) or the next-in-origin-order check
+    /// (release/grant metadata) as the predicate, then installs versions
+    /// *outside* the clock lock and advances the svv afterwards via
+    /// [`SiteClock::publish_refresh`].
     ///
-    /// Running `install` under the clock lock makes "versions installed" and
-    /// "svv advanced" atomic with respect to readers taking begin snapshots:
-    /// no snapshot can include the refresh's sequence number before its
-    /// versions are readable.
-    pub fn apply_refresh(
-        &self,
-        origin: SiteId,
-        tvv: &VersionVector,
-        install: impl FnOnce(),
-    ) -> Result<()> {
+    /// Installing outside the lock is safe: versions stamped `(origin, seq)`
+    /// are invisible to every snapshot until `svv[origin] >= seq`, and begin
+    /// snapshots are cut from the svv — so "install, then advance" is the
+    /// real invariant, not "install atomically with the advance". The svv is
+    /// monotone, so once the predicate holds it holds forever and the
+    /// snapshot cannot be invalidated by concurrent refreshes from other
+    /// origins.
+    pub fn wait_admissible(&self, admit: impl Fn(&VersionVector) -> bool) -> Result<VersionVector> {
         let mut state = self.state.lock();
         loop {
             if state.shutting_down {
                 return Err(DynaError::ShuttingDown);
             }
-            if state.svv.can_apply_refresh(tvv, origin) {
-                install();
-                state.svv.set(origin, tvv.get(origin));
-                self.changed.notify_all();
-                return Ok(());
+            if admit(&state.svv) {
+                return Ok(state.svv.clone());
             }
             self.changed.wait(&mut state);
         }
     }
 
-    /// Blocks until `seq` is the next record in `origin`'s order (used for
-    /// release/grant records, which carry no data dependencies), then
-    /// advances `svv[origin]`.
-    pub fn apply_metadata(&self, origin: SiteId, seq: u64) -> Result<()> {
+    /// Advances `svv[origin]` to `seq` after the corresponding versions have
+    /// been installed, waking admission and freshness waiters. One call
+    /// publishes a whole contiguous run of applied records (the batch
+    /// applier's in-order watermark publication).
+    pub fn publish_refresh(&self, origin: SiteId, seq: u64) {
         let mut state = self.state.lock();
-        loop {
-            if state.shutting_down {
-                return Err(DynaError::ShuttingDown);
-            }
-            if state.svv.get(origin) + 1 == seq {
-                state.svv.set(origin, seq);
-                self.changed.notify_all();
-                return Ok(());
-            }
-            self.changed.wait(&mut state);
-        }
+        debug_assert!(
+            seq >= state.svv.get(origin),
+            "refresh watermark may not regress"
+        );
+        state.svv.set(origin, seq);
+        self.changed.notify_all();
     }
 
     /// Wakes every waiter with [`DynaError::ShuttingDown`].
@@ -221,37 +239,61 @@ mod tests {
     }
 
     #[test]
-    fn apply_refresh_respects_update_application_rule() {
+    fn wait_admissible_respects_update_application_rule() {
         let c = clock();
         let origin = SiteId::new(1);
         // tvv [0, 2, 0]: needs svv[1] == 1 first.
         let tvv2 = VersionVector::from_counts(vec![0, 2, 0]);
         let c2 = Arc::clone(&c);
-        let tvv2c = tvv2.clone();
-        let blocked = thread::spawn(move || c2.apply_refresh(origin, &tvv2c, || {}));
+        let blocked = thread::spawn(move || {
+            let svv = c2
+                .wait_admissible(|svv| svv.can_apply_refresh(&tvv2, origin))
+                .unwrap();
+            c2.publish_refresh(origin, 2);
+            svv
+        });
         thread::sleep(Duration::from_millis(20));
         assert!(!blocked.is_finished(), "seq 2 must wait for seq 1");
         let tvv1 = VersionVector::from_counts(vec![0, 1, 0]);
-        c.apply_refresh(origin, &tvv1, || {}).unwrap();
-        blocked.join().unwrap().unwrap();
+        let snap = c
+            .wait_admissible(|svv| svv.can_apply_refresh(&tvv1, origin))
+            .unwrap();
+        assert_eq!(snap.get(origin), 0, "snapshot cut at admission time");
+        c.publish_refresh(origin, 1);
+        let unblocked_snap = blocked.join().unwrap();
+        assert_eq!(unblocked_snap.get(origin), 1);
         assert_eq!(c.current().get(origin), 2);
     }
 
     #[test]
-    fn apply_refresh_waits_for_cross_site_dependencies() {
+    fn wait_admissible_sees_cross_site_dependencies() {
         let c = clock();
         // Record from site 1 that depends on site 2's first commit.
         let tvv = VersionVector::from_counts(vec![0, 1, 1]);
         let c2 = Arc::clone(&c);
         let tvvc = tvv.clone();
-        let blocked = thread::spawn(move || c2.apply_refresh(SiteId::new(1), &tvvc, || {}));
+        let blocked = thread::spawn(move || {
+            c2.wait_admissible(|svv| svv.can_apply_refresh(&tvvc, SiteId::new(1)))
+                .unwrap();
+            c2.publish_refresh(SiteId::new(1), 1);
+        });
         thread::sleep(Duration::from_millis(20));
         assert!(!blocked.is_finished());
-        // Apply site 2's commit; the blocked refresh should now proceed.
-        let dep = VersionVector::from_counts(vec![0, 0, 1]);
-        c.apply_metadata(SiteId::new(2), 1).unwrap();
-        assert!(c.current().dominates(&dep));
-        blocked.join().unwrap().unwrap();
+        // Publish site 2's first record; the blocked refresh should proceed.
+        c.publish_refresh(SiteId::new(2), 1);
+        blocked.join().unwrap();
+        assert!(c
+            .current()
+            .dominates(&VersionVector::from_counts(vec![0, 1, 1])));
+    }
+
+    #[test]
+    fn publish_refresh_advances_over_a_whole_run() {
+        let c = clock();
+        let origin = SiteId::new(2);
+        // One publication covers a contiguous run of applied records.
+        c.publish_refresh(origin, 5);
+        assert_eq!(c.current().get(origin), 5);
     }
 
     #[test]

@@ -394,14 +394,14 @@ fn mix64(seed: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Commits an already-locked local fragment.
+/// Commits an already-locked local fragment. Entries pass straight through
+/// to the pipeline — rows move, they are never cloned.
 fn commit_fragment_locally(
     site: &Arc<DataSite>,
     entries: Vec<WriteEntry>,
 ) -> Result<VersionVector> {
     let begin = site.clock().current();
-    let writes: Vec<(Key, Row)> = entries.into_iter().map(|w| (w.key, w.row)).collect();
-    site.commit_local(&begin, writes)
+    site.commit_local(&begin, entries)
 }
 
 /// The coordinator's transaction context.

@@ -18,6 +18,7 @@ use dynamast_storage::{Catalog, LockGuard, Store, VersionStamp};
 use crate::clock::SiteClock;
 use crate::messages::{ExecTimings, ShippedRecord, SiteRequest, SiteResponse};
 use crate::ownership::Ownership;
+use crate::pipeline::{apply_refresh_batch, CommitPipeline};
 use crate::proc::{LocalCtx, ProcCall, ProcExecutor, ReadMode};
 
 /// Static owner lookup for statically partitioned systems (multi-master,
@@ -77,11 +78,85 @@ impl DecidedCache {
     }
 }
 
+/// Bounded per-partition memory of settled remaster operations (one ledger
+/// for releases, one for grants), so retransmitted Release/Grant RPCs
+/// (at-least-once delivery) replay the recorded result instead of
+/// re-revoking or re-granting.
+///
+/// Each partition keeps its last [`RemasterLedger::RETAIN`] epochs, sorted
+/// ascending — memory is bounded by `partitions × RETAIN` no matter how many
+/// remasters (or duplicate RPCs) occur, and the latest-epoch lookup the
+/// lost-reply replay needs is O(1) instead of a scan over every settled
+/// operation ever.
+#[derive(Default)]
+struct RemasterLedger {
+    per_partition: parking_lot::Mutex<HashMap<PartitionId, VecDeque<(u64, VersionVector)>>>,
+}
+
+impl RemasterLedger {
+    /// Epochs retained per partition. Duplicates arrive from selector RPC
+    /// retries within one remaster (same epoch) or, across a selector
+    /// failover, from the deposed selector's last few epochs — both stay
+    /// well inside this window.
+    const RETAIN: usize = 8;
+
+    /// The recorded result for exactly `(partition, epoch)`.
+    fn get(&self, partition: PartitionId, epoch: u64) -> Option<VersionVector> {
+        self.per_partition
+            .lock()
+            .get(&partition)
+            .and_then(|entries| {
+                entries
+                    .iter()
+                    .find(|(e, _)| *e == epoch)
+                    .map(|(_, vv)| vv.clone())
+            })
+    }
+
+    /// The recorded result with the highest epoch for `partition` (the
+    /// lost-reply replay: the newest settled operation answers for the
+    /// retransmission).
+    fn latest(&self, partition: PartitionId) -> Option<VersionVector> {
+        self.per_partition
+            .lock()
+            .get(&partition)
+            .and_then(|entries| entries.back().map(|(_, vv)| vv.clone()))
+    }
+
+    /// Records a settled operation, keeping the per-partition window sorted
+    /// by epoch and bounded (a late retransmit of an old epoch must not
+    /// displace newer entries, so eviction always drops the lowest epoch).
+    fn record(&self, partition: PartitionId, epoch: u64, vv: VersionVector) {
+        let mut map = self.per_partition.lock();
+        let entries = map.entry(partition).or_default();
+        if entries.iter().any(|(e, _)| *e == epoch) {
+            return;
+        }
+        let pos = entries.partition_point(|(e, _)| *e < epoch);
+        entries.insert(pos, (epoch, vv));
+        while entries.len() > Self::RETAIN {
+            entries.pop_front();
+        }
+    }
+
+    /// Total retained entries across partitions (bounded-memory assertions).
+    fn len(&self) -> usize {
+        self.per_partition.lock().values().map(VecDeque::len).sum()
+    }
+}
+
 /// One data site.
 pub struct DataSite {
     id: SiteId,
     store: Store,
-    clock: SiteClock,
+    clock: Arc<SiteClock>,
+    /// The single sequencing path for every durable state change at this
+    /// site: local commits, 2PC decides, and remaster Release/Grant records
+    /// all draw their sequence + log slot from [`CommitPipeline::begin`] and
+    /// complete concurrently — installs and serialization run outside any
+    /// global lock, with the clock's in-order publication and the log's
+    /// group-commit watermark keeping visibility in commit order.
+    pipeline: CommitPipeline,
     ownership: Arc<Ownership>,
     logs: LogSet,
     executor: Arc<dyn ProcExecutor>,
@@ -89,22 +164,16 @@ pub struct DataSite {
     static_owner: Option<StaticOwnerFn>,
     prepared: parking_lot::Mutex<HashMap<u64, PreparedTxn>>,
     decided: parking_lot::Mutex<DecidedCache>,
-    /// Settled remaster operations, keyed by `(partition, epoch)`: a
+    /// Settled remaster operations with bounded per-partition retention; a
     /// retransmitted Release/Grant (at-least-once RPC) replays the recorded
     /// result instead of re-revoking or re-granting.
-    released: parking_lot::Mutex<HashMap<(PartitionId, u64), VersionVector>>,
-    granted: parking_lot::Mutex<HashMap<(PartitionId, u64), VersionVector>>,
+    released: RemasterLedger,
+    granted: RemasterLedger,
     /// Selector fence watermark (§V-C failover): the highest selector
     /// generation this site has observed. Remaster RPCs carrying a lower
     /// generation come from a deposed selector and are rejected with
     /// [`DynaError::StaleSelector`], making dual mastership impossible.
     selector_generation: AtomicU64,
-    /// Serializes the commit critical section (sequence allocation, version
-    /// install, log append, svv publication). Without it, two concurrent
-    /// commits could append to the durable log out of sequence order, and a
-    /// peer's single in-order applier would wedge on the gap — the paper's
-    /// svv increment "atomically determines commit order" (§V-A2).
-    commit_order: parking_lot::Mutex<()>,
     txn_counter: AtomicU64,
     config: SystemConfig,
     /// Flight recorder shared by the deployment (cached from the network at
@@ -181,10 +250,14 @@ impl DataSite {
         executor: Arc<dyn ProcExecutor>,
     ) -> Arc<Self> {
         let recorder = network.recorder();
+        let clock = Arc::new(clock);
+        let pipeline =
+            CommitPipeline::new(cfg.id, Arc::clone(&clock), Arc::clone(logs.log(cfg.id)));
         Arc::new(DataSite {
             id: cfg.id,
             store,
             clock,
+            pipeline,
             ownership: Arc::new(Ownership::new(cfg.initial_partitions)),
             logs,
             executor,
@@ -192,10 +265,9 @@ impl DataSite {
             static_owner: cfg.static_owner,
             prepared: parking_lot::Mutex::new(HashMap::new()),
             decided: parking_lot::Mutex::new(DecidedCache::default()),
-            released: parking_lot::Mutex::new(HashMap::new()),
-            granted: parking_lot::Mutex::new(HashMap::new()),
+            released: RemasterLedger::default(),
+            granted: RemasterLedger::default(),
             selector_generation: AtomicU64::new(0),
-            commit_order: parking_lot::Mutex::new(()),
             txn_counter: AtomicU64::new(1),
             config: cfg.system,
             recorder,
@@ -384,7 +456,11 @@ impl DataSite {
         let mut ctx = LocalCtx::new(&self.store, &begin, mode, &proc.write_set);
         let result = self.executor.execute(&mut ctx, proc)?;
         self.service_sleep(ctx.ops());
-        let writes = ctx.into_writes();
+        let writes = ctx
+            .into_writes()
+            .into_iter()
+            .map(|(key, row)| WriteEntry::new(key, row))
+            .collect();
         let t_exec = Instant::now();
         self.trace(
             txn_id,
@@ -418,33 +494,52 @@ impl DataSite {
         ))
     }
 
-    /// Installs buffered writes as a local commit: versions first, svv
-    /// publication second (readers can never observe the sequence before the
-    /// versions are readable), and the commit record goes to the durable log
-    /// for propagation and redo (§V-A2).
+    /// Installs buffered writes as a local commit through the commit
+    /// pipeline: a tiny sequencing section (sequence + reserved log slot),
+    /// then record serialization and version installs outside any global
+    /// lock — concurrent with other committers — then the in-order
+    /// publication (group-committed log fill + svv advance). Readers can
+    /// never observe the sequence before the versions are readable, and the
+    /// commit record goes to the durable log for propagation and redo
+    /// (§V-A2).
     pub(crate) fn commit_local(
         &self,
         begin: &VersionVector,
-        writes: Vec<(Key, dynamast_common::Row)>,
+        writes: Vec<WriteEntry>,
     ) -> Result<VersionVector> {
-        let _commit_order = self.commit_order.lock();
-        let seq = self.clock.allocate();
-        let stamp = VersionStamp::new(self.id, seq);
-        for (key, row) in &writes {
-            self.store.install(*key, stamp, row.clone())?;
+        // Validate before entering the pipeline: between begin() and
+        // commit() the path must be infallible, or the abandoned ticket
+        // would wedge the site's commit order.
+        for w in &writes {
+            self.store.catalog().table(w.key.table)?;
         }
+        let ticket = self.pipeline.begin();
+        let stamp = VersionStamp::new(self.id, ticket.seq);
         let mut tvv = begin.clone();
-        tvv.set(self.id, seq);
+        tvv.set(self.id, ticket.seq);
+        let commit_vv = tvv.clone();
         let record = LogRecord::Commit {
             origin: self.id,
             tvv,
-            writes: writes
-                .into_iter()
-                .map(|(key, row)| WriteEntry { key, row })
-                .collect(),
+            writes,
         };
-        self.logs.log(self.id).append(&record);
-        self.clock.publish(seq)
+        // Serialize while the record still borrows the rows, then take the
+        // rows back and move them into the version chains: each row is
+        // encoded once and moved once, never cloned.
+        let encoded = Bytes::from(encode_to_vec(&record));
+        let LogRecord::Commit { writes, .. } = record else {
+            unreachable!("constructed above")
+        };
+        for w in writes {
+            self.store
+                .install(w.key, stamp, w.row)
+                .expect("tables validated before pipeline begin");
+        }
+        self.pipeline.commit_encoded(ticket, encoded);
+        // The transaction vector is the client's session vector; publication
+        // of `svv[self] = seq` rides the group commit (the fill that closed
+        // the log gap), so the committer itself never parks for it.
+        Ok(commit_vv)
     }
 
     /// Executes a read-only transaction (§IV-B: runs at any replica, or at
@@ -550,15 +645,14 @@ impl DataSite {
     /// reply under fault injection) replays the recorded `rel_vv` instead of
     /// failing the unmastered-revoke check.
     pub fn release(&self, partition: PartitionId, epoch: u64) -> Result<VersionVector> {
-        if let Some(vv) = self.released.lock().get(&(partition, epoch)) {
-            return Ok(vv.clone());
+        if let Some(vv) = self.released.get(partition, epoch) {
+            return Ok(vv);
         }
         if let Err(e) = self.ownership.revoke_and_drain(partition) {
-            let released = self.released.lock();
             // A racing duplicate may have completed the revoke between the
-            // cache check and here; answer from its recorded result.
-            if let Some(vv) = released.get(&(partition, epoch)) {
-                return Ok(vv.clone());
+            // ledger check and here; answer from its recorded result.
+            if let Some(vv) = self.released.get(partition, epoch) {
+                return Ok(vv);
             }
             // A selector that lost the reply retries under a *fresh* epoch
             // (each routing attempt allocates one). The selector only sends
@@ -566,28 +660,22 @@ impl DataSite {
             // master, so reaching here unmastered means the earlier release
             // executed and its reply was lost: replay the latest recorded
             // release for the partition.
-            if let Some(vv) = released
-                .iter()
-                .filter(|((p, _), _)| *p == partition)
-                .max_by_key(|((_, e), _)| *e)
-                .map(|(_, vv)| vv.clone())
-            {
+            if let Some(vv) = self.released.latest(partition) {
                 return Ok(vv);
             }
             return Err(e);
         }
-        let _commit_order = self.commit_order.lock();
-        let seq = self.clock.allocate();
-        self.logs.log(self.id).append(&LogRecord::Release {
-            origin: self.id,
-            sequence: seq,
-            partition,
-            epoch,
-        });
-        let rel_vv = self.clock.publish(seq)?;
-        self.released
-            .lock()
-            .insert((partition, epoch), rel_vv.clone());
+        let ticket = self.pipeline.begin();
+        let rel_vv = self.pipeline.commit(
+            ticket,
+            &LogRecord::Release {
+                origin: self.id,
+                sequence: ticket.seq,
+                partition,
+                epoch,
+            },
+        )?;
+        self.released.record(partition, epoch, rel_vv.clone());
         Ok(rel_vv)
     }
 
@@ -603,24 +691,30 @@ impl DataSite {
         epoch: u64,
         rel_vv: &VersionVector,
     ) -> Result<VersionVector> {
-        if let Some(vv) = self.granted.lock().get(&(partition, epoch)) {
-            return Ok(vv.clone());
+        if let Some(vv) = self.granted.get(partition, epoch) {
+            return Ok(vv);
         }
         self.clock.wait_dominates(rel_vv)?;
         self.ownership.grant(partition);
-        let _commit_order = self.commit_order.lock();
-        let seq = self.clock.allocate();
-        self.logs.log(self.id).append(&LogRecord::Grant {
-            origin: self.id,
-            sequence: seq,
-            partition,
-            epoch,
-        });
-        let grant_vv = self.clock.publish(seq)?;
-        self.granted
-            .lock()
-            .insert((partition, epoch), grant_vv.clone());
+        let ticket = self.pipeline.begin();
+        let grant_vv = self.pipeline.commit(
+            ticket,
+            &LogRecord::Grant {
+                origin: self.id,
+                sequence: ticket.seq,
+                partition,
+                epoch,
+            },
+        )?;
+        self.granted.record(partition, epoch, grant_vv.clone());
         Ok(grant_vv)
+    }
+
+    /// Retained remaster-ledger entries `(released, granted)` — exposed so
+    /// tests can assert the idempotency state stays bounded under duplicate
+    /// RPC hammering.
+    pub fn remaster_ledger_sizes(&self) -> (usize, usize) {
+        (self.released.len(), self.granted.len())
     }
 
     // ------------------------------------------------------------------
@@ -708,10 +802,7 @@ impl DataSite {
         let vv = match (staged, commit) {
             (Some(txn), true) => {
                 let begin = self.clock.current();
-                let vv = self.commit_local(
-                    &begin,
-                    txn.writes.into_iter().map(|w| (w.key, w.row)).collect(),
-                )?;
+                let vv = self.commit_local(&begin, txn.writes)?;
                 self.commits.inc();
                 vv
             }
@@ -818,34 +909,11 @@ impl DataSite {
 
 impl RefreshApplier for DataSite {
     fn apply(&self, record: LogRecord) -> Result<()> {
-        match record {
-            LogRecord::Commit {
-                origin,
-                tvv,
-                writes,
-            } => {
-                let seq = tvv.get(origin);
-                let stamp = VersionStamp::new(origin, seq);
-                self.clock.apply_refresh(origin, &tvv, || {
-                    for w in &writes {
-                        // Install cannot fail for valid catalogs; a failure
-                        // here is a corrupted record and is surfaced by the
-                        // unwrap during tests (refresh application has no
-                        // caller to propagate to, matching a crashed
-                        // subscriber in the paper's Kafka deployment).
-                        self.store
-                            .install(w.key, stamp, w.row.clone())
-                            .expect("refresh install failed: corrupted log record");
-                    }
-                })
-            }
-            LogRecord::Release {
-                origin, sequence, ..
-            }
-            | LogRecord::Grant {
-                origin, sequence, ..
-            } => self.clock.apply_metadata(origin, sequence),
-        }
+        self.apply_batch(vec![record])
+    }
+
+    fn apply_batch(&self, records: Vec<LogRecord>) -> Result<()> {
+        apply_refresh_batch(&self.clock, &self.store, records)
     }
 }
 

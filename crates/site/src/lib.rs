@@ -26,6 +26,7 @@ pub mod coord;
 pub mod data_site;
 pub mod messages;
 pub mod ownership;
+pub mod pipeline;
 pub mod proc;
 pub mod system;
 
@@ -36,5 +37,6 @@ pub use clock::SiteClock;
 pub use data_site::{DataSite, DataSiteConfig};
 pub use messages::{SiteRequest, SiteResponse};
 pub use ownership::{Ownership, WriterGuard};
+pub use pipeline::{apply_refresh_batch, CommitPipeline, CommitTicket};
 pub use proc::{LocalCtx, ProcCall, ProcExecutor, ReadMode, ScanRange, TxnCtx};
 pub use system::{ClientSession, ReplicatedSystem, SystemStats};

@@ -88,9 +88,19 @@ impl Table {
         }
     }
 
-    fn shard(&self, record: RecordId) -> &Shard {
+    /// Number of shards (fixed; exposed for batch-install grouping).
+    pub const SHARDS: usize = SHARDS;
+
+    /// The shard a record hashes to. Writes to distinct shard indices take
+    /// distinct locks, so a batch installer can group entries by shard and
+    /// run the groups in parallel without lock contention.
+    pub fn shard_index(record: RecordId) -> usize {
         let h = record.wrapping_mul(0xD1B5_4A32_D192_ED03).rotate_left(23);
-        &self.shards[(h as usize) % SHARDS]
+        (h as usize) % SHARDS
+    }
+
+    fn shard(&self, record: RecordId) -> &Shard {
+        &self.shards[Self::shard_index(record)]
     }
 
     /// Installs a new version of `record`. Used both for local commits and
@@ -102,6 +112,27 @@ impl Table {
             .entry(record)
             .or_default()
             .install(stamp, row, self.max_versions);
+    }
+
+    /// Installs a group of versions that all hash to shard `shard_index`,
+    /// taking the shard write lock once for the whole group. Entries install
+    /// in vector order, so repeated writes to one record keep their chain in
+    /// commit order (chains assume newest-last; see [`Table::install`]).
+    pub fn install_shard_group(
+        &self,
+        shard_index: usize,
+        items: Vec<(RecordId, VersionStamp, Row)>,
+    ) {
+        debug_assert!(items
+            .iter()
+            .all(|(r, _, _)| Self::shard_index(*r) == shard_index));
+        let mut shard = self.shards[shard_index].write();
+        for (record, stamp, row) in items {
+            shard
+                .entry(record)
+                .or_default()
+                .install(stamp, row, self.max_versions);
+        }
     }
 
     /// Snapshot read: the newest version visible to `begin`.
