@@ -346,12 +346,15 @@ mod commit_mt {
             "{{\n  \"benchmark\": \"commit_pipeline\",\n  \
              \"description\": \"Commit throughput at 1/4/8 committer threads, measured end-to-end: each run commits {TXNS_PER_RUN} transactions ({WRITES_PER_TXN} writes of {row_bytes}-byte {ROW_FIELDS}-field rows each, pre-generated outside the timed window) and then drains the full log into a replica; the speedup is the median of paired back-to-back run ratios. pipeline = narrow sequencing section (sequence + reserved log slot under one tiny mutex), encode + version installs outside any global lock with rows moved (never cloned), group-committed log fill, and batched refresh apply on the consume side. mutex_baseline = faithful replica of the pre-refactor path: one commit_order mutex held across allocate, per-row clone-install, encode, append, and publish, with per-record clone-apply at the replica.\",\n  \
              \"note\": \"Measured on a {cpus}-CPU container: committer threads cannot run in parallel, so multi-thread speedups reflect per-transaction cost only — chiefly the two deep row clones per write the old path performs (into the origin version chain at commit, into the replica chain at apply; one allocation per row field each) that the pipeline replaces with moves, plus per-record log/clock lock round-trips replaced by one batched fill/publish. On multi-core hardware the pipeline additionally stops serializing committers behind one mutex for the encode+install work.\",\n  \
+             \"host\": {{\"os\": \"{os}\", \"arch\": \"{arch}\", \"cpus\": {cpus}}},\n  \
              \"config\": {{\n    \"txns_per_run\": {TXNS_PER_RUN},\n    \"writes_per_txn\": {WRITES_PER_TXN},\n    \"row_fields\": {ROW_FIELDS},\n    \"row_payload_bytes\": {row_bytes},\n    \"paired_runs_per_point\": {PAIRS},\n    \"cpus\": {cpus}\n  }},\n  \
              \"txns_per_sec\": {{\n    \"pipeline\": {{\n{p}\n    }},\n    \"mutex_baseline\": {{\n{b}\n    }}\n  }},\n  \
              \"speedup_pipeline_over_mutex\": {{\"1\": {s0:.3}, \"4\": {s1:.3}, \"8\": {s2:.3}}},\n  \
              \"measured_speedup_at_8_threads\": {s2:.3}\n}}\n",
             row_bytes = ROW_FIELDS * ROW_FIELD_BYTES,
             cpus = thread::available_parallelism().map_or(0, |n| n.get()),
+            os = std::env::consts::OS,
+            arch = std::env::consts::ARCH,
             p = fmt(&pipeline),
             b = fmt(&baseline),
             s0 = speedup[0],

@@ -900,6 +900,7 @@ mod selector_mt {
             "{{\n  \"benchmark\": \"selector_route_hot_path\",\n  \
              \"description\": \"Selector routing throughput at 1/4/8 router threads: the sharded/lock-free hot path vs a faithful replica of the pre-refactor single-mutex implementation. update_route = single-partition sole-master fast path over a {POOL}-partition pre-placed pool (access-statistics recording); read_route = freshness-checked read routing. {}ms measured window after {}ms warmup; fresh deployment per data point.\",\n  \
              \"note\": \"Measured on a {cpus}-CPU container: thread-level parallelism cannot show through, so update_route speedups reflect per-op cost only; read_route speedups reflect the removal of the freshness/RNG mutexes from the read path. On multi-core hardware the sharded update path additionally avoids serializing all router threads behind one statistics mutex.\",\n  \
+             \"host\": {{\"os\": \"{os}\", \"arch\": \"{arch}\", \"cpus\": {cpus}}},\n  \
              \"config\": {{\n    \"sites\": {SITES},\n    \"sample_rate\": 1.0,\n    \"history_capacity\": 4096,\n    \"inter_window_ms\": 0,\n    \"cpus\": {cpus}\n  }},\n  \
              \"mixes\": {{\n{sections}  }},\n  \
              \"serialization\": {{\n{serialization}  }},\n  \
@@ -911,6 +912,8 @@ mod selector_mt {
             MEASURE.as_millis(),
             WARMUP.as_millis(),
             cpus = thread::available_parallelism().map_or(0, |n| n.get()),
+            os = std::env::consts::OS,
+            arch = std::env::consts::ARCH,
             m0 = headline_8t[0].0,
             v0 = headline_8t[0].1,
             m1 = headline_8t[1].0,

@@ -247,6 +247,25 @@ pub struct SystemConfig {
     /// them ("parallel execution of release and grant operations greatly
     /// speed up remastering"); enabling this quantifies that claim.
     pub sequential_remastering: bool,
+    /// Epoch-batched group remastering (off by default). Instead of an
+    /// inline release/grant pair per routed transaction, the selector
+    /// queues the move, routes the transaction to the current master, and
+    /// flushes the queue at the epoch boundary as coalesced per-site-pair
+    /// `BatchRelease`/`BatchGrant` RPCs.
+    pub remaster_batching: bool,
+    /// Epoch boundary by count: the pending-move queue flushes once it
+    /// holds this many distinct partitions.
+    pub epoch_max_moves: usize,
+    /// Epoch boundary by time: the queue also flushes once this much time
+    /// has passed since the first move was queued. `Duration::ZERO`
+    /// disables the time trigger (count-only epochs — what deterministic
+    /// replay tests need, since flush timing then depends only on the
+    /// route sequence).
+    pub epoch_interval: Duration,
+    /// No-stall guarantee: how many transactions may route to the *old*
+    /// master of a queued partition before the selector gives up on the
+    /// epoch and moves that partition inline immediately.
+    pub remaster_wait_budget: u32,
     /// Fixed simulated CPU cost per stored-procedure execution (parsing,
     /// plan dispatch). Occupies an RPC worker, modelling the paper's
     /// 12-core data-site machines; ~45% of transaction latency is
@@ -272,6 +291,10 @@ impl SystemConfig {
             inter_txn_window: Duration::from_millis(100),
             max_coaccess_partners: 64,
             sequential_remastering: false,
+            remaster_batching: false,
+            epoch_max_moves: 32,
+            epoch_interval: Duration::ZERO,
+            remaster_wait_budget: 64,
             service_base: Duration::from_micros(800),
             service_per_op: Duration::from_micros(2),
             seed: 0x000D_A11A_5EED,
@@ -304,6 +327,17 @@ impl SystemConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables epoch-batched group remastering with a count-triggered
+    /// epoch boundary (`epoch_interval` stays as configured; the default
+    /// `Duration::ZERO` keeps epochs count-only and replay-deterministic).
+    #[must_use]
+    pub fn with_epoch_batching(mut self, max_moves: usize, wait_budget: u32) -> Self {
+        self.remaster_batching = true;
+        self.epoch_max_moves = max_moves;
+        self.remaster_wait_budget = wait_budget;
         self
     }
 }
@@ -365,5 +399,16 @@ mod tests {
         assert_eq!(cfg.weights, StrategyWeights::tpcc());
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.mvcc_versions, 4);
+    }
+
+    #[test]
+    fn epoch_batching_builder_sets_knobs() {
+        let cfg = SystemConfig::new(3);
+        assert!(!cfg.remaster_batching);
+        let cfg = cfg.with_epoch_batching(8, 16);
+        assert!(cfg.remaster_batching);
+        assert_eq!(cfg.epoch_max_moves, 8);
+        assert_eq!(cfg.remaster_wait_budget, 16);
+        assert_eq!(cfg.epoch_interval, Duration::ZERO);
     }
 }

@@ -262,6 +262,10 @@ pub enum TracePayload {
         chosen: u32,
         /// Number of write-set partitions being co-located.
         partitions: u32,
+        /// Remastering epoch the decision belongs to: the next epoch the
+        /// selector will allocate for an inline move, or the first epoch
+        /// of an epoch-batched group flush (0 = not yet assigned).
+        epoch: u64,
         /// Per-candidate scores of all four features.
         candidates: Arc<Vec<CandidateScore>>,
     },
@@ -344,9 +348,10 @@ impl fmt::Display for TracePayload {
             TracePayload::Decision {
                 chosen,
                 partitions,
+                epoch,
                 candidates,
             } => {
-                write!(f, "chosen=site{chosen} parts={partitions}")?;
+                write!(f, "chosen=site{chosen} parts={partitions} epoch={epoch}")?;
                 for c in candidates.iter() {
                     write!(
                         f,
@@ -883,6 +888,7 @@ mod tests {
         let p = TracePayload::Decision {
             chosen: 1,
             partitions: 3,
+            epoch: 12,
             candidates: Arc::new(vec![CandidateScore {
                 site: 1,
                 balance: 0.5,
@@ -894,7 +900,7 @@ mod tests {
             }]),
         };
         let s = p.to_string();
-        for needle in ["bal=", "delay=", "intra=", "inter=", "total="] {
+        for needle in ["bal=", "delay=", "intra=", "inter=", "total=", "epoch=12"] {
             assert!(s.contains(needle), "{s}");
         }
     }

@@ -54,6 +54,18 @@ fn register_selector_metrics(metrics: &MetricsRegistry, selector: &SiteSelector)
         Arc::clone(&selector.partitions_moved),
     );
     metrics.register_counter("selector.placements", Arc::clone(&selector.placements));
+    metrics.register_counter(
+        "selector.remaster_rpcs",
+        Arc::clone(&selector.remaster_rpcs),
+    );
+    metrics.register_counter(
+        "selector.remaster_rpcs_saved",
+        Arc::clone(&selector.remaster_rpcs_saved),
+    );
+    metrics.register_histogram(
+        "selector.remaster_batch_size",
+        Arc::clone(&selector.remaster_batch_size),
+    );
 }
 
 /// Construction parameters.

@@ -16,6 +16,7 @@
 //! [`FreshnessCache`](crate::freshness::FreshnessCache) and the read-routing
 //! RNG is thread-local, so routing threads share no locks on this path.
 
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -24,19 +25,31 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use dynamast_common::codec::encode_to_vec;
 use dynamast_common::ids::{ClientId, Key, PartitionId, SiteId};
-use dynamast_common::metrics::Counter;
-use dynamast_common::trace::{next_trace_id, FlightRecorder, TraceKind, TracePayload, TraceSite};
+use dynamast_common::metrics::{Counter, LatencyHistogram};
+use dynamast_common::trace::{
+    next_trace_id, CandidateScore, FlightRecorder, TraceKind, TracePayload, TraceSite,
+};
 use dynamast_common::{DynaError, Result, SystemConfig, VersionVector};
 use dynamast_network::{CrashPoint, CrashSwitch, EndpointId, Network, TrafficCategory};
 use dynamast_site::messages::{expect_ok, SiteRequest, SiteResponse};
 use dynamast_storage::Catalog;
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::freshness::FreshnessCache;
 use crate::partition_map::PartitionMap;
 use crate::stats::{AccessStats, StatsConfig};
-use crate::strategy::{best_site, score_sites_detailed, CoAccess, ScoreInputs};
+use crate::strategy::{confirm_group_destination, CoAccess, ScoreInputs};
+
+/// Imbalance probe (epoch batching only): a sole-master fast-path group is
+/// considered for a deferred move when its master's tracked load exceeds
+/// `REBALANCE_FACTOR ×` the mean site load, once at least
+/// `REBALANCE_MIN_TOTAL` writes have been attributed overall. Both reads are
+/// relaxed-atomic approximations — the flush re-scores under exclusive locks
+/// before anything actually moves.
+const REBALANCE_FACTOR: f64 = 1.5;
+const REBALANCE_MIN_TOTAL: f64 = 64.0;
 
 /// How the selector places masters.
 pub enum SelectorMode {
@@ -96,6 +109,28 @@ pub struct RouteDecision {
     pub remastered: bool,
 }
 
+/// One queued ownership move: where the partition should go and how many
+/// transactions have been routed to its *current* master while it waited.
+struct PendingMove {
+    /// Destination decided at enqueue time (re-scored as a group at flush).
+    /// May equal the current master — such entries are sticky "scored,
+    /// stay put" markers that stop the imbalance probe from re-scoring the
+    /// same group on every route; the flush discards them.
+    dest: SiteId,
+    /// Fast-path routes that executed at the old master since enqueue.
+    deferrals: u32,
+}
+
+/// The epoch-batched pending-move queue (guarded by one mutex; touched only
+/// when `remaster_batching` is enabled, and never while partition-map locks
+/// are held — flushing acquires map locks *after* draining this).
+#[derive(Default)]
+struct EpochQueue {
+    moves: HashMap<PartitionId, PendingMove>,
+    /// When the first move of the open epoch was queued (time trigger).
+    started: Option<Instant>,
+}
+
 /// The site selector.
 pub struct SiteSelector {
     config: SystemConfig,
@@ -124,6 +159,19 @@ pub struct SiteSelector {
     /// First-touch placements (no release involved; the paper's DynaMast
     /// starts unplaced, so early transactions *place* rather than remaster).
     pub placements: Arc<Counter>,
+    /// Pending epoch-batched moves (empty unless `remaster_batching`).
+    pending: Mutex<EpochQueue>,
+    /// Single-flight guard: one epoch flush at a time, late callers skip.
+    flush_in_progress: AtomicBool,
+    /// Release/grant-class RPCs sent (inline, batched, and back-grants) —
+    /// the denominator of the batching round-trip-reduction claim.
+    pub remaster_rpcs: Arc<Counter>,
+    /// Round trips avoided by coalescing queued moves into batch RPCs:
+    /// `2 × moves − batch RPCs` accumulated per flush.
+    pub remaster_rpcs_saved: Arc<Counter>,
+    /// Partitions carried per batch RPC (bucketed via the latency histogram
+    /// machinery; one "microsecond" = one partition).
+    pub remaster_batch_size: Arc<LatencyHistogram>,
     /// Update transactions routed, per site.
     routed: Vec<Counter>,
 }
@@ -176,6 +224,11 @@ impl SiteSelector {
             remaster_ops: Arc::new(Counter::new()),
             partitions_moved: Arc::new(Counter::new()),
             placements: Arc::new(Counter::new()),
+            pending: Mutex::new(EpochQueue::default()),
+            flush_in_progress: AtomicBool::new(false),
+            remaster_rpcs: Arc::new(Counter::new()),
+            remaster_rpcs_saved: Arc::new(Counter::new()),
+            remaster_batch_size: Arc::new(LatencyHistogram::new()),
             routed: (0..m).map(|_| Counter::new()).collect(),
             config,
         })
@@ -299,6 +352,11 @@ impl SiteSelector {
                             }
                         }
                     }
+                    // The probe doubles as the epoch clock: an idle workload
+                    // must not strand a queued move past `epoch_interval`.
+                    if selector.config.remaster_batching {
+                        let _ = selector.flush_epoch_if_due();
+                    }
                     thread::sleep(interval);
                 }
             })
@@ -357,6 +415,14 @@ impl SiteSelector {
                 let lookup = t0.elapsed();
                 self.stats
                     .record_write_set(client, Instant::now(), &partitions, &masters);
+                // Epoch batching: the group stays where it is for now; the
+                // tick may queue a move for the epoch boundary, and only a
+                // blown wait budget forces the flush (and a re-route) here.
+                let site = if self.config.remaster_batching {
+                    self.epoch_tick(txn_id, cvv, &partitions, site)?
+                } else {
+                    site
+                };
                 self.routed[site.as_usize()].inc();
                 self.trace(
                     txn_id,
@@ -446,6 +512,7 @@ impl SiteSelector {
                         epoch,
                         generation: self.generation,
                     };
+                    self.remaster_rpcs.inc();
                     let pending = self.network.rpc_async(
                         EndpointId::Site(m.raw()),
                         TrafficCategory::Remaster,
@@ -483,6 +550,7 @@ impl SiteSelector {
                             rel_vv,
                             generation: self.generation,
                         };
+                        self.remaster_rpcs.inc();
                         let sent = self.network.rpc_async(
                             EndpointId::Site(dest.raw()),
                             TrafficCategory::Remaster,
@@ -519,6 +587,7 @@ impl SiteSelector {
                         out_vv.merge_max(&grant_vv);
                         entries[i].set_master(&mut guards[i], dest);
                         self.stats.on_remaster(partitions[i], dest);
+                        self.drop_pending(partitions[i]);
                         moved += 1;
                         continue;
                     }
@@ -534,6 +603,7 @@ impl SiteSelector {
                         rel_vv: VersionVector::zero(self.config.num_sites),
                         generation: self.generation,
                     };
+                    self.remaster_rpcs.inc();
                     let pending = self.network.rpc_async(
                         EndpointId::Site(dest.raw()),
                         TrafficCategory::Remaster,
@@ -577,6 +647,7 @@ impl SiteSelector {
                 rel_vv,
                 generation: self.generation,
             };
+            self.remaster_rpcs.inc();
             let pending = self.network.rpc_async(
                 EndpointId::Site(dest.raw()),
                 TrafficCategory::Remaster,
@@ -617,6 +688,7 @@ impl SiteSelector {
                     out_vv.merge_max(&grant_vv);
                     entries[i].set_master(&mut guards[i], dest);
                     self.stats.on_remaster(partitions[i], dest);
+                    self.drop_pending(partitions[i]);
                     moved += 1;
                 }
                 Err(e) => {
@@ -693,6 +765,7 @@ impl SiteSelector {
     /// after the intended grantee proved unreachable.
     fn back_grant(&self, releaser: Option<SiteId>, grant: &SiteRequest) {
         let Some(back_to) = releaser else { return };
+        self.remaster_rpcs.inc();
         let _ = self.network.rpc_with_retry(
             &self.network.config().retry,
             None,
@@ -700,6 +773,472 @@ impl SiteSelector {
             TrafficCategory::Remaster,
             Bytes::from(encode_to_vec(grant)),
         );
+    }
+
+    // ---- Epoch-batched group remastering ----
+
+    /// Number of moves currently queued for the next epoch boundary
+    /// (tests and diagnostics; counts sticky "stay put" markers too).
+    pub fn pending_moves(&self) -> usize {
+        self.pending.lock().moves.len()
+    }
+
+    /// Forgets a queued move after an inline remaster superseded it.
+    fn drop_pending(&self, partition: PartitionId) {
+        if self.config.remaster_batching {
+            self.pending.lock().moves.remove(&partition);
+        }
+    }
+
+    /// Per-route bookkeeping on the sole-master fast path when epoch
+    /// batching is on. Never stalls the transaction: the group keeps
+    /// executing at `master` (the no-stall guarantee), and only a blown
+    /// wait budget forces the epoch to flush early — in which case the
+    /// group's post-flush master is returned for re-routing.
+    fn epoch_tick(
+        &self,
+        txn_id: u64,
+        cvv: &VersionVector,
+        partitions: &[PartitionId],
+        master: SiteId,
+    ) -> Result<SiteId> {
+        let budget = self.config.remaster_wait_budget;
+        let (force_flush, unqueued) = {
+            let mut q = self.pending.lock();
+            let mut force = false;
+            let mut unqueued: Vec<PartitionId> = Vec::new();
+            for p in partitions {
+                match q.moves.get_mut(p) {
+                    Some(pm) => {
+                        pm.deferrals += 1;
+                        if pm.deferrals > budget {
+                            if pm.dest != master {
+                                force = true;
+                            } else {
+                                // A "stay put" verdict expires after a
+                                // budget's worth of routes: the load picture
+                                // that justified it may have shifted.
+                                q.moves.remove(p);
+                            }
+                        }
+                    }
+                    None => unqueued.push(*p),
+                }
+            }
+            (force, unqueued)
+        };
+        // Imbalance probe: a cheap relaxed read of the per-site load
+        // attribution; full Eq. 8 scoring runs only when this master looks
+        // overloaded. Partitions are scored individually — moving a whole
+        // co-hot set wholesale never improves balance, spreading it does —
+        // and every verdict is cached in the queue (a "stay put" included)
+        // so each partition is scored once per epoch, not once per route.
+        if !force_flush && !unqueued.is_empty() {
+            let load = self.stats.approx_site_load();
+            let total: f64 = load.iter().sum();
+            let mean = total / load.len().max(1) as f64;
+            if total >= REBALANCE_MIN_TOTAL && load[master.as_usize()] > REBALANCE_FACTOR * mean {
+                for p in &unqueued {
+                    let (dest, cands) = self.score_candidates(&[*p], &[Some(master)], cvv);
+                    if dest != master {
+                        // Decision explainability for deferred moves: epoch 0
+                        // marks "queued, epoch not yet assigned"; the flush
+                        // emits the final epoch-stamped decision.
+                        self.trace(
+                            txn_id,
+                            TraceKind::RemasterDecision,
+                            TracePayload::Decision {
+                                chosen: dest.raw(),
+                                partitions: 1,
+                                epoch: 0,
+                                candidates: Arc::new(cands),
+                            },
+                        );
+                    }
+                    let mut q = self.pending.lock();
+                    if q.started.is_none() {
+                        q.started = Some(Instant::now());
+                    }
+                    q.moves
+                        .entry(*p)
+                        .or_insert(PendingMove { dest, deferrals: 0 });
+                }
+            }
+        }
+        let boundary = {
+            let q = self.pending.lock();
+            q.moves.len() >= self.config.epoch_max_moves.max(1)
+                || (self.config.epoch_interval > Duration::ZERO
+                    && q.started
+                        .is_some_and(|t| t.elapsed() >= self.config.epoch_interval))
+        };
+        if force_flush || boundary {
+            self.flush_epoch_traced(txn_id)?;
+            if force_flush {
+                // The waiting group just moved (or a concurrent flush beat
+                // us to it) — route wherever the map says it lives now.
+                let entries = self.map.entries_for(partitions);
+                let guards = self.map.lock_shared(&entries);
+                let masters: Vec<Option<SiteId>> = guards.iter().map(|g| g.master).collect();
+                return Ok(sole_master(&masters).unwrap_or(master));
+            }
+        }
+        Ok(master)
+    }
+
+    /// Flushes the open epoch now: drains the pending queue, re-scores each
+    /// destination group under exclusive map locks, and executes the moves
+    /// as coalesced per-site-pair `BatchRelease`/`BatchGrant` RPCs. Public
+    /// so benches and tests can force epoch boundaries; routing calls it
+    /// when the epoch's move count, age, or a wait budget trips it.
+    pub fn flush_epoch(&self) -> Result<()> {
+        self.flush_epoch_traced(next_trace_id())
+    }
+
+    /// Time-trigger check used by the background svv probe: flushes once
+    /// the open epoch is older than `epoch_interval`. No-op otherwise.
+    pub fn flush_epoch_if_due(&self) -> Result<()> {
+        if self.config.epoch_interval == Duration::ZERO {
+            return Ok(());
+        }
+        let due = self
+            .pending
+            .lock()
+            .started
+            .is_some_and(|t| t.elapsed() >= self.config.epoch_interval);
+        if due {
+            self.flush_epoch()
+        } else {
+            Ok(())
+        }
+    }
+
+    fn flush_epoch_traced(&self, txn_id: u64) -> Result<()> {
+        if !self.config.remaster_batching {
+            return Ok(());
+        }
+        if self.flush_in_progress.swap(true, Ordering::AcqRel) {
+            return Ok(()); // another thread's flush is already draining
+        }
+        struct Unflag<'a>(&'a AtomicBool);
+        impl Drop for Unflag<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::Release);
+            }
+        }
+        let _unflag = Unflag(&self.flush_in_progress);
+        let mut drained: Vec<PartitionId> = {
+            let mut q = self.pending.lock();
+            q.started = None;
+            q.moves.drain().map(|(p, _)| p).collect()
+        };
+        if drained.is_empty() {
+            return Ok(());
+        }
+        // Ascending partition order: the map's deadlock-avoidance locking
+        // discipline, and a deterministic plan for a deterministic queue.
+        drained.sort_unstable();
+        drained.dedup();
+        self.flush_moves(txn_id, &drained)
+    }
+
+    /// Plans one epoch flush — greedy per-partition Eq. 8 assignment over a
+    /// single shared stats snapshot — and executes it as coalesced batch
+    /// RPCs, one `BatchRelease` + `BatchGrant` per (source, destination)
+    /// site pair. Planning runs under *shared* map locks only, and each
+    /// pair's exclusive window covers just its own two round trips: the
+    /// router is never stalled for the whole flush, only for the sub-batch
+    /// whose partitions it actually touches.
+    fn flush_moves(&self, txn_id: u64, partitions: &[PartitionId]) -> Result<()> {
+        let m = self.config.num_sites;
+        let masters: Vec<Option<SiteId>> = {
+            let entries = self.map.entries_for(partitions);
+            let guards = self.map.lock_shared(&entries);
+            guards.iter().map(|g| g.master).collect()
+        };
+        let plan = self.plan_flush(txn_id, partitions, &masters);
+        let mut by_pair: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+        for (i, mm) in masters.iter().enumerate() {
+            if let (Some(src), Some(dst)) = (mm, plan[i]) {
+                if *src != dst {
+                    by_pair.entry((src.raw(), dst.raw())).or_default().push(i);
+                }
+            }
+        }
+        if by_pair.is_empty() {
+            return Ok(());
+        }
+        let retry = self.network.config().retry;
+        let mut attempted = 0u64;
+        let mut batch_rpcs = 0u64;
+        let mut moved = 0u64;
+        for ((src_raw, dst_raw), idxs) in &by_pair {
+            let src = SiteId::new(*src_raw as usize);
+            let dst = SiteId::new(*dst_raw as usize);
+            // A crash here tears the batch: earlier pairs are already moved
+            // with this one untouched — exactly the torn state the standby's
+            // release-without-grant repair must mend.
+            self.crash_check(CrashPoint::MidBatchRelease)?;
+            // Exclusive locks for this pair only. `idxs` ascends and pairs
+            // never share a partition, so the map's ascending-order locking
+            // discipline holds within and across pairs.
+            let pair_parts: Vec<PartitionId> = idxs.iter().map(|&i| partitions[i]).collect();
+            let entries = self.map.entries_for(&pair_parts);
+            let mut guards = self.map.lock_exclusive(&entries);
+            // Re-verify under the exclusive lock: an inline co-location may
+            // have superseded the plan while no lock was held.
+            let live: Vec<usize> = (0..idxs.len())
+                .filter(|&k| guards[k].master == Some(src))
+                .collect();
+            if live.is_empty() {
+                continue;
+            }
+            let mut epochs = vec![0u64; idxs.len()];
+            let moves: Vec<(PartitionId, u64)> = live
+                .iter()
+                .map(|&k| {
+                    let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+                    epochs[k] = epoch;
+                    self.trace_remaster(
+                        txn_id,
+                        TraceKind::ReleaseSend,
+                        pair_parts[k],
+                        src,
+                        dst,
+                        epoch,
+                    );
+                    (pair_parts[k], epoch)
+                })
+                .collect();
+            attempted += moves.len() as u64;
+            let req = SiteRequest::BatchRelease {
+                moves,
+                generation: self.generation,
+            };
+            self.remaster_rpcs.inc();
+            batch_rpcs += 1;
+            self.remaster_batch_size
+                .record(Duration::from_micros(live.len() as u64));
+            let reply = self.network.rpc_with_retry(
+                &retry,
+                None,
+                EndpointId::Site(src.raw()),
+                TrafficCategory::Remaster,
+                Bytes::from(encode_to_vec(&req)),
+            );
+            let results = match reply.and_then(|r| match expect_ok(&r)? {
+                SiteResponse::BatchReleased { results } => Ok(results),
+                _ => Err(DynaError::Internal("unexpected batch release response")),
+            }) {
+                Ok(results) => results,
+                // Unreachable or fenced: nothing released at this source;
+                // its partitions stay put for a later epoch.
+                Err(_) => continue,
+            };
+            let mut rel_vvs: Vec<Option<VersionVector>> = vec![None; idxs.len()];
+            let mut src_vv = VersionVector::zero(m);
+            for (&k, rel) in live.iter().zip(results) {
+                if let Some(rel_vv) = rel {
+                    self.trace_remaster(
+                        txn_id,
+                        TraceKind::ReleaseAck,
+                        pair_parts[k],
+                        src,
+                        dst,
+                        epochs[k],
+                    );
+                    src_vv.merge_max(&rel_vv);
+                    rel_vvs[k] = Some(rel_vv);
+                }
+            }
+            self.observe_site_vv(src, &src_vv);
+            let granted: Vec<usize> = live
+                .iter()
+                .copied()
+                .filter(|&k| rel_vvs[k].is_some())
+                .collect();
+            if granted.is_empty() {
+                continue;
+            }
+            let single_grant = |k: usize| SiteRequest::Grant {
+                partition: pair_parts[k],
+                epoch: epochs[k],
+                rel_vv: rel_vvs[k].clone().expect("granted only when released"),
+                generation: self.generation,
+            };
+            // A crash here leaves this pair's partitions released with no
+            // grant sent — the other torn-batch shape recovery must mend.
+            self.crash_check(CrashPoint::MidBatchGrant)?;
+            let grants: Vec<(PartitionId, u64, VersionVector)> = granted
+                .iter()
+                .map(|&k| {
+                    self.trace_remaster(
+                        txn_id,
+                        TraceKind::GrantSend,
+                        pair_parts[k],
+                        src,
+                        dst,
+                        epochs[k],
+                    );
+                    (
+                        pair_parts[k],
+                        epochs[k],
+                        rel_vvs[k].clone().expect("granted only when released"),
+                    )
+                })
+                .collect();
+            let req = SiteRequest::BatchGrant {
+                grants,
+                generation: self.generation,
+            };
+            self.remaster_rpcs.inc();
+            batch_rpcs += 1;
+            self.remaster_batch_size
+                .record(Duration::from_micros(granted.len() as u64));
+            let reply = self.network.rpc_with_retry(
+                &retry,
+                None,
+                EndpointId::Site(dst.raw()),
+                TrafficCategory::Remaster,
+                Bytes::from(encode_to_vec(&req)),
+            );
+            let results = match reply.and_then(|r| match expect_ok(&r)? {
+                SiteResponse::BatchGranted { results } => Ok(results),
+                _ => Err(DynaError::Internal("unexpected batch grant response")),
+            }) {
+                Ok(results) => results,
+                Err(_) => {
+                    // Destination unreachable: back out this pair's
+                    // releases so no partition is left masterless (the
+                    // inline path's policy).
+                    for &k in &granted {
+                        self.back_grant(Some(src), &single_grant(k));
+                    }
+                    continue;
+                }
+            };
+            let mut merged = VersionVector::zero(m);
+            for (&k, outcome) in granted.iter().zip(results) {
+                match outcome {
+                    Some(grant_vv) => {
+                        self.trace_remaster(
+                            txn_id,
+                            TraceKind::GrantAck,
+                            pair_parts[k],
+                            src,
+                            dst,
+                            epochs[k],
+                        );
+                        merged.merge_max(&grant_vv);
+                        entries[k].set_master(&mut guards[k], dst);
+                        self.stats.on_remaster(pair_parts[k], dst);
+                        moved += 1;
+                    }
+                    None => self.back_grant(Some(src), &single_grant(k)),
+                }
+            }
+            self.observe_site_vv(dst, &merged);
+        }
+        if moved > 0 {
+            self.remaster_ops.inc();
+            self.partitions_moved.add(moved);
+        }
+        // The batching claim made concrete: the inline path would have paid
+        // one release plus one grant round trip per attempted move.
+        let inline_cost = 2 * attempted;
+        if inline_cost > batch_rpcs {
+            self.remaster_rpcs_saved.add(inline_cost - batch_rpcs);
+        }
+        Ok(())
+    }
+
+    /// The flush planner: greedy per-partition Eq. 8 assignment, heaviest
+    /// partition first, over ONE shared stats snapshot and freshness read —
+    /// the per-candidate feature inputs are computed once for the whole
+    /// queued set rather than once per routed transaction. A working copy
+    /// of the site-load vector absorbs each assignment before the next
+    /// partition is scored, so a flash-crowd hot set *spreads* across
+    /// underloaded sites instead of ping-ponging wholesale; already-assigned
+    /// partners count at their new homes for the localization terms.
+    fn plan_flush(
+        &self,
+        txn_id: u64,
+        partitions: &[PartitionId],
+        masters: &[Option<SiteId>],
+    ) -> Vec<Option<SiteId>> {
+        let m = self.config.num_sites;
+        let (snaps, mut working_load) = self.stats.snapshot(partitions);
+        let site_vvs = self.freshness.all();
+        let unreachable: Vec<bool> = (0..m)
+            .map(|i| !self.network.site_reachable(i as u32))
+            .collect();
+        let cvv = VersionVector::zero(m);
+        let mut order: Vec<usize> = (0..partitions.len())
+            .filter(|&i| masters[i].is_some())
+            .collect();
+        order.sort_by(|&a, &b| {
+            snaps[b]
+                .load
+                .total_cmp(&snaps[a].load)
+                .then(partitions[a].cmp(&partitions[b]))
+        });
+        let mut plan: Vec<Option<SiteId>> = vec![None; partitions.len()];
+        let mut assigned: HashMap<PartitionId, SiteId> = HashMap::new();
+        for &i in &order {
+            let placed = [(partitions[i], masters[i])];
+            let load = [snaps[i].load];
+            let to_coaccess = |partners: &[(PartitionId, f64)]| -> Vec<CoAccess> {
+                partners
+                    .iter()
+                    .map(|(partner, probability)| CoAccess {
+                        partner: *partner,
+                        probability: *probability,
+                        partner_master: assigned.get(partner).copied().or_else(|| {
+                            self.map
+                                .entries_for_existing(*partner)
+                                .and_then(|e| e.master_relaxed())
+                        }),
+                        in_write_set: false,
+                    })
+                    .collect()
+            };
+            let intra = vec![to_coaccess(&snaps[i].intra.partners)];
+            let inter = vec![to_coaccess(&snaps[i].inter.partners)];
+            let (dest, cands) = confirm_group_destination(
+                &ScoreInputs {
+                    num_sites: m,
+                    weights: &self.config.weights,
+                    partitions: &placed,
+                    partition_load: &load,
+                    site_load: &working_load,
+                    intra: &intra,
+                    inter: &inter,
+                    site_vvs: &site_vvs,
+                    cvv: &cvv,
+                },
+                &unreachable,
+            );
+            let src = masters[i].expect("order holds only mastered partitions");
+            working_load[src.as_usize()] -= snaps[i].load;
+            working_load[dest.as_usize()] += snaps[i].load;
+            assigned.insert(partitions[i], dest);
+            plan[i] = Some(dest);
+            if dest != src {
+                // The epoch-stamped final decision for this move (its
+                // release allocates the next remaster epoch).
+                self.trace(
+                    txn_id,
+                    TraceKind::RemasterDecision,
+                    TracePayload::Decision {
+                        chosen: dest.raw(),
+                        partitions: 1,
+                        epoch: self.epoch.load(Ordering::Relaxed) + 1,
+                        candidates: Arc::new(cands),
+                    },
+                );
+            }
+        }
+        plan
     }
 
     /// Strategy evaluation (Eq. 8) over all candidate sites, recording a
@@ -712,6 +1251,32 @@ impl SiteSelector {
         masters: &[Option<SiteId>],
         cvv: &VersionVector,
     ) -> SiteId {
+        let (dest, cands) = self.score_candidates(partitions, masters, cvv);
+        // Decision explainability: the full per-candidate feature breakdown
+        // (Eq. 8's four terms) behind this choice, on the flight recorder.
+        self.trace(
+            txn_id,
+            TraceKind::RemasterDecision,
+            TracePayload::Decision {
+                chosen: dest.raw(),
+                partitions: partitions.len() as u32,
+                epoch: self.epoch.load(Ordering::Relaxed) + 1,
+                candidates: Arc::new(cands),
+            },
+        );
+        dest
+    }
+
+    /// Shared Eq. 8 evaluation for both inline decisions and epoch-flush
+    /// group re-scoring: builds the feature inputs once for the partition
+    /// set and delegates to the strategy's group scorer with the current
+    /// reachability mask.
+    fn score_candidates(
+        &self,
+        partitions: &[PartitionId],
+        masters: &[Option<SiteId>],
+        cvv: &VersionVector,
+    ) -> (SiteId, Vec<CandidateScore>) {
         let (snaps, site_load) = self.stats.snapshot(partitions);
         let placed: Vec<(PartitionId, Option<SiteId>)> = partitions
             .iter()
@@ -749,52 +1314,28 @@ impl SiteSelector {
             .map(|s| to_coaccess(&s.inter.partners))
             .collect();
         let site_vvs = self.freshness.all();
-        let mut cands = score_sites_detailed(&ScoreInputs {
-            num_sites: self.config.num_sites,
-            weights: &self.config.weights,
-            partitions: &placed,
-            partition_load: &partition_load,
-            site_load: &site_load,
-            intra: &intra,
-            inter: &inter,
-            site_vvs: &site_vvs,
-            cvv,
-        });
         // Never remaster TOWARD an unreachable site: a grant to a crashed
         // endpoint would strand the partition until the site recovers. (If
         // every site is unreachable the unmasked argmax stands; the RPCs
-        // fail and the client backs off either way.)
-        let any_up = (0..self.config.num_sites).any(|i| self.network.site_reachable(i as u32));
-        if any_up {
-            for cand in &mut cands {
-                if !self.network.site_reachable(cand.site) {
-                    cand.reachable = false;
-                }
-            }
-        }
-        let scores: Vec<f64> = cands
-            .iter()
-            .map(|c| {
-                if c.reachable {
-                    c.total
-                } else {
-                    f64::NEG_INFINITY
-                }
-            })
+        // fail and the client backs off either way — the group scorer
+        // ignores an all-masked mask for exactly this reason.)
+        let unreachable: Vec<bool> = (0..self.config.num_sites)
+            .map(|i| !self.network.site_reachable(i as u32))
             .collect();
-        let dest = best_site(&scores);
-        // Decision explainability: the full per-candidate feature breakdown
-        // (Eq. 8's four terms) behind this choice, on the flight recorder.
-        self.trace(
-            txn_id,
-            TraceKind::RemasterDecision,
-            TracePayload::Decision {
-                chosen: dest.raw(),
-                partitions: partitions.len() as u32,
-                candidates: Arc::new(cands),
+        confirm_group_destination(
+            &ScoreInputs {
+                num_sites: self.config.num_sites,
+                weights: &self.config.weights,
+                partitions: &placed,
+                partition_load: &partition_load,
+                site_load: &site_load,
+                intra: &intra,
+                inter: &inter,
+                site_vvs: &site_vvs,
+                cvv,
             },
-        );
-        dest
+            &unreachable,
+        )
     }
 
     /// Routes a read-only transaction (§IV-B): a random *reachable* site

@@ -413,6 +413,17 @@ impl AccessStats {
         (snaps, load)
     }
 
+    /// Cheap unflushed per-site load read for trigger heuristics (the epoch
+    /// batcher's imbalance probe). Sampled writes still buffered in the
+    /// history window are not included; callers needing exact figures use
+    /// [`AccessStats::snapshot`].
+    pub fn approx_site_load(&self) -> Vec<f64> {
+        self.site_load
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed) as f64)
+            .collect()
+    }
+
     /// The tracked write count of one partition (tests/diagnostics).
     pub fn partition_count(&self, partition: PartitionId) -> u64 {
         self.flush();

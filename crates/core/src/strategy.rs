@@ -206,6 +206,49 @@ pub fn score_sites(inputs: &ScoreInputs<'_>) -> Vec<f64> {
         .collect()
 }
 
+/// Scores a *group* of queued partitions as one remastering unit
+/// (epoch-batched group remastering) and confirms its destination.
+///
+/// The group is handed in through the same [`ScoreInputs`] as a write set:
+/// `partitions` holds every queued partition, and partners inside the group
+/// use `in_write_set: true` so localization treats them as moving together.
+/// The shared Eq. 8 feature inputs — the before/after balance distance, the
+/// candidate's svv lag target, the localization sums — are therefore
+/// computed once per candidate site for the whole group instead of once per
+/// routed transaction, which is what makes the epoch flush cheaper than the
+/// per-transaction decisions it replaces.
+///
+/// `unreachable[i]` masks site `i` out of the argmax; if every site is
+/// masked the mask is ignored (matching the selector's inline behaviour:
+/// with nowhere reachable, pick on merit and let the RPC layer surface the
+/// failure). Returns the confirmed destination and the per-candidate table
+/// for the flight recorder.
+pub fn confirm_group_destination(
+    inputs: &ScoreInputs<'_>,
+    unreachable: &[bool],
+) -> (SiteId, Vec<CandidateScore>) {
+    debug_assert_eq!(unreachable.len(), inputs.num_sites);
+    let mut candidates = score_sites_detailed(inputs);
+    if unreachable.iter().any(|u| !u) {
+        for (candidate, &masked) in candidates.iter_mut().zip(unreachable) {
+            if masked {
+                candidate.reachable = false;
+            }
+        }
+    }
+    let scores: Vec<f64> = candidates
+        .iter()
+        .map(|c| {
+            if c.reachable {
+                c.total
+            } else {
+                f64::NEG_INFINITY
+            }
+        })
+        .collect();
+    (best_site(&scores), candidates)
+}
+
 /// Argmax with deterministic low-site tie-breaking.
 pub fn best_site(scores: &[f64]) -> SiteId {
     let mut best = 0;
@@ -441,6 +484,64 @@ mod tests {
             site(1),
             "balance must dominate: {scores:?}"
         );
+    }
+
+    #[test]
+    fn group_destination_shares_features_and_masks_unreachable() {
+        let weights = StrategyWeights {
+            balance: 1.0,
+            delay: 0.0,
+            intra_txn: 1.0,
+            inter_txn: 0.0,
+        };
+        // A queued group of two partitions, both at the overloaded site 0,
+        // co-accessed with each other (in-group partners move together).
+        let partitions = [(pid(1), Some(site(0))), (pid(2), Some(site(0)))];
+        let load = [3.0, 3.0];
+        let site_load = [20.0, 1.0, 1.0];
+        let intra = vec![
+            vec![CoAccess {
+                partner: pid(2),
+                probability: 1.0,
+                partner_master: Some(site(0)),
+                in_write_set: true,
+            }],
+            vec![CoAccess {
+                partner: pid(1),
+                probability: 1.0,
+                partner_master: Some(site(0)),
+                in_write_set: true,
+            }],
+        ];
+        let inter = vec![vec![], vec![]];
+        let vvs = zero_vvs(3);
+        let cvv = VersionVector::zero(3);
+        let inputs = base_inputs(
+            &weights,
+            &partitions,
+            &load,
+            &site_load,
+            &intra,
+            &inter,
+            &vvs,
+            &cvv,
+        );
+        let (dest, cands) = confirm_group_destination(&inputs, &[false, false, false]);
+        // Balance pulls the group off site 0, tie-break toward site 1; the
+        // per-candidate table matches the shared scoring exactly.
+        assert_eq!(dest, site(1));
+        let reference = score_sites_detailed(&inputs);
+        assert_eq!(cands.len(), reference.len());
+        for (c, r) in cands.iter().zip(&reference) {
+            assert_eq!(c.total, r.total);
+        }
+        // Masking site 1 re-routes the group to site 2.
+        let (dest, cands) = confirm_group_destination(&inputs, &[false, true, false]);
+        assert_eq!(dest, site(2));
+        assert!(!cands[1].reachable);
+        // All-unreachable ignores the mask instead of picking garbage.
+        let (dest, _) = confirm_group_destination(&inputs, &[true, true, true]);
+        assert_eq!(dest, site(1));
     }
 
     #[test]

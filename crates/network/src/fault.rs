@@ -195,16 +195,26 @@ pub enum CrashPoint {
     /// After the remaster fully settled, before the routing decision is
     /// returned: mastership moved but the client never learns where to.
     BeforeClientReply,
+    /// Mid-way through an epoch flush's `BatchRelease` RPCs: some (src,
+    /// dst) pairs have released their whole partition group, others have
+    /// not been contacted at all — a torn batch on the release half.
+    MidBatchRelease,
+    /// Mid-way through an epoch flush's `BatchGrant` RPCs: some groups are
+    /// fully granted at their destinations while others sit in the
+    /// release-without-grant window — a torn batch on the grant half.
+    MidBatchGrant,
 }
 
 impl CrashPoint {
     /// Every enumerated crash point, in protocol order (drives sweep tests).
-    pub const ALL: [CrashPoint; 5] = [
+    pub const ALL: [CrashPoint; 7] = [
         CrashPoint::BeforeReleaseSend,
         CrashPoint::AfterReleaseAck,
         CrashPoint::BeforeGrantSend,
         CrashPoint::AfterGrantSend,
         CrashPoint::BeforeClientReply,
+        CrashPoint::MidBatchRelease,
+        CrashPoint::MidBatchGrant,
     ];
 
     /// Stable numeric code mixed into the trigger hash.
@@ -215,6 +225,8 @@ impl CrashPoint {
             CrashPoint::BeforeGrantSend => 3,
             CrashPoint::AfterGrantSend => 4,
             CrashPoint::BeforeClientReply => 5,
+            CrashPoint::MidBatchRelease => 6,
+            CrashPoint::MidBatchGrant => 7,
         }
     }
 }

@@ -710,6 +710,33 @@ impl DataSite {
         Ok(grant_vv)
     }
 
+    /// Releases a whole batch of partitions (epoch-batched group
+    /// remastering): one RPC round trip, but each partition still runs the
+    /// full [`DataSite::release`] path — its own drain, its own Release
+    /// log record (preserving the per-origin in-order replication
+    /// admission), its own ledger entry. Per-partition failures are
+    /// isolated: a failed release returns `None` in that slot and the rest
+    /// of the batch proceeds.
+    pub fn batch_release(&self, moves: &[(PartitionId, u64)]) -> Vec<Option<VersionVector>> {
+        moves
+            .iter()
+            .map(|&(partition, epoch)| self.release(partition, epoch).ok())
+            .collect()
+    }
+
+    /// Grants a whole batch of partitions (epoch-batched group
+    /// remastering); the per-partition analogue of
+    /// [`DataSite::batch_release`].
+    pub fn batch_grant(
+        &self,
+        grants: &[(PartitionId, u64, VersionVector)],
+    ) -> Vec<Option<VersionVector>> {
+        grants
+            .iter()
+            .map(|(partition, epoch, rel_vv)| self.grant(*partition, *epoch, rel_vv).ok())
+            .collect()
+    }
+
     /// Retained remaster-ledger entries `(released, granted)` — exposed so
     /// tests can assert the idempotency state stays bounded under duplicate
     /// RPC hammering.
@@ -1033,6 +1060,18 @@ impl SiteRpc {
             } => {
                 site.leap_grant(&partitions, records)?;
                 Ok(SiteResponse::LeapGranted)
+            }
+            SiteRequest::BatchRelease { moves, generation } => {
+                site.check_selector_generation(generation)?;
+                Ok(SiteResponse::BatchReleased {
+                    results: site.batch_release(&moves),
+                })
+            }
+            SiteRequest::BatchGrant { grants, generation } => {
+                site.check_selector_generation(generation)?;
+                Ok(SiteResponse::BatchGranted {
+                    results: site.batch_grant(&grants),
+                })
             }
             SiteRequest::GetVv => Ok(SiteResponse::Vv {
                 svv: site.clock.current(),

@@ -253,6 +253,23 @@ pub enum SiteRequest {
         /// Shipped records to install.
         records: Vec<ShippedRecord>,
     },
+    /// Release mastership of many partitions in one coalesced RPC
+    /// (epoch-batched group remastering). Each move is logged and
+    /// ledgered individually on the site — only the round trip is shared.
+    BatchRelease {
+        /// `(partition, selector-assigned epoch)` pairs, one per move.
+        moves: Vec<(PartitionId, u64)>,
+        /// Fencing token: the sending selector's generation.
+        generation: u64,
+    },
+    /// Take mastership of many partitions in one coalesced RPC
+    /// (epoch-batched group remastering).
+    BatchGrant {
+        /// `(partition, epoch, releasing site's rel_vv)` triples.
+        grants: Vec<(PartitionId, u64, VersionVector)>,
+        /// Fencing token: the sending selector's generation.
+        generation: u64,
+    },
     /// Fetch the site's current svv.
     GetVv,
     /// Install a selector fence: the site raises its generation watermark to
@@ -277,6 +294,8 @@ const REQ_LEAP_RELEASE: u8 = 9;
 const REQ_LEAP_GRANT: u8 = 10;
 const REQ_GET_VV: u8 = 11;
 const REQ_FENCE_SELECTOR: u8 = 12;
+const REQ_BATCH_RELEASE: u8 = 13;
+const REQ_BATCH_GRANT: u8 = 14;
 
 impl Encode for SiteRequest {
     fn encode(&self, buf: &mut impl BufMut) {
@@ -371,6 +390,25 @@ impl Encode for SiteRequest {
                 encode_partitions(partitions, buf);
                 codec::encode_seq(records, buf);
             }
+            SiteRequest::BatchRelease { moves, generation } => {
+                buf.put_u8(REQ_BATCH_RELEASE);
+                buf.put_u32(moves.len() as u32);
+                for (partition, epoch) in moves {
+                    buf.put_u64(partition.raw());
+                    buf.put_u64(*epoch);
+                }
+                buf.put_u64(*generation);
+            }
+            SiteRequest::BatchGrant { grants, generation } => {
+                buf.put_u8(REQ_BATCH_GRANT);
+                buf.put_u32(grants.len() as u32);
+                for (partition, epoch, rel_vv) in grants {
+                    buf.put_u64(partition.raw());
+                    buf.put_u64(*epoch);
+                    rel_vv.encode(buf);
+                }
+                buf.put_u64(*generation);
+            }
             SiteRequest::GetVv => buf.put_u8(REQ_GET_VV),
             SiteRequest::FenceSelector { generation } => {
                 buf.put_u8(REQ_FENCE_SELECTOR);
@@ -400,6 +438,14 @@ impl Encode for SiteRequest {
                 partitions,
                 records,
             } => 4 + 8 * partitions.len() + codec::seq_len(records),
+            SiteRequest::BatchRelease { moves, .. } => 4 + 16 * moves.len() + 8,
+            SiteRequest::BatchGrant { grants, .. } => {
+                4 + grants
+                    .iter()
+                    .map(|(_, _, vv)| 16 + vv.encoded_len())
+                    .sum::<usize>()
+                    + 8
+            }
             SiteRequest::GetVv => 0,
             SiteRequest::FenceSelector { .. } => 8,
         }
@@ -478,6 +524,35 @@ impl Decode for SiteRequest {
             REQ_FENCE_SELECTOR => Ok(SiteRequest::FenceSelector {
                 generation: codec::get_u64(buf)?,
             }),
+            REQ_BATCH_RELEASE => {
+                let n = codec::get_u32(buf)? as usize;
+                let mut moves = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    moves.push((
+                        PartitionId::new(codec::get_u64(buf)? as usize),
+                        codec::get_u64(buf)?,
+                    ));
+                }
+                Ok(SiteRequest::BatchRelease {
+                    moves,
+                    generation: codec::get_u64(buf)?,
+                })
+            }
+            REQ_BATCH_GRANT => {
+                let n = codec::get_u32(buf)? as usize;
+                let mut grants = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    grants.push((
+                        PartitionId::new(codec::get_u64(buf)? as usize),
+                        codec::get_u64(buf)?,
+                        VersionVector::decode(buf)?,
+                    ));
+                }
+                Ok(SiteRequest::BatchGrant {
+                    grants,
+                    generation: codec::get_u64(buf)?,
+                })
+            }
             _ => Err(DynaError::Codec {
                 what: "site request tag",
                 needed: 0,
@@ -517,6 +592,19 @@ pub enum SiteResponse {
     Granted {
         /// The site's svv when it took ownership.
         grant_vv: VersionVector,
+    },
+    /// Batch release finished; per-partition outcomes.
+    BatchReleased {
+        /// Parallel to the request's `moves`: `Some(rel_vv)` for each
+        /// released partition, `None` where that partition's release
+        /// failed (the rest of the batch is unaffected).
+        results: Vec<Option<VersionVector>>,
+    },
+    /// Batch grant finished; per-partition outcomes.
+    BatchGranted {
+        /// Parallel to the request's `grants`: `Some(grant_vv)` for each
+        /// granted partition, `None` where that grant failed.
+        results: Vec<Option<VersionVector>>,
     },
     /// 2PC vote.
     Voted {
@@ -631,6 +719,40 @@ const RESP_LEAP_GRANTED: u8 = 9;
 const RESP_VV: u8 = 10;
 const RESP_ERROR: u8 = 11;
 const RESP_FENCED: u8 = 12;
+const RESP_BATCH_RELEASED: u8 = 13;
+const RESP_BATCH_GRANTED: u8 = 14;
+
+fn encode_opt_vvs(results: &[Option<VersionVector>], buf: &mut impl BufMut) {
+    buf.put_u32(results.len() as u32);
+    for result in results {
+        match result {
+            None => buf.put_u8(0),
+            Some(vv) => {
+                buf.put_u8(1);
+                vv.encode(buf);
+            }
+        }
+    }
+}
+
+fn opt_vvs_len(results: &[Option<VersionVector>]) -> usize {
+    4 + results
+        .iter()
+        .map(|r| 1 + r.as_ref().map_or(0, VersionVector::encoded_len))
+        .sum::<usize>()
+}
+
+fn decode_opt_vvs(buf: &mut impl Buf) -> Result<Vec<Option<VersionVector>>> {
+    let n = codec::get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(match codec::get_u8(buf)? {
+            0 => None,
+            _ => Some(VersionVector::decode(buf)?),
+        });
+    }
+    Ok(out)
+}
 
 impl Encode for SiteResponse {
     fn encode(&self, buf: &mut impl BufMut) {
@@ -662,6 +784,14 @@ impl Encode for SiteResponse {
             SiteResponse::Granted { grant_vv } => {
                 buf.put_u8(RESP_GRANTED);
                 grant_vv.encode(buf);
+            }
+            SiteResponse::BatchReleased { results } => {
+                buf.put_u8(RESP_BATCH_RELEASED);
+                encode_opt_vvs(results, buf);
+            }
+            SiteResponse::BatchGranted { results } => {
+                buf.put_u8(RESP_BATCH_GRANTED);
+                encode_opt_vvs(results, buf);
             }
             SiteResponse::Voted { yes } => {
                 buf.put_u8(RESP_VOTED);
@@ -744,6 +874,9 @@ impl Encode for SiteResponse {
             } => codec::bytes_len(result) + site_vv.encoded_len() + timings.encoded_len(),
             SiteResponse::Released { rel_vv } => rel_vv.encoded_len(),
             SiteResponse::Granted { grant_vv } => grant_vv.encoded_len(),
+            SiteResponse::BatchReleased { results } | SiteResponse::BatchGranted { results } => {
+                opt_vvs_len(results)
+            }
             SiteResponse::Voted { .. } => 1,
             SiteResponse::Decided { site_vv } => site_vv.encoded_len(),
             SiteResponse::Rows { keys, scans } => {
@@ -792,6 +925,12 @@ impl Decode for SiteResponse {
             }),
             RESP_GRANTED => Ok(SiteResponse::Granted {
                 grant_vv: VersionVector::decode(buf)?,
+            }),
+            RESP_BATCH_RELEASED => Ok(SiteResponse::BatchReleased {
+                results: decode_opt_vvs(buf)?,
+            }),
+            RESP_BATCH_GRANTED => Ok(SiteResponse::BatchGranted {
+                results: decode_opt_vvs(buf)?,
             }),
             RESP_VOTED => Ok(SiteResponse::Voted {
                 yes: codec::get_u8(buf)? != 0,
@@ -989,6 +1128,21 @@ mod tests {
         });
         roundtrip_req(SiteRequest::GetVv);
         roundtrip_req(SiteRequest::FenceSelector { generation: 7 });
+        roundtrip_req(SiteRequest::BatchRelease {
+            moves: vec![(PartitionId::new(4), 9), (PartitionId::new(6), 10)],
+            generation: 2,
+        });
+        roundtrip_req(SiteRequest::BatchRelease {
+            moves: vec![],
+            generation: 0,
+        });
+        roundtrip_req(SiteRequest::BatchGrant {
+            grants: vec![
+                (PartitionId::new(4), 9, vv.clone()),
+                (PartitionId::new(6), 10, VersionVector::zero(2)),
+            ],
+            generation: 2,
+        });
     }
 
     #[test]
@@ -1012,6 +1166,13 @@ mod tests {
         roundtrip_resp(SiteResponse::Granted {
             grant_vv: vv.clone(),
         });
+        roundtrip_resp(SiteResponse::BatchReleased {
+            results: vec![Some(vv.clone()), None, Some(VersionVector::zero(3))],
+        });
+        roundtrip_resp(SiteResponse::BatchGranted {
+            results: vec![None, Some(vv.clone())],
+        });
+        roundtrip_resp(SiteResponse::BatchGranted { results: vec![] });
         roundtrip_resp(SiteResponse::Voted { yes: false });
         roundtrip_resp(SiteResponse::Decided {
             site_vv: vv.clone(),

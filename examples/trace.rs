@@ -137,13 +137,14 @@ fn print_one_decision(events: &[TraceEvent]) {
     let TracePayload::Decision {
         chosen,
         partitions,
+        epoch,
         candidates,
     } = &ev.payload
     else {
         return;
     };
     println!(
-        "=== one remaster decision explained (txn {}, {partitions} partitions, chose site{chosen}) ===",
+        "=== one remaster decision explained (txn {}, {partitions} partitions, epoch {epoch}, chose site{chosen}) ===",
         ev.txn_id
     );
     println!("  site   balance    delay    intra    inter    total");
