@@ -217,6 +217,56 @@ impl NetworkConfig {
     }
 }
 
+/// When the durable log's segment writer calls `fsync`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncMode {
+    /// Every committer waits until its own record is on disk before its
+    /// commit acknowledges. Strongest guarantee; serializes commit
+    /// acknowledgment behind the gap-closing writer's fsync.
+    Always,
+    /// One `fsync` per group-committed run: the gap-closing fill that
+    /// publishes a contiguous run syncs the whole run in one call, and
+    /// committers whose record rides someone else's run acknowledge without
+    /// waiting. Durability lags commit acknowledgment by at most one run.
+    Group,
+    /// Segments are written but never explicitly synced; durability is
+    /// whatever the OS page cache survives. Benchmarks use this to isolate
+    /// the protocol cost from the disk.
+    Off,
+}
+
+/// Durable-log configuration. With `log_dir = None` (the default) logs are
+/// purely in-memory — the seed behavior, and what every benchmark that
+/// measures protocol cost uses.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Root directory for per-site segment/checkpoint directories
+    /// (`<log_dir>/site-<id>/`). `None` keeps logs in memory only.
+    pub log_dir: Option<std::path::PathBuf>,
+    /// When to `fsync` appended segments.
+    pub fsync: FsyncMode,
+    /// Rotate to a new segment file once the current one exceeds this many
+    /// bytes of frames (header excluded).
+    pub segment_bytes: u64,
+}
+
+impl DurabilityConfig {
+    /// In-memory logs (the default).
+    pub fn volatile() -> Self {
+        DurabilityConfig {
+            log_dir: None,
+            fsync: FsyncMode::Off,
+            segment_bytes: 4 << 20,
+        }
+    }
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        Self::volatile()
+    }
+}
+
 /// Top-level system configuration shared by all five evaluated systems.
 #[derive(Clone, Debug)]
 pub struct SystemConfig {
@@ -275,6 +325,8 @@ pub struct SystemConfig {
     pub service_per_op: Duration,
     /// Seed for all deterministic randomness (workloads, jitter).
     pub seed: u64,
+    /// Durable-log settings (in-memory by default).
+    pub durability: DurabilityConfig,
 }
 
 impl SystemConfig {
@@ -298,6 +350,7 @@ impl SystemConfig {
             service_base: Duration::from_micros(800),
             service_per_op: Duration::from_micros(2),
             seed: 0x000D_A11A_5EED,
+            durability: DurabilityConfig::volatile(),
         }
     }
 
@@ -327,6 +380,23 @@ impl SystemConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Puts the redo logs on disk under `log_dir` with the given fsync mode
+    /// (segment size stays at the [`DurabilityConfig::volatile`] default).
+    #[must_use]
+    pub fn with_durability(mut self, log_dir: std::path::PathBuf, fsync: FsyncMode) -> Self {
+        self.durability.log_dir = Some(log_dir);
+        self.durability.fsync = fsync;
+        self
+    }
+
+    /// Replaces the segment rotation threshold (crash-sim tests use tiny
+    /// segments so rotation and truncation are exercised in short runs).
+    #[must_use]
+    pub fn with_segment_bytes(mut self, segment_bytes: u64) -> Self {
+        self.durability.segment_bytes = segment_bytes;
         self
     }
 

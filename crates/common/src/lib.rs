@@ -31,7 +31,7 @@ pub mod trace;
 pub mod value;
 pub mod vv;
 
-pub use config::{RetryPolicy, StrategyWeights, SystemConfig};
+pub use config::{DurabilityConfig, FsyncMode, RetryPolicy, StrategyWeights, SystemConfig};
 pub use error::{DynaError, Result};
 pub use ids::{ClientId, Key, PartitionId, RecordId, SiteId, TableId};
 pub use metrics::MetricsRegistry;

@@ -13,6 +13,7 @@
 //! single-master comparator (§VI-A1).
 
 use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -26,6 +27,7 @@ use dynamast_common::metrics::MetricsRegistry;
 use dynamast_common::trace::next_trace_id;
 use dynamast_common::{DynaError, FlightRecorder, Result, SystemConfig, VersionVector};
 use dynamast_network::{CrashSwitch, EndpointId, Network, TrafficCategory};
+use dynamast_replication::checkpoint;
 use dynamast_replication::LogSet;
 use dynamast_site::data_site::{DataSite, DataSiteConfig, SiteRuntime};
 use dynamast_site::messages::{expect_ok, SiteRequest, SiteResponse};
@@ -42,6 +44,12 @@ use crate::selector::{ProbeHandle, SelectorInit, SelectorMode, SiteSelector};
 /// keys plus header); used to charge the client→selector hop.
 fn route_request_size(proc: &ProcCall) -> usize {
     32 + proc.write_set.len() * 12
+}
+
+/// Per-site checkpoint directory under the durable-log root (siblings of the
+/// `site-<i>` segment directories).
+fn checkpoint_dir(root: &Path, site: usize) -> PathBuf {
+    root.join(format!("ckpt-site-{site}"))
 }
 
 /// (Re-)binds the live selector's counters into the registry. Called at
@@ -135,6 +143,14 @@ pub struct DynaMastSystem {
     /// from an empty store, so rows that were loaded but never rewritten
     /// must be restored from this image on restart.
     base_image: Mutex<Vec<(dynamast_common::ids::Key, dynamast_common::Row)>>,
+    /// Last durable-checkpoint counter issued per site (0 = never
+    /// checkpointed); [`DynaMastSystem::checkpoint_site`] increments before
+    /// use so counters stay strictly monotone across restarts.
+    ckpt_counters: Mutex<Vec<u64>>,
+    /// Per-site offsets of the *previous* checkpoint, used as the truncation
+    /// floors: floors lag one checkpoint behind so a corrupt newest file can
+    /// always fall back to its still-fully-covered predecessor.
+    last_ckpt_offsets: Mutex<Vec<Option<Vec<u64>>>>,
     // Drop order matters: stop the probe before the site runtimes.
     probe: Mutex<Option<ProbeHandle>>,
     runtimes: Mutex<Vec<Option<SiteRuntime>>>,
@@ -160,7 +176,20 @@ impl DynaMastSystem {
         // build time and would otherwise run untraced.
         let recorder = FlightRecorder::from_env();
         network.set_recorder(Some(Arc::clone(&recorder)));
-        let logs = LogSet::new(m);
+        // With a configured log directory the redo logs live on disk
+        // (segmented, CRC-checked — see `dynamast_replication::segment`).
+        // `build` assumes a fresh deployment; restarting an existing one
+        // from its disk state is `DynaMastSystem::recover`.
+        let logs = match &cfg.system.durability.log_dir {
+            Some(root) => LogSet::open_persistent(
+                m,
+                root,
+                cfg.system.durability.segment_bytes,
+                cfg.system.durability.fsync,
+            )
+            .expect("open persistent log set"),
+            None => LogSet::new(m),
+        };
         let mut sites = Vec::with_capacity(m);
         let mut runtimes = Vec::with_capacity(m);
         for i in 0..m {
@@ -221,9 +250,157 @@ impl DynaMastSystem {
             initial_placements: cfg.initial_placements,
             rpc_workers: cfg.rpc_workers,
             base_image: Mutex::new(Vec::new()),
+            ckpt_counters: Mutex::new(vec![0; m]),
+            last_ckpt_offsets: Mutex::new(vec![None; m]),
             probe: Mutex::new(probe),
             runtimes: Mutex::new(runtimes.into_iter().map(Some).collect()),
         })
+    }
+
+    /// Restarts a whole deployment from disk alone: the segmented logs and
+    /// per-site checkpoints under the configured log directory (§V-C,
+    /// process-kill recovery). Nothing from a prior in-memory instance is
+    /// consulted — this is the path a crash-killed process takes on reboot.
+    ///
+    /// Each site is rebuilt by [`crate::recovery::recover_site_checkpointed`]
+    /// (checkpoint image + retained-suffix replay); the placement map is the
+    /// initial placement overlaid with the retained remaster history and the
+    /// sites' checkpoint-reconstructed ownership claims; the selector's
+    /// epoch floor is raised above every retained remaster epoch. Rows
+    /// bulk-loaded but never checkpointed are *not* recoverable (the load
+    /// image is not logged) — checkpoint once after population.
+    pub fn recover(cfg: DynaMastConfig, executor: Arc<dyn ProcExecutor>) -> Result<Arc<Self>> {
+        Self::recover_named("dynamast", cfg, executor)
+    }
+
+    /// [`DynaMastSystem::recover`] with an explicit report name.
+    pub fn recover_named(
+        name: &'static str,
+        cfg: DynaMastConfig,
+        executor: Arc<dyn ProcExecutor>,
+    ) -> Result<Arc<Self>> {
+        let m = cfg.system.num_sites;
+        let root = cfg
+            .system
+            .durability
+            .log_dir
+            .clone()
+            .ok_or(DynaError::Internal(
+                "recover requires a configured durable log directory",
+            ))?;
+        let network = Network::new(cfg.system.network, cfg.system.seed);
+        let recorder = FlightRecorder::from_env();
+        network.set_recorder(Some(Arc::clone(&recorder)));
+        let logs = LogSet::open_persistent(
+            m,
+            &root,
+            cfg.system.durability.segment_bytes,
+            cfg.system.durability.fsync,
+        )?;
+        let mut per_site = Vec::with_capacity(m);
+        let mut counters = Vec::with_capacity(m);
+        let mut last_offsets = Vec::with_capacity(m);
+        for i in 0..m {
+            let ckpt = checkpoint::load_latest(&checkpoint_dir(&root, i))?;
+            last_offsets.push(ckpt.as_ref().map(|c| c.offsets.clone()));
+            let recovered = crate::recovery::recover_site_checkpointed(
+                SiteId::new(i),
+                &logs,
+                ckpt,
+                cfg.catalog.clone(),
+                cfg.system.mvcc_versions,
+            )?;
+            counters.push(recovered.last_checkpoint);
+            per_site.push(recovered);
+        }
+        let claims: Vec<(SiteId, Vec<PartitionId>)> = per_site
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SiteId::new(i), s.claims.clone()))
+            .collect();
+        let map = crate::recovery::recover_selector_map_reconciled(
+            &logs,
+            &cfg.initial_placements,
+            &claims,
+        )?;
+        let epoch_floor = crate::recovery::max_remaster_epoch(&logs)?;
+
+        let mut sites = Vec::with_capacity(m);
+        let mut runtimes = Vec::with_capacity(m);
+        for (i, recovered) in per_site.into_iter().enumerate() {
+            let id = SiteId::new(i);
+            // Map-derived (not raw-claims) mastership closes the orphan
+            // window: a partition released but never re-granted reverts to
+            // the releasing site, exactly as `restart_site` resolves it.
+            let mut mastered: Vec<PartitionId> = map
+                .iter()
+                .filter(|&(_, s)| *s == id)
+                .map(|(p, _)| *p)
+                .collect();
+            mastered.sort();
+            let site = DataSite::from_recovered(
+                DataSiteConfig {
+                    id,
+                    system: cfg.system.clone(),
+                    replicate: true,
+                    initial_partitions: mastered,
+                    static_owner: None,
+                    replicated_tables: Vec::new(),
+                },
+                recovered.state.store,
+                recovered.state.svv,
+                logs.clone(),
+                Arc::clone(&network),
+                Arc::clone(&executor),
+            );
+            runtimes.push(site.start_with_offsets(cfg.rpc_workers, recovered.state.offsets));
+            sites.push(site);
+        }
+
+        let selector = SiteSelector::with_init(
+            cfg.system.clone(),
+            cfg.catalog.clone(),
+            cfg.mode.clone(),
+            Arc::clone(&network),
+            SelectorInit {
+                epoch_floor,
+                crash_switch: cfg.crash_switch,
+                ..SelectorInit::default()
+            },
+        );
+        selector.map().seed(map.iter().map(|(p, s)| (*p, *s)));
+        // Seed the freshness cache from the recovered svvs so the first
+        // reads route sensibly before the probe's first round trip.
+        for site in &sites {
+            selector.observe_site_vv(site.id(), &site.clock().current());
+        }
+        let probe = (cfg.probe_interval > Duration::ZERO)
+            .then(|| selector.start_vv_probe(cfg.probe_interval));
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.register_traffic("network", Arc::clone(network.stats()) as _);
+        register_selector_metrics(&metrics, &selector);
+        Ok(Arc::new(DynaMastSystem {
+            name,
+            config: cfg.system,
+            network,
+            logs,
+            sites: RwLock::new(sites),
+            selector: RwLock::new(selector),
+            selector_down: AtomicBool::new(false),
+            recorder,
+            metrics,
+            catalog: cfg.catalog,
+            mode: cfg.mode,
+            probe_interval: cfg.probe_interval,
+            executor,
+            initial_placements: cfg.initial_placements,
+            rpc_workers: cfg.rpc_workers,
+            base_image: Mutex::new(Vec::new()),
+            ckpt_counters: Mutex::new(counters),
+            last_ckpt_offsets: Mutex::new(last_offsets),
+            probe: Mutex::new(probe),
+            runtimes: Mutex::new(runtimes.into_iter().map(Some).collect()),
+        }))
     }
 
     /// The simulated network (traffic accounting).
@@ -244,6 +421,50 @@ impl DynaMastSystem {
     /// The durable logs (recovery tests).
     pub fn logs(&self) -> &LogSet {
         &self.logs
+    }
+
+    /// Writes one site's durable checkpoint (svv cut + store image +
+    /// per-origin offsets + mastered set) and advances the log truncation
+    /// floors. Requires a configured durable log directory.
+    ///
+    /// Floors lag one checkpoint behind: writing checkpoint *N* lowers the
+    /// site's floors to checkpoint *N−1*'s offsets, so even if *N* is later
+    /// unreadable, recovery's fallback to *N−1* still finds every record it
+    /// needs retained. A segment is physically deleted only once **every**
+    /// site's floor (and hence every subscriber cursor, which is always
+    /// ahead of the site's own checkpoint) has passed it.
+    pub fn checkpoint_site(&self, site: usize) -> Result<()> {
+        let Some(root) = self.config.durability.log_dir.clone() else {
+            return Err(DynaError::Internal(
+                "checkpoint requires a configured durable log directory",
+            ));
+        };
+        let counter = {
+            let mut counters = self.ckpt_counters.lock();
+            counters[site] += 1;
+            counters[site]
+        };
+        let ckpt = self.sites.read()[site].build_checkpoint(counter)?;
+        checkpoint::write(&checkpoint_dir(&root, site), &ckpt)?;
+        let prev = self.last_ckpt_offsets.lock()[site].replace(ckpt.offsets.clone());
+        if let Some(prev) = prev {
+            for (origin, &floor) in prev.iter().enumerate() {
+                self.logs
+                    .log(SiteId::new(origin))
+                    .record_consumer_floor(site, floor)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Checkpoints every site in turn (the periodic checkpoint driver; also
+    /// the "first checkpoint after bulk load" a durable deployment needs
+    /// before rows loaded-but-never-rewritten are recoverable).
+    pub fn checkpoint_all(&self) -> Result<()> {
+        for site in 0..self.config.num_sites {
+            self.checkpoint_site(site)?;
+        }
+        Ok(())
     }
 
     /// Snapshot of the live data sites. A crashed-then-restarted site is a
@@ -269,13 +490,45 @@ impl DynaMastSystem {
     /// history.
     pub fn restart_site(&self, site: usize) -> Result<()> {
         let id = SiteId::new(site);
-        let recovered = crate::recovery::recover_site(
-            id,
-            &self.logs,
-            self.catalog.clone(),
-            self.config.mvcc_versions,
-            &self.initial_placements,
-        )?;
+        let recovered = if let Some(root) = &self.config.durability.log_dir {
+            // Durable deployment: seed from the site's latest checkpoint and
+            // replay only the retained suffix (replay-from-zero would read
+            // below the truncated base once checkpoints advanced the
+            // floors). The site's own reconstructed claims reconcile the
+            // retained remaster history exactly as fenced live tables do on
+            // selector promotion.
+            let ckpt = checkpoint::load_latest(&checkpoint_dir(root, site))?;
+            let state = crate::recovery::recover_site_checkpointed(
+                id,
+                &self.logs,
+                ckpt,
+                self.catalog.clone(),
+                self.config.mvcc_versions,
+            )?;
+            let map = crate::recovery::recover_selector_map_reconciled(
+                &self.logs,
+                &self.initial_placements,
+                &[(id, state.claims.clone())],
+            )?;
+            let mut mastered: Vec<PartitionId> = map
+                .into_iter()
+                .filter(|(_, s)| *s == id)
+                .map(|(p, _)| p)
+                .collect();
+            mastered.sort();
+            crate::recovery::RecoveredSite {
+                state: state.state,
+                mastered,
+            }
+        } else {
+            crate::recovery::recover_site(
+                id,
+                &self.logs,
+                self.catalog.clone(),
+                self.config.mvcc_versions,
+                &self.initial_placements,
+            )?
+        };
         // Restore the checkpoint beneath the replayed log: version chains
         // are read newest-from-tail, so the base row goes in only where no
         // logged write ever touched the record (any replayed version

@@ -7,14 +7,15 @@
 //! initial placement with the remastering history, and a recovering data
 //! site derives which partitions it mastered at the time of the crash.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use dynamast_common::ids::{PartitionId, SiteId};
 use dynamast_common::{DynaError, Result};
+use dynamast_replication::checkpoint::Checkpoint;
 use dynamast_replication::record::LogRecord;
-use dynamast_replication::recovery::{rebuild_mastership, replay_all, ReplayedState};
+use dynamast_replication::recovery::{rebuild_mastership, replay_all, replay_from, ReplayedState};
 use dynamast_replication::LogSet;
-use dynamast_storage::Catalog;
+use dynamast_storage::{Catalog, Store};
 
 /// Recovers the selector's full partition→master map: the initial placement
 /// overlaid with every remastering recorded in the logs.
@@ -29,8 +30,10 @@ pub fn recover_selector_map(
     Ok(map)
 }
 
-/// Like [`recover_selector_map`], but reconciled against the live sites'
-/// ownership tables (the promotion path, §V-C).
+/// Like [`recover_selector_map`], but reconciled against the sites'
+/// ownership tables — either fenced live tables (the promotion path, §V-C)
+/// or the checkpoint-reconstructed claims of a disk-only restart
+/// ([`recover_site_checkpointed`]).
 ///
 /// The durable logs lag the tables by construction: a site updates its
 /// ownership table *before* appending the Release/Grant record, so a crash
@@ -66,14 +69,22 @@ pub fn recover_selector_map_reconciled(
     Ok(map)
 }
 
-/// The highest remastering epoch recorded in any durable log (0 when no
-/// remaster ever happened). A promoted selector allocates epochs strictly
-/// above this so it never collides with its predecessor's in the sites'
-/// per-`(partition, epoch)` idempotency caches.
+/// The highest remastering epoch among the records the durable logs still
+/// retain (0 when no remaster ever happened). A promoted selector allocates
+/// epochs strictly above this so it never collides with its predecessor's in
+/// the sites' per-`(partition, epoch)` idempotency caches.
+///
+/// After checkpoint-gated segment truncation only the retained suffix is
+/// visible, so an epoch whose record was truncated can in principle be
+/// reissued. The floor that permitted truncation means every site
+/// checkpointed past that record — and a *restarted* site's ledger is empty —
+/// but a site that stayed live across the truncation keeps the old epoch in
+/// its volatile ledger; see DESIGN.md §13 for this (narrow) caveat.
 pub fn max_remaster_epoch(logs: &LogSet) -> Result<u64> {
     let mut max = 0u64;
     for origin_idx in 0..logs.num_sites() {
-        let (records, _) = logs.log(SiteId::new(origin_idx)).read_from(0)?;
+        let log = logs.log(SiteId::new(origin_idx));
+        let (records, _) = log.read_from(log.base())?;
         for record in records {
             if let LogRecord::Release { epoch, .. } | LogRecord::Grant { epoch, .. } = record {
                 max = max.max(epoch);
@@ -109,6 +120,82 @@ pub fn recover_site(
         .map(|(p, _)| p)
         .collect();
     Ok(RecoveredSite { state, mastered })
+}
+
+/// One site's state after checkpoint-seeded replay.
+pub struct CheckpointedSite {
+    /// Storage, svv, and resume offsets: the checkpoint image overlaid with
+    /// the replayed retained-log suffix.
+    pub state: ReplayedState,
+    /// The site's ownership-table claims, reconstructed as the checkpoint's
+    /// mastered set rolled forward through the own-log grant/release suffix.
+    /// Feed these to [`recover_selector_map_reconciled`] to resolve the
+    /// cluster-wide placement map.
+    pub claims: Vec<PartitionId>,
+    /// Counter of the checkpoint this recovery loaded (0 = none existed;
+    /// the next checkpoint the site writes must use a larger counter).
+    pub last_checkpoint: u64,
+}
+
+/// Rebuilds one site from its latest durable checkpoint plus the retained
+/// log suffix (the tentpole of checkpointed recovery): the store is seeded
+/// from the checkpoint image, replay resumes from the checkpointed offsets,
+/// and the mastered set is the checkpoint's claims rolled forward through
+/// the site's own retained grant/release records (set insert/remove, so
+/// double-application across the checkpoint boundary is harmless).
+///
+/// With no checkpoint (`ckpt == None`) this degrades to [`recover_site`]'s
+/// replay-from-zero — safe because a site that never checkpointed never
+/// advanced its truncation floors, so every log retains its full history.
+/// Note the bulk-load image is *not* part of the logs: a deployment must
+/// checkpoint at least once after the initial population, or rows that were
+/// loaded but never rewritten are absent after a disk-only restart.
+pub fn recover_site_checkpointed(
+    site: SiteId,
+    logs: &LogSet,
+    ckpt: Option<Checkpoint>,
+    catalog: Catalog,
+    mvcc_versions: usize,
+) -> Result<CheckpointedSite> {
+    let (state, suffix_start, mut claims, last_checkpoint) = match ckpt {
+        Some(ckpt) => {
+            let store = Store::new(catalog, mvcc_versions);
+            for entry in &ckpt.image {
+                store.install(entry.key, entry.stamp, entry.row.clone())?;
+            }
+            let claims: HashSet<PartitionId> = ckpt.mastered.iter().copied().collect();
+            let suffix_start = ckpt.offsets[site.as_usize()];
+            let state = replay_from(logs, store, ckpt.svv, ckpt.offsets)?;
+            (state, suffix_start, claims, ckpt.counter)
+        }
+        None => {
+            let state = replay_all(logs, catalog, mvcc_versions)?;
+            (state, 0, HashSet::new(), 0)
+        }
+    };
+    // Roll the own-log suffix over the checkpointed claims. The ownership
+    // table applied these records in log order before each was appended, so
+    // replaying them as set operations reconstructs the table exactly (up
+    // to the usual one-record table-updated-but-unlogged crash window).
+    let (records, _) = logs.log(site).read_from(suffix_start)?;
+    for record in records {
+        match record {
+            LogRecord::Grant { partition, .. } => {
+                claims.insert(partition);
+            }
+            LogRecord::Release { partition, .. } => {
+                claims.remove(&partition);
+            }
+            LogRecord::Commit { .. } | LogRecord::Noop { .. } => {}
+        }
+    }
+    let mut claims: Vec<PartitionId> = claims.into_iter().collect();
+    claims.sort();
+    Ok(CheckpointedSite {
+        state,
+        claims,
+        last_checkpoint,
+    })
 }
 
 #[cfg(test)]
@@ -181,6 +268,90 @@ mod tests {
             epoch: 9,
         });
         assert_eq!(max_remaster_epoch(&logs).unwrap(), 9);
+    }
+
+    #[test]
+    fn checkpointed_recovery_replays_suffix_and_rolls_claims() {
+        use dynamast_common::ids::{Key, TableId};
+        use dynamast_common::{Row, Value, VersionVector};
+        use dynamast_replication::checkpoint::ImageEntry;
+        use dynamast_replication::record::WriteEntry;
+        use dynamast_storage::VersionStamp;
+
+        let logs = LogSet::new(2);
+        let s0 = SiteId::new(0);
+        let p1 = PartitionId::new(1);
+        let p2 = PartitionId::new(2);
+        let key = Key::new(TableId::new(0), 7);
+        let row = |v: u64| Row::new(vec![Value::U64(v)]);
+        let log = logs.log(s0);
+        log.append(&LogRecord::Grant {
+            origin: s0,
+            sequence: 1,
+            partition: p1,
+            epoch: 1,
+        });
+        log.append(&LogRecord::Commit {
+            origin: s0,
+            tvv: VersionVector::from_counts(vec![2, 0]),
+            writes: vec![WriteEntry::new(key, row(1))],
+        });
+        // Everything past here is the post-checkpoint suffix.
+        log.append(&LogRecord::Commit {
+            origin: s0,
+            tvv: VersionVector::from_counts(vec![3, 0]),
+            writes: vec![WriteEntry::new(key, row(2))],
+        });
+        log.append(&LogRecord::Release {
+            origin: s0,
+            sequence: 4,
+            partition: p1,
+            epoch: 2,
+        });
+        log.append(&LogRecord::Grant {
+            origin: s0,
+            sequence: 5,
+            partition: p2,
+            epoch: 3,
+        });
+
+        let mut catalog = Catalog::new();
+        catalog.add_table("t", 1, 100);
+        let ckpt = Checkpoint {
+            counter: 9,
+            site: s0,
+            svv: VersionVector::from_counts(vec![2, 0]),
+            offsets: vec![2, 0],
+            mastered: vec![p1],
+            image: vec![ImageEntry {
+                key,
+                stamp: VersionStamp::new(s0, 2),
+                row: row(1),
+            }],
+        };
+        let recovered =
+            recover_site_checkpointed(s0, &logs, Some(ckpt), catalog.clone(), 4).unwrap();
+        assert_eq!(recovered.last_checkpoint, 9);
+        assert_eq!(recovered.state.svv, VersionVector::from_counts(vec![5, 0]));
+        assert_eq!(recovered.state.offsets, vec![5, 0]);
+        // The suffix's newer write supersedes the checkpoint image.
+        assert_eq!(
+            recovered
+                .state
+                .store
+                .read(key, &recovered.state.svv)
+                .unwrap(),
+            Some(row(2))
+        );
+        // Claims: {p1} from the checkpoint, released in the suffix; p2
+        // granted in the suffix.
+        assert_eq!(recovered.claims, vec![p2]);
+
+        // No checkpoint: replay from zero converges on the same state.
+        let fresh = recover_site_checkpointed(s0, &logs, None, catalog, 4).unwrap();
+        assert_eq!(fresh.last_checkpoint, 0);
+        assert_eq!(fresh.state.svv, VersionVector::from_counts(vec![5, 0]));
+        assert_eq!(fresh.claims, vec![p2]);
     }
 
     #[test]

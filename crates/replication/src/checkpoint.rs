@@ -1,0 +1,343 @@
+//! Durable site checkpoints (§V-C, extended to a real disk).
+//!
+//! A checkpoint is one site's consistent cut: the svv at the cut, a store
+//! image of every record version visible at that cut, the per-origin log
+//! offsets the cut corresponds to (identical to the svv by the slot =
+//! sequence invariant), and the set of partitions the site mastered. On
+//! restart the site loads the newest valid checkpoint and replays only the
+//! retained segment suffix past its offsets
+//! ([`crate::recovery::replay_from`]) instead of history from offset zero —
+//! and once every site's checkpoint has durably passed a segment, the
+//! segment can be deleted, closing the unbounded-log hole.
+//!
+//! **Write protocol.** The checkpoint is encoded into `ckpt-<counter>.tmp`,
+//! `fsync`ed, renamed to `ckpt-<counter:016x>.ckpt`, and the directory
+//! `fsync`ed — a crash at any point leaves either the previous checkpoint or
+//! a complete new one, never a half-written file that parses. The newest two
+//! checkpoints are retained (the previous one is the fallback if the newest
+//! is torn mid-rename); older ones are pruned. Decoding verifies a trailing
+//! CRC-32 over the whole body, so [`load_latest`] skips a corrupt newest
+//! file and falls back.
+//!
+//! **Ordering.** The caller must force the site's own log durable through
+//! the cut (`DurableLog::sync_for_checkpoint`) *before* writing the
+//! checkpoint: a checkpoint claiming `svv[self] = n` with fewer than `n`
+//! records on disk would make restart re-allocate sequence numbers the
+//! checkpoint already accounted for, breaking the slot = sequence invariant.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut};
+use dynamast_common::codec::{self, Decode, Encode};
+use dynamast_common::ids::{Key, PartitionId, SiteId};
+use dynamast_common::{DynaError, Result, Row, VersionVector};
+use dynamast_storage::VersionStamp;
+
+use crate::segment::crc32;
+
+const MAGIC: u32 = 0x444B_4350; // "DKCP"
+const VERSION: u32 = 1;
+
+/// One stored record version in a checkpoint image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImageEntry {
+    /// Record key.
+    pub key: Key,
+    /// Version stamp at the cut.
+    pub stamp: VersionStamp,
+    /// Row visible at the cut.
+    pub row: Row,
+}
+
+impl Encode for ImageEntry {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.key.encode(buf);
+        buf.put_u32(self.stamp.origin.raw());
+        buf.put_u64(self.stamp.sequence);
+        self.row.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.key.encoded_len() + 4 + 8 + self.row.encoded_len()
+    }
+}
+
+impl Decode for ImageEntry {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        let key = Key::decode(buf)?;
+        let origin = SiteId::new(codec::get_u32(buf)? as usize);
+        let sequence = codec::get_u64(buf)?;
+        let row = Row::decode(buf)?;
+        Ok(ImageEntry {
+            key,
+            stamp: VersionStamp::new(origin, sequence),
+            row,
+        })
+    }
+}
+
+/// One site's durable consistent cut.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Monotone per-site checkpoint counter (newest wins).
+    pub counter: u64,
+    /// The checkpointing site.
+    pub site: SiteId,
+    /// The svv at the cut.
+    pub svv: VersionVector,
+    /// Per-origin log offsets consumed at the cut (== `svv` components by
+    /// the slot = sequence invariant; stored separately so the invariant is
+    /// checkable on restart).
+    pub offsets: Vec<u64>,
+    /// Partitions this site mastered at the cut (draining sentinels
+    /// excluded).
+    pub mastered: Vec<PartitionId>,
+    /// Store image: every record version visible at the cut.
+    pub image: Vec<ImageEntry>,
+}
+
+impl Encode for Checkpoint {
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u64(self.counter);
+        buf.put_u32(self.site.raw());
+        self.svv.encode(buf);
+        buf.put_u64(self.offsets.len() as u64);
+        for off in &self.offsets {
+            buf.put_u64(*off);
+        }
+        buf.put_u64(self.mastered.len() as u64);
+        for p in &self.mastered {
+            buf.put_u64(p.raw());
+        }
+        codec::encode_seq(&self.image, buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + 4
+            + self.svv.encoded_len()
+            + 8
+            + 8 * self.offsets.len()
+            + 8
+            + 8 * self.mastered.len()
+            + codec::seq_len(&self.image)
+    }
+}
+
+impl Decode for Checkpoint {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        let counter = codec::get_u64(buf)?;
+        let site = SiteId::new(codec::get_u32(buf)? as usize);
+        let svv = VersionVector::decode(buf)?;
+        let n = codec::get_u64(buf)? as usize;
+        let mut offsets = Vec::with_capacity(n);
+        for _ in 0..n {
+            offsets.push(codec::get_u64(buf)?);
+        }
+        let n = codec::get_u64(buf)? as usize;
+        let mut mastered = Vec::with_capacity(n);
+        for _ in 0..n {
+            mastered.push(PartitionId::new(codec::get_u64(buf)? as usize));
+        }
+        let image = codec::decode_seq(buf)?;
+        Ok(Checkpoint {
+            counter,
+            site,
+            svv,
+            offsets,
+            mastered,
+            image,
+        })
+    }
+}
+
+fn io_err(what: &'static str, err: &std::io::Error) -> DynaError {
+    eprintln!("[checkpoint] {what}: {err}");
+    DynaError::Internal(what)
+}
+
+fn checkpoint_path(dir: &Path, counter: u64) -> PathBuf {
+    dir.join(format!("ckpt-{counter:016x}.ckpt"))
+}
+
+fn parse_counter(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let hex = name.strip_prefix("ckpt-")?.strip_suffix(".ckpt")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Durably writes `ckpt` into `dir` (tmp + fsync + rename + dir fsync) and
+/// prunes all but the newest two checkpoints.
+pub fn write(dir: &Path, ckpt: &Checkpoint) -> Result<()> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err("create checkpoint dir", &e))?;
+    let body = codec::encode_to_vec(ckpt);
+    let mut file_bytes = Vec::with_capacity(8 + body.len() + 4);
+    file_bytes.extend_from_slice(&MAGIC.to_le_bytes());
+    file_bytes.extend_from_slice(&VERSION.to_le_bytes());
+    file_bytes.extend_from_slice(&body);
+    file_bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+
+    let tmp = dir.join(format!("ckpt-{:016x}.tmp", ckpt.counter));
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| io_err("create checkpoint tmp", &e))?;
+        f.write_all(&file_bytes)
+            .map_err(|e| io_err("write checkpoint", &e))?;
+        f.sync_all().map_err(|e| io_err("fsync checkpoint", &e))?;
+    }
+    std::fs::rename(&tmp, checkpoint_path(dir, ckpt.counter))
+        .map_err(|e| io_err("rename checkpoint", &e))?;
+    // Sync the directory so the rename itself is durable.
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err("fsync checkpoint dir", &e))?;
+    prune(dir)?;
+    Ok(())
+}
+
+/// Deletes all but the two newest checkpoint files (plus any stale tmps).
+fn prune(dir: &Path) -> Result<()> {
+    let mut counters: Vec<u64> = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| io_err("list checkpoint dir", &e))? {
+        let Ok(entry) = entry else { continue };
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "tmp") {
+            let _ = std::fs::remove_file(&path);
+        } else if let Some(c) = parse_counter(&path) {
+            counters.push(c);
+        }
+    }
+    counters.sort_unstable();
+    for &old in counters.iter().rev().skip(2) {
+        std::fs::remove_file(checkpoint_path(dir, old))
+            .map_err(|e| io_err("prune old checkpoint", &e))?;
+    }
+    Ok(())
+}
+
+fn try_load(path: &Path) -> Result<Checkpoint> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| io_err("read checkpoint", &e))?;
+    if bytes.len() < 12 {
+        return Err(DynaError::Internal("checkpoint file too short"));
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("sliced"));
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sliced"));
+    if magic != MAGIC || version != VERSION {
+        return Err(DynaError::Internal("checkpoint header mismatch"));
+    }
+    let body = &bytes[8..bytes.len() - 4];
+    let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("sliced"));
+    if crc32(body) != crc {
+        return Err(DynaError::Internal("checkpoint crc mismatch"));
+    }
+    let mut slice = body;
+    Checkpoint::decode(&mut slice)
+}
+
+/// Loads the newest valid checkpoint in `dir`, skipping corrupt files (a
+/// torn newest checkpoint falls back to its predecessor). `Ok(None)` if the
+/// directory holds no usable checkpoint.
+pub fn load_latest(dir: &Path) -> Result<Option<Checkpoint>> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Ok(None); // no directory yet: a fresh site
+    };
+    let mut counters: Vec<u64> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| parse_counter(&e.path()))
+        .collect();
+    counters.sort_unstable();
+    for &counter in counters.iter().rev() {
+        match try_load(&checkpoint_path(dir, counter)) {
+            Ok(ckpt) => return Ok(Some(ckpt)),
+            Err(_) => continue, // corrupt: fall back to the previous one
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamast_common::ids::TableId;
+    use dynamast_common::Value;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dynamast-ckpt-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(counter: u64) -> Checkpoint {
+        Checkpoint {
+            counter,
+            site: SiteId::new(1),
+            svv: VersionVector::from_counts(vec![3, 7, 0]),
+            offsets: vec![3, 7, 0],
+            mastered: vec![PartitionId::new(4), PartitionId::new(9)],
+            image: vec![ImageEntry {
+                key: Key::new(TableId::new(0), 42),
+                stamp: VersionStamp::new(SiteId::new(1), 7),
+                row: Row::new(vec![Value::I64(100)]),
+            }],
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_disk() {
+        let dir = tmp_dir("roundtrip");
+        write(&dir, &sample(1)).unwrap();
+        let loaded = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(loaded, sample(1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newest_checkpoint_wins_and_old_ones_prune() {
+        let dir = tmp_dir("prune");
+        for c in 1..=5 {
+            write(&dir, &sample(c)).unwrap();
+        }
+        let loaded = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(loaded.counter, 5);
+        let kept = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(kept, 2, "only the newest two checkpoints are retained");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_predecessor() {
+        let dir = tmp_dir("fallback");
+        write(&dir, &sample(1)).unwrap();
+        write(&dir, &sample(2)).unwrap();
+        // Corrupt the newest file's tail.
+        let newest = checkpoint_path(&dir, 2);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let n = bytes.len();
+        bytes[n - 6] ^= 0xFF;
+        std::fs::write(&newest, bytes).unwrap();
+        let loaded = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(loaded.counter, 1, "corrupt newest must fall back");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_a_fresh_site() {
+        let dir = std::env::temp_dir().join("dynamast-ckpt-definitely-missing-xyz");
+        assert!(load_latest(&dir).unwrap().is_none());
+    }
+}

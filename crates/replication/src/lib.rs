@@ -8,22 +8,32 @@
 //! persistent redo log for recovery.
 //!
 //! This crate substitutes Kafka with [`DurableLog`]: an append-only,
-//! in-memory, offset-addressed record log with blocking reads — exactly the
-//! two properties the paper relies on (per-origin FIFO ordered delivery and
-//! replayable persistence).
+//! offset-addressed record log with blocking reads — exactly the two
+//! properties the paper relies on (per-origin FIFO ordered delivery and
+//! replayable persistence). Opened persistently, a log is backed by a
+//! directory of CRC-checksummed [`segment`] files with group fsync riding
+//! the group-commit publish; opened volatile, it is purely in-memory (the
+//! bench configuration).
 //!
-//! * [`record::LogRecord`] — commit / release / grant records.
+//! * [`record::LogRecord`] — commit / release / grant / noop records.
 //! * [`log::DurableLog`], [`log::LogSet`] — the logs themselves.
+//! * [`segment`] — the on-disk segment format (framing, CRC, torn-tail
+//!   truncation, retention).
+//! * [`checkpoint`] — durable site checkpoints (svv cut + store image +
+//!   per-origin offsets) bounding replay to a segment suffix.
 //! * [`propagate::Propagator`] — subscriber threads that pull records from
 //!   peer logs and hand them to a site's refresh applier.
-//! * [`recovery`] — full-replay recovery and mastership-map reconstruction
-//!   from grant/release records.
+//! * [`recovery`] — replay recovery (full or from a checkpoint) and
+//!   mastership-map reconstruction from grant/release records.
 
+pub mod checkpoint;
 pub mod log;
 pub mod propagate;
 pub mod record;
 pub mod recovery;
+pub mod segment;
 
+pub use checkpoint::Checkpoint;
 pub use log::{DurableLog, LogSet};
 pub use propagate::{Propagator, RefreshApplier};
 pub use record::LogRecord;

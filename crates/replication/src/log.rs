@@ -1,15 +1,18 @@
-//! The durable, offset-addressed record log (Kafka substitute).
+//! The offset-addressed record log (Kafka substitute) — durable for real
+//! when opened on a segment directory, purely in-memory when volatile.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use dynamast_common::codec::{encode_to_vec, Decode};
+use dynamast_common::config::FsyncMode;
 use dynamast_common::ids::SiteId;
-use dynamast_common::Result;
+use dynamast_common::{DynaError, Result};
 use parking_lot::{Condvar, Mutex};
 
 use crate::record::LogRecord;
+use crate::segment::SegmentLog;
 
 /// An append-only log of encoded [`LogRecord`]s with blocking tail reads and
 /// a two-phase reserve/fill write protocol.
@@ -28,23 +31,59 @@ use crate::record::LogRecord;
 /// commit — with a single wake-up for tail readers. Readers can therefore
 /// never observe a gap or a torn batch. [`DurableLog::append`] is the
 /// one-shot convenience (reserve + fill) for writers with no ordering
-/// constraint of their own.
+/// constraint of their own. A reservation whose committer dies is closed
+/// with [`DurableLog::abort`], which fills a [`LogRecord::Noop`] tombstone —
+/// the sequence space stays gap-free, so an abandoned slot can never wedge
+/// the watermark.
+///
+/// **Persistence.** [`DurableLog::open_persistent`] backs the log with an
+/// on-disk [`SegmentLog`]. Frames are written at *publish* time — inside the
+/// gap-closing fill, in offset order, which is exactly the order the
+/// watermark certifies — so the disk is always a prefix of what readers have
+/// seen. Group fsync rides the same publish: one `fsync` per published run
+/// ([`FsyncMode::Group`]), or additionally each committer blocks until the
+/// sync covers its own offset ([`FsyncMode::Always`]), or frames are written
+/// but never synced ([`FsyncMode::Off`], today's behavior for benches).
+/// [`DurableLog::new`] keeps no disk state at all.
 ///
 /// Tail reads are event-driven: [`DurableLog::wait_read_from`] parks on a
 /// condvar that the publishing fill signals, so subscribers wake as soon as
 /// a contiguous run lands instead of on a polling interval. A blocked tail
 /// read is released by its caller-owned cancel flag via
 /// [`DurableLog::notify_waiters`].
+///
+/// **Retention.** Persistent logs track a durable floor per consumer site
+/// ([`DurableLog::record_consumer_floor`], advanced only once that
+/// consumer's checkpoint has durably passed an offset). Whole segments below
+/// the minimum floor are deleted and the in-memory window advances its
+/// `base` past them; reads below `base` are errors, which the floor protocol
+/// makes unreachable for well-behaved consumers.
 pub struct DurableLog {
+    site: SiteId,
     inner: Mutex<LogInner>,
     appended: Condvar,
+    /// Signalled when the durable watermark (`synced`) advances; only
+    /// [`FsyncMode::Always`] committers ever wait on it.
+    durable: Condvar,
 }
 
 struct LogInner {
-    /// Reserved slots; `None` = reserved but not yet filled.
+    /// Absolute log offset of `slots[0]` (0 until truncation discards a
+    /// prefix).
+    base: u64,
+    /// Reserved slots at offsets `base..`; `None` = reserved but not filled.
     slots: Vec<Option<Bytes>>,
-    /// Length of the contiguous filled prefix visible to readers.
-    visible: usize,
+    /// Absolute length of the contiguous published prefix (records at
+    /// offsets `< visible` are visible to readers).
+    visible: u64,
+    /// Absolute length of the prefix known durable on disk (`<= visible`;
+    /// meaningless for volatile logs).
+    synced: u64,
+    /// Disk backend; `None` for a volatile log.
+    disk: Option<SegmentLog>,
+    fsync: FsyncMode,
+    /// Per-consumer-site durable floors gating segment truncation.
+    floors: Vec<u64>,
 }
 
 impl Default for DurableLog {
@@ -54,24 +93,72 @@ impl Default for DurableLog {
 }
 
 impl DurableLog {
-    /// Creates an empty log.
+    /// Creates an empty volatile log (no disk state; site 0).
     pub fn new() -> Self {
+        Self::for_site(SiteId::new(0))
+    }
+
+    /// Creates an empty volatile log owned by `site` (the site id stamps
+    /// abort tombstones).
+    pub fn for_site(site: SiteId) -> Self {
         DurableLog {
+            site,
             inner: Mutex::new(LogInner {
+                base: 0,
                 slots: Vec::new(),
                 visible: 0,
+                synced: 0,
+                disk: None,
+                fsync: FsyncMode::Off,
+                floors: Vec::new(),
             }),
             appended: Condvar::new(),
+            durable: Condvar::new(),
         }
     }
 
+    /// Opens (or creates) a disk-backed log for `site` rooted at `dir`,
+    /// applying the torn-tail rule to whatever segments survive on disk.
+    /// Recovered records are published (and considered synced) immediately.
+    /// `num_consumers` sizes the truncation floor table (one per site).
+    pub fn open_persistent(
+        site: SiteId,
+        dir: std::path::PathBuf,
+        segment_bytes: u64,
+        fsync: FsyncMode,
+        num_consumers: usize,
+    ) -> Result<Self> {
+        let recovered = SegmentLog::open(dir, segment_bytes, fsync)?;
+        let visible = recovered.base + recovered.records.len() as u64;
+        Ok(DurableLog {
+            site,
+            inner: Mutex::new(LogInner {
+                base: recovered.base,
+                slots: recovered.records.into_iter().map(Some).collect(),
+                visible,
+                synced: visible,
+                disk: Some(recovered.disk),
+                fsync,
+                floors: vec![0; num_consumers],
+            }),
+            appended: Condvar::new(),
+            durable: Condvar::new(),
+        })
+    }
+
+    /// The site whose commit order this log holds.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
     /// Reserves the next slot, returning its offset. The caller must
-    /// eventually [`DurableLog::fill`] it; readers cannot see this slot (or
-    /// any later one) until every slot up to and including it is filled.
+    /// eventually [`DurableLog::fill`] or [`DurableLog::abort`] it; readers
+    /// cannot see this slot (or any later one) until every slot up to and
+    /// including it is closed.
     pub fn reserve(&self) -> u64 {
         let mut inner = self.inner.lock();
         inner.slots.push(None);
-        inner.slots.len() as u64 - 1
+        inner.base + inner.slots.len() as u64 - 1
     }
 
     /// Fills a reserved slot. Serialization happens outside the log lock;
@@ -86,18 +173,43 @@ impl DurableLog {
 
     /// Like [`DurableLog::fill`] with a pre-encoded record (the commit
     /// pipeline serializes outside the log lock while other committers run).
+    ///
+    /// On a persistent log the gap-closing fill also writes every newly
+    /// published frame to the segment file — publication order *is* offset
+    /// order, so the disk never holds a record the watermark has not
+    /// certified — and syncs per the fsync mode. Under [`FsyncMode::Always`]
+    /// the call additionally blocks until the durable watermark covers
+    /// `offset` (for a non-gap-closing filler, that sync is performed by
+    /// whichever later fill publishes its run).
     pub fn fill_encoded(&self, offset: u64, encoded: Bytes) -> Option<u64> {
         let mut inner = self.inner.lock();
-        let slot = &mut inner.slots[offset as usize];
+        let idx = (offset - inner.base) as usize;
+        let slot = &mut inner.slots[idx];
         debug_assert!(slot.is_none(), "log slot {offset} filled twice");
         *slot = Some(encoded);
         // Advance the visible watermark over the contiguous filled prefix.
-        let mut advanced = false;
-        while inner.slots.get(inner.visible).is_some_and(|s| s.is_some()) {
+        let prev_visible = inner.visible;
+        while inner
+            .slots
+            .get((inner.visible - inner.base) as usize)
+            .is_some_and(|s| s.is_some())
+        {
             inner.visible += 1;
-            advanced = true;
         }
-        let visible = inner.visible as u64;
+        let visible = inner.visible;
+        let advanced = visible > prev_visible;
+        if advanced && inner.disk.is_some() {
+            self.persist_run(&mut inner, prev_visible, visible);
+        }
+        let must_wait_durable =
+            inner.disk.is_some() && inner.fsync == FsyncMode::Always && inner.synced <= offset;
+        if must_wait_durable {
+            // Wait for a later gap-closing fill to sync past us. The
+            // reserve/fill-or-abort discipline guarantees that fill comes.
+            while inner.synced <= offset {
+                self.durable.wait(&mut inner);
+            }
+        }
         drop(inner);
         if advanced {
             self.appended.notify_all();
@@ -105,6 +217,51 @@ impl DurableLog {
         } else {
             None
         }
+    }
+
+    /// Writes the newly published run `[from, to)` to disk under the log
+    /// lock and applies the configured fsync policy — one sync per run for
+    /// `Group`/`Always`, none for `Off`.
+    fn persist_run(&self, inner: &mut LogInner, from: u64, to: u64) {
+        let base = inner.base;
+        let disk = inner.disk.as_mut().expect("persist_run on volatile log");
+        for off in from..to {
+            let payload = inner.slots[(off - base) as usize]
+                .as_ref()
+                .expect("published slot filled");
+            if let Err(err) = disk.append(off, payload) {
+                // Losing the disk mid-run makes recovered state a prefix,
+                // never a lie; keep serving readers from memory.
+                eprintln!("[log] segment append failed at offset {off}: {err}");
+                return;
+            }
+        }
+        match inner.fsync {
+            FsyncMode::Off => {}
+            FsyncMode::Group | FsyncMode::Always => {
+                if let Err(err) = disk.sync() {
+                    eprintln!("[log] segment fsync failed: {err}");
+                    return;
+                }
+                inner.synced = to;
+                self.durable.notify_all();
+            }
+        }
+    }
+
+    /// Closes a reserved slot whose committer died before filling it by
+    /// filling a [`LogRecord::Noop`] tombstone carrying the abandoned
+    /// sequence (PR 5 invariant: slot `offset` holds sequence `offset + 1`).
+    /// The tombstone publishes and propagates like any record — peers and
+    /// recovery advance `svv[origin]` over it without installing anything —
+    /// so the abandoned reservation can no longer wedge the visibility
+    /// watermark, fsync, or remote refresh admission.
+    pub fn abort(&self, offset: u64) -> Option<u64> {
+        let tombstone = LogRecord::Noop {
+            origin: self.site,
+            sequence: offset + 1,
+        };
+        self.fill_encoded(offset, Bytes::from(encode_to_vec(&tombstone)))
     }
 
     /// Appends a record in one step (reserve + fill), returning its offset.
@@ -117,20 +274,33 @@ impl DurableLog {
         let offset = {
             let mut inner = self.inner.lock();
             inner.slots.push(None);
-            inner.slots.len() as u64 - 1
+            inner.base + inner.slots.len() as u64 - 1
         };
         self.fill_encoded(offset, encoded);
         offset
     }
 
-    /// Number of published (visible) records.
+    /// Number of published (visible) records (an absolute offset: truncated
+    /// records still count).
     pub fn len(&self) -> u64 {
-        self.inner.lock().visible as u64
+        self.inner.lock().visible
     }
 
     /// Number of reserved slots, published or not (tests, diagnostics).
     pub fn reserved_len(&self) -> u64 {
-        self.inner.lock().slots.len() as u64
+        let inner = self.inner.lock();
+        inner.base + inner.slots.len() as u64
+    }
+
+    /// Absolute offset of the oldest retained record (0 until truncation).
+    pub fn base(&self) -> u64 {
+        self.inner.lock().base
+    }
+
+    /// Absolute length of the prefix known durable on disk. Tracks `len()`
+    /// for `Group`/`Always` persistent logs; 0 for volatile ones.
+    pub fn synced_len(&self) -> u64 {
+        self.inner.lock().synced
     }
 
     /// `true` if no records have been published.
@@ -138,18 +308,60 @@ impl DurableLog {
         self.len() == 0
     }
 
-    /// Total encoded bytes published.
+    /// Total encoded bytes of retained published records.
     pub fn byte_size(&self) -> u64 {
         let inner = self.inner.lock();
-        inner.slots[..inner.visible]
+        let visible_retained = (inner.visible - inner.base) as usize;
+        inner.slots[..visible_retained]
             .iter()
             .map(|b| b.as_ref().expect("visible slot filled").len() as u64)
             .sum()
     }
 
+    /// Forces the disk durable through everything published, regardless of
+    /// fsync mode. Checkpoints call this before claiming an svv cut: a
+    /// checkpoint must never reference offsets the disk does not hold
+    /// (restart would re-allocate sequences the checkpoint already used).
+    pub fn sync_for_checkpoint(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let visible = inner.visible;
+        if let Some(disk) = inner.disk.as_mut() {
+            disk.sync_for_checkpoint()?;
+            inner.synced = visible;
+            self.durable.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Records that consumer site `consumer` has durably checkpointed
+    /// through `floor` (exclusive offset) of this log, then deletes any
+    /// whole segments every consumer has passed. Floors only advance.
+    /// No-op for volatile logs.
+    pub fn record_consumer_floor(&self, consumer: usize, floor: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.disk.is_none() {
+            return Ok(());
+        }
+        if let Some(slot) = inner.floors.get_mut(consumer) {
+            *slot = (*slot).max(floor);
+        }
+        let min_floor = inner.floors.iter().copied().min().unwrap_or(0);
+        if min_floor <= inner.base {
+            return Ok(());
+        }
+        let disk = inner.disk.as_mut().expect("checked above");
+        let new_base = disk.truncate_segments_below(min_floor)?;
+        if new_base > inner.base {
+            let drop_n = (new_base - inner.base) as usize;
+            inner.slots.drain(..drop_n);
+            inner.base = new_base;
+        }
+        Ok(())
+    }
+
     /// Reads every published record at `offset` and beyond, returning
     /// `(records, total encoded bytes)`. Returns immediately (an empty batch
-    /// if nothing new).
+    /// if nothing new). Reading below the truncated base is an error.
     pub fn read_from(&self, offset: u64) -> Result<(Vec<LogRecord>, usize)> {
         let inner = self.inner.lock();
         decode_batch(&inner, offset)
@@ -168,7 +380,7 @@ impl DurableLog {
         cancel: &AtomicBool,
     ) -> Result<(Vec<LogRecord>, usize)> {
         let mut inner = self.inner.lock();
-        while (inner.visible as u64) <= offset && !cancel.load(Ordering::Relaxed) {
+        while inner.visible <= offset && !cancel.load(Ordering::Relaxed) {
             self.appended.wait(&mut inner);
         }
         decode_batch(&inner, offset)
@@ -180,16 +392,20 @@ impl DurableLog {
     pub fn notify_waiters(&self) {
         let _inner = self.inner.lock();
         self.appended.notify_all();
+        self.durable.notify_all();
     }
 
     /// Reads the single published record at `offset`, if present. Used by
     /// recovery's replay scheduler, which needs cheap random access.
     pub fn get(&self, offset: u64) -> Result<Option<LogRecord>> {
         let inner = self.inner.lock();
-        if (offset as usize) >= inner.visible {
+        if offset >= inner.visible {
             return Ok(None);
         }
-        let encoded = inner.slots[offset as usize]
+        if offset < inner.base {
+            return Err(DynaError::Internal("log read below truncated base"));
+        }
+        let encoded = inner.slots[(offset - inner.base) as usize]
             .as_ref()
             .expect("visible slot filled");
         let mut slice = encoded.clone();
@@ -198,10 +414,15 @@ impl DurableLog {
 }
 
 fn decode_batch(inner: &LogInner, offset: u64) -> Result<(Vec<LogRecord>, usize)> {
-    let start = (offset as usize).min(inner.visible);
-    let mut records = Vec::with_capacity(inner.visible - start);
+    let start = offset.min(inner.visible);
+    if start < inner.base {
+        return Err(DynaError::Internal("log read below truncated base"));
+    }
+    let mut records = Vec::with_capacity((inner.visible - start) as usize);
     let mut bytes = 0;
-    for encoded in &inner.slots[start..inner.visible] {
+    let lo = (start - inner.base) as usize;
+    let hi = (inner.visible - inner.base) as usize;
+    for encoded in &inner.slots[lo..hi] {
         let encoded = encoded.as_ref().expect("visible slot filled");
         bytes += encoded.len();
         let mut slice = encoded.clone();
@@ -210,20 +431,42 @@ fn decode_batch(inner: &LogInner, offset: u64) -> Result<(Vec<LogRecord>, usize)
     Ok((records, bytes))
 }
 
-/// One durable log per site (one Kafka topic per site in the paper).
+/// One log per site (one Kafka topic per site in the paper).
 #[derive(Clone)]
 pub struct LogSet {
     logs: Vec<Arc<DurableLog>>,
 }
 
 impl LogSet {
-    /// Creates `num_sites` empty logs.
+    /// Creates `num_sites` empty volatile logs.
     pub fn new(num_sites: usize) -> Self {
         LogSet {
             logs: (0..num_sites)
-                .map(|_| Arc::new(DurableLog::new()))
+                .map(|i| Arc::new(DurableLog::for_site(SiteId::new(i))))
                 .collect(),
         }
+    }
+
+    /// Opens `num_sites` disk-backed logs under `root` (one
+    /// `site-<id>/` segment directory each), recovering whatever survives
+    /// on disk with torn tails truncated.
+    pub fn open_persistent(
+        num_sites: usize,
+        root: &std::path::Path,
+        segment_bytes: u64,
+        fsync: FsyncMode,
+    ) -> Result<Self> {
+        let mut logs = Vec::with_capacity(num_sites);
+        for i in 0..num_sites {
+            logs.push(Arc::new(DurableLog::open_persistent(
+                SiteId::new(i),
+                root.join(format!("site-{i}")),
+                segment_bytes,
+                fsync,
+                num_sites,
+            )?));
+        }
+        Ok(LogSet { logs })
     }
 
     /// The log owned by `site`.
@@ -257,6 +500,19 @@ mod tests {
             tvv,
             writes: vec![],
         }
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dynamast-log-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -299,6 +555,31 @@ mod tests {
         let (records, _) = log.read_from(0).unwrap();
         let seqs: Vec<u64> = records.iter().map(|r| r.sequence()).collect();
         assert_eq!(seqs, vec![1, 2]);
+    }
+
+    /// Regression: a reserved-but-never-filled slot used to wedge the
+    /// visibility watermark forever — every later commit stayed invisible.
+    /// `abort` closes the slot with a Noop tombstone that publishes like any
+    /// record, so the run behind it unblocks.
+    #[test]
+    fn aborted_reservation_no_longer_blocks_publication() {
+        let log = DurableLog::for_site(SiteId::new(1));
+        let dead = log.reserve();
+        let live = log.reserve();
+        log.fill(live, &commit(1, 2));
+        assert_eq!(log.len(), 0, "open reservation blocks the run");
+        let visible = log.abort(dead);
+        assert_eq!(visible, Some(2), "abort publishes the whole run");
+        let (records, _) = log.read_from(0).unwrap();
+        assert_eq!(
+            records[0],
+            LogRecord::Noop {
+                origin: SiteId::new(1),
+                sequence: dead + 1,
+            },
+            "tombstone carries the abandoned sequence (slot i = seq i+1)"
+        );
+        assert_eq!(records[1].sequence(), 2);
     }
 
     #[test]
@@ -363,5 +644,99 @@ mod tests {
         assert_eq!(set.log(SiteId::new(0)).len(), 0);
         assert_eq!(set.log(SiteId::new(1)).len(), 1);
         assert_eq!(set.num_sites(), 3);
+    }
+
+    #[test]
+    fn persistent_log_survives_reopen() {
+        let dir = tmp_dir("reopen");
+        {
+            let log = DurableLog::open_persistent(
+                SiteId::new(0),
+                dir.clone(),
+                1 << 16,
+                FsyncMode::Group,
+                1,
+            )
+            .unwrap();
+            for i in 1..=10 {
+                log.append(&commit(0, i));
+            }
+            assert_eq!(log.synced_len(), 10, "group mode syncs each run");
+        }
+        let log =
+            DurableLog::open_persistent(SiteId::new(0), dir.clone(), 1 << 16, FsyncMode::Group, 1)
+                .unwrap();
+        assert_eq!(log.len(), 10);
+        let (records, _) = log.read_from(0).unwrap();
+        let seqs: Vec<u64> = records.iter().map(|r| r.sequence()).collect();
+        assert_eq!(seqs, (1..=10).collect::<Vec<_>>());
+        // Reserve after recovery continues the offset space.
+        assert_eq!(log.reserve(), 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistent_group_fsync_covers_published_runs_only() {
+        let dir = tmp_dir("group");
+        let log =
+            DurableLog::open_persistent(SiteId::new(0), dir.clone(), 1 << 16, FsyncMode::Group, 1)
+                .unwrap();
+        let s1 = log.reserve();
+        let s2 = log.reserve();
+        log.fill(s2, &commit(0, 2));
+        assert_eq!(log.synced_len(), 0, "unpublished run is not on disk");
+        log.fill(s1, &commit(0, 1));
+        assert_eq!(log.synced_len(), 2, "gap-closing fill syncs the run");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn always_mode_blocks_filler_until_durable() {
+        let dir = tmp_dir("always");
+        let log = Arc::new(
+            DurableLog::open_persistent(SiteId::new(0), dir.clone(), 1 << 16, FsyncMode::Always, 1)
+                .unwrap(),
+        );
+        let s1 = log.reserve();
+        let s2 = log.reserve();
+        let log2 = Arc::clone(&log);
+        let filler = thread::spawn(move || log2.fill(s2, &commit(0, 2)));
+        thread::sleep(Duration::from_millis(20));
+        assert!(
+            !filler.is_finished(),
+            "always-mode filler must wait for the sync that covers it"
+        );
+        log.fill(s1, &commit(0, 1));
+        filler.join().unwrap();
+        assert_eq!(log.synced_len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn consumer_floors_gate_truncation() {
+        let dir = tmp_dir("floors");
+        // Tiny segments so truncation has something to delete.
+        let log = DurableLog::open_persistent(SiteId::new(0), dir.clone(), 64, FsyncMode::Group, 2)
+            .unwrap();
+        for i in 1..=30 {
+            log.append(&commit(0, i));
+        }
+        // Only one consumer advanced: min floor is 0, nothing truncates.
+        log.record_consumer_floor(0, 25).unwrap();
+        assert_eq!(log.base(), 0);
+        // Both past offset 20: segments wholly below 20 go.
+        log.record_consumer_floor(1, 20).unwrap();
+        let base = log.base();
+        assert!(base > 0, "truncation must discard passed segments");
+        assert!(base <= 20, "floor record must stay retained");
+        // Reads at/above the base still work; below it error.
+        let (records, _) = log.read_from(base).unwrap();
+        assert_eq!(records.len() as u64, 30 - base);
+        assert!(log.read_from(0).is_err());
+        assert!(log.get(0).is_err());
+        // Floors never regress.
+        log.record_consumer_floor(1, 5).unwrap();
+        assert_eq!(log.base(), base);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -123,6 +123,14 @@ impl Propagator {
                                 // Only cancellation returns an empty batch.
                                 continue;
                             }
+                            // Refresh lag measured from batch fetch: transit
+                            // delay plus the applier's admission wait (Eq. 1
+                            // dependency blocking) — the components the
+                            // paper's f_delay feature estimates. Captured
+                            // BEFORE the transit sleep is served, or the
+                            // delay would be excluded from the lag it is
+                            // supposed to dominate.
+                            let fetched = std::time::Instant::now();
                             // One transit delay per fetched batch (Kafka
                             // consumers batch; charging per record would
                             // impose an unrealistic serial 1/RTT cap).
@@ -149,11 +157,6 @@ impl Propagator {
                             if let Some(stats) = &stats {
                                 stats.record(TrafficCategory::Replication, bytes);
                             }
-                            // Refresh lag measured from batch fetch: transit
-                            // delay plus the applier's admission wait (Eq. 1
-                            // dependency blocking) — the components the
-                            // paper's f_delay feature estimates.
-                            let fetched = std::time::Instant::now();
                             cursor += records.len() as u64;
                             let batch = records.len() as u32;
                             // The batch tail's stamp identifies the run after
@@ -394,6 +397,52 @@ mod tests {
         let snap = stats.snapshot();
         assert!(snap.get(TrafficCategory::Replication).bytes > 0);
         prop.stop();
+    }
+
+    /// Regression: `lag_us` used to be measured from an `Instant` captured
+    /// *after* the transit-delay sleep, so the reported refresh lag excluded
+    /// the very transit delay it documents. With a 25ms one-way delay the
+    /// traced lag must be at least that delay.
+    #[test]
+    fn refresh_lag_includes_transit_delay() {
+        let logs = LogSet::new(2);
+        let delay = Duration::from_millis(25);
+        let slow = NetworkConfig {
+            one_way_delay: delay,
+            ..NetworkConfig::instant()
+        };
+        let fabric = Network::new(NetworkConfig::instant(), 7);
+        let recorder = dynamast_common::FlightRecorder::new(64);
+        fabric.set_recorder(Some(Arc::clone(&recorder)));
+        let collector = Arc::new(Collector {
+            seen: Mutex::new(Vec::new()),
+            fail_after: None,
+        });
+        let prop = Propagator::start(
+            SiteId::new(0),
+            &logs,
+            Arc::clone(&collector) as Arc<dyn RefreshApplier>,
+            slow,
+            Some(Arc::clone(&fabric)),
+            None,
+            vec![0, 0],
+        );
+        logs.log(SiteId::new(1)).append(&commit(1, 1, 2));
+        wait_for(|| collector.seen.lock().len() == 1);
+        prop.stop();
+        let lags: Vec<u64> = recorder
+            .snapshot()
+            .iter()
+            .filter_map(|ev| match ev.payload {
+                TracePayload::Refresh { lag_us, .. } => Some(lag_us),
+                _ => None,
+            })
+            .collect();
+        assert!(!lags.is_empty(), "refresh trace event must be recorded");
+        assert!(
+            lags.iter().all(|&lag| lag >= delay.as_micros() as u64),
+            "traced refresh lag {lags:?}us must include the {delay:?} transit delay"
+        );
     }
 
     #[test]

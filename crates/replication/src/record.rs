@@ -2,7 +2,7 @@
 //!
 //! Every record originates at exactly one site and occupies one slot in that
 //! site's commit order; applying a record at another site advances that
-//! site's `svv[origin]` to the record's sequence number. Three kinds exist:
+//! site's `svv[origin]` to the record's sequence number. Four kinds exist:
 //!
 //! * [`LogRecord::Commit`] — an update transaction's redo: its commit
 //!   timestamp (`tvv`) and after-image writes. Applied remotely as a refresh
@@ -14,6 +14,9 @@
 //!   increment the SI proof (Appendix A, Case 2) relies on and lets a
 //!   recovering site selector reconstruct the mastership map in a
 //!   well-defined order via per-partition epochs.
+//! * [`LogRecord::Noop`] — a tombstone filled into a reserved slot whose
+//!   committer died before completing; it keeps the origin's sequence space
+//!   gap-free so nothing downstream wedges.
 
 use bytes::{Buf, BufMut};
 use dynamast_common::codec::{self, Decode, Encode};
@@ -93,6 +96,19 @@ pub enum LogRecord {
         /// Selector-assigned remastering epoch (matches the paired release).
         epoch: u64,
     },
+    /// A tombstone for an aborted log reservation: the sequence was drawn
+    /// but its committer died before filling the slot
+    /// ([`crate::log::DurableLog::abort`]). It occupies the slot's place in
+    /// the origin's commit order — peers and recovery advance
+    /// `svv[origin]` over it without installing anything — so an abandoned
+    /// reservation cannot wedge the visibility watermark or the per-origin
+    /// in-order refresh admission.
+    Noop {
+        /// Site whose commit order the dead reservation belonged to.
+        origin: SiteId,
+        /// The abandoned sequence number.
+        sequence: u64,
+    },
 }
 
 impl LogRecord {
@@ -101,7 +117,8 @@ impl LogRecord {
         match self {
             LogRecord::Commit { origin, .. }
             | LogRecord::Release { origin, .. }
-            | LogRecord::Grant { origin, .. } => *origin,
+            | LogRecord::Grant { origin, .. }
+            | LogRecord::Noop { origin, .. } => *origin,
         }
     }
 
@@ -109,7 +126,9 @@ impl LogRecord {
     pub fn sequence(&self) -> u64 {
         match self {
             LogRecord::Commit { origin, tvv, .. } => tvv.get(*origin),
-            LogRecord::Release { sequence, .. } | LogRecord::Grant { sequence, .. } => *sequence,
+            LogRecord::Release { sequence, .. }
+            | LogRecord::Grant { sequence, .. }
+            | LogRecord::Noop { sequence, .. } => *sequence,
         }
     }
 }
@@ -117,6 +136,7 @@ impl LogRecord {
 const TAG_COMMIT: u8 = 1;
 const TAG_RELEASE: u8 = 2;
 const TAG_GRANT: u8 = 3;
+const TAG_NOOP: u8 = 4;
 
 impl Encode for LogRecord {
     fn encode(&self, buf: &mut impl BufMut) {
@@ -155,6 +175,11 @@ impl Encode for LogRecord {
                 buf.put_u64(partition.raw());
                 buf.put_u64(*epoch);
             }
+            LogRecord::Noop { origin, sequence } => {
+                buf.put_u8(TAG_NOOP);
+                buf.put_u32(origin.raw());
+                buf.put_u64(*sequence);
+            }
         }
     }
 
@@ -166,6 +191,7 @@ impl Encode for LogRecord {
                 writes,
             } => 1 + 4 + tvv.encoded_len() + codec::seq_len(writes),
             LogRecord::Release { .. } | LogRecord::Grant { .. } => 1 + 4 + 8 + 8 + 8,
+            LogRecord::Noop { .. } => 1 + 4 + 8,
         }
     }
 }
@@ -204,6 +230,10 @@ impl Decode for LogRecord {
                     }
                 })
             }
+            TAG_NOOP => Ok(LogRecord::Noop {
+                origin: SiteId::new(codec::get_u32(buf)? as usize),
+                sequence: codec::get_u64(buf)?,
+            }),
             _ => Err(DynaError::Codec {
                 what: "log record tag",
                 needed: 0,
@@ -258,6 +288,20 @@ mod tests {
             assert_eq!(LogRecord::decode(&mut slice).unwrap(), rec);
             assert!(slice.is_empty());
         }
+    }
+
+    #[test]
+    fn noop_roundtrips() {
+        let rec = LogRecord::Noop {
+            origin: SiteId::new(2),
+            sequence: 17,
+        };
+        let buf = codec::encode_to_vec(&rec);
+        assert_eq!(buf.len(), rec.encoded_len());
+        let mut slice = &buf[..];
+        assert_eq!(LogRecord::decode(&mut slice).unwrap(), rec);
+        assert_eq!(rec.sequence(), 17);
+        assert_eq!(rec.origin(), SiteId::new(2));
     }
 
     #[test]

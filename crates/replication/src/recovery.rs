@@ -8,10 +8,18 @@
 //!
 //! [`replay_all`] rebuilds a site's entire storage state from the union of
 //! all logs (the degenerate but always-available form of "initialize from a
-//! replica at offset zero"); the returned svv and per-origin offsets let the
-//! caller resume propagation exactly where replay stopped.
-//! [`rebuild_mastership`] recovers the selector's partition→master map from
-//! grant/release records using their per-partition epochs.
+//! replica at offset zero"); [`replay_from`] resumes from a durable
+//! [`crate::checkpoint::Checkpoint`]'s store image, svv cut, and per-origin
+//! offsets, so only the retained segment suffix replays. Either way, the
+//! returned svv and per-origin offsets let the caller resume propagation
+//! exactly where replay stopped. [`rebuild_mastership`] recovers the
+//! selector's partition→master map from grant/release records using their
+//! per-partition epochs.
+//!
+//! These routines are honest about their inputs: replaying volatile logs
+//! only survives in-process site crashes, while replaying persistently
+//! opened logs (`LogSet::open_persistent`) is real §V-C recovery from a
+//! dead process.
 
 use std::collections::HashMap;
 
@@ -42,9 +50,27 @@ pub struct ReplayedState {
 /// mutually stuck, which indicates corruption.
 pub fn replay_all(logs: &LogSet, catalog: Catalog, mvcc_versions: usize) -> Result<ReplayedState> {
     let m = logs.num_sites();
-    let store = Store::new(catalog, mvcc_versions);
-    let mut svv = VersionVector::zero(m);
-    let mut offsets = vec![0u64; m];
+    replay_from(
+        logs,
+        Store::new(catalog, mvcc_versions),
+        VersionVector::zero(m),
+        vec![0u64; m],
+    )
+}
+
+/// Like [`replay_all`], but resuming from a seeded state: a store already
+/// holding a checkpoint's image, the checkpoint's svv cut, and the
+/// per-origin offsets the cut corresponds to. Only records at or past those
+/// offsets are consulted, so checkpointed recovery replays the retained
+/// segment suffix instead of history from offset zero.
+pub fn replay_from(
+    logs: &LogSet,
+    store: Store,
+    mut svv: VersionVector,
+    mut offsets: Vec<u64>,
+) -> Result<ReplayedState> {
+    let m = logs.num_sites();
+    assert_eq!(offsets.len(), m);
     loop {
         let mut progressed = false;
         let mut exhausted = 0;
@@ -83,6 +109,9 @@ fn admissible(svv: &VersionVector, record: &LogRecord) -> bool {
         }
         | LogRecord::Grant {
             origin, sequence, ..
+        }
+        | LogRecord::Noop {
+            origin, sequence, ..
         } => svv.get(*origin) + 1 == *sequence,
     }
 }
@@ -107,7 +136,12 @@ fn apply(store: &Store, svv: &mut VersionVector, record: LogRecord) -> Result<()
         }
         | LogRecord::Grant {
             origin, sequence, ..
+        }
+        | LogRecord::Noop {
+            origin, sequence, ..
         } => {
+            // Metadata (or tombstone) records install nothing but still
+            // occupy their slot in the origin's commit order.
             svv.set(origin, sequence);
         }
     }
@@ -122,10 +156,17 @@ fn apply(store: &Store, svv: &mut VersionVector, record: LogRecord) -> Result<()
 /// mastership safely reverts to the releasing site — no other site was ever
 /// granted it. Partitions that were never remastered are absent; the caller
 /// overlays the initial placement.
+///
+/// Scans each log's *retained* suffix (from its truncated base), so it keeps
+/// working after checkpoint-gated segment truncation. Moves whose entire
+/// grant/release history was truncated are invisible here; the caller must
+/// overlay the sites' checkpoint-reconstructed ownership claims to recover
+/// them (see `dynamast_core::recovery`).
 pub fn rebuild_mastership(logs: &LogSet) -> Result<HashMap<PartitionId, SiteId>> {
     let mut best: HashMap<PartitionId, (u64, SiteId)> = HashMap::new();
     for origin_idx in 0..logs.num_sites() {
-        let (records, _) = logs.log(SiteId::new(origin_idx)).read_from(0)?;
+        let log = logs.log(SiteId::new(origin_idx));
+        let (records, _) = log.read_from(log.base())?;
         for record in records {
             let (partition, epoch, master) = match record {
                 LogRecord::Grant {
@@ -140,7 +181,7 @@ pub fn rebuild_mastership(logs: &LogSet) -> Result<HashMap<PartitionId, SiteId>>
                     epoch,
                     ..
                 } => (partition, epoch * 2, origin),
-                LogRecord::Commit { .. } => continue,
+                LogRecord::Commit { .. } | LogRecord::Noop { .. } => continue,
             };
             // Epochs are doubled so a grant outranks the release of the same
             // epoch (the pair shares an epoch; the grant is the later step).
@@ -252,6 +293,51 @@ mod tests {
         });
         let state = replay_all(&logs, catalog(), 4).unwrap();
         assert_eq!(state.svv.as_slice(), &[1, 1]);
+    }
+
+    /// Replay must advance svv over abort tombstones exactly like metadata
+    /// records, or a crashed committer's Noop would wedge every later record
+    /// from that origin.
+    #[test]
+    fn replay_advances_over_noop_tombstones() {
+        let logs = LogSet::new(2);
+        logs.log(SiteId::new(0))
+            .append(&commit(0, &[1, 0], vec![(1, 10)]));
+        logs.log(SiteId::new(0)).append(&LogRecord::Noop {
+            origin: SiteId::new(0),
+            sequence: 2,
+        });
+        logs.log(SiteId::new(0))
+            .append(&commit(0, &[3, 0], vec![(1, 30)]));
+        let state = replay_all(&logs, catalog(), 4).unwrap();
+        assert_eq!(state.svv.as_slice(), &[3, 0]);
+        let snap = state.svv.clone();
+        assert_eq!(state.store.read(key(1), &snap).unwrap().unwrap(), row(30));
+    }
+
+    #[test]
+    fn replay_from_resumes_past_checkpointed_prefix() {
+        let logs = LogSet::new(2);
+        logs.log(SiteId::new(0))
+            .append(&commit(0, &[1, 0], vec![(1, 10)]));
+        logs.log(SiteId::new(0))
+            .append(&commit(0, &[2, 0], vec![(1, 20)]));
+        // Seed state as if a checkpoint captured svv [1,0] with k1=10.
+        let store = Store::new(catalog(), 4);
+        store
+            .install(key(1), VersionStamp::new(SiteId::new(0), 1), row(10))
+            .unwrap();
+        let state = replay_from(
+            &logs,
+            store,
+            VersionVector::from_counts(vec![1, 0]),
+            vec![1, 0],
+        )
+        .unwrap();
+        assert_eq!(state.svv.as_slice(), &[2, 0]);
+        assert_eq!(state.offsets, vec![2, 0]);
+        let snap = state.svv.clone();
+        assert_eq!(state.store.read(key(1), &snap).unwrap().unwrap(), row(20));
     }
 
     #[test]

@@ -170,14 +170,18 @@ impl SiteClock {
     /// been installed, waking admission and freshness waiters. One call
     /// publishes a whole contiguous run of applied records (the batch
     /// applier's in-order watermark publication).
+    ///
+    /// Advance-only, like [`SiteClock::publish_up_to`]: a stale caller (a
+    /// late batch-applier publish racing a recovery-installed svv) is a
+    /// no-op. The svv is a watermark — rewinding it would resurrect Eq. 1
+    /// admission for records already applied and break SSSI freshness, and a
+    /// `debug_assert!` alone left release builds free to do exactly that.
     pub fn publish_refresh(&self, origin: SiteId, seq: u64) {
         let mut state = self.state.lock();
-        debug_assert!(
-            seq >= state.svv.get(origin),
-            "refresh watermark may not regress"
-        );
-        state.svv.set(origin, seq);
-        self.changed.notify_all();
+        if state.svv.get(origin) < seq {
+            state.svv.set(origin, seq);
+            self.changed.notify_all();
+        }
     }
 
     /// Wakes every waiter with [`DynaError::ShuttingDown`].
@@ -294,6 +298,24 @@ mod tests {
         // One publication covers a contiguous run of applied records.
         c.publish_refresh(origin, 5);
         assert_eq!(c.current().get(origin), 5);
+    }
+
+    /// Regression: `publish_refresh` used to guard regression with only a
+    /// `debug_assert!` and then `set` unconditionally — in release builds a
+    /// stale publish silently *rewound* the svv. This test is meaningful in
+    /// release mode precisely because the old guard was compiled out there.
+    #[test]
+    fn publish_refresh_never_rewinds_watermark() {
+        let origin = SiteId::new(1);
+        // A recovery-installed svv already past the stale caller's view.
+        let c =
+            SiteClock::from_recovered(SiteId::new(0), VersionVector::from_counts(vec![2, 7, 0]));
+        // Late batch-applier publication for an earlier run: must be a no-op.
+        c.publish_refresh(origin, 3);
+        assert_eq!(c.current().get(origin), 7, "stale publish must not rewind");
+        // Genuine advances still land.
+        c.publish_refresh(origin, 9);
+        assert_eq!(c.current().get(origin), 9);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use dynamast_common::ids::{Key, PartitionId, SiteId};
 use dynamast_common::trace::{FlightRecorder, TraceKind, TracePayload, TraceSite};
 use dynamast_common::{DynaError, Result, SystemConfig, VersionVector};
 use dynamast_network::{EndpointId, Network, RpcHandler, ServerHandle};
+use dynamast_replication::checkpoint::{Checkpoint, ImageEntry};
 use dynamast_replication::record::{LogRecord, WriteEntry};
 use dynamast_replication::{LogSet, Propagator, RefreshApplier};
 use dynamast_storage::{Catalog, LockGuard, Store, VersionStamp};
@@ -513,7 +514,11 @@ impl DataSite {
         for w in &writes {
             self.store.catalog().table(w.key.table)?;
         }
-        let ticket = self.pipeline.begin();
+        // The guard backstops the infallible contract: if anything below
+        // panics (a poisoned executor, an injected crash point), the slot is
+        // tombstoned on unwind instead of wedging the commit order.
+        let guard = self.pipeline.begin_guarded();
+        let ticket = guard.ticket();
         let stamp = VersionStamp::new(self.id, ticket.seq);
         let mut tvv = begin.clone();
         tvv.set(self.id, ticket.seq);
@@ -535,7 +540,7 @@ impl DataSite {
                 .install(w.key, stamp, w.row)
                 .expect("tables validated before pipeline begin");
         }
-        self.pipeline.commit_encoded(ticket, encoded);
+        self.pipeline.commit_encoded(guard.defuse(), encoded);
         // The transaction vector is the client's session vector; publication
         // of `svv[self] = seq` rides the group commit (the fill that closed
         // the log gap), so the committer itself never parks for it.
@@ -622,6 +627,50 @@ impl DataSite {
             .filter(|p| p.raw() & (1 << 63) == 0)
             .collect();
         Ok((self.clock.current(), mastered))
+    }
+
+    /// Builds this site's durable checkpoint at the current svv cut: the
+    /// cut vector, the per-origin log offsets it corresponds to (equal to
+    /// the cut by the slot = sequence invariant), the store image of every
+    /// version visible at the cut, and the live mastered set (draining
+    /// sentinels excluded).
+    ///
+    /// The site's own log is forced durable through the cut *after* the cut
+    /// is taken (sync covers everything published, which includes the cut),
+    /// so the checkpoint never claims a sequence the disk does not hold —
+    /// restart would otherwise re-allocate sequences the checkpoint already
+    /// accounted for. Other origins' dimensions are safe without an extra
+    /// sync: under `fsync=group|always` a record is synced in the same
+    /// gap-closing fill that publishes it, so any sequence in this site's
+    /// svv is already durable at its origin.
+    ///
+    /// The mastered set is read after the cut and may differ from it by
+    /// in-flight remasters; recovery reconciles by replaying the own-log
+    /// suffix's Release/Grant records as idempotent set removals/insertions.
+    pub fn build_checkpoint(&self, counter: u64) -> Result<Checkpoint> {
+        let cut = self.clock.current();
+        self.logs.log(self.id).sync_for_checkpoint()?;
+        let offsets = cut.as_slice().to_vec();
+        let mastered: Vec<PartitionId> = self
+            .ownership
+            .mastered_partitions()
+            .into_iter()
+            .filter(|p| p.raw() & (1 << 63) == 0)
+            .collect();
+        let image = self
+            .store
+            .dump_visible(&cut)
+            .into_iter()
+            .map(|(key, stamp, row)| ImageEntry { key, stamp, row })
+            .collect();
+        Ok(Checkpoint {
+            counter,
+            site: self.id,
+            svv: cut,
+            offsets,
+            mastered,
+            image,
+        })
     }
 
     /// Seeds the fence watermark on a freshly (re)built site, so a restarted

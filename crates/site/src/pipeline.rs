@@ -22,9 +22,13 @@
 //!    watermark in sequence order via `SiteClock::publish`.
 //!
 //! The section between `begin` and `commit` must be infallible (validate
-//! inputs *before* `begin`): an abandoned ticket leaves a hole in the log
-//! and the svv order that wedges the site. This is the same contract
-//! `SiteClock::allocate`/`publish` always had, now stated in one place.
+//! inputs *before* `begin`): an abandoned ticket would leave a hole in the
+//! log and the svv order that wedges the site. [`CommitPipeline::begin_guarded`]
+//! backstops that contract — if the committer dies anyway (panicking
+//! executor, crash-point unwind, process kill mid-install), the guard's drop
+//! fills the slot with a [`LogRecord::Noop`] tombstone via
+//! [`CommitPipeline::abort`], so the sequence space stays gap-free and the
+//! watermark keeps moving.
 //!
 //! The consume side lives here too: [`apply_refresh_batch`] applies a whole
 //! drained batch of one origin's records — admission-wait once per
@@ -138,6 +142,60 @@ impl CommitPipeline {
             self.clock.publish_up_to(visible);
         }
     }
+
+    /// Abandons a ticket whose owner cannot complete: fills the slot with a
+    /// [`LogRecord::Noop`] tombstone so the sequence space stays gap-free
+    /// and the watermark (and everything behind it — group fsync, remote
+    /// refresh admission) keeps moving. Used by [`CommitGuard`] when a
+    /// committer panics between `begin` and `commit`.
+    pub fn abort(&self, ticket: CommitTicket) {
+        if let Some(visible) = self.log.abort(ticket.slot) {
+            self.clock.publish_up_to(visible);
+        }
+    }
+
+    /// Arms a ticket with a panic/crash guard: if the guard drops before
+    /// [`CommitGuard::defuse`], the ticket is aborted with a tombstone. Use
+    /// around the install/serialize section so a committer that dies there
+    /// (a panicking executor, a crash-point unwind) cannot wedge the site.
+    pub fn begin_guarded(&self) -> CommitGuard<'_> {
+        CommitGuard {
+            pipeline: self,
+            ticket: self.begin(),
+            armed: true,
+        }
+    }
+}
+
+/// A [`CommitTicket`] that aborts itself (tombstone fill) if dropped without
+/// being defused — the drop-safety net for the "infallible" section between
+/// `begin` and `commit`.
+pub struct CommitGuard<'a> {
+    pipeline: &'a CommitPipeline,
+    ticket: CommitTicket,
+    armed: bool,
+}
+
+impl CommitGuard<'_> {
+    /// The guarded ticket.
+    pub fn ticket(&self) -> CommitTicket {
+        self.ticket
+    }
+
+    /// Disarms the guard; the caller takes back responsibility for
+    /// completing the ticket (it is about to commit it).
+    pub fn defuse(mut self) -> CommitTicket {
+        self.armed = false;
+        self.ticket
+    }
+}
+
+impl Drop for CommitGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.pipeline.abort(self.ticket);
+        }
+    }
 }
 
 /// Applies one origin's drained log batch as refresh transactions.
@@ -208,6 +266,9 @@ fn head_admissible(svv: &VersionVector, record: &LogRecord) -> bool {
             origin, sequence, ..
         }
         | LogRecord::Grant {
+            origin, sequence, ..
+        }
+        | LogRecord::Noop {
             origin, sequence, ..
         } => svv.get(*origin) + 1 == *sequence,
     }
@@ -293,6 +354,62 @@ mod tests {
         let (recs, _) = log.read_from(0).unwrap();
         let seqs: Vec<u64> = recs.iter().map(|r| r.sequence()).collect();
         assert_eq!(seqs, vec![1, 2], "slot order equals sequence order");
+    }
+
+    /// Regression: a ticket abandoned between `begin` and `commit` used to
+    /// wedge the site forever (watermark never advances past the hole). The
+    /// abort tombstone unwedges it and later commits publish normally.
+    #[test]
+    fn aborted_ticket_unwedges_later_commits() {
+        let (pipe, clock, log) = pipeline();
+        let dead = pipe.begin();
+        let live = pipe.begin();
+        pipe.commit_encoded(
+            live,
+            Bytes::from(encode_to_vec(&commit_record(0, &[2, 0], vec![(1, 20)]))),
+        );
+        assert_eq!(clock.current().get(SiteId::new(0)), 0, "hole blocks svv");
+        pipe.abort(dead);
+        assert_eq!(clock.current().get(SiteId::new(0)), 2, "tombstone unwedges");
+        let (recs, _) = log.read_from(0).unwrap();
+        assert!(matches!(recs[0], LogRecord::Noop { sequence: 1, .. }));
+    }
+
+    #[test]
+    fn commit_guard_aborts_on_panic_and_defuses_on_commit() {
+        let (pipe, clock, _log) = pipeline();
+        // A committer that panics mid-install: the guard tombstones its slot.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = pipe.begin_guarded();
+            panic!("executor died mid-install");
+        }));
+        assert!(result.is_err());
+        // The next commit proceeds as sequence 2 and publishes through.
+        let guard = pipe.begin_guarded();
+        let ticket = guard.defuse();
+        let vv = pipe
+            .commit(ticket, &commit_record(0, &[2, 0], vec![(1, 10)]))
+            .unwrap();
+        assert_eq!(vv.get(SiteId::new(0)), 2);
+        assert_eq!(clock.current().get(SiteId::new(0)), 2);
+    }
+
+    #[test]
+    fn refresh_batch_advances_over_noop_tombstones() {
+        let clock = SiteClock::new(SiteId::new(0), 2);
+        let store = Store::new(catalog(), 4);
+        let batch = vec![
+            commit_record(1, &[0, 1], vec![(1, 10)]),
+            LogRecord::Noop {
+                origin: SiteId::new(1),
+                sequence: 2,
+            },
+            commit_record(1, &[0, 3], vec![(1, 30)]),
+        ];
+        apply_refresh_batch(&clock, &store, batch).unwrap();
+        let svv = clock.current();
+        assert_eq!(svv.get(SiteId::new(1)), 3);
+        assert_eq!(store.read(key(1), &svv).unwrap().unwrap(), row(30));
     }
 
     #[test]

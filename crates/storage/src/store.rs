@@ -88,6 +88,24 @@ impl Store {
         Ok(())
     }
 
+    /// Every record's newest version visible to `begin` across all tables,
+    /// with stamps, in unspecified order. This is the checkpoint image: a
+    /// consistent cut of the store at the svv snapshot `begin` (see
+    /// [`Table::dump_visible`] for why skipped records are safe).
+    pub fn dump_visible(&self, begin: &VersionVector) -> Vec<(Key, VersionStamp, Row)> {
+        let mut out = Vec::new();
+        for (idx, table) in self.tables.iter().enumerate() {
+            let id = TableId::new(idx);
+            out.extend(
+                table
+                    .dump_visible(begin)
+                    .into_iter()
+                    .map(|(record, stamp, row)| (Key::new(id, record), stamp, row)),
+            );
+        }
+        out
+    }
+
     /// Installs a batch of versions, taking rows by value (one move from the
     /// decoded record into the chain, no clones).
     ///

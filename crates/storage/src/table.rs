@@ -169,6 +169,25 @@ impl Table {
         self.shard(record).read().contains_key(&record)
     }
 
+    /// Every record's newest version visible to `begin`, with its stamp, in
+    /// unspecified order (checkpoint image dump). Records with no version
+    /// visible at `begin` are skipped: such a record either did not exist at
+    /// the cut, or its cut-visible version was evicted — which requires
+    /// `max_versions` newer installs, every one stamped past the cut and so
+    /// present in the replay suffix that follows the checkpoint.
+    pub fn dump_visible(&self, begin: &VersionVector) -> Vec<(RecordId, VersionStamp, Row)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (record, chain) in shard.iter() {
+                if let Some(v) = chain.read(begin) {
+                    out.push((*record, v.stamp, v.row.clone()));
+                }
+            }
+        }
+        out
+    }
+
     /// Snapshot multi-get over a contiguous key range (YCSB scans read
     /// 200–1000 sequentially ordered keys). Missing keys are skipped.
     pub fn scan(

@@ -70,8 +70,19 @@ fn replayed_site_matches_live_replica() {
     let recovered = recover_site(SiteId::new(2), system.logs(), catalog, 4, &[]).unwrap();
     // The recovered svv must cover the session's entire history.
     assert!(recovered.state.svv.dominates(&session.cvv));
-    // Every record agrees with the freshest live data.
+    // Every record agrees with the freshest live data. Replay drained the
+    // logs completely, so wait until the live replica's refresh stream has
+    // caught up to the session history before comparing cuts — commit acks
+    // do not wait for remote refresh application.
     let live = &system.sites()[0];
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while !live.clock().current().dominates(&session.cvv) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "live replica never caught up to the session history"
+        );
+        std::thread::yield_now();
+    }
     let live_vv = live.clock().current();
     for i in 0..40u64 {
         let key = Key::new(KV, i * 100);
