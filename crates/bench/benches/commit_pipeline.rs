@@ -18,12 +18,13 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use criterion::{criterion_group, BatchSize, Criterion};
+use dynamast_common::audit::{self, AuditConfig, AuditSink};
 use dynamast_common::codec::encode_to_vec;
 use dynamast_common::ids::{Key, SiteId, TableId};
-use dynamast_common::{FsyncMode, Row, Value, VersionVector};
+use dynamast_common::{FlightRecorder, FsyncMode, Row, Value, VersionVector};
 use dynamast_replication::record::{LogRecord, WriteEntry};
 use dynamast_replication::DurableLog;
-use dynamast_site::{apply_refresh_batch, CommitPipeline, SiteClock};
+use dynamast_site::{apply_refresh_batch, apply_refresh_batch_with, CommitPipeline, SiteClock};
 use dynamast_storage::{Catalog, Store, VersionStamp};
 use parking_lot::Mutex;
 
@@ -211,6 +212,164 @@ impl Committer for PipelineCommitter {
 }
 
 // ---------------------------------------------------------------------
+// Audit-overhead rider: the same pipeline with the invariant auditor armed
+// ---------------------------------------------------------------------
+
+/// The pipeline committer shadowed by the audit plane, emitting exactly
+/// what the production paths emit: one [`audit::emit_write_effect`] per
+/// version install (with the overwritten version's stamp read under the
+/// same conditions `commit_local` reads it) and one per refresh install,
+/// drained live by the sink's background poll thread.
+struct AuditedCommitter {
+    inner: PipelineCommitter,
+    recorder: Arc<FlightRecorder>,
+}
+
+impl AuditedCommitter {
+    fn build() -> (Arc<Self>, Arc<AuditSink>) {
+        let recorder = FlightRecorder::new(4_096);
+        let sink = AuditSink::arm(
+            Arc::clone(&recorder),
+            AuditConfig {
+                // Wide byte-blob rows are not zero-sum transfers; the
+                // ownership/exactly-once checkers stay armed (YCSB shape).
+                conservation: false,
+                ..AuditConfig::default()
+            },
+        );
+        (
+            Arc::new(AuditedCommitter {
+                inner: PipelineCommitter::build(),
+                recorder,
+            }),
+            sink,
+        )
+    }
+
+    /// Emission-only fixture: the audit flag is armed on the recorder — every
+    /// install pays the prev-stamp read, both signatures, and the ring push —
+    /// but no sink thread drains. On a time-sliced single-CPU host the full
+    /// rider charges the sink's processing to the committers too; this leg
+    /// isolates the inline cost, which is what multi-core hosts actually pay.
+    fn build_emit_only() -> Arc<Self> {
+        let recorder = FlightRecorder::new(4_096);
+        recorder.set_audit(true);
+        Arc::new(AuditedCommitter {
+            inner: PipelineCommitter::build(),
+            recorder,
+        })
+    }
+}
+
+impl Committer for AuditedCommitter {
+    fn commit(&self, writes: Vec<WriteEntry>) {
+        let inner = &self.inner;
+        let begin = VersionVector::zero(2);
+        let ticket = inner.pipeline.begin();
+        let stamp = VersionStamp::new(inner.site, ticket.seq);
+        let mut tvv = begin;
+        tvv.set(inner.site, ticket.seq);
+        let record = LogRecord::Commit {
+            origin: inner.site,
+            tvv,
+            writes,
+        };
+        let encoded = Bytes::from(encode_to_vec(&record));
+        let LogRecord::Commit { writes, .. } = record else {
+            unreachable!("constructed above")
+        };
+        let audit_values = self.recorder.audit_values();
+        let mut effects = self
+            .recorder
+            .audit_enabled()
+            .then(|| audit::EffectBatch::with_capacity(writes.len()));
+        for w in writes {
+            if let Some(batch) = effects.as_mut() {
+                let prev = inner
+                    .store
+                    .with_latest(w.key, |row, s| {
+                        (
+                            if audit_values {
+                                audit::value_signature(row)
+                            } else {
+                                0
+                            },
+                            s.origin.raw(),
+                            s.sequence,
+                        )
+                    })
+                    .ok()
+                    .flatten();
+                batch.write_effect(
+                    ticket.seq,
+                    inner.site.raw(),
+                    0,
+                    w.key.table.raw(),
+                    w.key.record,
+                    prev,
+                    if audit_values {
+                        audit::value_signature(&w.row)
+                    } else {
+                        0
+                    },
+                    inner.site.raw(),
+                    ticket.seq,
+                    0,
+                    0,
+                    false,
+                );
+            }
+            inner.store.install(w.key, stamp, w.row).unwrap();
+        }
+        if let Some(mut batch) = effects {
+            batch.flush(&self.recorder);
+        }
+        inner.pipeline.commit_encoded(ticket, encoded);
+    }
+
+    fn drain_into_replica(&self) -> u64 {
+        let inner = &self.inner;
+        let (records, _) = inner.log.read_from(0).unwrap();
+        let recorder = Arc::clone(&self.recorder);
+        let audit_values = recorder.audit_values();
+        const EFFECT_CHUNK: usize = 64;
+        let mut batch = audit::EffectBatch::with_capacity(EFFECT_CHUNK);
+        let mut observer = |key: Key, row: &Row, origin: SiteId, sequence: u64| {
+            batch.write_effect(
+                0,
+                1,
+                0,
+                key.table.raw(),
+                key.record,
+                None,
+                if audit_values {
+                    audit::value_signature(row)
+                } else {
+                    0
+                },
+                origin.raw(),
+                sequence,
+                0,
+                0,
+                true,
+            );
+            if batch.len() >= EFFECT_CHUNK {
+                batch.flush(&recorder);
+            }
+        };
+        apply_refresh_batch_with(
+            &inner.replica_clock,
+            &inner.replica,
+            records,
+            Some(&mut observer),
+        )
+        .unwrap();
+        batch.flush(&recorder);
+        inner.replica_clock.current().get(inner.site)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Criterion single-op benches (skipped under DYNAMAST_MT_ONLY)
 // ---------------------------------------------------------------------
 
@@ -370,6 +529,67 @@ mod commit_mt {
         )
     }
 
+    /// Audit-overhead rider: paired 8-thread runs of the unarmed pipeline
+    /// vs the same pipeline with the invariant auditor armed (write-effect
+    /// emission per install + live sink draining). Acceptance bound: the
+    /// audited/unarmed throughput ratio stays >= 0.95 (<= 5% overhead).
+    const AUDIT_THREADS: usize = 8;
+
+    fn audit_section(cpus: usize) -> String {
+        // DYNAMAST_AUDIT_RIDER=1 forces the rider on constrained hosts
+        // (time-sliced threads overstate the relative emission cost; dev
+        // use only).
+        if cpus < 2 && std::env::var_os("DYNAMAST_AUDIT_RIDER").is_none() {
+            return "{\"skipped\": \"single-cpu host: the 8-thread overhead \
+                    measurement needs threads that can actually contend\"}"
+                .to_string();
+        }
+        let mut unarmed_runs = Vec::new();
+        let mut audited_runs = Vec::new();
+        let mut ratios = Vec::new();
+        for _ in 0..PAIRS {
+            let unarmed = run_one(
+                Arc::new(PipelineCommitter::build()) as Arc<dyn Committer>,
+                AUDIT_THREADS,
+            );
+            let (committer, sink) = AuditedCommitter::build();
+            let audited = run_one(committer as Arc<dyn Committer>, AUDIT_THREADS);
+            let report = sink.finish();
+            assert!(
+                report.violations.is_empty(),
+                "auditor flagged the bench workload: {:?}",
+                report.violations
+            );
+            unarmed_runs.push(unarmed);
+            audited_runs.push(audited);
+            ratios.push(audited / unarmed);
+        }
+        let (unarmed, audited, ratio) =
+            (median(unarmed_runs), median(audited_runs), median(ratios));
+        println!(
+            "  audit rider at {AUDIT_THREADS} threads: unarmed {unarmed:>10.0} txns/s, \
+             audited {audited:>10.0} txns/s, audited/unarmed {ratio:.3}"
+        );
+        if std::env::var_os("DYNAMAST_AUDIT_RIDER").is_some() {
+            // Diagnostic only (never in the JSON): separates inline emission
+            // cost from sink processing when attributing overhead by hand.
+            let emit_only = run_one(
+                AuditedCommitter::build_emit_only() as Arc<dyn Committer>,
+                AUDIT_THREADS,
+            );
+            println!(
+                "  audit rider emit-only (no sink thread): {emit_only:>10.0} txns/s, \
+                 emit_only/unarmed {r:.3}",
+                r = emit_only / unarmed
+            );
+        }
+        format!(
+            "{{\"threads\": {AUDIT_THREADS}, \"paired_runs\": {PAIRS}, \
+             \"txns_per_sec\": {{\"unarmed\": {unarmed:.0}, \"audited\": {audited:.0}}}, \
+             \"audited_over_unarmed\": {ratio:.3}}}"
+        )
+    }
+
     pub fn run_and_write_json() {
         println!("\ncommit_mt: commit + replication-drain throughput, pipeline vs mutex baseline");
         let build_pipeline = || Arc::new(PipelineCommitter::build()) as Arc<dyn Committer>;
@@ -402,6 +622,7 @@ mod commit_mt {
         }
         let cpus = thread::available_parallelism().map_or(0, |n| n.get());
         let durability = fsync_section(cpus);
+        let audit = audit_section(cpus);
         let fmt = |points: &[(usize, f64)]| -> String {
             points
                 .iter()
@@ -418,7 +639,8 @@ mod commit_mt {
              \"txns_per_sec\": {{\n    \"pipeline\": {{\n{p}\n    }},\n    \"mutex_baseline\": {{\n{b}\n    }}\n  }},\n  \
              \"speedup_pipeline_over_mutex\": {{\"1\": {s0:.3}, \"4\": {s1:.3}, \"8\": {s2:.3}}},\n  \
              \"measured_speedup_at_8_threads\": {s2:.3},\n  \
-             \"durability_fsync\": {durability}\n}}\n",
+             \"durability_fsync\": {durability},\n  \
+             \"audit_overhead\": {audit}\n}}\n",
             row_bytes = ROW_FIELDS * ROW_FIELD_BYTES,
             os = std::env::consts::OS,
             arch = std::env::consts::ARCH,

@@ -16,11 +16,15 @@
 //!   [`metrics::MetricsRegistry`].
 //! * [`trace`] — the flight recorder: a bounded per-thread event ring that
 //!   records every transaction's causal path through the system.
+//! * [`audit`] — the invariant audit plane: streaming conservation and
+//!   ownership checkers over the flight recorder, with black-box repro
+//!   bundles on violation.
 //! * [`dist`] — workload distributions (Zipfian, Bernoulli-neighbour) shared
 //!   by the YCSB/TPC-C/SmallBank generators.
 //! * [`codec`] — the small explicit byte codec used for log records and RPC
 //!   payload sizing.
 
+pub mod audit;
 pub mod codec;
 pub mod config;
 pub mod dist;

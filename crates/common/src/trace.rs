@@ -189,6 +189,19 @@ pub enum TraceKind {
     NetDuplicate,
     /// Fault plan verdict: delay spike injected.
     NetDelaySpike,
+    /// A version install (commit-side or refresh-side) observed by the
+    /// invariant audit plane. Emitted only while auditing is armed
+    /// ([`FlightRecorder::set_audit`]).
+    WriteEffect,
+    /// An ownership transition (release or grant) in a site's own commit
+    /// order, stamped with its commit sequence. Emitted only while auditing
+    /// is armed.
+    OwnEffect,
+    /// A data site restarted after a crash: its store was rebuilt by log
+    /// replay that never passes the audited install hooks, so the audit
+    /// plane forgets the site's per-site knowledge and re-baselines from
+    /// its next events. Emitted only while auditing is armed.
+    SiteRestart,
 }
 
 impl TraceKind {
@@ -213,6 +226,9 @@ impl TraceKind {
             TraceKind::NetDrop => "net.drop",
             TraceKind::NetDuplicate => "net.duplicate",
             TraceKind::NetDelaySpike => "net.delay_spike",
+            TraceKind::WriteEffect => "write.effect",
+            TraceKind::OwnEffect => "own.effect",
+            TraceKind::SiteRestart => "site.restart",
         }
     }
 }
@@ -328,6 +344,50 @@ pub enum TracePayload {
         /// Participant count (prepare/decide) or 0.
         participants: u32,
     },
+    /// One version install, as seen by the invariant audit plane: the new
+    /// value's signature plus the stamp of the version it replaced.
+    WriteEffect {
+        /// Partition the key belongs to.
+        partition: u64,
+        /// Table component of the key.
+        table: u32,
+        /// Record component of the key.
+        record: u64,
+        /// Signed value signature of the overwritten row (0 when the prev
+        /// version was not captured; see `prev_origin`).
+        prev: i64,
+        /// Signed value signature of the installed row.
+        value: i64,
+        /// Origin of the overwritten version's stamp, or `u32::MAX` when the
+        /// previous version was not captured (refresh installs skip the read).
+        prev_origin: u32,
+        /// Sequence of the overwritten version's stamp.
+        prev_seq: u64,
+        /// Origin site of the installing commit.
+        origin: u32,
+        /// Commit sequence at the origin.
+        sequence: u64,
+        /// Selector fence generation the installing site held.
+        generation: u64,
+        /// Highest remaster epoch the installing site had observed.
+        epoch: u64,
+        /// `true` for a replication refresh install, `false` for a
+        /// commit-side install at the origin.
+        refresh: bool,
+    },
+    /// An ownership transition (release/grant) in the site's commit order.
+    Ownership {
+        /// Partition whose mastership moved.
+        partition: u64,
+        /// Site recording the transition.
+        site: u32,
+        /// The site's commit sequence for the release/grant record.
+        sequence: u64,
+        /// Remaster epoch of the transition.
+        epoch: u64,
+        /// `true` for a grant (mastership acquired), `false` for a release.
+        acquired: bool,
+    },
 }
 
 impl fmt::Display for TracePayload {
@@ -415,6 +475,41 @@ impl fmt::Display for TracePayload {
                     write!(f, "site{site} {}", if *ok { "yes" } else { "no" })
                 }
             }
+            TracePayload::WriteEffect {
+                partition,
+                table,
+                record,
+                prev,
+                value,
+                prev_origin,
+                prev_seq,
+                origin,
+                sequence,
+                generation,
+                epoch,
+                refresh,
+            } => {
+                write!(
+                    f,
+                    "p{partition} key=({table},{record}) {}={value} stamp=(site{origin},{sequence}) gen={generation} epoch={epoch}",
+                    if *refresh { "refresh" } else { "commit" },
+                )?;
+                if *prev_origin != u32::MAX {
+                    write!(f, " prev={prev}@(site{prev_origin},{prev_seq})")?;
+                }
+                Ok(())
+            }
+            TracePayload::Ownership {
+                partition,
+                site,
+                sequence,
+                epoch,
+                acquired,
+            } => write!(
+                f,
+                "p{partition} site{site} {} seq={sequence} epoch={epoch}",
+                if *acquired { "grant" } else { "release" }
+            ),
         }
     }
 }
@@ -455,6 +550,15 @@ struct RingInner {
     /// Total events ever written; `head % capacity` is the next slot once
     /// the ring has wrapped.
     head: u64,
+    /// Events overwritten by ring wrap since the last drain. The audit
+    /// plane treats any loss as "audit incomplete", never as a violation.
+    overwritten: u64,
+    /// High-water timestamp: the fast clock is raw TSC on x86_64 and can
+    /// regress across a core migration, so each ring clamps its events
+    /// monotone. With per-ring order intact, the stable merge-by-micros in
+    /// [`FlightRecorder::drain_accounted`] preserves program order within
+    /// every thread.
+    last_micros: u64,
 }
 
 /// A per-thread ring guarded by a raw spin flag instead of a full mutex:
@@ -480,6 +584,8 @@ impl ThreadRing {
             inner: std::cell::UnsafeCell::new(RingInner {
                 buf: Vec::new(),
                 head: 0,
+                overwritten: 0,
+                last_micros: 0,
             }),
         }
     }
@@ -508,38 +614,99 @@ impl ThreadRing {
     /// blocks: if the ring is locked (snapshot in progress) the event is
     /// dropped and `false` returned.
     #[inline]
-    fn push(&self, capacity: usize, ev: TraceEvent) -> bool {
+    fn push(&self, capacity: usize, mut ev: TraceEvent) -> bool {
         if !self.try_acquire() {
             return false;
         }
         // SAFETY: flag held (see `Sync` impl).
         let inner = unsafe { &mut *self.inner.get() };
+        if ev.micros < inner.last_micros {
+            ev.micros = inner.last_micros;
+        } else {
+            inner.last_micros = ev.micros;
+        }
         if inner.buf.len() < capacity {
             inner.buf.push(ev);
         } else {
             let slot = (inner.head % capacity as u64) as usize;
             inner.buf[slot] = ev;
+            inner.overwritten += 1;
         }
         inner.head += 1;
         self.release();
         true
     }
 
+    /// Pushes a group of events sharing one (clamped) timestamp under a
+    /// single flag acquisition. Returns how many events were dropped (all
+    /// of them if a snapshot holds the ring — same non-blocking contract
+    /// as [`ThreadRing::push`]).
+    fn push_batch(
+        &self,
+        capacity: usize,
+        micros: u64,
+        events: impl IntoIterator<Item = TraceEvent>,
+    ) -> u64 {
+        if !self.try_acquire() {
+            return events.into_iter().count() as u64;
+        }
+        // SAFETY: flag held (see `Sync` impl).
+        let inner = unsafe { &mut *self.inner.get() };
+        let micros = if micros < inner.last_micros {
+            inner.last_micros
+        } else {
+            inner.last_micros = micros;
+            micros
+        };
+        for mut ev in events {
+            ev.micros = micros;
+            if inner.buf.len() < capacity {
+                inner.buf.push(ev);
+            } else {
+                let slot = (inner.head % capacity as u64) as usize;
+                inner.buf[slot] = ev;
+                inner.overwritten += 1;
+            }
+            inner.head += 1;
+        }
+        self.release();
+        0
+    }
+
+    /// Appends the ring's events in chronological order: once wrapped, the
+    /// oldest retained event sits at `head % len`, not slot 0.
     fn snapshot(&self, out: &mut Vec<TraceEvent>) {
         self.acquire();
         // SAFETY: flag held (see `Sync` impl).
         let inner = unsafe { &*self.inner.get() };
-        out.extend(inner.buf.iter().cloned());
+        if !inner.buf.is_empty() {
+            let start = (inner.head % inner.buf.len() as u64) as usize;
+            out.extend(inner.buf[start..].iter().cloned());
+            out.extend(inner.buf[..start].iter().cloned());
+        }
         self.release();
     }
 
-    fn drain(&self) {
+    /// Snapshots and clears the ring under one flag acquisition, returning
+    /// how many events were lost to ring wrap since the last drain. The
+    /// two steps must be atomic: a separate snapshot-then-clear would
+    /// destroy (unaccounted) any event pushed in between, and the audit
+    /// plane would read the silent gap as a violation instead of loss.
+    fn take(&self, out: &mut Vec<TraceEvent>) -> u64 {
         self.acquire();
         // SAFETY: flag held (see `Sync` impl).
         let inner = unsafe { &mut *self.inner.get() };
-        inner.buf.clear();
-        inner.head = 0;
+        if !inner.buf.is_empty() {
+            let start = (inner.head % inner.buf.len() as u64) as usize;
+            out.extend(inner.buf[start..].iter().cloned());
+            out.extend(inner.buf[..start].iter().cloned());
+            inner.buf.clear();
+            inner.head = 0;
+        }
+        let overwritten = inner.overwritten;
+        inner.overwritten = 0;
         self.release();
+        overwritten
     }
 }
 
@@ -566,6 +733,16 @@ pub struct FlightRecorder {
     id: u64,
     start_micros: u64,
     enabled: AtomicBool,
+    /// Whether audit-plane events ([`TraceKind::WriteEffect`],
+    /// [`TraceKind::OwnEffect`]) should be emitted. Off by default so the
+    /// audit plane is zero-cost unless armed.
+    audit: AtomicBool,
+    /// Whether audited installs should also carry value *signatures*.
+    /// Signatures feed the conservation checker (and enrich bundles); the
+    /// ownership/exactly-once checkers run on stamps alone. Hashing every
+    /// row is the dominant emission cost on wide rows, so the sink arms
+    /// this only when a conservation checker will actually consume it.
+    audit_values: AtomicBool,
     capacity_per_thread: usize,
     rings: Mutex<Vec<Arc<ThreadRing>>>,
     dropped: AtomicU64,
@@ -578,6 +755,8 @@ impl FlightRecorder {
             id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
             start_micros: fastclock::now_micros(),
             enabled: AtomicBool::new(true),
+            audit: AtomicBool::new(false),
+            audit_values: AtomicBool::new(false),
             capacity_per_thread: capacity_per_thread.max(1),
             rings: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
@@ -599,6 +778,30 @@ impl FlightRecorder {
     /// Whether recording is enabled.
     pub fn enabled(&self) -> bool {
         self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Arms or disarms audit-plane event emission (write/ownership effects).
+    pub fn set_audit(&self, on: bool) {
+        self.audit.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether audit-plane events should be emitted. Emit sites check this
+    /// before doing any per-write work (value signatures, prev reads).
+    #[inline]
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.load(Ordering::Relaxed) && self.enabled()
+    }
+
+    /// Arms or disarms value-signature computation on audited installs
+    /// (see the `audit_values` field).
+    pub fn set_audit_values(&self, on: bool) {
+        self.audit_values.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether audited installs should carry value signatures.
+    #[inline]
+    pub fn audit_values(&self) -> bool {
+        self.audit_values.load(Ordering::Relaxed)
     }
 
     /// Microseconds since the recorder was created.
@@ -641,6 +844,34 @@ impl FlightRecorder {
         }
     }
 
+    /// Records a group of events on the calling thread's ring with one
+    /// clock read and one ring acquisition for the whole group (the
+    /// per-event costs — ~50 ns of virtualized `rdtsc` plus the
+    /// TLS/lock round trip — dominate audit emission, which produces one
+    /// event per write of a commit). The group shares one timestamp;
+    /// within-ring order is positional, so relative order is preserved.
+    pub fn record_batch(&self, events: impl IntoIterator<Item = TraceEvent>) {
+        if !self.enabled() {
+            return;
+        }
+        let micros = self.now_micros();
+        let dropped = THREAD_RINGS.with(|cell| {
+            let mut rings = cell.borrow_mut();
+            if let Some((_, ring)) = rings.iter().find(|(id, _)| *id == self.id) {
+                ring.push_batch(self.capacity_per_thread, micros, events)
+            } else {
+                let ring = Arc::new(ThreadRing::new());
+                self.rings.lock().push(Arc::clone(&ring));
+                let dropped = ring.push_batch(self.capacity_per_thread, micros, events);
+                rings.push((self.id, ring));
+                dropped
+            }
+        });
+        if dropped > 0 {
+            self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
     /// Takes a merged snapshot of all per-thread rings, ordered by
     /// timestamp. Writers racing a snapshot drop their event rather than
     /// blocking (counted in [`FlightRecorder::dropped`]).
@@ -656,16 +887,22 @@ impl FlightRecorder {
 
     /// Snapshots and clears all rings.
     pub fn drain(&self) -> Vec<TraceEvent> {
+        self.drain_accounted().0
+    }
+
+    /// Snapshots and clears all rings, also returning how many events were
+    /// lost to ring wrap since the previous drain. The audit plane uses the
+    /// loss count to degrade to "audit incomplete" instead of reporting
+    /// false violations over a gappy history.
+    pub fn drain_accounted(&self) -> (Vec<TraceEvent>, u64) {
         let rings: Vec<Arc<ThreadRing>> = self.rings.lock().clone();
         let mut out = Vec::new();
+        let mut wrapped = 0u64;
         for ring in &rings {
-            ring.snapshot(&mut out);
-        }
-        for ring in &rings {
-            ring.drain();
+            wrapped += ring.take(&mut out);
         }
         out.sort_by_key(|e| e.micros);
-        out
+        (out, wrapped)
     }
 
     /// Renders the causal per-transaction timelines of the most recent

@@ -76,6 +76,15 @@ fn register_selector_metrics(metrics: &MetricsRegistry, selector: &SiteSelector)
     );
 }
 
+/// Pre-creates the audit-plane counters so every metrics snapshot satisfies
+/// the pinned schema even when no auditor is armed; [`DynaMastSystem::arm_auditor`]
+/// rebinds them to the live sink's counters.
+fn register_audit_metrics(metrics: &MetricsRegistry) {
+    let _ = metrics.counter("audit_events");
+    let _ = metrics.counter("audit_violations");
+    let _ = metrics.counter("audit_ring_wraps");
+}
+
 /// Construction parameters.
 pub struct DynaMastConfig {
     /// Shared system configuration.
@@ -233,6 +242,7 @@ impl DynaMastSystem {
         let metrics = Arc::new(MetricsRegistry::new());
         metrics.register_traffic("network", Arc::clone(network.stats()) as _);
         register_selector_metrics(&metrics, &selector);
+        register_audit_metrics(&metrics);
         Arc::new(DynaMastSystem {
             name,
             config: cfg.system,
@@ -323,7 +333,13 @@ impl DynaMastSystem {
             &cfg.initial_placements,
             &claims,
         )?;
-        let epoch_floor = crate::recovery::max_remaster_epoch(&logs)?;
+        // The epoch floor must clear every epoch ever issued. Retained logs
+        // cover the recent ones; the checkpoints' persisted watermarks cover
+        // epochs whose Release/Grant records were truncated away.
+        let mut epoch_floor = crate::recovery::max_remaster_epoch(&logs)?;
+        for recovered in &per_site {
+            epoch_floor = epoch_floor.max(recovered.epoch);
+        }
 
         let mut sites = Vec::with_capacity(m);
         let mut runtimes = Vec::with_capacity(m);
@@ -353,6 +369,7 @@ impl DynaMastSystem {
                 Arc::clone(&network),
                 Arc::clone(&executor),
             );
+            site.install_remaster_epoch(recovered.epoch);
             runtimes.push(site.start_with_offsets(cfg.rpc_workers, recovered.state.offsets));
             sites.push(site);
         }
@@ -379,6 +396,7 @@ impl DynaMastSystem {
         let metrics = Arc::new(MetricsRegistry::new());
         metrics.register_traffic("network", Arc::clone(network.stats()) as _);
         register_selector_metrics(&metrics, &selector);
+        register_audit_metrics(&metrics);
         Ok(Arc::new(DynaMastSystem {
             name,
             config: cfg.system,
@@ -416,6 +434,24 @@ impl DynaMastSystem {
     /// The unified metrics registry (JSON snapshot export).
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// Arms the streaming invariant auditor over this system's flight
+    /// recorder and re-points the `audit_*` counters in the metrics
+    /// registry at the sink's live counters. The sink polls the recorder
+    /// rings until [`dynamast_common::audit::AuditSink::finish`] is called.
+    pub fn arm_auditor(
+        &self,
+        config: dynamast_common::audit::AuditConfig,
+    ) -> Arc<dynamast_common::audit::AuditSink> {
+        let sink = dynamast_common::audit::AuditSink::arm(Arc::clone(&self.recorder), config);
+        self.metrics
+            .register_counter("audit_events", sink.events_counter());
+        self.metrics
+            .register_counter("audit_violations", sink.violations_counter());
+        self.metrics
+            .register_counter("audit_ring_wraps", sink.ring_wraps_counter());
+        sink
     }
 
     /// The durable logs (recovery tests).
@@ -490,6 +526,7 @@ impl DynaMastSystem {
     /// history.
     pub fn restart_site(&self, site: usize) -> Result<()> {
         let id = SiteId::new(site);
+        let mut ckpt_epoch = 0;
         let recovered = if let Some(root) = &self.config.durability.log_dir {
             // Durable deployment: seed from the site's latest checkpoint and
             // replay only the retained suffix (replay-from-zero would read
@@ -516,6 +553,7 @@ impl DynaMastSystem {
                 .map(|(p, _)| p)
                 .collect();
             mastered.sort();
+            ckpt_epoch = state.epoch;
             crate::recovery::RecoveredSite {
                 state: state.state,
                 mastered,
@@ -563,6 +601,16 @@ impl DynaMastSystem {
         // A restarted site lost its volatile fence watermark; re-arm it so
         // a selector deposed before the crash stays fenced out.
         fresh.install_selector_generation(self.selector.read().generation());
+        // Likewise the remaster-epoch watermark: checkpoint watermark maxed
+        // with whatever the retained logs still show.
+        fresh.install_remaster_epoch(
+            ckpt_epoch.max(crate::recovery::max_remaster_epoch(&self.logs)?),
+        );
+        // The rebuilt store was populated by direct log replay, which never
+        // passes the audited install hooks. Mark the restart before any
+        // live events resume so the audit plane re-baselines this site
+        // instead of reading the replay window as missing installs.
+        dynamast_common::audit::emit_site_restart(&self.recorder, site as u32);
         let runtime = fresh.start_with_offsets(self.rpc_workers, recovered.state.offsets);
         self.sites.write()[site] = fresh;
         self.runtimes.lock()[site] = Some(runtime);
@@ -653,6 +701,18 @@ impl DynaMastSystem {
             &live_tables,
         )?;
         let mut next_epoch = crate::recovery::max_remaster_epoch(&self.logs)?;
+        // Logs may have been truncated past old Release/Grant records; the
+        // checkpoints persist each site's epoch watermark, so max them in
+        // before allocating repair epochs (epoch-reissue-after-truncation
+        // would collide with the sites' `(partition, epoch)` idempotency
+        // ledgers and misattribute audit-plane events).
+        if let Some(root) = &self.config.durability.log_dir {
+            for i in 0..self.config.num_sites {
+                if let Some(ckpt) = checkpoint::load_latest(&checkpoint_dir(root, i))? {
+                    next_epoch = next_epoch.max(ckpt.epoch);
+                }
+            }
+        }
 
         // 3. Repair release-without-grant windows: the map names a live
         // owner whose table does not claim the partition. Sorted so the

@@ -135,6 +135,12 @@ pub struct CheckpointedSite {
     /// Counter of the checkpoint this recovery loaded (0 = none existed;
     /// the next checkpoint the site writes must use a larger counter).
     pub last_checkpoint: u64,
+    /// Highest remaster epoch the site had observed: the checkpoint's
+    /// persisted watermark maxed with the Release/Grant epochs in the
+    /// replayed own-log suffix. Feeds the selector's `epoch_floor` so a
+    /// recovery whose logs were truncated past the last remaster record
+    /// cannot re-issue already-used epochs.
+    pub epoch: u64,
 }
 
 /// Rebuilds one site from its latest durable checkpoint plus the retained
@@ -157,7 +163,7 @@ pub fn recover_site_checkpointed(
     catalog: Catalog,
     mvcc_versions: usize,
 ) -> Result<CheckpointedSite> {
-    let (state, suffix_start, mut claims, last_checkpoint) = match ckpt {
+    let (state, suffix_start, mut claims, last_checkpoint, mut epoch) = match ckpt {
         Some(ckpt) => {
             let store = Store::new(catalog, mvcc_versions);
             for entry in &ckpt.image {
@@ -166,11 +172,11 @@ pub fn recover_site_checkpointed(
             let claims: HashSet<PartitionId> = ckpt.mastered.iter().copied().collect();
             let suffix_start = ckpt.offsets[site.as_usize()];
             let state = replay_from(logs, store, ckpt.svv, ckpt.offsets)?;
-            (state, suffix_start, claims, ckpt.counter)
+            (state, suffix_start, claims, ckpt.counter, ckpt.epoch)
         }
         None => {
             let state = replay_all(logs, catalog, mvcc_versions)?;
-            (state, 0, HashSet::new(), 0)
+            (state, 0, HashSet::new(), 0, 0)
         }
     };
     // Roll the own-log suffix over the checkpointed claims. The ownership
@@ -180,11 +186,21 @@ pub fn recover_site_checkpointed(
     let (records, _) = logs.log(site).read_from(suffix_start)?;
     for record in records {
         match record {
-            LogRecord::Grant { partition, .. } => {
+            LogRecord::Grant {
+                partition,
+                epoch: e,
+                ..
+            } => {
                 claims.insert(partition);
+                epoch = epoch.max(e);
             }
-            LogRecord::Release { partition, .. } => {
+            LogRecord::Release {
+                partition,
+                epoch: e,
+                ..
+            } => {
                 claims.remove(&partition);
+                epoch = epoch.max(e);
             }
             LogRecord::Commit { .. } | LogRecord::Noop { .. } => {}
         }
@@ -195,6 +211,7 @@ pub fn recover_site_checkpointed(
         state,
         claims,
         last_checkpoint,
+        epoch,
     })
 }
 
@@ -323,6 +340,7 @@ mod tests {
             svv: VersionVector::from_counts(vec![2, 0]),
             offsets: vec![2, 0],
             mastered: vec![p1],
+            epoch: 3,
             image: vec![ImageEntry {
                 key,
                 stamp: VersionStamp::new(s0, 2),

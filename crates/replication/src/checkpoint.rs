@@ -38,7 +38,10 @@ use dynamast_storage::VersionStamp;
 use crate::segment::crc32;
 
 const MAGIC: u32 = 0x444B_4350; // "DKCP"
-const VERSION: u32 = 1;
+                                // Version 2 added the remaster-epoch watermark. Version-1 checkpoints fail
+                                // the header check and recovery falls back to full log replay, which is
+                                // always correct (the checkpoint is purely an acceleration).
+const VERSION: u32 = 2;
 
 /// One stored record version in a checkpoint image.
 #[derive(Clone, Debug, PartialEq)]
@@ -94,6 +97,11 @@ pub struct Checkpoint {
     /// Partitions this site mastered at the cut (draining sentinels
     /// excluded).
     pub mastered: Vec<PartitionId>,
+    /// Highest remaster epoch this site had participated in at the cut.
+    /// Persisting it closes the epoch-reissue window after log truncation:
+    /// without it, a recovering selector whose logs were truncated past the
+    /// last Release/Grant record could re-allocate already-used epochs.
+    pub epoch: u64,
     /// Store image: every record version visible at the cut.
     pub image: Vec<ImageEntry>,
 }
@@ -111,6 +119,7 @@ impl Encode for Checkpoint {
         for p in &self.mastered {
             buf.put_u64(p.raw());
         }
+        buf.put_u64(self.epoch);
         codec::encode_seq(&self.image, buf);
     }
 
@@ -121,6 +130,7 @@ impl Encode for Checkpoint {
             + 8 * self.offsets.len()
             + 8
             + 8 * self.mastered.len()
+            + 8
             + codec::seq_len(&self.image)
     }
 }
@@ -140,6 +150,7 @@ impl Decode for Checkpoint {
         for _ in 0..n {
             mastered.push(PartitionId::new(codec::get_u64(buf)? as usize));
         }
+        let epoch = codec::get_u64(buf)?;
         let image = codec::decode_seq(buf)?;
         Ok(Checkpoint {
             counter,
@@ -147,6 +158,7 @@ impl Decode for Checkpoint {
             svv,
             offsets,
             mastered,
+            epoch,
             image,
         })
     }
@@ -289,6 +301,7 @@ mod tests {
             svv: VersionVector::from_counts(vec![3, 7, 0]),
             offsets: vec![3, 7, 0],
             mastered: vec![PartitionId::new(4), PartitionId::new(9)],
+            epoch: 12,
             image: vec![ImageEntry {
                 key: Key::new(TableId::new(0), 42),
                 stamp: VersionStamp::new(SiteId::new(1), 7),

@@ -198,7 +198,7 @@ fn try_commit(
                     }
                 }
             }
-            let vv = commit_fragment_locally(site, entries)?;
+            let vv = commit_fragment_locally(site, trace_id, entries)?;
             drop(guards);
             site.commits.inc();
             return Ok(Some(vv));
@@ -398,10 +398,11 @@ fn mix64(seed: u64) -> u64 {
 /// to the pipeline — rows move, they are never cloned.
 fn commit_fragment_locally(
     site: &Arc<DataSite>,
+    trace_id: u64,
     entries: Vec<WriteEntry>,
 ) -> Result<VersionVector> {
     let begin = site.clock().current();
-    site.commit_local(&begin, entries)
+    site.commit_local(trace_id, &begin, entries)
 }
 
 /// The coordinator's transaction context.

@@ -9,7 +9,7 @@ use bytes::Bytes;
 use dynamast_common::codec::{encode_to_vec, Decode};
 use dynamast_common::ids::{Key, PartitionId, SiteId};
 use dynamast_common::trace::{FlightRecorder, TraceKind, TracePayload, TraceSite};
-use dynamast_common::{DynaError, Result, SystemConfig, VersionVector};
+use dynamast_common::{DynaError, Result, Row, SystemConfig, VersionVector};
 use dynamast_network::{EndpointId, Network, RpcHandler, ServerHandle};
 use dynamast_replication::checkpoint::{Checkpoint, ImageEntry};
 use dynamast_replication::record::{LogRecord, WriteEntry};
@@ -175,6 +175,10 @@ pub struct DataSite {
     /// generation come from a deposed selector and are rejected with
     /// [`DynaError::StaleSelector`], making dual mastership impossible.
     selector_generation: AtomicU64,
+    /// Highest remaster epoch this site has participated in (release or
+    /// grant). Persisted in checkpoints so recovery after log truncation
+    /// still knows the epoch floor, and stamped onto audit-plane events.
+    max_epoch_seen: AtomicU64,
     txn_counter: AtomicU64,
     config: SystemConfig,
     /// Flight recorder shared by the deployment (cached from the network at
@@ -269,6 +273,7 @@ impl DataSite {
             released: RemasterLedger::default(),
             granted: RemasterLedger::default(),
             selector_generation: AtomicU64::new(0),
+            max_epoch_seen: AtomicU64::new(0),
             txn_counter: AtomicU64::new(1),
             config: cfg.system,
             recorder,
@@ -471,7 +476,7 @@ impl DataSite {
                 vv_wait_us: 0,
             },
         );
-        let commit_vv = self.commit_local(&begin, writes)?;
+        let commit_vv = self.commit_local(txn_id, &begin, writes)?;
         drop(locks);
         let t_commit = Instant::now();
         self.commits.inc();
@@ -505,6 +510,7 @@ impl DataSite {
     /// (§V-A2).
     pub(crate) fn commit_local(
         &self,
+        txn_id: u64,
         begin: &VersionVector,
         writes: Vec<WriteEntry>,
     ) -> Result<VersionVector> {
@@ -535,10 +541,65 @@ impl DataSite {
         let LogRecord::Commit { writes, .. } = record else {
             unreachable!("constructed above")
         };
+        let audit = self.recorder.as_deref().filter(|rec| rec.audit_enabled());
+        let audit_values = audit.is_some_and(|rec| rec.audit_values());
+        let mut effects = audit.map(|_| {
+            (
+                dynamast_common::audit::EffectBatch::with_capacity(writes.len()),
+                self.selector_generation.load(Ordering::Relaxed),
+                self.max_epoch_seen.load(Ordering::Relaxed),
+            )
+        });
         for w in writes {
+            if let Some((batch, generation, epoch)) = effects.as_mut() {
+                // The row write locks are still held, so the latest version
+                // is exactly the one this install replaces — its stamp is
+                // the audit plane's lost-update parent. Signatures are only
+                // hashed when the conservation checker will consume them.
+                let prev = self
+                    .store
+                    .with_latest(w.key, |row, s| {
+                        (
+                            if audit_values {
+                                dynamast_common::audit::value_signature(row)
+                            } else {
+                                0
+                            },
+                            s.origin.raw(),
+                            s.sequence,
+                        )
+                    })
+                    .ok()
+                    .flatten();
+                batch.write_effect(
+                    txn_id,
+                    self.id.raw(),
+                    self.store
+                        .catalog()
+                        .partition_of(w.key)
+                        .map(|p| p.raw())
+                        .unwrap_or(u64::MAX),
+                    w.key.table.raw(),
+                    w.key.record,
+                    prev,
+                    if audit_values {
+                        dynamast_common::audit::value_signature(&w.row)
+                    } else {
+                        0
+                    },
+                    self.id.raw(),
+                    ticket.seq,
+                    *generation,
+                    *epoch,
+                    false,
+                );
+            }
             self.store
                 .install(w.key, stamp, w.row)
                 .expect("tables validated before pipeline begin");
+        }
+        if let (Some(rec), Some((mut batch, _, _))) = (audit, effects) {
+            batch.flush(rec);
         }
         self.pipeline.commit_encoded(guard.defuse(), encoded);
         // The transaction vector is the client's session vector; publication
@@ -669,6 +730,7 @@ impl DataSite {
             svv: cut,
             offsets,
             mastered,
+            epoch: self.max_epoch_seen.load(Ordering::Acquire),
             image,
         })
     }
@@ -684,6 +746,18 @@ impl DataSite {
     /// The highest selector generation this site has observed.
     pub fn selector_generation(&self) -> u64 {
         self.selector_generation.load(Ordering::Acquire)
+    }
+
+    /// Seeds the remaster-epoch watermark on a freshly (re)built site (from
+    /// a checkpoint or replayed logs). Monotone, like
+    /// [`DataSite::install_selector_generation`].
+    pub fn install_remaster_epoch(&self, epoch: u64) {
+        self.max_epoch_seen.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// The highest remaster epoch this site has participated in.
+    pub fn max_remaster_epoch_seen(&self) -> u64 {
+        self.max_epoch_seen.load(Ordering::Acquire)
     }
 
     /// Releases mastership of a partition: waits for in-flight writers,
@@ -725,6 +799,17 @@ impl DataSite {
             },
         )?;
         self.released.record(partition, epoch, rel_vv.clone());
+        self.max_epoch_seen.fetch_max(epoch, Ordering::AcqRel);
+        if let Some(rec) = self.recorder.as_deref().filter(|r| r.audit_enabled()) {
+            dynamast_common::audit::emit_ownership(
+                rec,
+                self.id.raw(),
+                partition.raw(),
+                ticket.seq,
+                epoch,
+                false,
+            );
+        }
         Ok(rel_vv)
     }
 
@@ -756,6 +841,17 @@ impl DataSite {
             },
         )?;
         self.granted.record(partition, epoch, grant_vv.clone());
+        self.max_epoch_seen.fetch_max(epoch, Ordering::AcqRel);
+        if let Some(rec) = self.recorder.as_deref().filter(|r| r.audit_enabled()) {
+            dynamast_common::audit::emit_ownership(
+                rec,
+                self.id.raw(),
+                partition.raw(),
+                ticket.seq,
+                epoch,
+                true,
+            );
+        }
         Ok(grant_vv)
     }
 
@@ -878,7 +974,7 @@ impl DataSite {
         let vv = match (staged, commit) {
             (Some(txn), true) => {
                 let begin = self.clock.current();
-                let vv = self.commit_local(&begin, txn.writes)?;
+                let vv = self.commit_local(txn_id, &begin, txn.writes)?;
                 self.commits.inc();
                 vv
             }
@@ -989,7 +1085,53 @@ impl RefreshApplier for DataSite {
     }
 
     fn apply_batch(&self, records: Vec<LogRecord>) -> Result<()> {
-        apply_refresh_batch(&self.clock, &self.store, records)
+        if let Some(rec) = self.recorder.as_deref().filter(|r| r.audit_enabled()) {
+            let audit_values = rec.audit_values();
+            let generation = self.selector_generation.load(Ordering::Relaxed);
+            let epoch = self.max_epoch_seen.load(Ordering::Relaxed);
+            // Chunked batching: one clock read + ring acquisition per
+            // EFFECT_CHUNK installs instead of per install, without holding
+            // the ring across an arbitrarily long refresh batch.
+            const EFFECT_CHUNK: usize = 64;
+            let mut batch = dynamast_common::audit::EffectBatch::with_capacity(EFFECT_CHUNK);
+            let mut observer = |key: Key, row: &Row, origin: SiteId, sequence: u64| {
+                batch.write_effect(
+                    0,
+                    self.id.raw(),
+                    self.store
+                        .catalog()
+                        .partition_of(key)
+                        .map(|p| p.raw())
+                        .unwrap_or(u64::MAX),
+                    key.table.raw(),
+                    key.record,
+                    None,
+                    if audit_values {
+                        dynamast_common::audit::value_signature(row)
+                    } else {
+                        0
+                    },
+                    origin.raw(),
+                    sequence,
+                    generation,
+                    epoch,
+                    true,
+                );
+                if batch.len() >= EFFECT_CHUNK {
+                    batch.flush(rec);
+                }
+            };
+            let result = crate::pipeline::apply_refresh_batch_with(
+                &self.clock,
+                &self.store,
+                records,
+                Some(&mut observer),
+            );
+            batch.flush(rec);
+            result
+        } else {
+            apply_refresh_batch(&self.clock, &self.store, records)
+        }
     }
 }
 

@@ -37,6 +37,6 @@ pub use clock::SiteClock;
 pub use data_site::{DataSite, DataSiteConfig};
 pub use messages::{SiteRequest, SiteResponse};
 pub use ownership::{Ownership, WriterGuard};
-pub use pipeline::{apply_refresh_batch, CommitPipeline, CommitTicket};
+pub use pipeline::{apply_refresh_batch, apply_refresh_batch_with, CommitPipeline, CommitTicket};
 pub use proc::{LocalCtx, ProcCall, ProcExecutor, ReadMode, ScanRange, TxnCtx};
 pub use system::{ClientSession, ReplicatedSystem, SystemStats};

@@ -41,8 +41,8 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use dynamast_common::codec::encode_to_vec;
-use dynamast_common::ids::SiteId;
-use dynamast_common::{Result, VersionVector};
+use dynamast_common::ids::{Key, SiteId};
+use dynamast_common::{Result, Row, VersionVector};
 use dynamast_replication::record::LogRecord;
 use dynamast_replication::DurableLog;
 use dynamast_storage::{Store, VersionStamp};
@@ -217,6 +217,23 @@ pub fn apply_refresh_batch(
     store: &Store,
     records: Vec<LogRecord>,
 ) -> Result<()> {
+    apply_refresh_batch_with(clock, store, records, None)
+}
+
+/// Per-install observer for [`apply_refresh_batch_with`]: called with each
+/// write's key, row, and `(origin, sequence)` stamp before the row is
+/// moved into the batch install.
+pub type InstallObserver<'a> = &'a mut dyn FnMut(Key, &Row, SiteId, u64);
+
+/// [`apply_refresh_batch`] with an optional per-install observer. The
+/// invariant audit plane hooks here to emit refresh-side `WriteEffect`
+/// events.
+pub fn apply_refresh_batch_with(
+    clock: &SiteClock,
+    store: &Store,
+    records: Vec<LogRecord>,
+    mut on_install: Option<InstallObserver<'_>>,
+) -> Result<()> {
     let mut records = VecDeque::from(records);
     while let Some(head) = records.front() {
         let origin = head.origin();
@@ -244,6 +261,11 @@ pub fn apply_refresh_batch(
             } = record
             {
                 let stamp = VersionStamp::new(o, tvv.get(o));
+                if let Some(observer) = on_install.as_deref_mut() {
+                    for w in &writes {
+                        observer(w.key, &w.row, o, tvv.get(o));
+                    }
+                }
                 entries.extend(writes.into_iter().map(|w| (w.key, stamp, w.row)));
             }
         }

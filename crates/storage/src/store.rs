@@ -82,6 +82,16 @@ impl Store {
         self.table(key.table).map(|t| t.read_latest(key.record))
     }
 
+    /// Runs `f` against the latest version of `key` without cloning the row
+    /// (see [`Table::with_latest`]).
+    pub fn with_latest<T>(
+        &self,
+        key: Key,
+        f: impl FnOnce(&Row, VersionStamp) -> T,
+    ) -> Result<Option<T>> {
+        self.table(key.table).map(|t| t.with_latest(key.record, f))
+    }
+
     /// Installs a new version of `key`.
     pub fn install(&self, key: Key, stamp: VersionStamp, row: Row) -> Result<()> {
         self.table(key.table)?.install(key.record, stamp, row);

@@ -164,6 +164,22 @@ impl Table {
             .and_then(|c| c.latest().map(|(r, s)| (r.clone(), s)))
     }
 
+    /// Runs `f` against the newest version's row and stamp without cloning
+    /// the row. The audit plane's write-effect emission sits on the commit
+    /// hot path and only needs a signature of the overwritten row, so it
+    /// must not pay a deep row clone per install the way [`Table::read_latest`]
+    /// does.
+    pub fn with_latest<T>(
+        &self,
+        record: RecordId,
+        f: impl FnOnce(&Row, VersionStamp) -> T,
+    ) -> Option<T> {
+        self.shard(record)
+            .read()
+            .get(&record)
+            .and_then(|c| c.latest().map(|(r, s)| f(r, s)))
+    }
+
     /// `true` iff the record exists (any version).
     pub fn contains(&self, record: RecordId) -> bool {
         self.shard(record).read().contains_key(&record)

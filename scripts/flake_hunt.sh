@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Flake hunter for the ~1/115 conservation flake seen in the selector crash
+# sweep (ROADMAP: "+166 at crash_point=MidBatchGrant, seed
+# 0xeb331be71de3aff9"). Loops the sweep with the invariant auditor armed so
+# a reproduction pins the exact overwritten debit/credit — the first
+# iteration replays the recorded seed at the recorded crash point, the rest
+# hunt fresh seeds.
+#
+# Usage: scripts/flake_hunt.sh [iterations]   (default 25)
+#
+# On failure the auditor's black-box bundles (offending write, causal
+# timelines, replay seed) are kept under $DYNA_AUDIT_DIR and the script
+# exits non-zero with the failing seed printed.
+set -u
+
+ITERATIONS="${1:-25}"
+PINNED_SEED="0xeb331be71de3aff9"
+PINNED_POINT="MidBatchGrant"
+export DYNA_AUDIT_DIR="${DYNA_AUDIT_DIR:-target/flake-hunt-bundles}"
+mkdir -p "$DYNA_AUDIT_DIR"
+
+echo "[flake-hunt] building release test binary..."
+cargo test --release --test selector_failover --no-run || exit 1
+
+run_sweep() {
+  local seed="$1" point="$2" label="$3"
+  echo "[flake-hunt] $label: CHAOS_SEED=$seed DYNA_CRASH_POINT=${point:-<all>}"
+  if [ -n "$point" ]; then
+    CHAOS_SEED="$seed" DYNA_CRASH_POINT="$point" \
+      cargo test --release --test selector_failover \
+      selector_crash_sweep_covers_every_crash_point -- --exact --nocapture
+  else
+    CHAOS_SEED="$seed" \
+      cargo test --release --test selector_failover \
+      selector_crash_sweep_covers_every_crash_point -- --exact --nocapture
+  fi
+  local status=$?
+  if [ $status -ne 0 ]; then
+    echo "[flake-hunt] FAILURE at seed $seed (crash point ${point:-all})"
+    echo "[flake-hunt] audit bundles retained in $DYNA_AUDIT_DIR:"
+    ls -l "$DYNA_AUDIT_DIR" 2>/dev/null || true
+    exit $status
+  fi
+}
+
+# Iteration 1 replays the recorded flake coordinates.
+run_sweep "$PINNED_SEED" "$PINNED_POINT" "pinned replay 1/$ITERATIONS"
+
+# Remaining iterations hunt fresh seeds at the pinned crash point (the
+# suspected double-master window lives in the epoch-batched grant path).
+i=2
+while [ "$i" -le "$ITERATIONS" ]; do
+  seed="0x$(od -An -N8 -tx8 /dev/urandom | tr -d ' ')"
+  run_sweep "$seed" "$PINNED_POINT" "fresh seed $i/$ITERATIONS"
+  i=$((i + 1))
+done
+
+echo "[flake-hunt] $ITERATIONS iterations clean — no violation reproduced"

@@ -1,0 +1,453 @@
+//! Detector self-tests for the invariant audit plane: the streaming
+//! auditor over the flight recorder must (a) stay silent on a clean live
+//! deployment, (b) flag deliberately injected protocol violations — a
+//! double-master write, a dropped refresh record, a duplicate install —
+//! with a black-box repro bundle naming the exact offending
+//! `(partition, key, (origin, seq))`, and (c) degrade to "incomplete"
+//! under ring wrap instead of ever fabricating a violation.
+
+mod common;
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use dynamast::common::audit::{
+    emit_ownership, emit_write_effect, AuditConfig, AuditSink, ViolationKind,
+};
+use dynamast::common::ids::ClientId;
+use dynamast::common::{FlightRecorder, TraceKind, TracePayload, TraceSite};
+use dynamast::core::dynamast::{DynaMastConfig, DynaMastSystem};
+use dynamast::site::system::{ClientSession, ReplicatedSystem};
+use dynamast::workloads::smallbank::{SmallBankConfig, SmallBankWorkload};
+use dynamast::workloads::Workload;
+
+use common::{chaos_config, chaos_seed, tolerable, transfer, Rng};
+
+/// A scratch bundle directory unique to this test.
+fn bundle_dir(case: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("dynamast-audit-self-{case}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A recorder with auditing armed, plus an offline sink over it (events are
+/// pushed through the production emit helpers, drained by explicit polls).
+fn armed_pair(case: &str, conservation: bool) -> (Arc<FlightRecorder>, Arc<AuditSink>, PathBuf) {
+    let dir = bundle_dir(case);
+    let recorder = FlightRecorder::new(1024);
+    recorder.set_audit(true);
+    let sink = AuditSink::offline(
+        Arc::clone(&recorder),
+        AuditConfig {
+            conservation,
+            bundle_dir: Some(dir.clone()),
+            seed: 0xABCD,
+            detail: format!("self-test {case}"),
+            ..AuditConfig::default()
+        },
+    );
+    (recorder, sink, dir)
+}
+
+fn bundle_names(dir: &PathBuf) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.file_name().into_string().unwrap())
+                .filter(|n| n.starts_with("audit-") && n.ends_with(".txt"))
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    names
+}
+
+/// A healthy single-threaded SmallBank run under the armed auditor must
+/// produce zero violations while observing real traffic, and the system's
+/// metrics registry must expose the sink's live counters.
+#[test]
+fn live_clean_run_reports_no_violations() {
+    let seed = chaos_seed() ^ 0xA0D1_7001;
+    let workload = SmallBankWorkload::new(SmallBankConfig {
+        num_customers: 64,
+        partition_size: 8,
+        initial_balance: 1_000,
+        ..SmallBankConfig::default()
+    });
+    let system = DynaMastSystem::build(
+        DynaMastConfig::adaptive(chaos_config(3), workload.catalog()),
+        workload.executor(),
+    );
+    workload
+        .populate(&mut |key, row| system.load_row(key, row))
+        .unwrap();
+    let sink = system.arm_auditor(AuditConfig {
+        conservation: true,
+        bundle_dir: None,
+        seed,
+        detail: "self-test clean run".into(),
+        ..AuditConfig::default()
+    });
+
+    let mut session = ClientSession::new(ClientId::new(0), 3);
+    let mut rng = Rng(seed);
+    for _ in 0..400 {
+        let from = rng.next() % 64;
+        let mut to = rng.next() % 64;
+        if to == from {
+            to = (to + 1) % 64;
+        }
+        match system.update(
+            &mut session,
+            &transfer(from, to, (rng.next() % 20) as i64 + 1),
+        ) {
+            Ok(_) => {}
+            Err(e) => assert!(tolerable(&e), "unexpected error: {e}"),
+        }
+    }
+
+    let report = sink.finish();
+    assert!(
+        report.violations.is_empty(),
+        "clean run flagged: {:?}",
+        report.violations
+    );
+    assert!(
+        report.events > 0,
+        "auditor observed no events on a live run"
+    );
+    // The registry's audit counters are the sink's own (re-pointed by
+    // arm_auditor), so every metrics snapshot reflects the audit plane.
+    assert_eq!(
+        system.metrics().counter("audit_events").get(),
+        report.events
+    );
+    assert_eq!(system.metrics().counter("audit_violations").get(), 0);
+}
+
+/// An injected write sequenced after its site's release of the partition —
+/// with no intervening grant — is the double-master signature; the bundle
+/// must name the exact offending (partition, key, (origin, seq)).
+#[test]
+fn injected_double_master_write_is_flagged_with_bundle() {
+    let (recorder, sink, dir) = armed_pair("double-master", false);
+
+    // Site 0 commits normally at seq 4, releases partition 9 at seq 5, then
+    // "keeps writing" partition 9 at seq 8 without a grant.
+    emit_write_effect(
+        &recorder,
+        1,
+        0,
+        9,
+        7,
+        10,
+        Some((100, 0, 0)),
+        90,
+        0,
+        4,
+        1,
+        1,
+        false,
+    );
+    emit_ownership(&recorder, 0, 9, 5, 2, false);
+    emit_write_effect(
+        &recorder,
+        2,
+        0,
+        9,
+        7,
+        10,
+        Some((90, 0, 4)),
+        75,
+        0,
+        8,
+        1,
+        2,
+        false,
+    );
+    sink.poll();
+    let report = sink.finish();
+
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.kind, ViolationKind::DoubleMaster);
+    assert_eq!(
+        (v.partition, v.table, v.record, v.origin, v.sequence),
+        (9, 7, 10, 0, 8),
+        "bundle must pin the exact offending write"
+    );
+
+    let names = bundle_names(&dir);
+    assert_eq!(names.len(), 1, "{names:?}");
+    assert!(names[0].contains("double-master"), "{names:?}");
+    let body = std::fs::read_to_string(dir.join(&names[0])).unwrap();
+    assert!(
+        body.contains("offending: p9 key=(7,10) stamp=(site0,8)"),
+        "{body}"
+    );
+    assert!(body.contains("seed: 0xabcd"), "{body}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A replica whose refresh frontier passes sequence 3 without installing
+/// commit 2's write has dropped a refresh record; the violation names the
+/// missing (partition, key, (origin, seq)).
+#[test]
+fn dropped_refresh_record_is_a_missing_install() {
+    let (recorder, sink, dir) = armed_pair("dropped-refresh", false);
+
+    // Origin site 0 commits seqs 1..=3, each writing one key on p3.
+    for seq in 1..=3u64 {
+        emit_write_effect(
+            &recorder,
+            seq,
+            0,
+            3,
+            7,
+            40 + seq,
+            Some((0, 0, 0)),
+            seq as i64,
+            0,
+            seq,
+            1,
+            0,
+            false,
+        );
+    }
+    // Replica site 1 installs commits 1 and 3 — commit 2's record was
+    // dropped — yet reports its refresh frontier as having passed seq 3.
+    for seq in [1u64, 3] {
+        emit_write_effect(
+            &recorder,
+            0,
+            1,
+            3,
+            7,
+            40 + seq,
+            None,
+            seq as i64,
+            0,
+            seq,
+            1,
+            0,
+            true,
+        );
+    }
+    recorder.record(
+        0,
+        TraceSite::Site(1),
+        TraceKind::RefreshApply,
+        TracePayload::Refresh {
+            origin: 0,
+            sequence: 3,
+            records: 2,
+            lag_us: 0,
+        },
+    );
+    sink.poll();
+    let report = sink.finish();
+
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.kind, ViolationKind::MissingInstall);
+    assert_eq!(
+        (v.partition, v.table, v.record, v.origin, v.sequence),
+        (3, 7, 42, 0, 2),
+        "must name exactly the dropped commit's key"
+    );
+    let names = bundle_names(&dir);
+    assert!(
+        names.iter().any(|n| n.contains("missing-install")),
+        "{names:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same origin commit installing the same key twice (a replayed redo
+/// record slipping past idempotency) is a duplicate install.
+#[test]
+fn duplicate_install_is_flagged() {
+    let (recorder, sink, dir) = armed_pair("dup-install", false);
+    emit_write_effect(
+        &recorder,
+        1,
+        0,
+        2,
+        5,
+        77,
+        Some((10, 0, 0)),
+        20,
+        0,
+        6,
+        1,
+        0,
+        false,
+    );
+    emit_write_effect(
+        &recorder,
+        1,
+        0,
+        2,
+        5,
+        77,
+        Some((20, 0, 6)),
+        30,
+        0,
+        6,
+        1,
+        0,
+        false,
+    );
+    sink.poll();
+    let report = sink.finish();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.kind, ViolationKind::DuplicateInstall);
+    assert_eq!(
+        (v.partition, v.table, v.record, v.origin, v.sequence),
+        (2, 5, 77, 0, 6)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Overrunning a tiny ring wraps it; the auditor must account the loss,
+/// degrade the run to "incomplete", and stay silent — a wrapped clean
+/// stream must never read as a violation.
+#[test]
+fn ring_wrap_degrades_to_incomplete_never_violation() {
+    let dir = bundle_dir("ring-wrap");
+    let recorder = FlightRecorder::new(8);
+    recorder.set_audit(true);
+    let sink = AuditSink::offline(
+        Arc::clone(&recorder),
+        AuditConfig {
+            conservation: true,
+            bundle_dir: Some(dir.clone()),
+            seed: 0xABCD,
+            detail: "self-test ring wrap".into(),
+            ..AuditConfig::default()
+        },
+    );
+    // A long, perfectly balanced transfer history (every commit is its own
+    // zero-sum group over two keys) — far more events than the ring holds.
+    let mut balance_a = 1_000i64;
+    let mut balance_b = 1_000i64;
+    let mut prev_a = (1_000i64, 0u32, 0u64);
+    let mut prev_b = (1_000i64, 0u32, 0u64);
+    for seq in 1..=100u64 {
+        balance_a -= 5;
+        balance_b += 5;
+        emit_write_effect(
+            &recorder,
+            seq,
+            0,
+            1,
+            7,
+            1,
+            Some(prev_a),
+            balance_a,
+            0,
+            seq,
+            1,
+            0,
+            false,
+        );
+        emit_write_effect(
+            &recorder,
+            seq,
+            0,
+            2,
+            7,
+            2,
+            Some(prev_b),
+            balance_b,
+            0,
+            seq,
+            1,
+            0,
+            false,
+        );
+        prev_a = (balance_a, 0, seq);
+        prev_b = (balance_b, 0, seq);
+    }
+    sink.poll();
+    let report = sink.finish();
+    assert!(report.ring_wraps > 0, "a 8-slot ring must have wrapped");
+    assert!(
+        report.incomplete,
+        "wrap must degrade the audit to incomplete"
+    );
+    assert!(
+        report.violations.is_empty(),
+        "wrap fabricated a violation: {:?}",
+        report.violations
+    );
+    assert!(bundle_names(&dir).is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Repro bundles rotate keep-newest-N: a run that keeps violating does not
+/// fill the disk.
+#[test]
+fn repro_bundles_rotate_keep_newest() {
+    let dir = bundle_dir("rotation");
+    let recorder = FlightRecorder::new(256);
+    recorder.set_audit(true);
+    let sink = AuditSink::offline(
+        Arc::clone(&recorder),
+        AuditConfig {
+            conservation: false,
+            bundle_dir: Some(dir.clone()),
+            bundle_keep: 2,
+            seed: 0xABCD,
+            detail: "self-test rotation".into(),
+        },
+    );
+    // Five distinct duplicate installs → five bundles written, two kept.
+    for i in 0..5u64 {
+        emit_write_effect(
+            &recorder,
+            1,
+            0,
+            2,
+            5,
+            i,
+            Some((0, 0, 0)),
+            1,
+            0,
+            10 + i,
+            1,
+            0,
+            false,
+        );
+        emit_write_effect(
+            &recorder,
+            1,
+            0,
+            2,
+            5,
+            i,
+            Some((1, 0, 10 + i)),
+            2,
+            0,
+            10 + i,
+            1,
+            0,
+            false,
+        );
+        sink.poll();
+    }
+    let report = sink.finish();
+    assert_eq!(report.violations.len(), 5, "{:?}", report.violations);
+    let names = bundle_names(&dir);
+    assert_eq!(names.len(), 2, "rotation must keep exactly 2: {names:?}");
+    assert_eq!(
+        names,
+        vec![
+            "audit-000003-duplicate-install.txt".to_string(),
+            "audit-000004-duplicate-install.txt".to_string(),
+        ]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

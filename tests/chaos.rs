@@ -25,8 +25,8 @@ use dynamast::workloads::ycsb::{YcsbConfig, YcsbWorkload};
 use dynamast::workloads::{TxnKind, Workload};
 
 use common::{
-    arm_watchdog, await_convergence, chaos_config, chaos_seed, pair_balance, tolerable, transfer,
-    Rng,
+    arm_auditor, arm_watchdog, assert_audit_clean, await_convergence, chaos_config, chaos_seed,
+    pair_balance, tolerable, transfer, Rng,
 };
 
 /// SmallBank under 1% drops + duplication + a crash/restart of site 1.
@@ -71,6 +71,10 @@ fn smallbank_survives_drops_duplication_and_a_site_crash() {
     workload
         .populate(&mut |key, row| system.load_row(key, row))
         .unwrap();
+    // The audit plane shadows the whole run: exactly-once installs,
+    // single-writer-per-fence-interval, and debit/credit conservation of
+    // every SendPayment group, checked online from the flight recorder.
+    let auditor = arm_auditor(&system, true, "chaos smallbank");
     system.network().set_faults(Some(Arc::clone(&plan)));
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -187,6 +191,7 @@ fn smallbank_survives_drops_duplication_and_a_site_crash() {
         CUSTOMERS as i64 * INITIAL,
         "money not conserved (seed {seed:#x})"
     );
+    assert_audit_clean(&auditor, seed, "chaos smallbank");
 }
 
 /// YCSB under drops, duplication, delay spikes, and a directed partition
@@ -225,6 +230,9 @@ fn ycsb_converges_after_partition_heals() {
     workload
         .populate(&mut |key, row| system.load_row(key, row))
         .unwrap();
+    // YCSB writes aren't zero-sum, so the conservation checker stays off;
+    // ownership and exactly-once install auditing remain armed.
+    let auditor = arm_auditor(&system, false, "chaos ycsb");
     system.network().set_faults(Some(Arc::clone(&plan)));
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -303,6 +311,7 @@ fn ycsb_converges_after_partition_heals() {
             );
         }
     }
+    assert_audit_clean(&auditor, seed, "chaos ycsb");
 }
 
 /// The same seed must produce the same per-link fault schedule regardless of

@@ -11,6 +11,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use bytes::{BufMut, Bytes};
+use dynamast::common::audit::{AuditConfig, AuditSink};
 use dynamast::common::ids::Key;
 use dynamast::common::{DynaError, RetryPolicy, SystemConfig, VersionVector};
 use dynamast::core::dynamast::DynaMastSystem;
@@ -161,6 +162,46 @@ pub fn await_convergence(system: &DynaMastSystem, target: &VersionVector, seed: 
             thread::sleep(Duration::from_millis(10));
         }
     }
+}
+
+/// Arms the streaming invariant auditor over the system's flight recorder.
+/// Violation repro bundles land in `DYNA_AUDIT_DIR` when set, else under the
+/// target dir so a failed CI run can upload them as artifacts.
+pub fn arm_auditor(system: &DynaMastSystem, conservation: bool, detail: &str) -> Arc<AuditSink> {
+    let bundle_dir = std::env::var("DYNA_AUDIT_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir().join("dynamast-audit-bundles"));
+    system.arm_auditor(AuditConfig {
+        conservation,
+        bundle_dir: Some(bundle_dir),
+        seed: chaos_seed(),
+        detail: detail.to_string(),
+        ..AuditConfig::default()
+    })
+}
+
+/// Drains the auditor and fails the test on any confirmed invariant
+/// violation. Ring wraps degrade the audit to "incomplete" (reported on
+/// stderr for visibility) but are not a failure by themselves.
+pub fn assert_audit_clean(sink: &AuditSink, seed: u64, detail: &str) {
+    let report = sink.finish();
+    if report.incomplete {
+        eprintln!(
+            "[audit] incomplete coverage ({} ring wraps over {} events) — {detail}",
+            report.ring_wraps, report.events
+        );
+    }
+    assert!(
+        report.violations.is_empty(),
+        "auditor confirmed {} invariant violation(s) (seed {seed:#x}; {detail}):\n{}",
+        report.violations.len(),
+        report
+            .violations
+            .iter()
+            .map(|v| format!("  - {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
 
 /// SmallBank SendPayment between two checking accounts.

@@ -33,7 +33,10 @@ use dynamast::site::system::{ClientSession, ReplicatedSystem};
 use dynamast::workloads::smallbank::{self, SmallBankConfig, SmallBankWorkload};
 use dynamast::workloads::Workload;
 
-use common::{arm_watchdog, await_convergence, chaos_seed, tolerable, transfer, Rng};
+use common::{
+    arm_auditor, arm_watchdog, assert_audit_clean, await_convergence, chaos_seed, tolerable,
+    transfer, Rng,
+};
 
 const SITES: usize = 2;
 const CUSTOMERS: u64 = 32;
@@ -98,6 +101,9 @@ fn crash_child_workload() {
     // The first checkpoint stands in for the bulk load: rows never rewritten
     // exist only here, not in the redo logs.
     system.checkpoint_all().unwrap();
+    // Armed until the kill: the child never drains a final report, but any
+    // online violation still writes its repro bundle to disk before death.
+    let _auditor = arm_auditor(&system, true, "crash-sim child");
     std::fs::write(dir.join("ready"), b"ok").unwrap();
 
     let mut session = ClientSession::new(ClientId::new(1), SITES);
@@ -224,6 +230,7 @@ fn assert_conserved(
 /// re-asserts conservation at the common snapshot: recovery is not just a
 /// readable corpse — it resumes propagation from the recovered offsets.
 fn resume_and_reverify(system: &Arc<DynaMastSystem>, seed: u64) {
+    let auditor = arm_auditor(system, true, "crash-sim resumed deployment");
     let mut session = ClientSession::new(ClientId::new(7), SITES);
     let mut rng = Rng(seed ^ 0x7E5C_0FFE_E5A1_7ED0);
     let mut committed = 0u64;
@@ -254,6 +261,7 @@ fn resume_and_reverify(system: &Arc<DynaMastSystem>, seed: u64) {
     for (i, site) in system.sites().iter().enumerate() {
         assert_conserved(site, &target, seed, &format!("site {i} after resume"));
     }
+    assert_audit_clean(&auditor, seed, "crash-sim resumed deployment");
 }
 
 /// SIGKILL at a seeded instant mid-workload, then disk-only recovery.
