@@ -89,6 +89,8 @@ impl LeapSystem {
                     initial_partitions: Vec::new(),
                     static_owner: None,
                     replicated_tables: static_tables.clone(),
+                    hosted: None,
+                    refresh_skipped: None,
                 },
                 catalog.clone(),
                 logs.clone(),
@@ -327,6 +329,7 @@ impl ReplicatedSystem for LeapSystem {
             partitions_moved: self.partitions_shipped.get(),
             masters_per_site: self.map.masters_per_site(self.config.num_sites),
             updates_routed_per_site: Vec::new(),
+            resident_bytes: self.sites.iter().map(|s| s.store().resident_bytes()).sum(),
         }
     }
 }

@@ -114,6 +114,8 @@ impl StaticSystem {
                     initial_partitions: Vec::new(),
                     static_owner: Some(Arc::clone(&owner)),
                     replicated_tables: static_tables.clone(),
+                    hosted: None,
+                    refresh_skipped: None,
                 },
                 catalog.clone(),
                 logs.clone(),
@@ -359,6 +361,7 @@ impl ReplicatedSystem for StaticSystem {
             partitions_moved: 0,
             masters_per_site: Vec::new(),
             updates_routed_per_site: Vec::new(),
+            resident_bytes: self.sites.iter().map(|s| s.store().resident_bytes()).sum(),
         }
     }
 }

@@ -1,0 +1,318 @@
+//! Partial-replication footprint and refresh fan-out under skewed YCSB.
+//!
+//! The claim (ROADMAP "partial replication" item): full replication scales
+//! store footprint and refresh fan-out as `sites × database`; a floor-2
+//! partial deployment at 4 sites cuts both by at least 2×. Three builds of
+//! the same seeded workload quantify it:
+//!
+//! * **full** — the seed behavior, every site stores and applies everything.
+//! * **floor** — `replication=partial` with frozen replica sets: every
+//!   partition stays at its floor-2 assignment (copies still move for
+//!   correctness: create-then-grant, NotReplica repair). This is the pure
+//!   partial-replication deployment the ≥2× acceptance numbers gate on.
+//! * **adaptive** — the provisioning planner on (the default): hot
+//!   partitions widen toward all sites, spending part of the footprint win
+//!   on refresh locality for the hot head. The census rows quantify the
+//!   trade.
+//!
+//! Fan-out is measured in *refresh records actually applied at remote
+//! sites*: each committed record write is shipped to the `sites − 1`
+//! subscriber cursors; a non-hosting subscriber strips it (counted by
+//! `refresh_records_skipped`), so `applied = written × (sites−1) − skipped`.
+//! Resident bytes are the stores' retained version payload totals; the
+//! baseline row is measured right after populate (the deployment's database
+//! footprint), the steady row after the run converges (version chains plus
+//! any copies correctness moved).
+//!
+//! Writes `BENCH_replication.json` at the repo root. The reductions are
+//! record/byte counts, not timings, so CI gates them on any host; the
+//! throughput field is informational only (noisy on a shared 1-CPU runner —
+//! `host.cpus` records what this run had).
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dynamast_common::ids::ClientId;
+use dynamast_common::{SystemConfig, VersionVector};
+use dynamast_core::dynamast::{DynaMastConfig, DynaMastSystem};
+use dynamast_site::system::{ClientSession, ReplicatedSystem};
+use dynamast_workloads::ycsb::all_partitions;
+use dynamast_workloads::{TxnKind, Workload, YcsbConfig, YcsbWorkload};
+
+const SITES: usize = 4;
+const FLOOR: usize = 2;
+/// 50k keys at partition size 100 → 500 partitions: large enough that the
+/// Zipf head is a small fraction of the database, the regime partial
+/// replication is for.
+const KEYS: u64 = 50_000;
+/// The paper's skewed YCSB shape: Zipf(0.75) base partitions, 90/10
+/// RMW/scan.
+const ZIPF: f64 = 0.75;
+const RMW_FRACTION: f64 = 0.9;
+const PAYLOAD: usize = 64;
+const THREADS: usize = 2;
+const TXNS_PER_THREAD: u64 = 2_000;
+const SEED: u64 = 0xFA_0007;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Full,
+    /// Partial, replica sets pinned at the floor assignment.
+    Floor,
+    /// Partial with the adaptive provisioning planner (the default).
+    Adaptive,
+}
+
+fn workload() -> YcsbWorkload {
+    YcsbWorkload::new(YcsbConfig {
+        num_keys: KEYS,
+        rmw_fraction: RMW_FRACTION,
+        zipf: Some(ZIPF),
+        payload_bytes: PAYLOAD,
+        ..YcsbConfig::default()
+    })
+}
+
+fn build(mode: Mode) -> (Arc<DynaMastSystem>, YcsbWorkload) {
+    let workload = workload();
+    let mut config = SystemConfig::new(SITES)
+        .with_instant_network()
+        .with_instant_service()
+        .with_seed(SEED);
+    if mode != Mode::Full {
+        config = config.with_partial_replication(FLOOR);
+    }
+    if mode == Mode::Floor {
+        config = config.with_frozen_replica_sets();
+    }
+    let system = DynaMastSystem::build(
+        DynaMastConfig::adaptive(config, workload.catalog()),
+        workload.executor(),
+    );
+    workload
+        .populate(&mut |key, row| system.load_row(key, row))
+        .expect("populate");
+    (system, workload)
+}
+
+fn resident_total(system: &DynaMastSystem) -> u64 {
+    system
+        .sites()
+        .iter()
+        .map(|s| s.store().resident_bytes())
+        .sum()
+}
+
+/// Drives the seeded workload and waits for replication to converge.
+/// Returns `(records_written, txns_committed, txns_per_sec)`.
+fn run(system: &Arc<DynaMastSystem>, workload: &YcsbWorkload) -> (u64, u64, f64) {
+    let start = Instant::now();
+    let totals: Vec<(u64, u64)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS as u64)
+            .map(|t| {
+                let system = Arc::clone(system);
+                scope.spawn(move || {
+                    let mut generator = workload.client(ClientId::new(t as usize + 1), SEED);
+                    let mut session = ClientSession::new(ClientId::new(t as usize + 1), SITES);
+                    let mut written = 0u64;
+                    let mut committed = 0u64;
+                    for _ in 0..TXNS_PER_THREAD {
+                        let txn = generator.next_txn();
+                        // Transient routing errors (a NotReplica race with a
+                        // copy move) resolve on resubmit; anything persistent
+                        // is a real bug.
+                        let mut attempts = 0;
+                        loop {
+                            let result = match txn.kind {
+                                TxnKind::Update => system.update(&mut session, &txn.call),
+                                TxnKind::ReadOnly => system.read(&mut session, &txn.call),
+                            };
+                            match result {
+                                Ok(_) => {
+                                    committed += 1;
+                                    if txn.kind == TxnKind::Update {
+                                        written += txn.call.write_set.len() as u64;
+                                    }
+                                    break;
+                                }
+                                Err(e) if attempts < 8 => {
+                                    attempts += 1;
+                                    thread::sleep(Duration::from_millis(2));
+                                    let _ = e;
+                                }
+                                Err(e) => panic!("client {t}: persistent error {e}"),
+                            }
+                        }
+                    }
+                    (written, committed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed();
+    let written: u64 = totals.iter().map(|(w, _)| w).sum();
+    let committed: u64 = totals.iter().map(|(_, c)| c).sum();
+
+    // Wait until every site's vector clock dominates the cluster max: all
+    // refresh records have been consumed (applied or deliberately skipped),
+    // so the skip counter and resident bytes are final.
+    let target = system
+        .sites()
+        .iter()
+        .map(|s| s.clock().current())
+        .fold(VersionVector::zero(SITES), |acc, vv| acc.max_with(&vv));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    for site in system.sites() {
+        while !site.clock().current().dominates(&target) {
+            assert!(Instant::now() < deadline, "replication failed to converge");
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+    (written, committed, committed as f64 / elapsed.as_secs_f64())
+}
+
+struct Measured {
+    base_resident: u64,
+    steady_resident: u64,
+    written: u64,
+    applied: u64,
+    skipped: u64,
+    adds: u64,
+    drops: u64,
+    census: (u64, u64, u64),
+    tput: f64,
+}
+
+fn measure(mode: Mode) -> Measured {
+    let (system, workload) = build(mode);
+    let base_resident = resident_total(&system);
+    let (written, committed, tput) = run(&system, &workload);
+    assert_eq!(
+        committed,
+        THREADS as u64 * TXNS_PER_THREAD,
+        "every generated transaction must commit"
+    );
+    let skipped = system.metrics().counter("refresh_records_skipped").get();
+    let selector = system.selector();
+    let census = selector
+        .replica_map()
+        .census(&all_partitions(workload.config()));
+    Measured {
+        base_resident,
+        steady_resident: resident_total(&system),
+        written,
+        applied: written * (SITES as u64 - 1) - skipped,
+        skipped,
+        adds: selector.replica_adds.get(),
+        drops: selector.replica_drops.get(),
+        census,
+        tput,
+    }
+}
+
+fn main() {
+    let cpus = thread::available_parallelism().map_or(0, |n| n.get());
+    println!("replication_fanout: resident footprint + refresh fan-out, partial vs full");
+    println!(
+        "  {SITES} sites, floor {FLOOR}, {KEYS} keys ({} partitions), Zipf({ZIPF}) \
+         {:.0}/{:.0} RMW/scan, {THREADS}x{TXNS_PER_THREAD} txns, {cpus} CPUs",
+        KEYS / 100,
+        RMW_FRACTION * 100.0,
+        (1.0 - RMW_FRACTION) * 100.0
+    );
+
+    let full = measure(Mode::Full);
+    let floor = measure(Mode::Floor);
+    let adaptive = measure(Mode::Adaptive);
+
+    assert_eq!(
+        full.written, floor.written,
+        "seeded generators must produce identical write volumes"
+    );
+    assert_eq!(
+        full.skipped, 0,
+        "full replication must never skip a refresh record"
+    );
+
+    let resident_reduction = full.base_resident as f64 / floor.base_resident as f64;
+    let steady_resident_reduction = full.steady_resident as f64 / floor.steady_resident as f64;
+    let fanout_reduction = full.applied as f64 / floor.applied.max(1) as f64;
+    let adaptive_resident_reduction = full.steady_resident as f64 / adaptive.steady_resident as f64;
+    let adaptive_fanout_reduction = full.applied as f64 / adaptive.applied.max(1) as f64;
+
+    for (name, m) in [("full", &full), ("floor", &floor), ("adaptive", &adaptive)] {
+        let (at_floor, partial, at_all) = m.census;
+        println!(
+            "  {name:>8}: resident {:>9} B (base {:>9} B)  applied {:>6}  skipped {:>6}  \
+             adds {:>4}  drops {:>4}  census floor/mid/all {}/{}/{}  {:>7.0} txns/s",
+            m.steady_resident,
+            m.base_resident,
+            m.applied,
+            m.skipped,
+            m.adds,
+            m.drops,
+            at_floor,
+            partial,
+            at_all,
+            m.tput
+        );
+    }
+    println!(
+        "  headline: resident reduction {resident_reduction:.2}x (steady \
+         {steady_resident_reduction:.2}x), refresh fan-out reduction {fanout_reduction:.2}x; \
+         adaptive spends it down to {adaptive_resident_reduction:.2}x / \
+         {adaptive_fanout_reduction:.2}x on the hot head"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"replication_fanout\",\n  \
+         \"description\": \"Resident store footprint and refresh record fan-out of a floor-{FLOOR} partial-replication deployment vs full replication at {SITES} sites, under skewed YCSB (Zipf {ZIPF} base partitions, 90/10 RMW/scan, {KEYS} keys in {parts} partitions, {payload}-byte payloads, {threads}x{txns} seeded transactions). fan-out counts refresh records actually applied at remote subscriber sites: every committed record write ships to sites-1 cursors and non-hosting subscribers strip it (refresh_records_skipped), so applied = written x (sites-1) - skipped. resident bytes are retained version payload totals across all stores; the baseline row is right after populate (pure database footprint: full installs {SITES} copies of every row, floor-{FLOOR} exactly {FLOOR}), the steady row after the run converges. floor = frozen replica sets (the pure partial deployment the acceptance gates on; copies still move for correctness). adaptive = provisioning planner on: hot partitions widen toward all sites, deliberately spending part of the footprint/fan-out win on the write-hot head - the census and the adaptive reductions quantify that trade.\",\n  \
+         \"note\": \"All reductions are record/byte counts, not timings, so the CI gates hold on any host including 1-CPU runners; only txns_per_sec is timing-sensitive (host.cpus records what this run had).\",\n  \
+         \"host\": {{\"os\": \"{os}\", \"arch\": \"{arch}\", \"cpus\": {cpus}}},\n  \
+         \"config\": {{\n    \"sites\": {SITES},\n    \"floor\": {FLOOR},\n    \"keys\": {KEYS},\n    \"partitions\": {parts},\n    \"zipf\": {ZIPF},\n    \"rmw_fraction\": {RMW_FRACTION},\n    \"payload_bytes\": {payload},\n    \"client_threads\": {threads},\n    \"txns_per_thread\": {txns},\n    \"seed\": {SEED}\n  }},\n  \
+         \"full\": {{\n    \"base_resident_bytes\": {fb},\n    \"steady_resident_bytes\": {fs},\n    \"records_written\": {fw},\n    \"refresh_records_applied\": {fa},\n    \"refresh_records_skipped\": {fk},\n    \"txns_per_sec\": {ft:.0}\n  }},\n  \
+         \"floor\": {{\n    \"base_resident_bytes\": {pb},\n    \"steady_resident_bytes\": {ps},\n    \"records_written\": {pw},\n    \"refresh_records_applied\": {pa},\n    \"refresh_records_skipped\": {pk},\n    \"replica_adds\": {padds},\n    \"replica_drops\": {pdrops},\n    \"census\": {{\"at_floor\": {pc0}, \"mid\": {pc1}, \"at_all\": {pc2}}},\n    \"txns_per_sec\": {pt:.0}\n  }},\n  \
+         \"adaptive\": {{\n    \"base_resident_bytes\": {ab},\n    \"steady_resident_bytes\": {as_}, \n    \"records_written\": {aw},\n    \"refresh_records_applied\": {aa},\n    \"refresh_records_skipped\": {ak},\n    \"replica_adds\": {aadds},\n    \"replica_drops\": {adrops},\n    \"census\": {{\"at_floor\": {ac0}, \"mid\": {ac1}, \"at_all\": {ac2}}},\n    \"txns_per_sec\": {at:.0}\n  }},\n  \
+         \"headline\": {{\n    \"resident_reduction\": {resident_reduction:.3},\n    \"steady_resident_reduction\": {steady_resident_reduction:.3},\n    \"fanout_reduction\": {fanout_reduction:.3},\n    \"adaptive_resident_reduction\": {adaptive_resident_reduction:.3},\n    \"adaptive_fanout_reduction\": {adaptive_fanout_reduction:.3}\n  }},\n  \
+         \"acceptance\": {{\"resident_reduction_min\": 2.0, \"fanout_reduction_min\": 2.0}}\n}}\n",
+        parts = KEYS / 100,
+        payload = PAYLOAD,
+        threads = THREADS,
+        txns = TXNS_PER_THREAD,
+        os = std::env::consts::OS,
+        arch = std::env::consts::ARCH,
+        fb = full.base_resident,
+        fs = full.steady_resident,
+        fw = full.written,
+        fa = full.applied,
+        fk = full.skipped,
+        ft = full.tput,
+        pb = floor.base_resident,
+        ps = floor.steady_resident,
+        pw = floor.written,
+        pa = floor.applied,
+        pk = floor.skipped,
+        padds = floor.adds,
+        pdrops = floor.drops,
+        pc0 = floor.census.0,
+        pc1 = floor.census.1,
+        pc2 = floor.census.2,
+        pt = floor.tput,
+        ab = adaptive.base_resident,
+        as_ = adaptive.steady_resident,
+        aw = adaptive.written,
+        aa = adaptive.applied,
+        ak = adaptive.skipped,
+        aadds = adaptive.adds,
+        adrops = adaptive.drops,
+        ac0 = adaptive.census.0,
+        ac1 = adaptive.census.1,
+        ac2 = adaptive.census.2,
+        at = adaptive.tput,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replication.json");
+    std::fs::write(path, json).expect("write BENCH_replication.json");
+    println!("  wrote {path}");
+}

@@ -263,6 +263,11 @@ struct AuditState {
     installed: HashSet<(u32, u64, u32, u64)>,
     /// Exactly-once: refresh installs seen, (site, origin, seq, table, record).
     refresh_installed: HashSet<(u32, u32, u64, u32, u64)>,
+    /// Skips declared by the partial-replication subscription filter,
+    /// (site, origin, seq, table, record): the record was deliberately not
+    /// installed because the site does not host its partition. Satisfies
+    /// the refresh-completeness obligation for that key.
+    refresh_skips: HashSet<(u32, u32, u64, u32, u64)>,
     /// svv monotonicity: (site, origin) -> highest refresh frontier seen.
     refresh_frontier: HashMap<(u32, u32), u64>,
     /// Refresh completeness: origin -> seq -> keys written at that commit.
@@ -402,6 +407,20 @@ impl AuditSink {
                         Self::forget_site(state, site);
                     }
                 }
+                TracePayload::WriteEffect {
+                    table,
+                    record,
+                    origin,
+                    sequence,
+                    ..
+                } if ev.kind == TraceKind::RefreshSkip => {
+                    relevant += 1;
+                    if let TraceSite::Site(site) = ev.site {
+                        state
+                            .refresh_skips
+                            .insert((site, *origin, *sequence, *table, *record));
+                    }
+                }
                 TracePayload::WriteEffect { .. } => {
                     relevant += 1;
                     Self::ingest_write(state, ev, now, &mut fresh, &self.config);
@@ -524,6 +543,7 @@ impl AuditSink {
         state.refresh_checks.retain(|&(s, _), _| s != site);
         state.refresh_checked.retain(|&(s, _), _| s != site);
         state.refresh_installed.retain(|&(s, _, _, _, _)| s != site);
+        state.refresh_skips.retain(|&(s, _, _, _, _)| s != site);
         // Commit side (site as origin): a commit that installed and was
         // audited but missed the log is rolled back by the replay, so its
         // sequence can be legitimately reused; drop the origin's write
@@ -781,6 +801,9 @@ impl AuditSink {
                             if !state
                                 .refresh_installed
                                 .contains(&(site, origin, seq, table, record))
+                                && !state
+                                    .refresh_skips
+                                    .contains(&(site, origin, seq, table, record))
                             {
                                 fresh.push(Violation {
                                     kind: ViolationKind::MissingInstall,
@@ -886,6 +909,9 @@ impl AuditSink {
                 .retain(|&(origin, seq, _, _)| seq >= floor_of(origin));
             state
                 .refresh_installed
+                .retain(|&(_, origin, seq, _, _)| seq >= floor_of(origin));
+            state
+                .refresh_skips
                 .retain(|&(_, origin, seq, _, _)| seq >= floor_of(origin));
         }
     }
@@ -1084,6 +1110,40 @@ impl EffectBatch {
                 generation,
                 epoch,
                 refresh,
+            },
+        });
+    }
+
+    /// Queues one refresh-skip declaration: the partial-replication filter
+    /// stripped this key's write because the site does not host its
+    /// partition. Satisfies the completeness checker's install obligation.
+    pub fn refresh_skip(
+        &mut self,
+        site: u32,
+        partition: u64,
+        table: u32,
+        record: u64,
+        origin: u32,
+        sequence: u64,
+    ) {
+        self.events.push(TraceEvent {
+            txn_id: 0,
+            site: TraceSite::Site(site),
+            kind: TraceKind::RefreshSkip,
+            micros: 0,
+            payload: TracePayload::WriteEffect {
+                partition,
+                table,
+                record,
+                prev: 0,
+                value: 0,
+                prev_origin: u32::MAX,
+                prev_seq: 0,
+                origin,
+                sequence,
+                generation: 0,
+                epoch: 0,
+                refresh: true,
             },
         });
     }

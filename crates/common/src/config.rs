@@ -217,6 +217,44 @@ impl NetworkConfig {
     }
 }
 
+/// How widely each partition is replicated across the data sites.
+///
+/// The paper's deployment is fully replicated (every site stores every
+/// partition, §V-A); partial replication keeps a per-partition subset of
+/// sites as copy holders, bounded below by a floor so remastering and
+/// fail-over always have a second copy to fall back on. Full replication is
+/// the degenerate configuration where the replica set of every partition is
+/// all sites.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// Every site stores every partition (the seed behavior).
+    Full,
+    /// Each partition is stored at a dynamic subset of sites, never fewer
+    /// than `floor` copies (and always including the current master).
+    Partial {
+        /// Minimum number of copies per partition (≥ 2 so the master is
+        /// never the sole holder).
+        floor: usize,
+    },
+}
+
+impl ReplicationMode {
+    /// Whether this mode replicates only a subset of sites per partition.
+    pub fn is_partial(&self) -> bool {
+        matches!(self, ReplicationMode::Partial { .. })
+    }
+
+    /// The effective replica floor under `num_sites` sites: the configured
+    /// floor clamped to `[2, num_sites]` (full replication floors at all
+    /// sites).
+    pub fn effective_floor(&self, num_sites: usize) -> usize {
+        match self {
+            ReplicationMode::Full => num_sites,
+            ReplicationMode::Partial { floor } => (*floor).clamp(2, num_sites.max(1)),
+        }
+    }
+}
+
 /// When the durable log's segment writer calls `fsync`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FsyncMode {
@@ -327,6 +365,16 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Durable-log settings (in-memory by default).
     pub durability: DurabilityConfig,
+    /// Replica-set policy: full replication (default) or a dynamic
+    /// per-partition subset with a copy floor.
+    pub replication: ReplicationMode,
+    /// Whether the adaptive replica-provisioning planner runs under partial
+    /// replication (default). Off pins every replica set at its floor
+    /// assignment — copies still move for correctness (create-then-grant,
+    /// NotReplica repair), but the planner never widens hot partitions or
+    /// sheds cold ones. Benchmarks use this to measure the floor deployment
+    /// itself, operators to pin replica sets during maintenance.
+    pub replica_provisioning: bool,
 }
 
 impl SystemConfig {
@@ -351,6 +399,8 @@ impl SystemConfig {
             service_per_op: Duration::from_micros(2),
             seed: 0x000D_A11A_5EED,
             durability: DurabilityConfig::volatile(),
+            replication: ReplicationMode::Full,
+            replica_provisioning: true,
         }
     }
 
@@ -397,6 +447,24 @@ impl SystemConfig {
     #[must_use]
     pub fn with_segment_bytes(mut self, segment_bytes: u64) -> Self {
         self.durability.segment_bytes = segment_bytes;
+        self
+    }
+
+    /// Switches to partial replication with the given per-partition copy
+    /// floor (clamped to at least 2 at build time so fail-over always has a
+    /// survivor copy).
+    #[must_use]
+    pub fn with_partial_replication(mut self, floor: usize) -> Self {
+        self.replication = ReplicationMode::Partial { floor };
+        self
+    }
+
+    /// Pins every replica set at its floor assignment: the provisioning
+    /// planner never widens or sheds, only correctness-driven copy moves
+    /// (create-then-grant, repair) happen.
+    #[must_use]
+    pub fn with_frozen_replica_sets(mut self) -> Self {
+        self.replica_provisioning = false;
         self
     }
 
@@ -469,6 +537,20 @@ mod tests {
         assert_eq!(cfg.weights, StrategyWeights::tpcc());
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.mvcc_versions, 4);
+    }
+
+    #[test]
+    fn replication_mode_defaults_to_full_and_clamps_floor() {
+        let cfg = SystemConfig::new(4);
+        assert_eq!(cfg.replication, ReplicationMode::Full);
+        assert!(!cfg.replication.is_partial());
+        assert_eq!(cfg.replication.effective_floor(4), 4);
+        let cfg = cfg.with_partial_replication(2);
+        assert!(cfg.replication.is_partial());
+        assert_eq!(cfg.replication.effective_floor(4), 2);
+        // Floors clamp into [2, num_sites].
+        assert_eq!(ReplicationMode::Partial { floor: 0 }.effective_floor(4), 2);
+        assert_eq!(ReplicationMode::Partial { floor: 9 }.effective_floor(4), 4);
     }
 
     #[test]

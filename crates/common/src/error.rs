@@ -34,6 +34,16 @@ pub enum DynaError {
         /// The partition whose mastership check failed.
         partition: PartitionId,
     },
+    /// A site received an operation for a partition it does not hold a copy
+    /// of (partial replication): the replica set changed under the router's
+    /// feet, or a copy drop raced a read. The client re-routes against the
+    /// refreshed replica map.
+    NotReplica {
+        /// The site that rejected the operation.
+        site: SiteId,
+        /// The partition the site holds no copy of.
+        partition: PartitionId,
+    },
     /// A two-phase-commit participant voted no, aborting the transaction.
     TxnAborted {
         /// Human-readable reason recorded by the coordinator.
@@ -80,6 +90,9 @@ impl fmt::Display for DynaError {
             DynaError::NotMaster { site, partition } => {
                 write!(f, "{site} does not master {partition}")
             }
+            DynaError::NotReplica { site, partition } => {
+                write!(f, "{site} does not host {partition}")
+            }
             DynaError::TxnAborted { reason } => write!(f, "transaction aborted: {reason}"),
             DynaError::Network(what) => write!(f, "network error: {what}"),
             DynaError::Timeout { op, ms } => write!(f, "timeout after {ms}ms: {op}"),
@@ -107,6 +120,11 @@ mod tests {
             partition: PartitionId::new(9),
         };
         assert_eq!(e.to_string(), "S2 does not master p9");
+        let e = DynaError::NotReplica {
+            site: SiteId::new(1),
+            partition: PartitionId::new(4),
+        };
+        assert_eq!(e.to_string(), "S1 does not host p4");
         let e = DynaError::NoSuchRecord(Key::new(TableId::new(1), 5));
         assert!(e.to_string().contains("t1/5"));
     }

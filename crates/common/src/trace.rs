@@ -202,6 +202,13 @@ pub enum TraceKind {
     /// plane forgets the site's per-site knowledge and re-baselines from
     /// its next events. Emitted only while auditing is armed.
     SiteRestart,
+    /// The partial-replication subscription filter deliberately stripped a
+    /// refresh write for a partition the site does not host. Declares the
+    /// skip to the refresh-completeness checker — a record neither
+    /// installed nor declared is still a missing install. Emitted only
+    /// while auditing is armed. Payload: [`TracePayload::WriteEffect`] with
+    /// `refresh = true`.
+    RefreshSkip,
 }
 
 impl TraceKind {
@@ -229,6 +236,7 @@ impl TraceKind {
             TraceKind::WriteEffect => "write.effect",
             TraceKind::OwnEffect => "own.effect",
             TraceKind::SiteRestart => "site.restart",
+            TraceKind::RefreshSkip => "refresh.skip",
         }
     }
 }

@@ -23,7 +23,7 @@ use parking_lot::{Mutex, RwLock};
 
 use dynamast_common::codec::encode_to_vec;
 use dynamast_common::ids::{PartitionId, SiteId};
-use dynamast_common::metrics::MetricsRegistry;
+use dynamast_common::metrics::{JsonMetric, MetricsRegistry};
 use dynamast_common::trace::next_trace_id;
 use dynamast_common::{DynaError, FlightRecorder, Result, SystemConfig, VersionVector};
 use dynamast_network::{CrashSwitch, EndpointId, Network, TrafficCategory};
@@ -52,6 +52,69 @@ fn checkpoint_dir(root: &Path, site: usize) -> PathBuf {
     root.join(format!("ckpt-site-{site}"))
 }
 
+/// Every Nth checkpoint per site is a full (self-contained) image; those in
+/// between are incremental over the last full, carrying only partitions
+/// dirtied since that base. The periodic full rebase bounds the incremental
+/// chain recovery has to resolve.
+const FULL_CHECKPOINT_PERIOD: u64 = 4;
+
+/// Snapshot-time gauge: resident store bytes per live site plus their total
+/// (the partial-replication footprint claim). Holds the system weakly so the
+/// registry never keeps a dropped deployment alive.
+struct ResidentBytesGauge {
+    system: std::sync::Weak<DynaMastSystem>,
+}
+
+impl JsonMetric for ResidentBytesGauge {
+    fn metric_json(&self) -> String {
+        let Some(sys) = self.system.upgrade() else {
+            return "{\"total_bytes\":0,\"per_site\":[]}".to_string();
+        };
+        let per: Vec<u64> = sys
+            .sites
+            .read()
+            .iter()
+            .map(|s| s.store().resident_bytes())
+            .collect();
+        let total: u64 = per.iter().sum();
+        let per: Vec<String> = per.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"total_bytes\":{total},\"per_site\":[{}]}}",
+            per.join(",")
+        )
+    }
+}
+
+/// Snapshot-time gauge: replica-count census over every tracked partition —
+/// how many sit at the floor, between floor and all sites, and at all sites.
+struct ReplicaCensusGauge {
+    system: std::sync::Weak<DynaMastSystem>,
+}
+
+impl JsonMetric for ReplicaCensusGauge {
+    fn metric_json(&self) -> String {
+        let Some(sys) = self.system.upgrade() else {
+            return "{\"at_floor\":0,\"partial\":0,\"at_all\":0,\"tracked\":0}".to_string();
+        };
+        let selector = sys.selector.read().clone();
+        let rmap = selector.replica_map();
+        let mut partitions: Vec<PartitionId> = selector
+            .map()
+            .placements()
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        partitions.extend(rmap.tracked().into_iter().map(|(p, _)| p));
+        partitions.sort_unstable();
+        partitions.dedup();
+        let (at_floor, partial, at_all) = rmap.census(&partitions);
+        format!(
+            "{{\"at_floor\":{at_floor},\"partial\":{partial},\"at_all\":{at_all},\"tracked\":{}}}",
+            partitions.len()
+        )
+    }
+}
+
 /// (Re-)binds the live selector's counters into the registry. Called at
 /// build and again on standby promotion, when a *new* selector instance
 /// (with fresh counters) replaces the crashed one.
@@ -74,6 +137,8 @@ fn register_selector_metrics(metrics: &MetricsRegistry, selector: &SiteSelector)
         "selector.remaster_batch_size",
         Arc::clone(&selector.remaster_batch_size),
     );
+    metrics.register_counter("replica_adds", Arc::clone(&selector.replica_adds));
+    metrics.register_counter("replica_drops", Arc::clone(&selector.replica_drops));
 }
 
 /// Pre-creates the audit-plane counters so every metrics snapshot satisfies
@@ -199,6 +264,9 @@ impl DynaMastSystem {
             .expect("open persistent log set"),
             None => LogSet::new(m),
         };
+        let metrics = Arc::new(MetricsRegistry::new());
+        let refresh_skipped = metrics.counter("refresh_records_skipped");
+        let partial = cfg.system.replication.is_partial();
         let mut sites = Vec::with_capacity(m);
         let mut runtimes = Vec::with_capacity(m);
         for i in 0..m {
@@ -214,9 +282,15 @@ impl DynaMastSystem {
                     id,
                     system: cfg.system.clone(),
                     replicate: true,
+                    // Partial replication: a site starts hosting only its
+                    // seeded masterships; `load_row` marks the default
+                    // hosts of each populated partition, and everything
+                    // else arrives through the AddReplica protocol.
+                    hosted: partial.then(|| initial.clone()),
                     initial_partitions: initial,
                     static_owner: None,
                     replicated_tables: Vec::new(),
+                    refresh_skipped: Some(Arc::clone(&refresh_skipped)),
                 },
                 cfg.catalog.clone(),
                 logs.clone(),
@@ -237,13 +311,19 @@ impl DynaMastSystem {
             },
         );
         selector.map().seed(cfg.initial_placements.iter().copied());
+        // Seeded masters hold their partitions (the master-hosts invariant),
+        // over and above the lazy default replica set.
+        if partial {
+            for (p, s) in &cfg.initial_placements {
+                selector.replica_map().add(*p, *s);
+            }
+        }
         let probe = (cfg.probe_interval > Duration::ZERO)
             .then(|| selector.start_vv_probe(cfg.probe_interval));
-        let metrics = Arc::new(MetricsRegistry::new());
         metrics.register_traffic("network", Arc::clone(network.stats()) as _);
         register_selector_metrics(&metrics, &selector);
         register_audit_metrics(&metrics);
-        Arc::new(DynaMastSystem {
+        let sys = Arc::new(DynaMastSystem {
             name,
             config: cfg.system,
             network,
@@ -264,7 +344,9 @@ impl DynaMastSystem {
             last_ckpt_offsets: Mutex::new(vec![None; m]),
             probe: Mutex::new(probe),
             runtimes: Mutex::new(runtimes.into_iter().map(Some).collect()),
-        })
+        });
+        sys.register_replication_gauges();
+        sys
     }
 
     /// Restarts a whole deployment from disk alone: the segmented logs and
@@ -341,6 +423,9 @@ impl DynaMastSystem {
             epoch_floor = epoch_floor.max(recovered.epoch);
         }
 
+        let metrics = Arc::new(MetricsRegistry::new());
+        let refresh_skipped = metrics.counter("refresh_records_skipped");
+        let partial = cfg.system.replication.is_partial();
         let mut sites = Vec::with_capacity(m);
         let mut runtimes = Vec::with_capacity(m);
         for (i, recovered) in per_site.into_iter().enumerate() {
@@ -362,6 +447,12 @@ impl DynaMastSystem {
                     initial_partitions: mastered,
                     static_owner: None,
                     replicated_tables: Vec::new(),
+                    // The checkpoint's hosted set is the site's post-restart
+                    // hosting truth (copies installed after the cut were
+                    // never checkpointed). `None` — no checkpoint, full log
+                    // replay — means the rebuilt store holds everything.
+                    hosted: recovered.hosted.clone(),
+                    refresh_skipped: Some(Arc::clone(&refresh_skipped)),
                 },
                 recovered.state.store,
                 recovered.state.svv,
@@ -387,17 +478,23 @@ impl DynaMastSystem {
         );
         selector.map().seed(map.iter().map(|(p, s)| (*p, *s)));
         // Seed the freshness cache from the recovered svvs so the first
-        // reads route sensibly before the probe's first round trip.
+        // reads route sensibly before the probe's first round trip, and
+        // reconcile the replica map against each site's recovered hosted
+        // set (masters without a copy heal lazily via NotReplica repair).
         for site in &sites {
             selector.observe_site_vv(site.id(), &site.clock().current());
+            if partial {
+                if let Some(hosted) = site.hosted_partitions() {
+                    selector.replica_map().reconcile_site(site.id(), &hosted);
+                }
+            }
         }
         let probe = (cfg.probe_interval > Duration::ZERO)
             .then(|| selector.start_vv_probe(cfg.probe_interval));
-        let metrics = Arc::new(MetricsRegistry::new());
         metrics.register_traffic("network", Arc::clone(network.stats()) as _);
         register_selector_metrics(&metrics, &selector);
         register_audit_metrics(&metrics);
-        Ok(Arc::new(DynaMastSystem {
+        let sys = Arc::new(DynaMastSystem {
             name,
             config: cfg.system,
             network,
@@ -418,7 +515,27 @@ impl DynaMastSystem {
             last_ckpt_offsets: Mutex::new(last_offsets),
             probe: Mutex::new(probe),
             runtimes: Mutex::new(runtimes.into_iter().map(Some).collect()),
-        }))
+        });
+        sys.register_replication_gauges();
+        Ok(sys)
+    }
+
+    /// Registers the snapshot-time partial-replication gauges (resident
+    /// store bytes, replica census) under the metrics `traffic` section.
+    /// Weak handles avoid a registry ↔ system reference cycle.
+    fn register_replication_gauges(self: &Arc<Self>) {
+        self.metrics.register_traffic(
+            "store_resident_bytes",
+            Arc::new(ResidentBytesGauge {
+                system: Arc::downgrade(self),
+            }) as _,
+        );
+        self.metrics.register_traffic(
+            "replica_census",
+            Arc::new(ReplicaCensusGauge {
+                system: Arc::downgrade(self),
+            }) as _,
+        );
     }
 
     /// The simulated network (traffic accounting).
@@ -475,12 +592,21 @@ impl DynaMastSystem {
                 "checkpoint requires a configured durable log directory",
             ));
         };
-        let counter = {
+        let (counter, base_counter) = {
             let mut counters = self.ckpt_counters.lock();
             counters[site] += 1;
-            counters[site]
+            let counter = counters[site];
+            // Full rebase on the first checkpoint of each period; the rest
+            // of the period ships incrementals over that full (only
+            // partitions dirtied since its cut).
+            let base = if (counter - 1).is_multiple_of(FULL_CHECKPOINT_PERIOD) {
+                0
+            } else {
+                counter - ((counter - 1) % FULL_CHECKPOINT_PERIOD)
+            };
+            (counter, base)
         };
-        let ckpt = self.sites.read()[site].build_checkpoint(counter)?;
+        let ckpt = self.sites.read()[site].build_checkpoint(counter, base_counter)?;
         checkpoint::write(&checkpoint_dir(&root, site), &ckpt)?;
         let prev = self.last_ckpt_offsets.lock()[site].replace(ckpt.offsets.clone());
         if let Some(prev) = prev {
@@ -527,6 +653,10 @@ impl DynaMastSystem {
     pub fn restart_site(&self, site: usize) -> Result<()> {
         let id = SiteId::new(site);
         let mut ckpt_epoch = 0;
+        // Partial replication: the checkpoint's hosted set is the restarted
+        // site's hosting truth. `None` (no checkpoint, or full replication)
+        // means full log replay rebuilt a complete copy.
+        let mut hosted: Option<Vec<PartitionId>> = None;
         let recovered = if let Some(root) = &self.config.durability.log_dir {
             // Durable deployment: seed from the site's latest checkpoint and
             // replay only the retained suffix (replay-from-zero would read
@@ -554,6 +684,7 @@ impl DynaMastSystem {
                 .collect();
             mastered.sort();
             ckpt_epoch = state.epoch;
+            hosted = state.hosted.clone();
             crate::recovery::RecoveredSite {
                 state: state.state,
                 mastered,
@@ -573,7 +704,17 @@ impl DynaMastSystem {
         // supersedes the load image).
         {
             let image = self.base_image.lock();
+            let hosted_filter: Option<HashSet<PartitionId>> =
+                hosted.as_ref().map(|h| h.iter().copied().collect());
             for (key, row) in image.iter() {
+                // Under partial replication only hosted partitions get their
+                // base rows back — foreign rows would inflate the footprint
+                // and leak through later copy installs.
+                if let Some(h) = &hosted_filter {
+                    if !h.contains(&self.catalog.partition_of(*key)?) {
+                        continue;
+                    }
+                }
                 if !recovered.state.store.contains(*key)? {
                     recovered.state.store.install(
                         *key,
@@ -591,6 +732,8 @@ impl DynaMastSystem {
                 initial_partitions: recovered.mastered,
                 static_owner: None,
                 replicated_tables: Vec::new(),
+                hosted,
+                refresh_skipped: Some(self.metrics.counter("refresh_records_skipped")),
             },
             recovered.state.store,
             recovered.state.svv,
@@ -611,6 +754,16 @@ impl DynaMastSystem {
         // live events resume so the audit plane re-baselines this site
         // instead of reading the replay window as missing installs.
         dynamast_common::audit::emit_site_restart(&self.recorder, site as u32);
+        // Reconcile the selector's replica map with what actually survived:
+        // copies installed after the checkpoint cut are gone (their rows
+        // were never checkpointed), so stale map rows must not route reads
+        // here. Masters whose copy was lost heal lazily through NotReplica
+        // repair on the first touch.
+        if self.config.replication.is_partial() {
+            if let Some(h) = fresh.hosted_partitions() {
+                self.selector.read().replica_map().reconcile_site(id, &h);
+            }
+        }
         let runtime = fresh.start_with_offsets(self.rpc_workers, recovered.state.offsets);
         self.sites.write()[site] = fresh;
         self.runtimes.lock()[site] = Some(runtime);
@@ -771,6 +924,10 @@ impl DynaMastSystem {
                 epoch_floor: next_epoch,
                 session_floor: Some(floor),
                 crash_switch: None,
+                // The replica map describes durable site state (copies
+                // survive a selector crash); the standby inherits it rather
+                // than rebuilding from the lazy defaults.
+                replica_map: Some(Arc::clone(self.selector.read().replica_map())),
             },
         );
         standby.map().seed(map);
@@ -793,17 +950,81 @@ impl DynaMastSystem {
     }
 
     /// Loads one row into every replica (initial database population; the
-    /// paper pre-loads OLTPBench data before measuring).
+    /// paper pre-loads OLTPBench data before measuring). Under partial
+    /// replication the row goes only to the partition's default hosts (plus
+    /// its seeded master, if any), which also marks those partitions hosted.
     pub fn load_row(
         &self,
         key: dynamast_common::ids::Key,
         row: dynamast_common::Row,
     ) -> Result<()> {
-        for site in self.sites.read().iter() {
-            site.load_row(key, row.clone())?;
+        let sites = self.sites.read();
+        if self.config.replication.is_partial() {
+            let partition = self.catalog.partition_of(key)?;
+            let floor = self
+                .config
+                .replication
+                .effective_floor(self.config.num_sites);
+            let mut hosts = crate::replica_map::ReplicaMap::default_hosts(
+                self.config.num_sites,
+                floor,
+                partition,
+            );
+            if let Some((_, seeded)) = self
+                .initial_placements
+                .iter()
+                .find(|(p, _)| *p == partition)
+            {
+                if !hosts.contains(seeded) {
+                    hosts.push(*seeded);
+                }
+            }
+            let selector = self.selector.read();
+            for s in hosts {
+                let site = &sites[s.as_usize()];
+                site.host_partition(partition);
+                site.load_row(key, row.clone())?;
+                selector.replica_map().add(partition, s);
+            }
+        } else {
+            for site in sites.iter() {
+                site.load_row(key, row.clone())?;
+            }
         }
+        drop(sites);
         self.base_image.lock().push((key, row));
         Ok(())
+    }
+
+    /// Every partition a call's declared read set touches (point reads and
+    /// range spans). Mirrors the site-side hosting admission check so read
+    /// routing under partial replication targets a site that can actually
+    /// serve the snapshot.
+    fn read_partitions(&self, proc: &ProcCall) -> Vec<PartitionId> {
+        if !self.config.replication.is_partial() {
+            return Vec::new();
+        }
+        let mut parts = Vec::new();
+        for key in proc.read_keys.iter().chain(&proc.write_set) {
+            if let Ok(p) = self.catalog.partition_of(*key) {
+                parts.push(p);
+            }
+        }
+        for range in &proc.read_ranges {
+            if range.end <= range.start {
+                continue;
+            }
+            if let Ok(schema) = self.catalog.table(range.table) {
+                let first = range.start / schema.partition_size;
+                let last = (range.end - 1) / schema.partition_size;
+                for index in first..=last {
+                    parts.push(dynamast_common::ids::partition_id(range.table, index));
+                }
+            }
+        }
+        parts.sort_unstable();
+        parts.dedup();
+        parts
     }
 
     /// Stops the probe and site runtimes (also happens on drop).
@@ -872,6 +1093,14 @@ impl ReplicatedSystem for DynaMastSystem {
                     last_err = err;
                     continue;
                 }
+                Err(DynaError::NotReplica { site, partition }) => {
+                    // A grant landed on a site whose copy was dropped (or
+                    // lost across a restart) after the selector's replica
+                    // map said otherwise. Reinstall the copy and re-route.
+                    let _ = selector.repair_replica(site, partition);
+                    last_err = DynaError::NotReplica { site, partition };
+                    continue;
+                }
                 Err(other) => return Err(other),
             };
             // Routing response back to the client.
@@ -912,6 +1141,14 @@ impl ReplicatedSystem for DynaMastSystem {
                     last_err = err;
                     continue;
                 }
+                Err(DynaError::NotReplica { site, partition }) => {
+                    // The site is master of the write set but lost this
+                    // read-set copy (restart from a checkpoint that did not
+                    // host it). Reinstall and resubmit.
+                    let _ = selector.repair_replica(site, partition);
+                    last_err = DynaError::NotReplica { site, partition };
+                    continue;
+                }
                 Err(other) => return Err(other),
             }
         }
@@ -922,6 +1159,9 @@ impl ReplicatedSystem for DynaMastSystem {
         let t0 = Instant::now();
         let txn_id = next_trace_id();
         let mut last_err = DynaError::Internal("unreachable: no read attempts");
+        // Partitions the read touches; under partial replication the
+        // selector only considers sites hosting all of them.
+        let read_parts = self.read_partitions(proc);
         // A site crashing under the read is recoverable: re-route (the
         // selector skips unreachable sites) and run on a replica. Reads are
         // idempotent, so the resubmission needs no further care.
@@ -938,7 +1178,7 @@ impl ReplicatedSystem for DynaMastSystem {
                 .charge_one_way(TrafficCategory::ClientSelector, 32);
             let (site, lookup) = {
                 let start = Instant::now();
-                let site = selector.route_read_traced(txn_id, &session.cvv);
+                let site = selector.route_read_partitions_traced(txn_id, &session.cvv, &read_parts);
                 (site, start.elapsed())
             };
             self.network
@@ -965,6 +1205,14 @@ impl ReplicatedSystem for DynaMastSystem {
                 Err(err @ (DynaError::Timeout { .. } | DynaError::Network(_))) => {
                     last_err = err;
                 }
+                Err(DynaError::NotReplica { site, partition }) => {
+                    // The replica map routed us to a site that no longer
+                    // holds a touched partition (dropped or lost across a
+                    // restart). Repair the copy and retry; the next route
+                    // can also fall back to another replica.
+                    let _ = selector.repair_replica(site, partition);
+                    last_err = DynaError::NotReplica { site, partition };
+                }
                 Err(other) => return Err(other),
             }
         }
@@ -981,6 +1229,7 @@ impl ReplicatedSystem for DynaMastSystem {
             partitions_moved: selector.partitions_moved.get(),
             masters_per_site: selector.map().masters_per_site(self.config.num_sites),
             updates_routed_per_site: selector.routed_per_site(),
+            resident_bytes: sites.iter().map(|s| s.store().resident_bytes()).sum(),
         }
     }
 }

@@ -13,6 +13,9 @@
 //! * [`selector`] — the site selector: write routing with remastering
 //!   (Algorithm 1: parallel release/grant RPCs, element-wise-max begin
 //!   vector) and freshness-aware randomized read routing (§IV-B).
+//! * [`replica_map`] — the partition→replica-set table for partial
+//!   replication: which sites hold a copy, maintained by the provisioning
+//!   planner and consulted by read routing and remastering.
 //! * [`dynamast`] — the assembled [`DynaMastSystem`]: data sites +
 //!   replication + selector behind the
 //!   [`dynamast_site::system::ReplicatedSystem`] client API.
@@ -25,6 +28,7 @@ pub mod dynamast;
 pub mod freshness;
 pub mod partition_map;
 pub mod recovery;
+pub mod replica_map;
 pub mod selector;
 pub mod stats;
 pub mod strategy;
@@ -33,6 +37,7 @@ pub use distributed::{DistributedSelectorSystem, ReplicaSelector};
 pub use dynamast::{DynaMastConfig, DynaMastSystem};
 pub use freshness::FreshnessCache;
 pub use partition_map::PartitionMap;
+pub use replica_map::ReplicaMap;
 pub use selector::{RouteDecision, SelectorMode, SiteSelector};
 pub use stats::AccessStats;
 pub use strategy::{score_sites, CoAccess, ScoreInputs};

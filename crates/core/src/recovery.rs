@@ -13,7 +13,9 @@ use dynamast_common::ids::{PartitionId, SiteId};
 use dynamast_common::{DynaError, Result};
 use dynamast_replication::checkpoint::Checkpoint;
 use dynamast_replication::record::LogRecord;
-use dynamast_replication::recovery::{rebuild_mastership, replay_all, replay_from, ReplayedState};
+use dynamast_replication::recovery::{
+    rebuild_mastership, replay_all, replay_from_hosted, ReplayedState,
+};
 use dynamast_replication::LogSet;
 use dynamast_storage::{Catalog, Store};
 
@@ -141,6 +143,11 @@ pub struct CheckpointedSite {
     /// recovery whose logs were truncated past the last remaster record
     /// cannot re-issue already-used epochs.
     pub epoch: u64,
+    /// Partitions the site hosted a copy of at the checkpoint cut (`None` =
+    /// full replication). Copies installed *after* the cut are gone — their
+    /// rows were never checkpointed — so this is the site's post-restart
+    /// hosting truth; the selector reconciles its replica map against it.
+    pub hosted: Option<Vec<PartitionId>>,
 }
 
 /// Rebuilds one site from its latest durable checkpoint plus the retained
@@ -163,20 +170,40 @@ pub fn recover_site_checkpointed(
     catalog: Catalog,
     mvcc_versions: usize,
 ) -> Result<CheckpointedSite> {
-    let (state, suffix_start, mut claims, last_checkpoint, mut epoch) = match ckpt {
+    let (state, suffix_start, mut claims, last_checkpoint, mut epoch, hosted) = match ckpt {
         Some(ckpt) => {
             let store = Store::new(catalog, mvcc_versions);
+            let hosted_set: Option<HashSet<PartitionId>> = ckpt
+                .hosted
+                .as_ref()
+                .map(|h| h.iter().copied().collect::<HashSet<_>>());
             for entry in &ckpt.image {
+                // Under partial replication the merged image may carry stale
+                // entries of partitions dropped between the incremental and
+                // its base; the hosted set is the cut's truth, so filter.
+                if let Some(hosted) = &hosted_set {
+                    if !hosted.contains(&store.catalog().partition_of(entry.key)?) {
+                        continue;
+                    }
+                }
                 store.install(entry.key, entry.stamp, entry.row.clone())?;
             }
             let claims: HashSet<PartitionId> = ckpt.mastered.iter().copied().collect();
             let suffix_start = ckpt.offsets[site.as_usize()];
-            let state = replay_from(logs, store, ckpt.svv, ckpt.offsets)?;
-            (state, suffix_start, claims, ckpt.counter, ckpt.epoch)
+            let state =
+                replay_from_hosted(logs, store, ckpt.svv, ckpt.offsets, hosted_set.as_ref())?;
+            (
+                state,
+                suffix_start,
+                claims,
+                ckpt.counter,
+                ckpt.epoch,
+                ckpt.hosted,
+            )
         }
         None => {
             let state = replay_all(logs, catalog, mvcc_versions)?;
-            (state, 0, HashSet::new(), 0, 0)
+            (state, 0, HashSet::new(), 0, 0, None)
         }
     };
     // Roll the own-log suffix over the checkpointed claims. The ownership
@@ -212,6 +239,7 @@ pub fn recover_site_checkpointed(
         claims,
         last_checkpoint,
         epoch,
+        hosted,
     })
 }
 
@@ -341,6 +369,8 @@ mod tests {
             offsets: vec![2, 0],
             mastered: vec![p1],
             epoch: 3,
+            base_counter: 0,
+            hosted: None,
             image: vec![ImageEntry {
                 key,
                 stamp: VersionStamp::new(s0, 2),
@@ -364,12 +394,81 @@ mod tests {
         // Claims: {p1} from the checkpoint, released in the suffix; p2
         // granted in the suffix.
         assert_eq!(recovered.claims, vec![p2]);
+        assert_eq!(recovered.hosted, None);
 
         // No checkpoint: replay from zero converges on the same state.
         let fresh = recover_site_checkpointed(s0, &logs, None, catalog, 4).unwrap();
         assert_eq!(fresh.last_checkpoint, 0);
         assert_eq!(fresh.state.svv, VersionVector::from_counts(vec![5, 0]));
         assert_eq!(fresh.claims, vec![p2]);
+    }
+
+    /// Partial-replication restart: the checkpoint's hosted set filters both
+    /// the image restore (stale dropped-partition entries in a merged
+    /// incremental) and the suffix replay (foreign writes skipped, svv still
+    /// advanced), and is surfaced for selector-side reconciliation.
+    #[test]
+    fn checkpointed_recovery_respects_the_hosted_set() {
+        use dynamast_common::ids::{Key, TableId};
+        use dynamast_common::{Row, Value, VersionVector};
+        use dynamast_replication::checkpoint::ImageEntry;
+        use dynamast_replication::record::WriteEntry;
+        use dynamast_storage::VersionStamp;
+
+        let logs = LogSet::new(2);
+        let s0 = SiteId::new(0);
+        let p0 = PartitionId::new(0);
+        // partition_size = 100: record 7 → partition 0, record 150 → 1.
+        let hosted_key = Key::new(TableId::new(0), 7);
+        let foreign_key = Key::new(TableId::new(0), 150);
+        let row = |v: u64| Row::new(vec![Value::U64(v)]);
+        // Post-checkpoint suffix touches both partitions.
+        logs.log(s0).append(&LogRecord::Commit {
+            origin: s0,
+            tvv: VersionVector::from_counts(vec![1, 0]),
+            writes: vec![
+                WriteEntry::new(hosted_key, row(2)),
+                WriteEntry::new(foreign_key, row(9)),
+            ],
+        });
+
+        let mut catalog = Catalog::new();
+        catalog.add_table("t", 1, 100);
+        let ckpt = Checkpoint {
+            counter: 3,
+            site: s0,
+            svv: VersionVector::from_counts(vec![0, 0]),
+            offsets: vec![0, 0],
+            mastered: vec![p0],
+            epoch: 0,
+            base_counter: 0,
+            hosted: Some(vec![p0]),
+            image: vec![
+                ImageEntry {
+                    key: hosted_key,
+                    stamp: VersionStamp::new(s0, 0),
+                    row: row(1),
+                },
+                // Stale entry of a partition dropped before the cut.
+                ImageEntry {
+                    key: foreign_key,
+                    stamp: VersionStamp::new(s0, 0),
+                    row: row(8),
+                },
+            ],
+        };
+        let recovered = recover_site_checkpointed(s0, &logs, Some(ckpt), catalog, 4).unwrap();
+        assert_eq!(recovered.hosted, Some(vec![p0]));
+        assert_eq!(recovered.state.svv, VersionVector::from_counts(vec![1, 0]));
+        let snap = recovered.state.svv.clone();
+        assert_eq!(
+            recovered.state.store.read(hosted_key, &snap).unwrap(),
+            Some(row(2))
+        );
+        assert_eq!(
+            recovered.state.store.read(foreign_key, &snap).unwrap(),
+            None
+        );
     }
 
     #[test]

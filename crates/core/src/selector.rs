@@ -39,6 +39,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::freshness::FreshnessCache;
 use crate::partition_map::PartitionMap;
+use crate::replica_map::ReplicaMap;
 use crate::stats::{AccessStats, StatsConfig};
 use crate::strategy::{confirm_group_destination, CoAccess, ScoreInputs};
 
@@ -50,6 +51,23 @@ use crate::strategy::{confirm_group_destination, CoAccess, ScoreInputs};
 /// before anything actually moves.
 const REBALANCE_FACTOR: f64 = 1.5;
 const REBALANCE_MIN_TOTAL: f64 = 64.0;
+
+/// Replica-provisioning planner thresholds (partial replication only): a
+/// partition hotter than `PROVISION_HOT_FACTOR ×` the mean partition load
+/// gains one copy per pass (widening toward all sites); one colder than
+/// `PROVISION_COLD_FACTOR ×` the mean sheds its most expensive copy
+/// (shrinking toward the floor). At most `PROVISION_MAX_OPS` installs/drops
+/// per pass bound the background data-shipping burst, and nothing moves until
+/// `PROVISION_MIN_TOTAL` accesses have been attributed overall.
+const PROVISION_HOT_FACTOR: f64 = 2.0;
+const PROVISION_COLD_FACTOR: f64 = 0.5;
+const PROVISION_MIN_TOTAL: f64 = 64.0;
+const PROVISION_MAX_OPS: usize = 4;
+
+/// Eq. 8 has-copy feature weight: a candidate already holding every write-set
+/// partition is credited this fraction of the score spread, because granting
+/// there needs no copy install (data shipping) first.
+const HAS_COPY_BONUS: f64 = 0.1;
 
 /// How the selector places masters.
 pub enum SelectorMode {
@@ -91,6 +109,11 @@ pub struct SelectorInit {
     pub session_floor: Option<VersionVector>,
     /// Deterministic kill switch for crash-point injection tests.
     pub crash_switch: Option<Arc<CrashSwitch>>,
+    /// Replica map inherited from a predecessor selector (§V-C promotion).
+    /// The map is selector metadata about durable site state — copies
+    /// survive a selector crash — so a promoting standby carries it over
+    /// instead of rebuilding from the lazy defaults.
+    pub replica_map: Option<Arc<ReplicaMap>>,
 }
 
 /// Outcome of routing one update transaction.
@@ -172,6 +195,18 @@ pub struct SiteSelector {
     /// Partitions carried per batch RPC (bucketed via the latency histogram
     /// machinery; one "microsecond" = one partition).
     pub remaster_batch_size: Arc<LatencyHistogram>,
+    /// Which sites hold a copy of each partition (a degenerate all-sites map
+    /// under full replication).
+    replica_map: Arc<ReplicaMap>,
+    /// Serializes copy installs and drops across routing/planner threads —
+    /// a site rejects a second concurrent install of the same partition, so
+    /// contenders wait here instead of failing.
+    provision_lock: Mutex<()>,
+    /// Replica copies installed (planner widening, create-then-grant, and
+    /// NotReplica repair).
+    pub replica_adds: Arc<Counter>,
+    /// Replica copies dropped by the provisioning planner.
+    pub replica_drops: Arc<Counter>,
     /// Update transactions routed, per site.
     routed: Vec<Counter>,
 }
@@ -208,6 +243,13 @@ impl SiteSelector {
             config.seed ^ 0x5E1E_C70A,
         );
         let recorder = network.recorder();
+        let replica_map = init.replica_map.clone().unwrap_or_else(|| {
+            Arc::new(ReplicaMap::new(
+                m,
+                config.replication.effective_floor(m),
+                !config.replication.is_partial(),
+            ))
+        });
         Arc::new(SiteSelector {
             mode,
             catalog,
@@ -229,6 +271,10 @@ impl SiteSelector {
             remaster_rpcs: Arc::new(Counter::new()),
             remaster_rpcs_saved: Arc::new(Counter::new()),
             remaster_batch_size: Arc::new(LatencyHistogram::new()),
+            replica_map,
+            provision_lock: Mutex::new(()),
+            replica_adds: Arc::new(Counter::new()),
+            replica_drops: Arc::new(Counter::new()),
             routed: (0..m).map(|_| Counter::new()).collect(),
             config,
         })
@@ -237,6 +283,11 @@ impl SiteSelector {
     /// The partition map (seeding, diagnostics, recovery).
     pub fn map(&self) -> &PartitionMap {
         &self.map
+    }
+
+    /// The replica map: which sites hold a copy of each partition.
+    pub fn replica_map(&self) -> &Arc<ReplicaMap> {
+        &self.replica_map
     }
 
     /// This selector's fencing generation.
@@ -356,6 +407,12 @@ impl SiteSelector {
                     // must not strand a queued move past `epoch_interval`.
                     if selector.config.remaster_batching {
                         let _ = selector.flush_epoch_if_due();
+                    }
+                    // Replica provisioning rides the same cadence: between
+                    // probe rounds the planner widens hot partitions and
+                    // shrinks cold ones back toward the floor.
+                    if selector.replica_map.is_partial() {
+                        selector.provision_now();
                     }
                     thread::sleep(interval);
                 }
@@ -491,12 +548,29 @@ impl SiteSelector {
             SelectorMode::Adaptive => self.decide_destination(txn_id, &partitions, &masters, cvv),
         };
 
+        // Create-then-grant (partial replication): a grant can only land on
+        // a site that holds a copy, so ship any missing copies to `dest`
+        // before the release/grant protocol below. Runs inside the exclusive
+        // map window the remaster RPCs already occupy, so no concurrent
+        // route re-decides these partitions mid-install.
+        if self.replica_map.is_partial() {
+            for (i, master) in masters.iter().enumerate() {
+                if *master != Some(dest) {
+                    self.ensure_replica(dest, partitions[i])?;
+                }
+            }
+        }
+
         // Remaster every partition not already mastered at `dest`
         // (Algorithm 1): parallel releases; each grant fires as soon as its
         // release returns.
         let mut out_vv = VersionVector::zero(self.config.num_sites);
         let mut moved = 0u64;
         let mut placed = 0u64;
+        // Create-then-grant moves whose releaser's copy should retire once
+        // mastership lands (frozen replica sets: the copy budget is pinned,
+        // so a copy *follows* the master instead of widening the set).
+        let mut follow: Vec<(PartitionId, SiteId)> = Vec::new();
         let mut pending_releases = Vec::new();
         // (write-set index, epoch, grant request, in-flight reply, releaser).
         let mut pending_grants: Vec<(usize, u64, SiteRequest, Result<_>, Option<SiteId>)> =
@@ -588,6 +662,7 @@ impl SiteSelector {
                         entries[i].set_master(&mut guards[i], dest);
                         self.stats.on_remaster(partitions[i], dest);
                         self.drop_pending(partitions[i]);
+                        follow.push((partitions[i], *m));
                         moved += 1;
                         continue;
                     }
@@ -689,6 +764,9 @@ impl SiteSelector {
                     entries[i].set_master(&mut guards[i], dest);
                     self.stats.on_remaster(partitions[i], dest);
                     self.drop_pending(partitions[i]);
+                    if let Some(releaser) = releaser {
+                        follow.push((partitions[i], releaser));
+                    }
                     moved += 1;
                 }
                 Err(e) => {
@@ -711,6 +789,7 @@ impl SiteSelector {
         self.placements.add(placed);
         self.observe_site_vv(dest, &out_vv);
         drop(guards);
+        self.retire_followed(&follow);
 
         if moved > 0 {
             self.remaster_ops.inc();
@@ -773,6 +852,248 @@ impl SiteSelector {
             TrafficCategory::Remaster,
             Bytes::from(encode_to_vec(grant)),
         );
+    }
+
+    // ---- Adaptive replica provisioning (partial replication) ----
+
+    /// Guarantees `dest` holds a copy of `partition`, shipping one from an
+    /// existing replica if the map says it is missing. No-op under full
+    /// replication. This is the create-then-grant building block: Eq. 8 may
+    /// choose a destination with no copy, in which case the copy is created
+    /// first and the grant proceeds as usual.
+    pub fn ensure_replica(&self, dest: SiteId, partition: PartitionId) -> Result<()> {
+        if !self.replica_map.is_partial() || self.replica_map.hosts(partition, dest) {
+            return Ok(());
+        }
+        self.install_replica(dest, partition)
+    }
+
+    /// Unconditionally (re-)ships a copy of `partition` to `dest`, even when
+    /// the map already claims one exists. The NotReplica repair path: the
+    /// site is authoritative about what it hosts, so a rejection from a site
+    /// the map believes is a replica (e.g. after an unclean restart whose
+    /// checkpoint predated the copy) is healed by installing again —
+    /// idempotent at the site if the copy does exist.
+    pub fn repair_replica(&self, dest: SiteId, partition: PartitionId) -> Result<()> {
+        if !self.replica_map.is_partial() {
+            return Ok(());
+        }
+        self.install_replica(dest, partition)
+    }
+
+    /// LEAP-style copy install: snapshot RPC against a serving replica, then
+    /// an `AddReplica` RPC shipping the snapshot plus its cut svv to `dest`,
+    /// which catches the partition up from its own logs and refresh buffer
+    /// before marking it hosted. Serialized under the provisioning lock.
+    ///
+    /// When no reachable site actually serves the partition — every mapped
+    /// replica answers NotReplica, which happens for partitions born after
+    /// seeding (nobody ever loaded rows) — falls back to an empty snapshot at
+    /// svv zero: the destination then replays the partition's entire history
+    /// from its retained logs, which is complete because records are only
+    /// truncated once every site (including `dest`) has consumed them.
+    fn install_replica(&self, dest: SiteId, partition: PartitionId) -> Result<()> {
+        let _serial = self.provision_lock.lock();
+        let retry = self.network.config().retry;
+        let snap_req = Bytes::from(encode_to_vec(&SiteRequest::ReplicaSnapshot { partition }));
+        let mut snapshot: Option<(Vec<_>, VersionVector)> = None;
+        let mut unreachable_source = false;
+        for src in self.replica_map.replicas(partition) {
+            if src == dest || !self.network.site_reachable(src.raw()) {
+                unreachable_source |= src != dest;
+                continue;
+            }
+            let reply = self.network.rpc_with_retry(
+                &retry,
+                None,
+                EndpointId::Site(src.raw()),
+                TrafficCategory::DataShip,
+                snap_req.clone(),
+            );
+            match reply.and_then(|r| match expect_ok(&r)? {
+                SiteResponse::ReplicaSnapshotted { records, src_svv } => Ok((records, src_svv)),
+                _ => Err(DynaError::Internal("unexpected replica snapshot response")),
+            }) {
+                Ok(cut) => {
+                    snapshot = Some(cut);
+                    break;
+                }
+                Err(DynaError::NotReplica { .. }) => continue,
+                Err(_) => unreachable_source = true,
+            }
+        }
+        let (records, src_svv) = match snapshot {
+            Some(cut) => cut,
+            // A copy may exist only on an unreachable site: do NOT fall back
+            // to log replay (its rows could predate log truncation floors).
+            None if unreachable_source => {
+                return Err(DynaError::Network("no reachable replica to copy from"))
+            }
+            None => (Vec::new(), VersionVector::zero(self.config.num_sites)),
+        };
+        let add = SiteRequest::AddReplica {
+            partition,
+            records,
+            src_svv,
+            generation: self.generation,
+        };
+        let reply = self.network.rpc_with_retry(
+            &retry,
+            None,
+            EndpointId::Site(dest.raw()),
+            TrafficCategory::DataShip,
+            Bytes::from(encode_to_vec(&add)),
+        )?;
+        match expect_ok(&reply)? {
+            SiteResponse::ReplicaAdded { svv } => {
+                self.observe_site_vv(dest, &svv);
+                self.replica_map.add(partition, dest);
+                self.replica_adds.inc();
+                Ok(())
+            }
+            _ => Err(DynaError::Internal("unexpected add-replica response")),
+        }
+    }
+
+    /// Drops `site`'s copy of `partition` (planner shrink). The map bit is
+    /// cleared first — no new reads route there while the RPC is in flight —
+    /// then the fenced `DropReplica` executes; a refusal (the site was just
+    /// granted mastership, or is unreachable with its copy intact) restores
+    /// the bit. Returns whether the copy was actually dropped.
+    fn retire_replica(&self, site: SiteId, partition: PartitionId) -> bool {
+        let _serial = self.provision_lock.lock();
+        if self
+            .map
+            .entries_for_existing(partition)
+            .and_then(|e| e.master_relaxed())
+            == Some(site)
+        {
+            return false;
+        }
+        if !self.replica_map.remove(partition, site) {
+            return false; // already at the replication floor
+        }
+        let req = SiteRequest::DropReplica {
+            partition,
+            generation: self.generation,
+        };
+        let reply = self.network.rpc_with_retry(
+            &self.network.config().retry,
+            None,
+            EndpointId::Site(site.raw()),
+            TrafficCategory::DataShip,
+            Bytes::from(encode_to_vec(&req)),
+        );
+        match reply.and_then(|r| match expect_ok(&r)? {
+            SiteResponse::ReplicaDropped { .. } => Ok(()),
+            _ => Err(DynaError::Internal("unexpected drop-replica response")),
+        }) {
+            Ok(()) => {
+                self.replica_drops.inc();
+                true
+            }
+            Err(_) => {
+                self.replica_map.add(partition, site);
+                false
+            }
+        }
+    }
+
+    /// With frozen replica sets, a create-then-grant *moves* the copy rather
+    /// than widening the set: once mastership has landed at the grantee, the
+    /// releaser's copy is retired so the copy budget stays pinned at the
+    /// floor deployment the operator asked for. Under adaptive provisioning
+    /// this is a no-op — the planner owns shrink decisions and widening after
+    /// a grant is exactly the Eq. 8 has-copy signal working as intended.
+    /// `retire_replica` refuses masters and floor breaches, so a partition
+    /// whose grantee already hosted a copy (count unchanged) is left alone.
+    fn retire_followed(&self, follow: &[(PartitionId, SiteId)]) {
+        if follow.is_empty() || !self.replica_map.is_partial() || self.config.replica_provisioning {
+            return;
+        }
+        let floor = self.replica_map.floor();
+        for &(partition, old_master) in follow {
+            // Converge the touched partition all the way back to its floor
+            // set, not just by the one copy this grant added: a prior grant
+            // whose retire was refused (or whose install was orphaned by a
+            // failed grant) left surplus copies that would otherwise linger
+            // forever in frozen mode. Old master first, then any other
+            // non-master surplus; stop when a pass sheds nothing.
+            let mut victims = vec![old_master];
+            victims.extend(
+                self.replica_map
+                    .replicas(partition)
+                    .into_iter()
+                    .filter(|&s| s != old_master),
+            );
+            for victim in victims {
+                if self.replica_map.replicas(partition).len() <= floor {
+                    break;
+                }
+                self.retire_replica(victim, partition);
+            }
+        }
+    }
+
+    /// One pass of the adaptive replica-provisioning planner: re-uses the
+    /// access tracker's per-partition load features (the same features Eq. 8
+    /// consumes) to widen hot partitions toward all sites and shrink cold
+    /// ones back toward the floor. Runs on the svv-probe cadence; public so
+    /// tests and benches can force a pass deterministically. Returns the
+    /// number of copy installs/drops performed.
+    pub fn provision_now(&self) -> usize {
+        if !self.replica_map.is_partial() || !self.config.replica_provisioning {
+            return 0;
+        }
+        let m = self.config.num_sites;
+        let mut partitions: Vec<PartitionId> =
+            self.map.placements().into_iter().map(|(p, _)| p).collect();
+        partitions.extend(self.replica_map.tracked().into_iter().map(|(p, _)| p));
+        partitions.sort_unstable();
+        partitions.dedup();
+        if partitions.is_empty() {
+            return 0;
+        }
+        let (snaps, site_load) = self.stats.snapshot(&partitions);
+        let total: f64 = snaps.iter().map(|s| s.load).sum();
+        if total < PROVISION_MIN_TOTAL {
+            return 0;
+        }
+        let mean = total / partitions.len() as f64;
+        let mut ops = 0usize;
+        for (i, &p) in partitions.iter().enumerate() {
+            if ops >= PROVISION_MAX_OPS {
+                break;
+            }
+            let load = snaps[i].load;
+            let replicas = self.replica_map.replicas(p);
+            if load > PROVISION_HOT_FACTOR * mean && replicas.len() < m {
+                // Widen: one copy per pass, at the least-loaded reachable
+                // site that lacks one.
+                let dest = (0..m)
+                    .filter(|&s| {
+                        !replicas.contains(&SiteId::new(s)) && self.network.site_reachable(s as u32)
+                    })
+                    .min_by(|&a, &b| site_load[a].total_cmp(&site_load[b]));
+                if let Some(d) = dest {
+                    if self.ensure_replica(SiteId::new(d), p).is_ok() {
+                        ops += 1;
+                    }
+                }
+            } else if load < PROVISION_COLD_FACTOR * mean
+                && replicas.len() > self.replica_map.floor()
+            {
+                // Shrink: drop the copy on the most loaded site (the master
+                // and the floor are refused inside `retire_replica`, so the
+                // sort order just expresses preference).
+                let mut victims = replicas;
+                victims.sort_by(|a, b| site_load[b.as_usize()].total_cmp(&site_load[a.as_usize()]));
+                if victims.into_iter().any(|v| self.retire_replica(v, p)) {
+                    ops += 1;
+                }
+            }
+        }
+        ops
     }
 
     // ---- Epoch-batched group remastering ----
@@ -972,6 +1293,7 @@ impl SiteSelector {
         let mut attempted = 0u64;
         let mut batch_rpcs = 0u64;
         let mut moved = 0u64;
+        let mut follow: Vec<(PartitionId, SiteId)> = Vec::new();
         for ((src_raw, dst_raw), idxs) in &by_pair {
             let src = SiteId::new(*src_raw as usize);
             let dst = SiteId::new(*dst_raw as usize);
@@ -986,9 +1308,12 @@ impl SiteSelector {
             let entries = self.map.entries_for(&pair_parts);
             let mut guards = self.map.lock_exclusive(&entries);
             // Re-verify under the exclusive lock: an inline co-location may
-            // have superseded the plan while no lock was held.
+            // have superseded the plan while no lock was held. Under partial
+            // replication the destination must also hold a copy before its
+            // grant — moves whose install fails stay put for a later epoch.
             let live: Vec<usize> = (0..idxs.len())
                 .filter(|&k| guards[k].master == Some(src))
+                .filter(|&k| self.ensure_replica(dst, pair_parts[k]).is_ok())
                 .collect();
             if live.is_empty() {
                 continue;
@@ -1132,6 +1457,7 @@ impl SiteSelector {
                         merged.merge_max(&grant_vv);
                         entries[k].set_master(&mut guards[k], dst);
                         self.stats.on_remaster(pair_parts[k], dst);
+                        follow.push((pair_parts[k], src));
                         moved += 1;
                     }
                     None => self.back_grant(Some(src), &single_grant(k)),
@@ -1139,6 +1465,7 @@ impl SiteSelector {
             }
             self.observe_site_vv(dst, &merged);
         }
+        self.retire_followed(&follow);
         if moved > 0 {
             self.remaster_ops.inc();
             self.partitions_moved.add(moved);
@@ -1322,7 +1649,7 @@ impl SiteSelector {
         let unreachable: Vec<bool> = (0..self.config.num_sites)
             .map(|i| !self.network.site_reachable(i as u32))
             .collect();
-        confirm_group_destination(
+        let (mut dest, mut cands) = confirm_group_destination(
             &ScoreInputs {
                 num_sites: self.config.num_sites,
                 weights: &self.config.weights,
@@ -1335,7 +1662,37 @@ impl SiteSelector {
                 cvv,
             },
             &unreachable,
-        )
+        );
+        // Eq. 8 extension under partial replication: credit candidates that
+        // already hold every write-set partition — granting there skips the
+        // copy install — then re-take the argmax over the adjusted totals.
+        // Folded into `total` post-hoc because `CandidateScore`'s per-term
+        // fields are the paper's four and are wire-encoded on the recorder.
+        if self.replica_map.is_partial() {
+            let spread = cands
+                .iter()
+                .map(|c| c.total.abs())
+                .fold(0.0f64, f64::max)
+                .max(1.0);
+            for c in cands.iter_mut() {
+                let s = SiteId::new(c.site as usize);
+                if partitions.iter().all(|p| self.replica_map.hosts(*p, s)) {
+                    c.total += HAS_COPY_BONUS * spread;
+                }
+            }
+            let any_reachable = cands.iter().any(|c| c.reachable);
+            let mut best = f64::NEG_INFINITY;
+            for c in &cands {
+                if any_reachable && !c.reachable {
+                    continue;
+                }
+                if c.total > best {
+                    best = c.total;
+                    dest = SiteId::new(c.site as usize);
+                }
+            }
+        }
+        (dest, cands)
     }
 
     /// Routes a read-only transaction (§IV-B): a random *reachable* site
@@ -1351,8 +1708,71 @@ impl SiteSelector {
     }
 
     /// Read routing under an externally allocated trace id (see
-    /// [`SiteSelector::route_update_traced`]).
+    /// [`SiteSelector::route_update_traced`]). Considers every site a
+    /// candidate — correct under full replication; partial-replication
+    /// callers that know the read set use
+    /// [`SiteSelector::route_read_partitions_traced`].
     pub fn route_read_traced(&self, txn_id: u64, cvv: &VersionVector) -> SiteId {
+        self.route_read_partitions_traced(txn_id, cvv, &[])
+    }
+
+    /// Bit-set of sites hosting every partition in `partitions` (all sites
+    /// under full replication or for an empty set). An empty intersection
+    /// falls back to the site(s) hosting the *most* of the read set — the
+    /// site-side NotReplica rejection is the authoritative guard, and its
+    /// repair path installs the missing copies, so best-cover routing keeps
+    /// those installs to the minimum (and at a deterministic site, so a
+    /// repeated range scan converges instead of sprinkling copies around).
+    fn read_mask(&self, partitions: &[PartitionId]) -> u64 {
+        let all = if self.config.num_sites >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.config.num_sites) - 1
+        };
+        if !self.replica_map.is_partial() || partitions.is_empty() {
+            return all;
+        }
+        let mask = partitions
+            .iter()
+            .fold(all, |acc, p| acc & self.replica_map.mask(*p));
+        if mask != 0 {
+            return mask;
+        }
+        let masks: Vec<u64> = partitions
+            .iter()
+            .map(|p| self.replica_map.mask(*p))
+            .collect();
+        let mut best = 0usize;
+        let mut best_mask = 0u64;
+        for i in 0..self.config.num_sites {
+            let bit = 1u64 << i;
+            let cover = masks.iter().filter(|m| *m & bit != 0).count();
+            match cover.cmp(&best) {
+                std::cmp::Ordering::Greater => {
+                    best = cover;
+                    best_mask = bit;
+                }
+                std::cmp::Ordering::Equal => best_mask |= bit,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        if best_mask == 0 {
+            all
+        } else {
+            best_mask
+        }
+    }
+
+    /// Read routing restricted to sites hosting the read set's partitions
+    /// (partial replication). Candidate tiers: hosting ∧ reachable ∧ fresh,
+    /// then hosting ∧ reachable, then hosting — mirroring the reachable/
+    /// fresh fallback of the full-replication path.
+    pub fn route_read_partitions_traced(
+        &self,
+        txn_id: u64,
+        cvv: &VersionVector,
+        partitions: &[PartitionId],
+    ) -> SiteId {
         // Post-failover, raise the client's requirement to the session
         // floor: a client whose pre-crash session state the promoted
         // selector never saw must still be routed to a sufficiently fresh
@@ -1371,19 +1791,28 @@ impl SiteSelector {
         // the second pass falls back to the last candidate it saw if the
         // chosen index no longer resolves.
         let num_sites = self.config.num_sites;
-        let candidate = |i: usize| -> bool {
-            self.network.site_reachable(i as u32) && self.freshness.dominates(SiteId::new(i), cvv)
+        let mask = self.read_mask(partitions);
+        let pass = |tier: u8, i: usize| -> bool {
+            if mask & (1u64 << i) == 0 {
+                return false;
+            }
+            match tier {
+                0 => {
+                    self.network.site_reachable(i as u32)
+                        && self.freshness.dominates(SiteId::new(i), cvv)
+                }
+                1 => self.network.site_reachable(i as u32),
+                _ => true,
+            }
         };
-        let mut count = (0..num_sites).filter(|&i| candidate(i)).count();
-        let mut pass: fn(&SiteSelector, usize, &VersionVector) -> bool = |s, i, cvv| {
-            s.network.site_reachable(i as u32) && s.freshness.dominates(SiteId::new(i), cvv)
-        };
-        if count == 0 {
-            // No fresh reachable site: any reachable one.
-            count = (0..num_sites)
-                .filter(|&i| self.network.site_reachable(i as u32))
-                .count();
-            pass = |s, i, _| s.network.site_reachable(i as u32);
+        let mut tier = 2u8;
+        let mut count = 0;
+        for t in 0..3u8 {
+            count = (0..num_sites).filter(|&i| pass(t, i)).count();
+            if count > 0 {
+                tier = t;
+                break;
+            }
         }
         let pick = with_thread_rng(self.rng_seed, |rng| {
             if count == 0 {
@@ -1393,7 +1822,7 @@ impl SiteSelector {
             let mut seen = 0;
             let mut last = None;
             for i in 0..num_sites {
-                if pass(self, i, cvv) {
+                if pass(tier, i) {
                     if seen == nth {
                         return i;
                     }

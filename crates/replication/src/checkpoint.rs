@@ -38,10 +38,12 @@ use dynamast_storage::VersionStamp;
 use crate::segment::crc32;
 
 const MAGIC: u32 = 0x444B_4350; // "DKCP"
-                                // Version 2 added the remaster-epoch watermark. Version-1 checkpoints fail
-                                // the header check and recovery falls back to full log replay, which is
-                                // always correct (the checkpoint is purely an acceleration).
-const VERSION: u32 = 2;
+                                // Version 2 added the remaster-epoch watermark; version 3 added the
+                                // hosted-partition set (partial replication) and incremental images
+                                // chained to a base full checkpoint. Older versions fail the header
+                                // check and recovery falls back to full log replay, which is always
+                                // correct (the checkpoint is purely an acceleration).
+const VERSION: u32 = 3;
 
 /// One stored record version in a checkpoint image.
 #[derive(Clone, Debug, PartialEq)]
@@ -102,8 +104,51 @@ pub struct Checkpoint {
     /// without it, a recovering selector whose logs were truncated past the
     /// last Release/Grant record could re-allocate already-used epochs.
     pub epoch: u64,
-    /// Store image: every record version visible at the cut.
+    /// Counter of the full checkpoint this one's image is incremental
+    /// over: the image covers only partitions dirtied since that base, and
+    /// [`load_latest`] merges it onto the base image. `0` = this is a full
+    /// (self-contained) image.
+    pub base_counter: u64,
+    /// Partitions this site held a copy of at the cut. `None` = full
+    /// replication (the site hosts everything) — the seed behavior.
+    /// Recovery replays only these partitions' write suffixes and the
+    /// selector reconciles its replica map rows for the site against it.
+    pub hosted: Option<Vec<PartitionId>>,
+    /// Store image: every record version visible at the cut (full), or the
+    /// visible versions of partitions dirtied since `base_counter`
+    /// (incremental).
     pub image: Vec<ImageEntry>,
+}
+
+impl Checkpoint {
+    /// Whether this checkpoint's image is incremental over a base.
+    pub fn is_incremental(&self) -> bool {
+        self.base_counter != 0
+    }
+
+    /// Overlays an incremental checkpoint onto its base full image: entries
+    /// merge by key (the incremental's newer cut wins) and all cut metadata
+    /// (svv, offsets, mastered, epoch, hosted) comes from the incremental.
+    /// Keys of partitions *dropped* between the two cuts survive the merge;
+    /// restore filters the image by `hosted`, which excludes them.
+    pub fn merge_onto(self, base: Checkpoint) -> Checkpoint {
+        debug_assert!(self.is_incremental() && !base.is_incremental());
+        let mut by_key: std::collections::HashMap<Key, ImageEntry> = base
+            .image
+            .into_iter()
+            .map(|entry| (entry.key, entry))
+            .collect();
+        for entry in self.image {
+            by_key.insert(entry.key, entry);
+        }
+        let mut image: Vec<ImageEntry> = by_key.into_values().collect();
+        image.sort_by_key(|entry| entry.key);
+        Checkpoint {
+            base_counter: 0,
+            image,
+            ..self
+        }
+    }
 }
 
 impl Encode for Checkpoint {
@@ -120,6 +165,17 @@ impl Encode for Checkpoint {
             buf.put_u64(p.raw());
         }
         buf.put_u64(self.epoch);
+        buf.put_u64(self.base_counter);
+        match &self.hosted {
+            None => buf.put_u8(0),
+            Some(hosted) => {
+                buf.put_u8(1);
+                buf.put_u64(hosted.len() as u64);
+                for p in hosted {
+                    buf.put_u64(p.raw());
+                }
+            }
+        }
         codec::encode_seq(&self.image, buf);
     }
 
@@ -131,6 +187,9 @@ impl Encode for Checkpoint {
             + 8
             + 8 * self.mastered.len()
             + 8
+            + 8
+            + 1
+            + self.hosted.as_ref().map_or(0, |h| 8 + 8 * h.len())
             + codec::seq_len(&self.image)
     }
 }
@@ -151,6 +210,18 @@ impl Decode for Checkpoint {
             mastered.push(PartitionId::new(codec::get_u64(buf)? as usize));
         }
         let epoch = codec::get_u64(buf)?;
+        let base_counter = codec::get_u64(buf)?;
+        let hosted = match codec::get_u8(buf)? {
+            0 => None,
+            _ => {
+                let n = codec::get_u64(buf)? as usize;
+                let mut hosted = Vec::with_capacity(n);
+                for _ in 0..n {
+                    hosted.push(PartitionId::new(codec::get_u64(buf)? as usize));
+                }
+                Some(hosted)
+            }
+        };
         let image = codec::decode_seq(buf)?;
         Ok(Checkpoint {
             counter,
@@ -159,6 +230,8 @@ impl Decode for Checkpoint {
             offsets,
             mastered,
             epoch,
+            base_counter,
+            hosted,
             image,
         })
     }
@@ -169,14 +242,29 @@ fn io_err(what: &'static str, err: &std::io::Error) -> DynaError {
     DynaError::Internal(what)
 }
 
-fn checkpoint_path(dir: &Path, counter: u64) -> PathBuf {
-    dir.join(format!("ckpt-{counter:016x}.ckpt"))
+/// Full checkpoints are `ckpt-<counter>.ckpt`; incrementals encode their
+/// base in the name (`ckpt-<counter>-inc-<base>.ckpt`) so pruning and chain
+/// resolution never need to read file bodies.
+fn checkpoint_path(dir: &Path, counter: u64, base_counter: u64) -> PathBuf {
+    if base_counter == 0 {
+        dir.join(format!("ckpt-{counter:016x}.ckpt"))
+    } else {
+        dir.join(format!("ckpt-{counter:016x}-inc-{base_counter:016x}.ckpt"))
+    }
 }
 
-fn parse_counter(path: &Path) -> Option<u64> {
+/// Parses a checkpoint filename into `(counter, base_counter)`
+/// (`base_counter == 0` for fulls).
+fn parse_counter(path: &Path) -> Option<(u64, u64)> {
     let name = path.file_name()?.to_str()?;
     let hex = name.strip_prefix("ckpt-")?.strip_suffix(".ckpt")?;
-    u64::from_str_radix(hex, 16).ok()
+    match hex.split_once("-inc-") {
+        None => Some((u64::from_str_radix(hex, 16).ok()?, 0)),
+        Some((counter, base)) => Some((
+            u64::from_str_radix(counter, 16).ok()?,
+            u64::from_str_radix(base, 16).ok()?,
+        )),
+    }
 }
 
 /// Durably writes `ckpt` into `dir` (tmp + fsync + rename + dir fsync) and
@@ -202,7 +290,7 @@ pub fn write(dir: &Path, ckpt: &Checkpoint) -> Result<()> {
             .map_err(|e| io_err("write checkpoint", &e))?;
         f.sync_all().map_err(|e| io_err("fsync checkpoint", &e))?;
     }
-    std::fs::rename(&tmp, checkpoint_path(dir, ckpt.counter))
+    std::fs::rename(&tmp, checkpoint_path(dir, ckpt.counter, ckpt.base_counter))
         .map_err(|e| io_err("rename checkpoint", &e))?;
     // Sync the directory so the rename itself is durable.
     File::open(dir)
@@ -212,22 +300,38 @@ pub fn write(dir: &Path, ckpt: &Checkpoint) -> Result<()> {
     Ok(())
 }
 
-/// Deletes all but the two newest checkpoint files (plus any stale tmps).
+/// Deletes stale tmps, all but the two newest *full* checkpoints, and any
+/// incremental whose base full was pruned (an orphan increment is
+/// unloadable). Incrementals chained to a retained full are kept — they are
+/// the newest cuts.
 fn prune(dir: &Path) -> Result<()> {
-    let mut counters: Vec<u64> = Vec::new();
+    let mut files: Vec<(u64, u64)> = Vec::new();
     for entry in std::fs::read_dir(dir).map_err(|e| io_err("list checkpoint dir", &e))? {
         let Ok(entry) = entry else { continue };
         let path = entry.path();
         if path.extension().is_some_and(|e| e == "tmp") {
             let _ = std::fs::remove_file(&path);
-        } else if let Some(c) = parse_counter(&path) {
-            counters.push(c);
+        } else if let Some(parsed) = parse_counter(&path) {
+            files.push(parsed);
         }
     }
-    counters.sort_unstable();
-    for &old in counters.iter().rev().skip(2) {
-        std::fs::remove_file(checkpoint_path(dir, old))
-            .map_err(|e| io_err("prune old checkpoint", &e))?;
+    let mut fulls: Vec<u64> = files
+        .iter()
+        .filter(|(_, base)| *base == 0)
+        .map(|(c, _)| *c)
+        .collect();
+    fulls.sort_unstable();
+    let kept_fulls: std::collections::HashSet<u64> = fulls.iter().rev().take(2).copied().collect();
+    for (counter, base) in files {
+        let keep = if base == 0 {
+            kept_fulls.contains(&counter)
+        } else {
+            kept_fulls.contains(&base)
+        };
+        if !keep {
+            std::fs::remove_file(checkpoint_path(dir, counter, base))
+                .map_err(|e| io_err("prune old checkpoint", &e))?;
+        }
     }
     Ok(())
 }
@@ -255,21 +359,31 @@ fn try_load(path: &Path) -> Result<Checkpoint> {
 }
 
 /// Loads the newest valid checkpoint in `dir`, skipping corrupt files (a
-/// torn newest checkpoint falls back to its predecessor). `Ok(None)` if the
-/// directory holds no usable checkpoint.
+/// torn newest checkpoint falls back to its predecessor). An incremental
+/// checkpoint is resolved against its base full image ([`Checkpoint::merge_onto`]);
+/// if the base is missing or corrupt the incremental is skipped the same way
+/// a corrupt file is. `Ok(None)` if the directory holds no usable
+/// checkpoint. The returned checkpoint is always self-contained
+/// (`base_counter == 0`).
 pub fn load_latest(dir: &Path) -> Result<Option<Checkpoint>> {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return Ok(None); // no directory yet: a fresh site
     };
-    let mut counters: Vec<u64> = entries
+    let mut files: Vec<(u64, u64)> = entries
         .filter_map(|e| e.ok())
         .filter_map(|e| parse_counter(&e.path()))
         .collect();
-    counters.sort_unstable();
-    for &counter in counters.iter().rev() {
-        match try_load(&checkpoint_path(dir, counter)) {
-            Ok(ckpt) => return Ok(Some(ckpt)),
-            Err(_) => continue, // corrupt: fall back to the previous one
+    files.sort_unstable();
+    for &(counter, base) in files.iter().rev() {
+        let Ok(ckpt) = try_load(&checkpoint_path(dir, counter, base)) else {
+            continue; // corrupt: fall back to the previous one
+        };
+        if !ckpt.is_incremental() {
+            return Ok(Some(ckpt));
+        }
+        match try_load(&checkpoint_path(dir, ckpt.base_counter, 0)) {
+            Ok(full) if !full.is_incremental() => return Ok(Some(ckpt.merge_onto(full))),
+            _ => continue, // orphaned/corrupt base: fall back further
         }
     }
     Ok(None)
@@ -302,11 +416,21 @@ mod tests {
             offsets: vec![3, 7, 0],
             mastered: vec![PartitionId::new(4), PartitionId::new(9)],
             epoch: 12,
+            base_counter: 0,
+            hosted: Some(vec![PartitionId::new(4), PartitionId::new(7)]),
             image: vec![ImageEntry {
                 key: Key::new(TableId::new(0), 42),
                 stamp: VersionStamp::new(SiteId::new(1), 7),
                 row: Row::new(vec![Value::I64(100)]),
             }],
+        }
+    }
+
+    fn entry(record: u64, seq: u64, v: i64) -> ImageEntry {
+        ImageEntry {
+            key: Key::new(TableId::new(0), record),
+            stamp: VersionStamp::new(SiteId::new(1), seq),
+            row: Row::new(vec![Value::I64(v)]),
         }
     }
 
@@ -338,13 +462,75 @@ mod tests {
         write(&dir, &sample(1)).unwrap();
         write(&dir, &sample(2)).unwrap();
         // Corrupt the newest file's tail.
-        let newest = checkpoint_path(&dir, 2);
+        let newest = checkpoint_path(&dir, 2, 0);
         let mut bytes = std::fs::read(&newest).unwrap();
         let n = bytes.len();
         bytes[n - 6] ^= 0xFF;
         std::fs::write(&newest, bytes).unwrap();
         let loaded = load_latest(&dir).unwrap().unwrap();
         assert_eq!(loaded.counter, 1, "corrupt newest must fall back");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incremental_merges_onto_its_base_full() {
+        let dir = tmp_dir("inc-merge");
+        let mut full = sample(1);
+        full.image = vec![entry(1, 1, 10), entry(2, 1, 20)];
+        write(&dir, &full).unwrap();
+        let mut inc = sample(2);
+        inc.base_counter = 1;
+        inc.svv = VersionVector::from_counts(vec![3, 9, 0]);
+        inc.offsets = vec![3, 9, 0];
+        inc.epoch = 14;
+        inc.image = vec![entry(2, 9, 99), entry(3, 9, 30)];
+        write(&dir, &inc).unwrap();
+
+        let loaded = load_latest(&dir).unwrap().unwrap();
+        assert!(!loaded.is_incremental(), "resolved image is self-contained");
+        assert_eq!(loaded.counter, 2);
+        assert_eq!(loaded.epoch, 14, "cut metadata comes from the incremental");
+        assert_eq!(loaded.svv, VersionVector::from_counts(vec![3, 9, 0]));
+        assert_eq!(
+            loaded.image,
+            vec![entry(1, 1, 10), entry(2, 9, 99), entry(3, 9, 30)],
+            "incremental entries override the base by key"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphaned_incremental_falls_back_to_older_full() {
+        let dir = tmp_dir("inc-orphan");
+        write(&dir, &sample(1)).unwrap();
+        // An incremental claiming a base that never existed on disk.
+        let mut inc = sample(3);
+        inc.base_counter = 2;
+        write(&dir, &inc).unwrap();
+        let loaded = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(loaded.counter, 1, "orphaned incremental must be skipped");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_incrementals_chained_to_retained_fulls() {
+        let dir = tmp_dir("inc-prune");
+        write(&dir, &sample(1)).unwrap();
+        write(&dir, &sample(2)).unwrap();
+        let mut inc = sample(3);
+        inc.base_counter = 2;
+        write(&dir, &inc).unwrap();
+        write(&dir, &sample(4)).unwrap();
+        // Fulls kept: {2, 4}; inc 3 rides on full 2.
+        assert!(checkpoint_path(&dir, 2, 0).exists());
+        assert!(checkpoint_path(&dir, 3, 2).exists());
+        assert!(!checkpoint_path(&dir, 1, 0).exists());
+        write(&dir, &sample(5)).unwrap();
+        // Fulls kept: {4, 5}; full 2 and its incremental both go.
+        assert!(!checkpoint_path(&dir, 2, 0).exists());
+        assert!(!checkpoint_path(&dir, 3, 2).exists());
+        let loaded = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(loaded.counter, 5);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

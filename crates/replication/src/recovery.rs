@@ -66,8 +66,24 @@ pub fn replay_all(logs: &LogSet, catalog: Catalog, mvcc_versions: usize) -> Resu
 pub fn replay_from(
     logs: &LogSet,
     store: Store,
+    svv: VersionVector,
+    offsets: Vec<u64>,
+) -> Result<ReplayedState> {
+    replay_from_hosted(logs, store, svv, offsets, None)
+}
+
+/// Like [`replay_from`], but under partial replication: only writes to
+/// partitions in `hosted` are installed. Every record still advances the
+/// svv — a site that skips a foreign partition's writes has still *seen*
+/// that commit for Eq. 1 admission purposes, exactly like the live refresh
+/// subscription filter. `hosted = None` installs everything (full
+/// replication).
+pub fn replay_from_hosted(
+    logs: &LogSet,
+    store: Store,
     mut svv: VersionVector,
     mut offsets: Vec<u64>,
+    hosted: Option<&std::collections::HashSet<PartitionId>>,
 ) -> Result<ReplayedState> {
     let m = logs.num_sites();
     assert_eq!(offsets.len(), m);
@@ -84,7 +100,7 @@ pub fn replay_from(
             if !admissible(&svv, &record) {
                 continue;
             }
-            apply(&store, &mut svv, record)?;
+            apply(&store, &mut svv, record, hosted)?;
             offsets[origin_idx] += 1;
             progressed = true;
         }
@@ -116,7 +132,12 @@ fn admissible(svv: &VersionVector, record: &LogRecord) -> bool {
     }
 }
 
-fn apply(store: &Store, svv: &mut VersionVector, record: LogRecord) -> Result<()> {
+fn apply(
+    store: &Store,
+    svv: &mut VersionVector,
+    record: LogRecord,
+    hosted: Option<&std::collections::HashSet<PartitionId>>,
+) -> Result<()> {
     match record {
         LogRecord::Commit {
             origin,
@@ -127,6 +148,11 @@ fn apply(store: &Store, svv: &mut VersionVector, record: LogRecord) -> Result<()
             // The record is owned (decoded fresh from the log), so rows move
             // straight into the version chains without a copy.
             for w in writes {
+                if let Some(hosted) = hosted {
+                    if !hosted.contains(&store.catalog().partition_of(w.key)?) {
+                        continue;
+                    }
+                }
                 store.install(w.key, VersionStamp::new(origin, seq), w.row)?;
             }
             svv.set(origin, seq);
@@ -338,6 +364,34 @@ mod tests {
         assert_eq!(state.offsets, vec![2, 0]);
         let snap = state.svv.clone();
         assert_eq!(state.store.read(key(1), &snap).unwrap().unwrap(), row(20));
+    }
+
+    /// Hosted-filtered replay installs only hosted partitions' writes but
+    /// still advances svv over foreign commits (otherwise replay would wedge
+    /// on the first foreign record).
+    #[test]
+    fn replay_from_hosted_skips_foreign_partitions_but_advances_svv() {
+        let logs = LogSet::new(2);
+        // partition_size = 100: records 1..100 → partition 0, 150 → partition 1.
+        logs.log(SiteId::new(0))
+            .append(&commit(0, &[1, 0], vec![(1, 10), (150, 15)]));
+        logs.log(SiteId::new(1))
+            .append(&commit(1, &[1, 1], vec![(151, 20)]));
+        let hosted: std::collections::HashSet<PartitionId> =
+            [PartitionId::new(0)].into_iter().collect();
+        let state = replay_from_hosted(
+            &logs,
+            Store::new(catalog(), 4),
+            VersionVector::zero(2),
+            vec![0, 0],
+            Some(&hosted),
+        )
+        .unwrap();
+        assert_eq!(state.svv.as_slice(), &[1, 1]);
+        let snap = state.svv.clone();
+        assert_eq!(state.store.read(key(1), &snap).unwrap().unwrap(), row(10));
+        assert_eq!(state.store.read(key(150), &snap).unwrap(), None);
+        assert_eq!(state.store.read(key(151), &snap).unwrap(), None);
     }
 
     #[test]

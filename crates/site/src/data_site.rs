@@ -44,11 +44,60 @@ pub struct DataSiteConfig {
     /// unreplicated systems (the paper's partition-store "does not replicate
     /// data except for static read-only tables", e.g. TPC-C `item`).
     pub replicated_tables: Vec<dynamast_common::ids::TableId>,
+    /// Partitions this site initially holds a copy of. `None` = full
+    /// replication (the site hosts everything — the seed behavior and all
+    /// baselines); `Some` enables the partial-replication machinery: the
+    /// refresh subscription filter, hosted-read admission, and the
+    /// AddReplica/DropReplica provisioning endpoints.
+    pub hosted: Option<Vec<PartitionId>>,
+    /// Shared counter of refresh-record writes the subscription filter
+    /// dropped because this site hosts no copy of their partition
+    /// (`refresh_records_skipped` in the metrics snapshot).
+    pub refresh_skipped: Option<Arc<dynamast_common::metrics::Counter>>,
 }
 
 struct PreparedTxn {
     _locks: Vec<LockGuard>,
     writes: Vec<WriteEntry>,
+}
+
+/// A refresh write diverted while its partition's copy was being installed.
+/// `tvv_sum` is the originating commit's version-vector component sum — a
+/// linear extension of causal dominance, so sorting by it reconstructs the
+/// per-key causal install order across origins (mastership hand-off totally
+/// orders same-key writes).
+struct BufferedWrite {
+    key: Key,
+    stamp: VersionStamp,
+    row: Row,
+    tvv_sum: u64,
+}
+
+/// Per-partition replica lifecycle at this site. A partition absent from
+/// [`HostedState::map`] is not hosted: its refresh writes are stripped (the
+/// subscription filter) and reads are rejected with `NotReplica`.
+enum ReplicaState {
+    /// `AddReplica` in progress: the snapshot + log catch-up install is
+    /// running, and the filter diverts the partition's live refresh writes
+    /// into this buffer instead of dropping or applying them.
+    Buffering(Vec<BufferedWrite>),
+    /// Fully installed: refresh writes apply, reads are admitted.
+    Hosted,
+}
+
+/// The partial-replication state machine guarding which partitions this
+/// site holds. One mutex, taken briefly per refresh batch (the filter
+/// pre-pass) and per provisioning operation — never held across a log
+/// append, an svv wait, or a network call, so the refresh appliers of other
+/// origins can always make progress (no cross-origin admission deadlock).
+struct HostedState {
+    map: HashMap<PartitionId, ReplicaState>,
+    /// Highest origin sequence the subscription filter has seen, per
+    /// origin. `AddReplica` snapshots this as its catch-up ceiling: every
+    /// partition write at or below the frontier was either applied (hosted)
+    /// or stripped (absent) before buffering began, so the catch-up range
+    /// `(src_svv[o], frontier[o]]` plus the buffer is gap-free.
+    frontier: Vec<u64>,
 }
 
 /// Bounded memory of settled 2PC decisions, so duplicated or retransmitted
@@ -186,6 +235,11 @@ pub struct DataSite {
     recorder: Option<Arc<FlightRecorder>>,
     replicate: bool,
     replicated_tables: std::collections::HashSet<dynamast_common::ids::TableId>,
+    /// Partial-replication state (`None` = full replication: the site hosts
+    /// every partition and the filter/admission machinery is inert).
+    hosted: Option<parking_lot::Mutex<HostedState>>,
+    /// Shared `refresh_records_skipped` counter (metrics registry).
+    refresh_skipped: Option<Arc<dynamast_common::metrics::Counter>>,
     /// Committed update transactions (diagnostics).
     pub commits: dynamast_common::metrics::Counter,
     /// 2PC aborts observed as participant or coordinator (diagnostics).
@@ -258,6 +312,18 @@ impl DataSite {
         let clock = Arc::new(clock);
         let pipeline =
             CommitPipeline::new(cfg.id, Arc::clone(&clock), Arc::clone(logs.log(cfg.id)));
+        let hosted = cfg.hosted.map(|parts| {
+            parking_lot::Mutex::new(HostedState {
+                map: parts
+                    .into_iter()
+                    .map(|p| (p, ReplicaState::Hosted))
+                    .collect(),
+                // Everything at or below the (possibly recovered) svv was
+                // already settled locally — applied, stripped, or replayed —
+                // so the filter's frontier starts at the clock, not at zero.
+                frontier: clock.current().as_slice().to_vec(),
+            })
+        });
         Arc::new(DataSite {
             id: cfg.id,
             store,
@@ -279,6 +345,8 @@ impl DataSite {
             recorder,
             replicate: cfg.replicate,
             replicated_tables: cfg.replicated_tables.into_iter().collect(),
+            hosted,
+            refresh_skipped: cfg.refresh_skipped,
             commits: dynamast_common::metrics::Counter::new(),
             aborts: dynamast_common::metrics::Counter::new(),
         })
@@ -408,6 +476,88 @@ impl DataSite {
         Ok(out)
     }
 
+    /// `true` under full replication, or if the partition's copy is fully
+    /// installed here (a mid-install `Buffering` copy does not count).
+    pub fn hosts(&self, partition: PartitionId) -> bool {
+        match &self.hosted {
+            None => true,
+            Some(h) => matches!(h.lock().map.get(&partition), Some(ReplicaState::Hosted)),
+        }
+    }
+
+    /// The fully installed partitions, sorted — `None` under full
+    /// replication. Mid-install (`Buffering`) copies are excluded: a
+    /// checkpoint or reconciliation snapshot must never claim a copy that
+    /// is not yet complete.
+    pub fn hosted_partitions(&self) -> Option<Vec<PartitionId>> {
+        self.hosted.as_ref().map(|h| {
+            let mut parts: Vec<PartitionId> = h
+                .lock()
+                .map
+                .iter()
+                .filter(|(_, s)| matches!(s, ReplicaState::Hosted))
+                .map(|(p, _)| *p)
+                .collect();
+            parts.sort_unstable();
+            parts
+        })
+    }
+
+    /// Partial-replication admission (§IV-B): every partition the
+    /// transaction declares — writes, point reads, and the partitions a
+    /// range scan spans — must be fully hosted here, else the caller gets
+    /// [`DynaError::NotReplica`] and the selector routes elsewhere (or
+    /// provisions a copy first). Statically replicated tables are exempt:
+    /// they exist at every site regardless of the replica map.
+    /// Directly marks `partition` as hosted (bulk-load seeding and test
+    /// setup — before any traffic, so no protocol-mediated install is
+    /// needed). No-op under full replication or when an install is already
+    /// in flight.
+    pub fn host_partition(&self, partition: PartitionId) {
+        if let Some(h) = &self.hosted {
+            h.lock()
+                .map
+                .entry(partition)
+                .or_insert(ReplicaState::Hosted);
+        }
+    }
+
+    fn check_hosted(&self, proc: &ProcCall) -> Result<()> {
+        let Some(hosted) = &self.hosted else {
+            return Ok(());
+        };
+        let mut partitions = Vec::new();
+        for key in proc.write_set.iter().chain(proc.read_keys.iter()) {
+            if self.replicated_tables.contains(&key.table) {
+                continue;
+            }
+            partitions.push(self.store.catalog().partition_of(*key)?);
+        }
+        for range in &proc.read_ranges {
+            if range.end <= range.start || self.replicated_tables.contains(&range.table) {
+                continue;
+            }
+            let schema = self.store.catalog().table(range.table)?;
+            let first = range.start / schema.partition_size;
+            let last = (range.end - 1) / schema.partition_size;
+            for index in first..=last {
+                partitions.push(dynamast_common::ids::partition_id(range.table, index));
+            }
+        }
+        partitions.sort_unstable();
+        partitions.dedup();
+        let state = hosted.lock();
+        for p in partitions {
+            if !matches!(state.map.get(&p), Some(ReplicaState::Hosted)) {
+                return Err(DynaError::NotReplica {
+                    site: self.id,
+                    partition: p,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Directly loads a row during workload population (bypasses the
     /// protocol; used only before a benchmark run starts, mirroring the
     /// paper's pre-loaded initial database).
@@ -433,6 +583,7 @@ impl DataSite {
         check_mastery: bool,
     ) -> Result<(Bytes, VersionVector, ExecTimings)> {
         let t0 = Instant::now();
+        self.check_hosted(proc)?;
         let write_partitions = self.partitions_of(&proc.write_set)?;
         let _writer_guard =
             self.ownership
@@ -618,6 +769,7 @@ impl DataSite {
         mode: ReadMode,
     ) -> Result<(Bytes, VersionVector, ExecTimings)> {
         let t0 = Instant::now();
+        self.check_hosted(proc)?;
         let begin = match mode {
             ReadMode::Snapshot => self.clock.wait_dominates(min_vv)?,
             ReadMode::Latest => self.clock.current(),
@@ -708,7 +860,19 @@ impl DataSite {
     /// The mastered set is read after the cut and may differ from it by
     /// in-flight remasters; recovery reconciles by replaying the own-log
     /// suffix's Release/Grant records as idempotent set removals/insertions.
-    pub fn build_checkpoint(&self, counter: u64) -> Result<Checkpoint> {
+    ///
+    /// `base_counter == 0` builds a **full** checkpoint: the complete
+    /// visible image, and the store's dirty-partition set is cleared
+    /// *before* the cut is taken (a write concurrent with the dump that
+    /// misses the cut re-dirties its partition after the clear, so the next
+    /// incremental still covers it). `base_counter != 0` builds an
+    /// **incremental** image on top of that full: only partitions dirtied
+    /// since the base, with the dirty set left intact so every incremental
+    /// is cumulative against the same base.
+    pub fn build_checkpoint(&self, counter: u64, base_counter: u64) -> Result<Checkpoint> {
+        if base_counter == 0 {
+            self.store.clear_dirty();
+        }
         let cut = self.clock.current();
         self.logs.log(self.id).sync_for_checkpoint()?;
         let offsets = cut.as_slice().to_vec();
@@ -718,19 +882,26 @@ impl DataSite {
             .into_iter()
             .filter(|p| p.raw() & (1 << 63) == 0)
             .collect();
-        let image = self
-            .store
-            .dump_visible(&cut)
+        let dump = if base_counter == 0 {
+            self.store.dump_visible(&cut)
+        } else {
+            let dirty: std::collections::HashSet<PartitionId> =
+                self.store.dirty_partitions().into_iter().collect();
+            self.store.dump_visible_partitions(&cut, &dirty)
+        };
+        let image = dump
             .into_iter()
             .map(|(key, stamp, row)| ImageEntry { key, stamp, row })
             .collect();
         Ok(Checkpoint {
             counter,
+            base_counter,
             site: self.id,
             svv: cut,
             offsets,
             mastered,
             epoch: self.max_epoch_seen.load(Ordering::Acquire),
+            hosted: self.hosted_partitions(),
             image,
         })
     }
@@ -827,6 +998,21 @@ impl DataSite {
     ) -> Result<VersionVector> {
         if let Some(vv) = self.granted.get(partition, epoch) {
             return Ok(vv);
+        }
+        // Master-hosts invariant (partial replication): a site may only be
+        // granted mastership of a partition it fully hosts — the selector
+        // installs a copy first (create-then-grant) when the Eq. 8 choice
+        // lands on a non-replica.
+        if let Some(hosted) = &self.hosted {
+            if !matches!(
+                hosted.lock().map.get(&partition),
+                Some(ReplicaState::Hosted)
+            ) {
+                return Err(DynaError::NotReplica {
+                    site: self.id,
+                    partition,
+                });
+            }
         }
         self.clock.wait_dominates(rel_vv)?;
         self.ownership.grant(partition);
@@ -1077,6 +1263,293 @@ impl DataSite {
         }
         Ok(())
     }
+
+    // ------------------------------------------------------------------
+    // Replica provisioning (partial replication)
+    // ------------------------------------------------------------------
+
+    /// Serves a partition copy to a provisioning peer: the current svv cut
+    /// plus every version of the partition visible at that cut. The cut is
+    /// taken *before* the dump, so every shipped stamp is at or below the
+    /// cut per origin and the receiver's log catch-up range starts exactly
+    /// where the image ends.
+    #[allow(clippy::type_complexity)]
+    pub fn replica_snapshot(
+        &self,
+        partition: PartitionId,
+    ) -> Result<(Vec<ShippedRecord>, VersionVector)> {
+        if !self.hosts(partition) {
+            return Err(DynaError::NotReplica {
+                site: self.id,
+                partition,
+            });
+        }
+        let cut = self.clock.current();
+        let mut set = std::collections::HashSet::new();
+        set.insert(partition);
+        let records = self
+            .store
+            .dump_visible_partitions(&cut, &set)
+            .into_iter()
+            .map(|(key, stamp, row)| ShippedRecord {
+                key,
+                row,
+                origin: stamp.origin,
+                sequence: stamp.sequence,
+            })
+            .collect();
+        Ok((records, cut))
+    }
+
+    /// Installs a copy of `partition` at this site (LEAP-style data
+    /// shipping): snapshot image + durable-log catch-up + live-buffer
+    /// drain, with the subscription filter diverting concurrent refresh
+    /// writes into the buffer so no write is lost or duplicated.
+    ///
+    /// Every partition write lands in exactly one of three disjoint ranges
+    /// per origin `o`: `seq ≤ src_svv[o]` is in the snapshot image;
+    /// `src_svv[o] < seq ≤ F[o]` (the filter frontier when buffering began)
+    /// is read back from the shared durable logs; `seq > F[o]` was diverted
+    /// into the buffer (per-origin delivery is in order). Catch-up and
+    /// buffer are installed together sorted by tvv component sum — a linear
+    /// extension of the same-key causal order, since single-master
+    /// serialization makes a later same-key write's tvv dominate the
+    /// earlier one's componentwise — so version chains end up in causal
+    /// install order even across origins.
+    pub fn add_replica(
+        &self,
+        partition: PartitionId,
+        records: Vec<ShippedRecord>,
+        src_svv: &VersionVector,
+    ) -> Result<VersionVector> {
+        let Some(hosted) = &self.hosted else {
+            // Full replication hosts everything already; idempotent success.
+            return Ok(self.clock.current());
+        };
+        // Phase 1: announce the install; from here the filter diverts this
+        // partition's refresh writes into the buffer. The frontier snapshot
+        // is the catch-up ceiling.
+        let frontier = {
+            let mut state = hosted.lock();
+            match state.map.get(&partition) {
+                Some(ReplicaState::Hosted) => return Ok(self.clock.current()),
+                Some(ReplicaState::Buffering(_)) => {
+                    return Err(DynaError::Internal("replica install already in progress"))
+                }
+                None => {}
+            }
+            state
+                .map
+                .insert(partition, ReplicaState::Buffering(Vec::new()));
+            state.frontier.clone()
+        };
+        let install = || -> Result<()> {
+            // Phase 2: install the snapshot image (the source's visible cut
+            // at `src_svv`).
+            for rec in records {
+                self.store.install(
+                    rec.key,
+                    VersionStamp::new(rec.origin, rec.sequence),
+                    rec.row,
+                )?;
+            }
+            // Phase 3: collect the durable-log suffix the filter stripped
+            // while the partition was absent — sequences in
+            // `(src_svv[o], frontier[o]]` per origin (slot s holds
+            // sequence s + 1).
+            let mut pending: Vec<BufferedWrite> = Vec::new();
+            for (origin_idx, &ceiling) in frontier.iter().enumerate() {
+                let origin = SiteId::new(origin_idx);
+                let log = self.logs.log(origin);
+                for slot in src_svv.get(origin)..ceiling {
+                    let Some(record) = log.get(slot)? else { break };
+                    if let LogRecord::Commit {
+                        origin,
+                        tvv,
+                        writes,
+                    } = record
+                    {
+                        let stamp = VersionStamp::new(origin, tvv.get(origin));
+                        let sum: u64 = tvv.as_slice().iter().sum();
+                        for w in writes {
+                            if self.store.catalog().partition_of(w.key)? == partition {
+                                pending.push(BufferedWrite {
+                                    key: w.key,
+                                    stamp,
+                                    row: w.row,
+                                    tvv_sum: sum,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            // Phase 4: drain the live buffer and flip to Hosted atomically
+            // with respect to the filter. The installs run under the hosted
+            // mutex — the filter never holds row locks, so there is no lock
+            // inversion, and releasing the mutex before installing would let
+            // newer refresh writes land in the version chains *before*
+            // older buffered ones (chain reads scan newest-last).
+            let mut state = hosted.lock();
+            match state.map.get_mut(&partition) {
+                Some(ReplicaState::Buffering(buf)) => {
+                    let buffered = std::mem::take(buf);
+                    pending.extend(
+                        buffered
+                            .into_iter()
+                            .filter(|w| w.stamp.sequence > src_svv.get(w.stamp.origin)),
+                    );
+                    pending.sort_by_key(|w| w.tvv_sum);
+                    for w in pending {
+                        self.store.install(w.key, w.stamp, w.row)?;
+                    }
+                    state.map.insert(partition, ReplicaState::Hosted);
+                    Ok(())
+                }
+                _ => Err(DynaError::Internal("replica install state lost")),
+            }
+        };
+        if let Err(e) = install() {
+            // Roll back to "not hosted": drop the half-built copy so a
+            // retry starts from a clean slate and reads keep rejecting.
+            hosted.lock().map.remove(&partition);
+            let _ = self.store.purge_partition(partition);
+            return Err(e);
+        }
+        // Phase 5: serve reads only once the local svv covers the snapshot
+        // cut, and re-baseline the audit plane — the installed copies are
+        // new state at this site, exactly like a restart image.
+        self.clock.wait_dominates(src_svv)?;
+        if let Some(rec) = &self.recorder {
+            dynamast_common::audit::emit_site_restart(rec, self.id.raw());
+        }
+        Ok(self.clock.current())
+    }
+
+    /// Drops this site's copy of `partition`, purging its rows and
+    /// returning `(rows, bytes)` freed. Refuses on the current master (the
+    /// master must host its data) and under full replication; idempotent if
+    /// the copy is already gone. The selector removes this site from the
+    /// replica map *before* issuing the RPC — no new reads route here — and
+    /// the floor check lives selector-side where the global copy count is
+    /// known.
+    pub fn drop_replica(&self, partition: PartitionId) -> Result<(u64, u64)> {
+        let Some(hosted) = &self.hosted else {
+            return Err(DynaError::Internal(
+                "cannot drop a replica under full replication",
+            ));
+        };
+        if self.ownership.is_mastered(partition) {
+            return Err(DynaError::Internal("refusing to drop the master's copy"));
+        }
+        let mut state = hosted.lock();
+        match state.map.get(&partition) {
+            None => Ok((0, 0)),
+            Some(ReplicaState::Buffering(_)) => {
+                Err(DynaError::Internal("replica install in progress"))
+            }
+            Some(ReplicaState::Hosted) => {
+                state.map.remove(&partition);
+                // Purge under the mutex: a concurrent re-install (phase 1)
+                // must not start copying before the old rows are gone.
+                let (rows, bytes) = self.store.purge_partition(partition)?;
+                Ok((rows as u64, bytes))
+            }
+        }
+    }
+
+    /// The subscription filter (partial replication): one mutex hold per
+    /// refresh batch. Writes to unhosted partitions are stripped — the
+    /// record itself still applies and advances the svv, because Eq. 1
+    /// admission is per-origin and gap-free, so dropping whole records
+    /// would wedge the site — writes to partitions mid-install are diverted
+    /// into the install buffer, and the per-origin frontier advances for
+    /// every record kind so a concurrent [`DataSite::add_replica`] knows
+    /// exactly which prefix the filter already settled.
+    fn filter_refresh(&self, records: &mut [LogRecord]) {
+        let Some(hosted) = &self.hosted else { return };
+        // Declared to the audit plane after the lock drops: a stripped
+        // write that is neither installed nor declared would (rightly)
+        // read as a missing install to the completeness checker.
+        let audit = self.recorder.as_deref().filter(|r| r.audit_enabled());
+        let mut skips: Vec<(Key, SiteId, u64, u64)> = Vec::new();
+        let mut state = hosted.lock();
+        for record in records.iter_mut() {
+            match record {
+                LogRecord::Commit {
+                    origin,
+                    tvv,
+                    writes,
+                } => {
+                    let origin = *origin;
+                    let seq = tvv.get(origin);
+                    let sum: u64 = tvv.as_slice().iter().sum();
+                    let mut skipped = 0u64;
+                    writes.retain_mut(|w| {
+                        if self.replicated_tables.contains(&w.key.table) {
+                            return true;
+                        }
+                        let Ok(p) = self.store.catalog().partition_of(w.key) else {
+                            return true;
+                        };
+                        match state.map.get_mut(&p) {
+                            Some(ReplicaState::Hosted) => true,
+                            Some(ReplicaState::Buffering(buf)) => {
+                                buf.push(BufferedWrite {
+                                    key: w.key,
+                                    stamp: VersionStamp::new(origin, seq),
+                                    row: w.row.clone(),
+                                    tvv_sum: sum,
+                                });
+                                false
+                            }
+                            None => {
+                                skipped += 1;
+                                if audit.is_some() {
+                                    skips.push((w.key, origin, seq, p.raw()));
+                                }
+                                false
+                            }
+                        }
+                    });
+                    if skipped > 0 {
+                        if let Some(counter) = &self.refresh_skipped {
+                            counter.add(skipped);
+                        }
+                    }
+                    let f = &mut state.frontier[origin.raw() as usize];
+                    *f = (*f).max(seq);
+                }
+                LogRecord::Release {
+                    origin, sequence, ..
+                }
+                | LogRecord::Grant {
+                    origin, sequence, ..
+                }
+                | LogRecord::Noop { origin, sequence } => {
+                    let f = &mut state.frontier[origin.raw() as usize];
+                    *f = (*f).max(*sequence);
+                }
+            }
+        }
+        drop(state);
+        if let Some(rec) = audit {
+            if !skips.is_empty() {
+                let mut batch = dynamast_common::audit::EffectBatch::with_capacity(skips.len());
+                for (key, origin, seq, partition) in skips {
+                    batch.refresh_skip(
+                        self.id.raw(),
+                        partition,
+                        key.table.raw(),
+                        key.record,
+                        origin.raw(),
+                        seq,
+                    );
+                }
+                batch.flush(rec);
+            }
+        }
+    }
 }
 
 impl RefreshApplier for DataSite {
@@ -1084,7 +1557,8 @@ impl RefreshApplier for DataSite {
         self.apply_batch(vec![record])
     }
 
-    fn apply_batch(&self, records: Vec<LogRecord>) -> Result<()> {
+    fn apply_batch(&self, mut records: Vec<LogRecord>) -> Result<()> {
+        self.filter_refresh(&mut records);
         if let Some(rec) = self.recorder.as_deref().filter(|r| r.audit_enabled()) {
             let audit_values = rec.audit_values();
             let generation = self.selector_generation.load(Ordering::Relaxed);
@@ -1270,6 +1744,32 @@ impl SiteRpc {
             SiteRequest::FenceSelector { generation } => {
                 let (svv, mastered) = site.fence_selector(generation)?;
                 Ok(SiteResponse::Fenced { svv, mastered })
+            }
+            SiteRequest::ReplicaSnapshot { partition } => {
+                let (records, src_svv) = site.replica_snapshot(partition)?;
+                Ok(SiteResponse::ReplicaSnapshotted { records, src_svv })
+            }
+            SiteRequest::AddReplica {
+                partition,
+                records,
+                src_svv,
+                generation,
+            } => {
+                site.check_selector_generation(generation)?;
+                Ok(SiteResponse::ReplicaAdded {
+                    svv: site.add_replica(partition, records, &src_svv)?,
+                })
+            }
+            SiteRequest::DropReplica {
+                partition,
+                generation,
+            } => {
+                site.check_selector_generation(generation)?;
+                let (purged_rows, purged_bytes) = site.drop_replica(partition)?;
+                Ok(SiteResponse::ReplicaDropped {
+                    purged_rows,
+                    purged_bytes,
+                })
             }
         }
     }

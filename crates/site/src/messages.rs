@@ -270,6 +270,36 @@ pub enum SiteRequest {
         /// Fencing token: the sending selector's generation.
         generation: u64,
     },
+    /// Cut a copy-installation snapshot of one partition (partial
+    /// replication): the serving site dumps the partition's latest rows and
+    /// its svv at the cut, which the selector ships to the new replica via
+    /// [`SiteRequest::AddReplica`] (the LEAP shipping idiom minus the
+    /// ownership revoke — the source keeps serving).
+    ReplicaSnapshot {
+        /// Partition to snapshot.
+        partition: PartitionId,
+    },
+    /// Install a copy of one partition at this site: snapshot records cut at
+    /// `src_svv`, after which the site catches the partition up from its own
+    /// logs and refresh buffer before marking it hosted.
+    AddReplica {
+        /// Partition to host.
+        partition: PartitionId,
+        /// Snapshot records from the serving replica.
+        records: Vec<ShippedRecord>,
+        /// The serving replica's svv at the snapshot cut.
+        src_svv: VersionVector,
+        /// Fencing token: the sending selector's generation.
+        generation: u64,
+    },
+    /// Drop this site's copy of one partition (shrink provisioning). The
+    /// site refuses while it masters the partition.
+    DropReplica {
+        /// Partition to drop.
+        partition: PartitionId,
+        /// Fencing token: the sending selector's generation.
+        generation: u64,
+    },
     /// Fetch the site's current svv.
     GetVv,
     /// Install a selector fence: the site raises its generation watermark to
@@ -296,6 +326,9 @@ const REQ_GET_VV: u8 = 11;
 const REQ_FENCE_SELECTOR: u8 = 12;
 const REQ_BATCH_RELEASE: u8 = 13;
 const REQ_BATCH_GRANT: u8 = 14;
+const REQ_REPLICA_SNAPSHOT: u8 = 15;
+const REQ_ADD_REPLICA: u8 = 16;
+const REQ_DROP_REPLICA: u8 = 17;
 
 impl Encode for SiteRequest {
     fn encode(&self, buf: &mut impl BufMut) {
@@ -409,6 +442,30 @@ impl Encode for SiteRequest {
                 }
                 buf.put_u64(*generation);
             }
+            SiteRequest::ReplicaSnapshot { partition } => {
+                buf.put_u8(REQ_REPLICA_SNAPSHOT);
+                buf.put_u64(partition.raw());
+            }
+            SiteRequest::AddReplica {
+                partition,
+                records,
+                src_svv,
+                generation,
+            } => {
+                buf.put_u8(REQ_ADD_REPLICA);
+                buf.put_u64(partition.raw());
+                codec::encode_seq(records, buf);
+                src_svv.encode(buf);
+                buf.put_u64(*generation);
+            }
+            SiteRequest::DropReplica {
+                partition,
+                generation,
+            } => {
+                buf.put_u8(REQ_DROP_REPLICA);
+                buf.put_u64(partition.raw());
+                buf.put_u64(*generation);
+            }
             SiteRequest::GetVv => buf.put_u8(REQ_GET_VV),
             SiteRequest::FenceSelector { generation } => {
                 buf.put_u8(REQ_FENCE_SELECTOR);
@@ -446,6 +503,11 @@ impl Encode for SiteRequest {
                     .sum::<usize>()
                     + 8
             }
+            SiteRequest::ReplicaSnapshot { .. } => 8,
+            SiteRequest::AddReplica {
+                records, src_svv, ..
+            } => 8 + codec::seq_len(records) + src_svv.encoded_len() + 8,
+            SiteRequest::DropReplica { .. } => 16,
             SiteRequest::GetVv => 0,
             SiteRequest::FenceSelector { .. } => 8,
         }
@@ -519,6 +581,19 @@ impl Decode for SiteRequest {
             REQ_LEAP_GRANT => Ok(SiteRequest::LeapGrant {
                 partitions: decode_partitions(buf)?,
                 records: codec::decode_seq(buf)?,
+            }),
+            REQ_REPLICA_SNAPSHOT => Ok(SiteRequest::ReplicaSnapshot {
+                partition: PartitionId::new(codec::get_u64(buf)? as usize),
+            }),
+            REQ_ADD_REPLICA => Ok(SiteRequest::AddReplica {
+                partition: PartitionId::new(codec::get_u64(buf)? as usize),
+                records: codec::decode_seq(buf)?,
+                src_svv: VersionVector::decode(buf)?,
+                generation: codec::get_u64(buf)?,
+            }),
+            REQ_DROP_REPLICA => Ok(SiteRequest::DropReplica {
+                partition: PartitionId::new(codec::get_u64(buf)? as usize),
+                generation: codec::get_u64(buf)?,
             }),
             REQ_GET_VV => Ok(SiteRequest::GetVv),
             REQ_FENCE_SELECTOR => Ok(SiteRequest::FenceSelector {
@@ -632,6 +707,26 @@ pub enum SiteResponse {
     },
     /// LEAP grant installed.
     LeapGranted,
+    /// Replica snapshot cut; records and cut vector attached.
+    ReplicaSnapshotted {
+        /// The partition's latest rows at the cut.
+        records: Vec<ShippedRecord>,
+        /// The serving site's svv at the cut.
+        src_svv: VersionVector,
+    },
+    /// Copy installed and caught up; the partition is hosted here.
+    ReplicaAdded {
+        /// The new replica's svv after catch-up (dominates the snapshot
+        /// cut).
+        svv: VersionVector,
+    },
+    /// Copy dropped and its rows purged.
+    ReplicaDropped {
+        /// Rows purged from the store.
+        purged_rows: u64,
+        /// Bytes freed from the resident footprint.
+        purged_bytes: u64,
+    },
     /// Current svv.
     Vv {
         /// The site's svv.
@@ -673,6 +768,14 @@ pub enum RemoteError {
         /// Generation the site is fenced to.
         current: u64,
     },
+    /// The site holds no (fully installed) copy of the partition (partial
+    /// replication): reads routed here must retry at a hosting replica.
+    NotReplica {
+        /// Rejecting site.
+        site: SiteId,
+        /// Partition the site does not host.
+        partition: PartitionId,
+    },
     /// Any other failure.
     Internal,
 }
@@ -685,6 +788,9 @@ impl From<DynaError> for RemoteError {
             DynaError::ShuttingDown => RemoteError::ShuttingDown,
             DynaError::StaleSelector { observed, current } => {
                 RemoteError::StaleSelector { observed, current }
+            }
+            DynaError::NotReplica { site, partition } => {
+                RemoteError::NotReplica { site, partition }
             }
             _ => RemoteError::Internal,
         }
@@ -701,6 +807,9 @@ impl From<RemoteError> for DynaError {
             RemoteError::ShuttingDown => DynaError::ShuttingDown,
             RemoteError::StaleSelector { observed, current } => {
                 DynaError::StaleSelector { observed, current }
+            }
+            RemoteError::NotReplica { site, partition } => {
+                DynaError::NotReplica { site, partition }
             }
             RemoteError::Internal => DynaError::Internal("remote internal error"),
         }
@@ -721,6 +830,9 @@ const RESP_ERROR: u8 = 11;
 const RESP_FENCED: u8 = 12;
 const RESP_BATCH_RELEASED: u8 = 13;
 const RESP_BATCH_GRANTED: u8 = 14;
+const RESP_REPLICA_SNAPSHOTTED: u8 = 15;
+const RESP_REPLICA_ADDED: u8 = 16;
+const RESP_REPLICA_DROPPED: u8 = 17;
 
 fn encode_opt_vvs(results: &[Option<VersionVector>], buf: &mut impl BufMut) {
     buf.put_u32(results.len() as u32);
@@ -830,6 +942,23 @@ impl Encode for SiteResponse {
                 codec::encode_seq(records, buf);
             }
             SiteResponse::LeapGranted => buf.put_u8(RESP_LEAP_GRANTED),
+            SiteResponse::ReplicaSnapshotted { records, src_svv } => {
+                buf.put_u8(RESP_REPLICA_SNAPSHOTTED);
+                codec::encode_seq(records, buf);
+                src_svv.encode(buf);
+            }
+            SiteResponse::ReplicaAdded { svv } => {
+                buf.put_u8(RESP_REPLICA_ADDED);
+                svv.encode(buf);
+            }
+            SiteResponse::ReplicaDropped {
+                purged_rows,
+                purged_bytes,
+            } => {
+                buf.put_u8(RESP_REPLICA_DROPPED);
+                buf.put_u64(*purged_rows);
+                buf.put_u64(*purged_bytes);
+            }
             SiteResponse::Vv { svv } => {
                 buf.put_u8(RESP_VV);
                 svv.encode(buf);
@@ -854,6 +983,11 @@ impl Encode for SiteResponse {
                         buf.put_u8(5);
                         buf.put_u64(*observed);
                         buf.put_u64(*current);
+                    }
+                    RemoteError::NotReplica { site, partition } => {
+                        buf.put_u8(6);
+                        buf.put_u32(site.raw());
+                        buf.put_u64(partition.raw());
                     }
                 }
             }
@@ -896,10 +1030,15 @@ impl Encode for SiteResponse {
             }
             SiteResponse::LeapReleased { records } => codec::seq_len(records),
             SiteResponse::LeapGranted => 0,
+            SiteResponse::ReplicaSnapshotted { records, src_svv } => {
+                codec::seq_len(records) + src_svv.encoded_len()
+            }
+            SiteResponse::ReplicaAdded { svv } => svv.encoded_len(),
+            SiteResponse::ReplicaDropped { .. } => 16,
             SiteResponse::Vv { svv } => svv.encoded_len(),
             SiteResponse::Fenced { svv, mastered } => svv.encoded_len() + 4 + 8 * mastered.len(),
             SiteResponse::Error { error } => match error {
-                RemoteError::NotMaster { .. } => 13,
+                RemoteError::NotMaster { .. } | RemoteError::NotReplica { .. } => 13,
                 RemoteError::StaleSelector { .. } => 17,
                 _ => 1,
             },
@@ -973,6 +1112,17 @@ impl Decode for SiteResponse {
                 records: codec::decode_seq(buf)?,
             }),
             RESP_LEAP_GRANTED => Ok(SiteResponse::LeapGranted),
+            RESP_REPLICA_SNAPSHOTTED => Ok(SiteResponse::ReplicaSnapshotted {
+                records: codec::decode_seq(buf)?,
+                src_svv: VersionVector::decode(buf)?,
+            }),
+            RESP_REPLICA_ADDED => Ok(SiteResponse::ReplicaAdded {
+                svv: VersionVector::decode(buf)?,
+            }),
+            RESP_REPLICA_DROPPED => Ok(SiteResponse::ReplicaDropped {
+                purged_rows: codec::get_u64(buf)?,
+                purged_bytes: codec::get_u64(buf)?,
+            }),
             RESP_VV => Ok(SiteResponse::Vv {
                 svv: VersionVector::decode(buf)?,
             }),
@@ -992,6 +1142,10 @@ impl Decode for SiteResponse {
                     5 => RemoteError::StaleSelector {
                         observed: codec::get_u64(buf)?,
                         current: codec::get_u64(buf)?,
+                    },
+                    6 => RemoteError::NotReplica {
+                        site: SiteId::new(codec::get_u32(buf)? as usize),
+                        partition: PartitionId::new(codec::get_u64(buf)? as usize),
                     },
                     _ => {
                         return Err(DynaError::Codec {
@@ -1143,6 +1297,24 @@ mod tests {
             ],
             generation: 2,
         });
+        roundtrip_req(SiteRequest::ReplicaSnapshot {
+            partition: PartitionId::new(3),
+        });
+        roundtrip_req(SiteRequest::AddReplica {
+            partition: PartitionId::new(3),
+            records: vec![ShippedRecord {
+                key: Key::new(TableId::new(0), 9),
+                row: Row::new(vec![Value::U64(8)]),
+                origin: SiteId::new(1),
+                sequence: 4,
+            }],
+            src_svv: vv.clone(),
+            generation: 2,
+        });
+        roundtrip_req(SiteRequest::DropReplica {
+            partition: PartitionId::new(3),
+            generation: 2,
+        });
     }
 
     #[test]
@@ -1196,7 +1368,7 @@ mod tests {
             svv: vv.clone(),
             mastered: vec![PartitionId::new(0), PartitionId::new(5)],
         });
-        roundtrip_resp(SiteResponse::Vv { svv: vv });
+        roundtrip_resp(SiteResponse::Vv { svv: vv.clone() });
         roundtrip_resp(SiteResponse::Error {
             error: RemoteError::NotMaster {
                 site: SiteId::new(1),
@@ -1210,6 +1382,26 @@ mod tests {
             error: RemoteError::StaleSelector {
                 observed: 3,
                 current: 8,
+            },
+        });
+        roundtrip_resp(SiteResponse::ReplicaSnapshotted {
+            records: vec![ShippedRecord {
+                key: Key::new(TableId::new(0), 2),
+                row: Row::new(vec![Value::I64(5)]),
+                origin: SiteId::new(0),
+                sequence: 1,
+            }],
+            src_svv: vv.clone(),
+        });
+        roundtrip_resp(SiteResponse::ReplicaAdded { svv: vv.clone() });
+        roundtrip_resp(SiteResponse::ReplicaDropped {
+            purged_rows: 100,
+            purged_bytes: 4096,
+        });
+        roundtrip_resp(SiteResponse::Error {
+            error: RemoteError::NotReplica {
+                site: SiteId::new(2),
+                partition: PartitionId::new(6),
             },
         });
     }

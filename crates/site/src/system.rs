@@ -114,6 +114,11 @@ pub struct SystemStats {
     /// Update transactions routed per site (write-routing distribution,
     /// Fig. 5a).
     pub updates_routed_per_site: Vec<u64>,
+    /// Retained version payload bytes summed across every site's store —
+    /// the replication footprint: full replication pays `num_sites` copies
+    /// of the database, partial replication only the per-partition replica
+    /// sets.
+    pub resident_bytes: u64,
 }
 
 /// The uniform client API of the five evaluated systems.

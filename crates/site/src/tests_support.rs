@@ -64,6 +64,8 @@ pub fn deployment(n: usize) -> TestDeployment {
                 initial_partitions: Vec::new(),
                 static_owner: None,
                 replicated_tables: Vec::new(),
+                hosted: None,
+                refresh_skipped: None,
             },
             catalog.clone(),
             logs.clone(),

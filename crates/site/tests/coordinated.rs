@@ -64,6 +64,8 @@ fn partitioned_deployment(replicate: bool) -> Deployment {
                 initial_partitions: Vec::new(),
                 static_owner: Some(Arc::clone(&owner)),
                 replicated_tables: Vec::new(),
+                hosted: None,
+                refresh_skipped: None,
             },
             catalog.clone(),
             logs.clone(),

@@ -202,6 +202,8 @@ fn quiet_pair() -> (Vec<Arc<DataSite>>, LogSet) {
                     initial_partitions: Vec::new(),
                     static_owner: None,
                     replicated_tables: Vec::new(),
+                    hosted: None,
+                    refresh_skipped: None,
                 },
                 catalog.clone(),
                 logs.clone(),

@@ -1,9 +1,11 @@
 //! The per-site storage engine: catalog + tables + lock manager.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
-use dynamast_common::ids::{Key, RecordId, TableId};
+use dynamast_common::ids::{unpack_partition_id, Key, PartitionId, RecordId, TableId};
 use dynamast_common::{Result, Row, VersionVector};
+use parking_lot::Mutex;
 
 use crate::lock::{LockGuard, LockManager};
 use crate::schema::Catalog;
@@ -28,6 +30,10 @@ pub struct Store {
     catalog: Catalog,
     tables: Vec<Table>,
     locks: Arc<LockManager>,
+    /// Partitions written since the last full checkpoint image (incremental
+    /// checkpointing reads this set; [`Store::clear_dirty`] resets it when
+    /// a full rebase image is cut).
+    dirty: Mutex<HashSet<PartitionId>>,
 }
 
 impl Store {
@@ -43,7 +49,27 @@ impl Store {
             catalog,
             tables,
             locks: Arc::new(LockManager::new()),
+            dirty: Mutex::new(HashSet::new()),
         }
+    }
+
+    fn mark_dirty(&self, key: Key) {
+        if let Ok(schema) = self.catalog.table(key.table) {
+            self.dirty.lock().insert(schema.partition_of(key.record));
+        }
+    }
+
+    /// Partitions written since the dirty set was last cleared, sorted.
+    pub fn dirty_partitions(&self) -> Vec<PartitionId> {
+        let mut out: Vec<PartitionId> = self.dirty.lock().iter().copied().collect();
+        out.sort();
+        out
+    }
+
+    /// Clears the dirty-partition set (called when a full checkpoint image
+    /// captures the entire store).
+    pub fn clear_dirty(&self) {
+        self.dirty.lock().clear();
     }
 
     /// The shared catalog.
@@ -95,7 +121,31 @@ impl Store {
     /// Installs a new version of `key`.
     pub fn install(&self, key: Key, stamp: VersionStamp, row: Row) -> Result<()> {
         self.table(key.table)?.install(key.record, stamp, row);
+        self.mark_dirty(key);
         Ok(())
+    }
+
+    /// The contiguous `[start, end)` record-id range of `partition` in its
+    /// table, per the catalog's key-range partitioning.
+    pub fn partition_range(&self, partition: PartitionId) -> Result<(TableId, RecordId, RecordId)> {
+        let (table, index) = unpack_partition_id(partition);
+        let schema = self.catalog.table(table)?;
+        let start = index * schema.partition_size;
+        Ok((table, start, start + schema.partition_size))
+    }
+
+    /// Evicts every record of `partition` (a `DropReplica` at this site),
+    /// returning `(records removed, payload bytes freed)`.
+    pub fn purge_partition(&self, partition: PartitionId) -> Result<(usize, u64)> {
+        let (table, start, end) = self.partition_range(partition)?;
+        self.dirty.lock().remove(&partition);
+        Ok(self.tables[table.as_usize()].purge_range(start, end))
+    }
+
+    /// Total retained version payload bytes across tables (resident
+    /// store footprint; see [`Table::resident_bytes`]).
+    pub fn resident_bytes(&self) -> u64 {
+        self.tables.iter().map(Table::resident_bytes).sum()
     }
 
     /// Every record's newest version visible to `begin` across all tables,
@@ -116,6 +166,24 @@ impl Store {
         out
     }
 
+    /// Like [`Store::dump_visible`], restricted to keys whose partition is
+    /// in `partitions` (incremental checkpoint images cover only the
+    /// partitions dirtied since the last full rebase).
+    pub fn dump_visible_partitions(
+        &self,
+        begin: &VersionVector,
+        partitions: &HashSet<PartitionId>,
+    ) -> Vec<(Key, VersionStamp, Row)> {
+        self.dump_visible(begin)
+            .into_iter()
+            .filter(|(key, _, _)| {
+                self.catalog
+                    .partition_of(*key)
+                    .is_ok_and(|p| partitions.contains(&p))
+            })
+            .collect()
+    }
+
     /// Installs a batch of versions, taking rows by value (one move from the
     /// decoded record into the chain, no clones).
     ///
@@ -130,6 +198,14 @@ impl Store {
     pub fn install_batch(&self, entries: Vec<(Key, VersionStamp, Row)>) -> Result<()> {
         for (key, _, _) in &entries {
             self.catalog.table(key.table)?;
+        }
+        {
+            let mut dirty = self.dirty.lock();
+            for (key, _, _) in &entries {
+                if let Ok(schema) = self.catalog.table(key.table) {
+                    dirty.insert(schema.partition_of(key.record));
+                }
+            }
         }
         // Grouping and worker threads only pay off when they can actually
         // overlap: on a single-CPU host the serial move-loop is strictly
@@ -356,6 +432,73 @@ mod tests {
             DynaError::NoSuchTable(9)
         );
         assert_eq!(store.record_count(), 0, "validation precedes any install");
+    }
+
+    #[test]
+    fn dirty_partitions_track_installs_and_clear() {
+        let store = Store::new(catalog(), 4);
+        let s0 = SiteId::new(0);
+        assert!(store.dirty_partitions().is_empty());
+        store
+            .install(
+                Key::new(TableId::new(0), 5),
+                VersionStamp::new(s0, 1),
+                row(1),
+            )
+            .unwrap();
+        store
+            .install_batch(vec![(
+                Key::new(TableId::new(0), 150),
+                VersionStamp::new(s0, 2),
+                row(2),
+            )])
+            .unwrap();
+        let dirty = store.dirty_partitions();
+        assert_eq!(dirty.len(), 2, "keys 5 and 150 are in distinct partitions");
+        store.clear_dirty();
+        assert!(store.dirty_partitions().is_empty());
+    }
+
+    #[test]
+    fn purge_partition_evicts_its_key_range_only() {
+        let store = Store::new(catalog(), 4);
+        let s0 = SiteId::new(0);
+        let t0 = TableId::new(0);
+        // Partition size 100: keys 5, 50 in p0; key 150 in p1.
+        for (k, seq) in [(5u64, 1u64), (50, 2), (150, 3)] {
+            store
+                .install(Key::new(t0, k), VersionStamp::new(s0, seq), row(k))
+                .unwrap();
+        }
+        let before = store.resident_bytes();
+        assert!(before > 0);
+        let p0 = store.catalog().partition_of(Key::new(t0, 5)).unwrap();
+        let (removed, freed) = store.purge_partition(p0).unwrap();
+        assert_eq!(removed, 2);
+        assert!(freed > 0);
+        assert_eq!(store.resident_bytes(), before - freed);
+        assert!(!store.contains(Key::new(t0, 5)).unwrap());
+        assert!(store.contains(Key::new(t0, 150)).unwrap());
+        // The purged partition is no longer dirty; p1 still is.
+        assert_eq!(store.dirty_partitions().len(), 1);
+    }
+
+    #[test]
+    fn dump_visible_partitions_filters_by_partition() {
+        let store = Store::new(catalog(), 4);
+        let s0 = SiteId::new(0);
+        let t0 = TableId::new(0);
+        store
+            .install(Key::new(t0, 5), VersionStamp::new(s0, 1), row(1))
+            .unwrap();
+        store
+            .install(Key::new(t0, 150), VersionStamp::new(s0, 2), row(2))
+            .unwrap();
+        let snap = VersionVector::from_counts(vec![2]);
+        let p1 = store.catalog().partition_of(Key::new(t0, 150)).unwrap();
+        let image = store.dump_visible_partitions(&snap, &HashSet::from([p1]));
+        assert_eq!(image.len(), 1);
+        assert_eq!(image[0].0, Key::new(t0, 150));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! four, §V-A1), pruning the oldest version when a new one is installed.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use dynamast_common::ids::{RecordId, SiteId};
 use dynamast_common::{Row, VersionVector};
@@ -50,11 +51,19 @@ struct Chain {
 }
 
 impl Chain {
-    fn install(&mut self, stamp: VersionStamp, row: Row, max_versions: usize) {
+    /// Installs a version, returning the net change in resident payload
+    /// bytes (installed bytes minus any evicted version's bytes).
+    fn install(&mut self, stamp: VersionStamp, row: Row, max_versions: usize) -> i64 {
+        let mut delta = row.payload_size() as i64;
         self.versions.push(Version { stamp, row });
         if self.versions.len() > max_versions {
-            self.versions.remove(0);
+            delta -= self.versions.remove(0).row.payload_size() as i64;
         }
+        delta
+    }
+
+    fn payload_size(&self) -> usize {
+        self.versions.iter().map(|v| v.row.payload_size()).sum()
     }
 
     /// Newest version visible to `begin`, scanning from the tail.
@@ -76,6 +85,10 @@ type Shard = RwLock<HashMap<RecordId, Chain>>;
 pub struct Table {
     shards: Vec<Shard>,
     max_versions: usize,
+    /// Sum of retained version payload bytes (resident-footprint
+    /// accounting for partial replication). Signed deltas are applied as
+    /// wrapping adds, so transient interleavings cannot underflow.
+    resident_bytes: AtomicU64,
 }
 
 impl Table {
@@ -85,7 +98,19 @@ impl Table {
         Table {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             max_versions,
+            resident_bytes: AtomicU64::new(0),
         }
+    }
+
+    fn charge(&self, delta: i64) {
+        self.resident_bytes
+            .fetch_add(delta as u64, Ordering::Relaxed);
+    }
+
+    /// Total retained version payload bytes (row cell payloads; index and
+    /// chain overhead excluded).
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes.load(Ordering::Relaxed)
     }
 
     /// Number of shards (fixed; exposed for batch-install grouping).
@@ -107,11 +132,14 @@ impl Table {
     /// for refresh-transaction application; caller guarantees apply-order
     /// correctness (write locks locally, Eq. 1 for refreshes).
     pub fn install(&self, record: RecordId, stamp: VersionStamp, row: Row) {
-        let mut shard = self.shard(record).write();
-        shard
-            .entry(record)
-            .or_default()
-            .install(stamp, row, self.max_versions);
+        let delta = {
+            let mut shard = self.shard(record).write();
+            shard
+                .entry(record)
+                .or_default()
+                .install(stamp, row, self.max_versions)
+        };
+        self.charge(delta);
     }
 
     /// Installs a group of versions that all hash to shard `shard_index`,
@@ -126,13 +154,39 @@ impl Table {
         debug_assert!(items
             .iter()
             .all(|(r, _, _)| Self::shard_index(*r) == shard_index));
-        let mut shard = self.shards[shard_index].write();
-        for (record, stamp, row) in items {
-            shard
-                .entry(record)
-                .or_default()
-                .install(stamp, row, self.max_versions);
+        let delta = {
+            let mut shard = self.shards[shard_index].write();
+            let mut delta = 0i64;
+            for (record, stamp, row) in items {
+                delta += shard
+                    .entry(record)
+                    .or_default()
+                    .install(stamp, row, self.max_versions);
+            }
+            delta
+        };
+        self.charge(delta);
+    }
+
+    /// Removes every record in `[start, end)` — a partition's contiguous
+    /// key range — returning `(records removed, payload bytes freed)`.
+    /// Used by `DropReplica` to evict a partition's copy; the caller is
+    /// responsible for fencing concurrent reads (NotReplica admission).
+    pub fn purge_range(&self, start: RecordId, end: RecordId) -> (usize, u64) {
+        let mut removed = 0usize;
+        let mut freed = 0u64;
+        for record in start..end {
+            let bytes = {
+                let mut shard = self.shard(record).write();
+                shard.remove(&record).map(|c| c.payload_size())
+            };
+            if let Some(bytes) = bytes {
+                removed += 1;
+                freed += bytes as u64;
+            }
         }
+        self.charge(-(freed as i64));
+        (removed, freed)
     }
 
     /// Snapshot read: the newest version visible to `begin`.
@@ -319,6 +373,40 @@ mod tests {
         assert_eq!(r, row(7));
         assert_eq!(stamp, VersionStamp::new(SiteId::new(2), 42));
         assert!(t.read_latest(10).is_none());
+    }
+
+    #[test]
+    fn resident_bytes_track_installs_evictions_and_purges() {
+        let t = Table::new(2);
+        let s0 = SiteId::new(0);
+        assert_eq!(t.resident_bytes(), 0);
+        t.install(1, VersionStamp::new(s0, 1), row(1));
+        let one = t.resident_bytes();
+        assert!(one > 0);
+        t.install(1, VersionStamp::new(s0, 2), row(2));
+        assert_eq!(t.resident_bytes(), 2 * one);
+        // Third install evicts the oldest version: bytes stay at 2 versions.
+        t.install(1, VersionStamp::new(s0, 3), row(3));
+        assert_eq!(t.resident_bytes(), 2 * one);
+        t.install(7, VersionStamp::new(s0, 4), row(4));
+        assert_eq!(t.resident_bytes(), 3 * one);
+        let (removed, freed) = t.purge_range(0, 5);
+        assert_eq!(removed, 1);
+        assert_eq!(freed, 2 * one);
+        assert_eq!(t.resident_bytes(), one);
+        assert!(t.read_latest(1).is_none());
+        assert!(t.read_latest(7).is_some());
+    }
+
+    #[test]
+    fn purge_range_is_idempotent_and_scoped() {
+        let t = Table::new(4);
+        let s0 = SiteId::new(0);
+        t.install(10, VersionStamp::new(s0, 1), row(1));
+        t.install(20, VersionStamp::new(s0, 2), row(2));
+        assert_eq!(t.purge_range(0, 15).0, 1);
+        assert_eq!(t.purge_range(0, 15).0, 0);
+        assert!(t.contains(20));
     }
 
     #[test]

@@ -77,11 +77,12 @@ fn drive(name: &str, system: Arc<dyn ReplicatedSystem>, workload: &YcsbWorkload)
     let total = (CLIENTS * TXNS_PER_CLIENT) as f64;
     let stats = system.stats();
     println!(
-        "{name:>16}: {:7.0} txn/s | commits {:5} | aborts {:3} | remasters {:4}",
+        "{name:>16}: {:7.0} txn/s | commits {:5} | aborts {:3} | remasters {:4} | resident {:5.1} MiB",
         total / elapsed.as_secs_f64(),
         stats.committed_updates,
         stats.aborts,
         stats.remaster_ops,
+        stats.resident_bytes as f64 / (1024.0 * 1024.0),
     );
     Ok(())
 }
@@ -111,6 +112,34 @@ fn main() -> Result<()> {
             TrafficCategory::ClientSite,
             TrafficCategory::Remaster,
             TrafficCategory::Replication,
+        ],
+    );
+
+    // The same system under floor-2 partial replication: the resident
+    // column is the point — the store footprint drops toward 2/4 of full
+    // replication while the client API stays identical. DataShip traffic
+    // appears because grants to sites without a copy install one first
+    // (create-then-grant) and the provisioning planner moves copies.
+    let partial = DynaMastSystem::build(
+        DynaMastConfig::adaptive(config().with_partial_replication(2), workload.catalog()),
+        workload.executor(),
+    );
+    workload.populate(&mut |k, r| partial.load_row(k, r))?;
+    let net = Arc::clone(partial.network());
+    drive(
+        "dynamast-floor2",
+        partial as Arc<dyn ReplicatedSystem>,
+        &workload,
+    )?;
+    audit_traffic(
+        "dynamast-floor2",
+        &net,
+        &[
+            TrafficCategory::ClientSelector,
+            TrafficCategory::ClientSite,
+            TrafficCategory::Remaster,
+            TrafficCategory::Replication,
+            TrafficCategory::DataShip,
         ],
     );
 

@@ -3,8 +3,9 @@
 
 Stdlib-only (no jsonschema dependency): implements exactly the schema
 subset `schemas/metrics_snapshot.schema.json` uses — `type` (object /
-integer), `required`, `properties`, `additionalProperties` (false or a
-subschema), `minimum`, and local `$ref` into `$defs`.
+integer / array), `required`, `properties`, `additionalProperties`
+(false or a subschema), `items`, `minimum`, and local `$ref` into
+`$defs`.
 
 Usage: validate_metrics_json.py <schema.json> <document.json>
 Exits 0 when the document conforms; prints every violation and exits 1
@@ -47,6 +48,15 @@ class Validator:
                 return
             if "minimum" in schema and value < schema["minimum"]:
                 self.errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+            return
+        elif expected == "array":
+            if not isinstance(value, list):
+                self.errors.append(f"{path}: expected array, got {type(value).__name__}")
+                return
+            items = schema.get("items")
+            if items is not None:
+                for index, item in enumerate(value):
+                    self.check(items, item, f"{path}/{index}")
             return
         elif expected is not None:
             raise ValueError(f"unsupported type keyword {expected!r} at {path}")

@@ -1,0 +1,352 @@
+//! Partial replication: client-visible equivalence with full replication,
+//! and availability/repair behavior when a floor-2 replica crashes.
+//!
+//! The equivalence property is the contract that makes partial replication a
+//! *deployment* knob rather than a semantic one: for the same seeded,
+//! single-client workload, a `replication=partial` system must return
+//! byte-identical results for every transaction a full-replication system
+//! runs, conserve SmallBank balances, and end with every tracked partition
+//! at or above the copy floor — while actually holding fewer resident rows.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use bytes::Bytes;
+use dynamast::common::ids::{ClientId, Key, PartitionId, SiteId};
+use dynamast::common::{DynaError, SystemConfig, VersionVector};
+use dynamast::core::dynamast::{DynaMastConfig, DynaMastSystem};
+use dynamast::site::system::{ClientSession, ReplicatedSystem};
+use dynamast::workloads::smallbank::{self, SmallBankConfig, SmallBankWorkload};
+use dynamast::workloads::Workload;
+use proptest::prelude::*;
+
+use common::{
+    arm_auditor, arm_watchdog, assert_audit_clean, await_convergence, chaos_config, chaos_seed,
+    pair_balance, tolerable, transfer, Rng,
+};
+
+const SITES: usize = 4;
+const FLOOR: usize = 2;
+const CUSTOMERS: u64 = 800;
+const INITIAL: i64 = 10_000;
+const PARTITION_SIZE: u64 = 100;
+
+fn build(partial: bool) -> Arc<DynaMastSystem> {
+    let workload = SmallBankWorkload::new(SmallBankConfig {
+        num_customers: CUSTOMERS,
+        initial_balance: INITIAL,
+        ..SmallBankConfig::default()
+    });
+    let mut config = SystemConfig::new(SITES)
+        .with_instant_network()
+        .with_instant_service();
+    if partial {
+        config = config.with_partial_replication(FLOOR);
+    }
+    let system = DynaMastSystem::build(
+        DynaMastConfig::adaptive(config, workload.catalog()),
+        workload.executor(),
+    );
+    workload
+        .populate(&mut |key, row| system.load_row(key, row))
+        .unwrap();
+    system
+}
+
+/// Runs a seeded single-client stream of transfers and pair-balance reads,
+/// returning every client-visible result payload in order.
+fn run(system: &DynaMastSystem, seed: u64, txns: u64) -> Vec<Bytes> {
+    let mut session = ClientSession::new(ClientId::new(1), SITES);
+    let mut rng = Rng(seed);
+    let mut results = Vec::with_capacity(txns as usize);
+    for _ in 0..txns {
+        let outcome = match rng.next() % 3 {
+            0 | 1 => {
+                let from = rng.next() % CUSTOMERS;
+                let mut to = rng.next() % CUSTOMERS;
+                if to == from {
+                    to = (to + 1) % CUSTOMERS;
+                }
+                let amount = (rng.next() % 100) as i64 + 1;
+                system
+                    .update(&mut session, &transfer(from, to, amount))
+                    .unwrap()
+            }
+            _ => {
+                let a = rng.next() % CUSTOMERS;
+                let mut b = rng.next() % CUSTOMERS;
+                if b == a {
+                    b = (b + 1) % CUSTOMERS;
+                }
+                system.read(&mut session, &pair_balance(a, b)).unwrap()
+            }
+        };
+        results.push(outcome.result);
+    }
+    results
+}
+
+/// Sum of all checking balances, reading each partition from a site that
+/// actually hosts it (under partial replication site 0 need not).
+fn checking_total(system: &DynaMastSystem, seed: u64) -> i64 {
+    let target = system
+        .sites()
+        .iter()
+        .map(|s| s.clock().current())
+        .fold(VersionVector::zero(SITES), |acc, vv| acc.max_with(&vv));
+    await_convergence(system, &target, seed);
+    let sites = system.sites();
+    let rmap = Arc::clone(system.selector().replica_map());
+    (0..CUSTOMERS)
+        .map(|customer| {
+            let key = Key::new(smallbank::CHECKING, customer);
+            let partition =
+                dynamast::common::ids::partition_id(smallbank::CHECKING, customer / PARTITION_SIZE);
+            let host = rmap.replicas(partition)[0];
+            sites[host.as_usize()]
+                .store()
+                .read(key, &target)
+                .unwrap()
+                .expect("populated account vanished")
+                .cell(0)
+                .as_i64()
+                .unwrap()
+        })
+        .sum()
+}
+
+fn resident_total(system: &DynaMastSystem) -> u64 {
+    system
+        .sites()
+        .iter()
+        .map(|s| s.store().resident_bytes())
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Full and partial replication run the same seeded workload: every
+    /// client-visible result must be byte-identical, money conserved in
+    /// both, no tracked partition below the floor, and the partial system
+    /// must hold strictly fewer resident bytes.
+    #[test]
+    fn full_and_partial_replication_are_client_equivalent(
+        seed in any::<u64>(),
+        txns in 200u64..500,
+    ) {
+        let full = build(false);
+        let partial = build(true);
+        let a = run(&full, seed, txns);
+        let b = run(&partial, seed, txns);
+        prop_assert_eq!(a, b, "client-visible outcomes diverged (seed {:#x})", seed);
+
+        prop_assert_eq!(checking_total(&full, seed), CUSTOMERS as i64 * INITIAL);
+        prop_assert_eq!(checking_total(&partial, seed), CUSTOMERS as i64 * INITIAL);
+
+        // Copy floor is an invariant of the replica map, not just a goal.
+        let rmap = Arc::clone(partial.selector().replica_map());
+        for (p, mask) in rmap.tracked() {
+            prop_assert!(
+                mask.count_ones() as usize >= FLOOR,
+                "partition {:?} below the copy floor (seed {:#x})", p, seed
+            );
+        }
+
+        // The whole point: a floor-2 deployment holds fewer rows than a
+        // 4-copy one (the 2x acceptance number is measured by the bench;
+        // here we only pin the direction so provisioning churn can't flake
+        // the test).
+        let (full_bytes, partial_bytes) = (resident_total(&full), resident_total(&partial));
+        prop_assert!(
+            partial_bytes < full_bytes,
+            "partial replication should shrink the resident footprint \
+             (full={} partial={}, seed {:#x})", full_bytes, partial_bytes, seed
+        );
+
+        // And the propagator really did strip non-hosted refresh records.
+        prop_assert!(
+            partial.metrics().counter("refresh_records_skipped").get() > 0,
+            "partial replication never skipped a refresh record (seed {:#x})", seed
+        );
+    }
+}
+
+/// Errors a client may see while a floor-2 replica is crashed: everything
+/// the full-replication chaos suite tolerates, plus `NotReplica` (a stale
+/// route into the crash window resolves by lazy copy repair + resubmit).
+fn tolerable_partial(err: &DynaError) -> bool {
+    tolerable(err) || matches!(err, DynaError::NotReplica { .. })
+}
+
+/// A floor-2 partition loses one of its two replicas mid-run: reads must
+/// keep committing (routed to the survivor), an explicit `AddReplica` from
+/// the survivor must restore the floor while the site is still down, and
+/// after restart + healing the auditors must report zero violations.
+#[test]
+fn floor_two_survives_replica_crash_and_repairs() {
+    const CHAOS_SITES: usize = 3;
+    const CHAOS_CUSTOMERS: u64 = 600;
+
+    let seed = chaos_seed() ^ 0x07A5_71A1;
+    let workload = SmallBankWorkload::new(SmallBankConfig {
+        num_customers: CHAOS_CUSTOMERS,
+        initial_balance: INITIAL,
+        ..SmallBankConfig::default()
+    });
+    let system = DynaMastSystem::build(
+        DynaMastConfig::adaptive(
+            chaos_config(CHAOS_SITES).with_partial_replication(FLOOR),
+            workload.catalog(),
+        ),
+        workload.executor(),
+    );
+    let _watchdog = arm_watchdog(
+        seed,
+        "partial replication floor-2 crash".to_string(),
+        60,
+        Some(Arc::clone(system.network())),
+    );
+    workload
+        .populate(&mut |key, row| system.load_row(key, row))
+        .unwrap();
+    let auditor = arm_auditor(&system, true, "partial replication chaos");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..3u64)
+        .map(|t| {
+            let system = Arc::clone(&system);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut session = ClientSession::new(ClientId::new(t as usize), CHAOS_SITES);
+                let mut rng = Rng(seed ^ (t + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+                let mut committed = 0u64;
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let result = if rng.next().is_multiple_of(2) {
+                        let from = rng.next() % CHAOS_CUSTOMERS;
+                        let mut to = rng.next() % CHAOS_CUSTOMERS;
+                        if to == from {
+                            to = (to + 1) % CHAOS_CUSTOMERS;
+                        }
+                        let amount = (rng.next() % 100) as i64 + 1;
+                        system
+                            .update(&mut session, &transfer(from, to, amount))
+                            .map(|_| ())
+                    } else {
+                        let a = rng.next() % CHAOS_CUSTOMERS;
+                        let mut b = rng.next() % CHAOS_CUSTOMERS;
+                        if b == a {
+                            b = (b + 1) % CHAOS_CUSTOMERS;
+                        }
+                        system
+                            .read(&mut session, &pair_balance(a, b))
+                            .map(|_| reads += 1)
+                    };
+                    match result {
+                        Ok(()) => committed += 1,
+                        Err(e) if tolerable_partial(&e) => {}
+                        Err(e) => panic!("client {t}: unexpected error {e} (seed {seed:#x})"),
+                    }
+                }
+                (committed, reads)
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(500));
+
+    // Crash one site. Every floor-2 partition that had a copy there is now
+    // down to a single live replica.
+    system.crash_site(1);
+    let crashed = SiteId::new(1);
+    let rmap = Arc::clone(system.selector().replica_map());
+
+    // Pick a partition the crashed site hosted that has not already been
+    // widened to every site, and repair its floor from the survivor while
+    // the site is still down. (If provisioning already widened everything,
+    // the floor is trivially safe and there is nothing to demonstrate.)
+    let victim: Option<PartitionId> = (0..CHAOS_CUSTOMERS / PARTITION_SIZE)
+        .map(|i| dynamast::common::ids::partition_id(smallbank::CHECKING, i))
+        .find(|p| rmap.hosts(*p, crashed) && rmap.copy_count(*p) < CHAOS_SITES);
+    if let Some(p) = victim {
+        let dest = (0..CHAOS_SITES)
+            .map(SiteId::new)
+            .find(|s| !rmap.hosts(p, *s))
+            .expect("an unwidened partition leaves a third site free");
+        system
+            .selector()
+            .ensure_replica(dest, p)
+            .expect("AddReplica from the survivor must succeed while one replica is down");
+        let live = rmap
+            .replicas(p)
+            .into_iter()
+            .filter(|s| *s != crashed)
+            .count();
+        assert!(
+            live >= FLOOR,
+            "repair did not restore {FLOOR} live copies of {p:?} (seed {seed:#x})"
+        );
+    }
+
+    // Keep serving for a while on the degraded cluster, then heal.
+    thread::sleep(Duration::from_millis(800));
+    system.restart_site(1).unwrap();
+    thread::sleep(Duration::from_millis(800));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut committed = 0u64;
+    let mut reads = 0u64;
+    for h in handles {
+        let (c, r) = h.join().unwrap();
+        committed += c;
+        reads += r;
+    }
+    assert!(
+        committed > 0 && reads > 0,
+        "degraded cluster stopped serving (committed={committed} reads={reads})"
+    );
+    eprintln!("[chaos] partial replication committed={committed} reads={reads}");
+
+    // Conservation over hosting replicas + a clean audit trail.
+    let target = system
+        .sites()
+        .iter()
+        .map(|s| s.clock().current())
+        .fold(VersionVector::zero(CHAOS_SITES), |acc, vv| {
+            acc.max_with(&vv)
+        });
+    await_convergence(&system, &target, seed);
+    let sites = system.sites();
+    let rmap = Arc::clone(system.selector().replica_map());
+    let total: i64 = (0..CHAOS_CUSTOMERS)
+        .map(|customer| {
+            let key = Key::new(smallbank::CHECKING, customer);
+            let partition =
+                dynamast::common::ids::partition_id(smallbank::CHECKING, customer / PARTITION_SIZE);
+            let host = rmap
+                .replicas(partition)
+                .into_iter()
+                .next()
+                .expect("every partition keeps at least one replica");
+            sites[host.as_usize()]
+                .store()
+                .read(key, &target)
+                .unwrap()
+                .expect("populated account vanished")
+                .cell(0)
+                .as_i64()
+                .unwrap()
+        })
+        .sum();
+    assert_eq!(
+        total,
+        CHAOS_CUSTOMERS as i64 * INITIAL,
+        "money not conserved under partial replication (seed {seed:#x})"
+    );
+    assert_audit_clean(&auditor, seed, "partial replication chaos");
+}
